@@ -1,0 +1,81 @@
+//! Criterion benches for substrate-level design choices: GNN encoder forward
+//! cost (GCN vs GIN vs MAGNN) and contrastive step cost — the knobs behind
+//! the Fig. 4 encoder comparison and Table III timings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fexiot::build_encoder;
+use fexiot_gnn::EncoderKind;
+use fexiot_graph::{generate_dataset, DatasetConfig, FeatureConfig};
+use fexiot_tensor::Rng;
+use std::hint::black_box;
+
+fn bench_encoders(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(37);
+    let mut ds_cfg = DatasetConfig::small_hetero();
+    ds_cfg.graph_count = 30;
+    let ds = generate_dataset(&ds_cfg, &mut rng);
+    let hetero = ds
+        .graphs
+        .iter()
+        .find(|g| g.node_count() >= 6)
+        .unwrap()
+        .clone();
+
+    let mut homo_cfg = DatasetConfig::small_ifttt();
+    homo_cfg.graph_count = 30;
+    let homo_ds = generate_dataset(&homo_cfg, &mut rng);
+    let homo = homo_ds
+        .graphs
+        .iter()
+        .find(|g| g.node_count() >= 6)
+        .unwrap()
+        .clone();
+
+    let mut group = c.benchmark_group("encoder_forward");
+    for kind in [EncoderKind::Gcn, EncoderKind::Gin, EncoderKind::Magnn] {
+        let enc = build_encoder(&kind, FeatureConfig::small(), &[32, 32], 16, &mut rng);
+        let graph = if kind == EncoderKind::Magnn {
+            &hetero
+        } else {
+            &homo
+        };
+        group.bench_function(format!("{kind:?}"), |b| {
+            b.iter(|| black_box(enc.embed(black_box(graph))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_contrastive_step(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(41);
+    let mut ds_cfg = DatasetConfig::small_ifttt();
+    ds_cfg.graph_count = 40;
+    let ds = generate_dataset(&ds_cfg, &mut rng);
+    let labels: Vec<usize> = ds
+        .graphs
+        .iter()
+        .map(fexiot_graph::GraphDataset::binary_label)
+        .collect();
+    c.bench_function("contrastive_epoch_16_pairs", |b| {
+        b.iter(|| {
+            let mut enc = build_encoder(
+                &EncoderKind::Gin,
+                FeatureConfig::small(),
+                &[16],
+                8,
+                &mut rng,
+            );
+            let cfg = fexiot_gnn::ContrastiveConfig {
+                epochs: 1,
+                pairs_per_epoch: 16,
+                ..Default::default()
+            };
+            black_box(fexiot_gnn::train_contrastive(
+                &mut enc, &ds.graphs, &labels, &cfg,
+            ))
+        });
+    });
+}
+
+criterion_group!(benches, bench_encoders, bench_contrastive_step);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benches for the explanation stage (Table III's "Vulnerability
+//! Analysis Time" and the Fig. 9 method comparison): kernel SHAP evaluation
+//! and the three subgraph-search methods.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fexiot::{FexIot, FexIotConfig};
+use fexiot_explain::{
+    explain, fexiot_config, mcts_gnn_config, shap_value, subgraphx_config, ShapConfig,
+};
+use fexiot_graph::{generate_dataset, DatasetConfig, InteractionGraph};
+use fexiot_tensor::Rng;
+use std::hint::black_box;
+
+fn setup() -> (FexIot, InteractionGraph) {
+    let mut rng = Rng::seed_from_u64(29);
+    let mut ds_cfg = DatasetConfig::small_ifttt();
+    ds_cfg.graph_count = 80;
+    let ds = generate_dataset(&ds_cfg, &mut rng);
+    let mut cfg = FexIotConfig::default().with_seed(29);
+    cfg.contrastive.epochs = 3;
+    let model = FexIot::train(&ds, cfg);
+    let graph = ds
+        .graphs
+        .iter()
+        .find(|g| g.node_count() >= 6 && g.edge_count() >= 5)
+        .expect("mid-size graph")
+        .clone();
+    (model, graph)
+}
+
+fn bench_shap(c: &mut Criterion) {
+    let (model, graph) = setup();
+    c.bench_function("kernel_shap_value_32_samples", |b| {
+        let mut rng = Rng::seed_from_u64(31);
+        b.iter(|| {
+            black_box(shap_value(
+                model.scorer(),
+                &graph,
+                &[0, 1],
+                &ShapConfig { samples: 32 },
+                &mut rng,
+            ))
+        });
+    });
+}
+
+fn bench_methods(c: &mut Criterion) {
+    let (model, graph) = setup();
+    let mut group = c.benchmark_group("explanation_methods");
+    group.sample_size(10);
+    for (name, cfg) in [
+        ("FexIoT_mcbs", fexiot_config(2, 3, 16)),
+        ("SubgraphX", subgraphx_config(2, 3, 16)),
+        ("MCTS_GNN", mcts_gnn_config(2, 3)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(explain(model.scorer(), &graph, &cfg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shap, bench_methods);
+criterion_main!(benches);

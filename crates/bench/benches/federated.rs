@@ -1,0 +1,79 @@
+//! Criterion benches for federated training: one round per strategy (the
+//! Fig. 4 / Fig. 7 inner loop) with identical client data.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fexiot::{build_federation, FederationConfig, FexIotConfig};
+use fexiot_fed::Strategy;
+use fexiot_graph::{generate_dataset, DatasetConfig};
+use fexiot_tensor::Rng;
+use std::hint::black_box;
+
+fn bench_round(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(17);
+    let mut ds_cfg = DatasetConfig::small_ifttt();
+    ds_cfg.graph_count = 120;
+    let ds = generate_dataset(&ds_cfg, &mut rng);
+
+    let mut group = c.benchmark_group("federated_round");
+    group.sample_size(10);
+    for strategy in [
+        Strategy::FedAvg,
+        Strategy::fmtl_default(),
+        Strategy::gcfl_default(),
+        Strategy::fexiot_default(),
+    ] {
+        group.bench_function(strategy.name(), |b| {
+            b.iter_batched(
+                || {
+                    let mut pipeline = FexIotConfig::default().with_seed(17);
+                    pipeline.contrastive.epochs = 1;
+                    pipeline.contrastive.pairs_per_epoch = 16;
+                    let config = FederationConfig {
+                        n_clients: 6,
+                        alpha: 1.0,
+                        strategy: strategy.clone(),
+                        rounds: 1,
+                        pipeline,
+                        ..Default::default()
+                    };
+                    build_federation(&ds, &config)
+                },
+                |mut sim| black_box(sim.run_round()),
+                BatchSize::LargeInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn bench_communication_accounting(c: &mut Criterion) {
+    // Near-zero local training isolates the server-side layer recursion and
+    // byte-accounting overhead.
+    let mut rng = Rng::seed_from_u64(19);
+    let mut ds_cfg = DatasetConfig::small_ifttt();
+    ds_cfg.graph_count = 60;
+    let ds = generate_dataset(&ds_cfg, &mut rng);
+    c.bench_function("fexiot_layerwise_aggregation_round", |b| {
+        b.iter_batched(
+            || {
+                let mut pipeline = FexIotConfig::default().with_seed(19);
+                pipeline.contrastive.epochs = 1;
+                pipeline.contrastive.pairs_per_epoch = 1;
+                let config = FederationConfig {
+                    n_clients: 12,
+                    alpha: 1.0,
+                    strategy: Strategy::fexiot_default(),
+                    rounds: 1,
+                    pipeline,
+                    ..Default::default()
+                };
+                build_federation(&ds, &config)
+            },
+            |mut sim| black_box(sim.run_round()),
+            BatchSize::LargeInput,
+        );
+    });
+}
+
+criterion_group!(benches, bench_round, bench_communication_accounting);
+criterion_main!(benches);

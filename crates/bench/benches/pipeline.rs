@@ -1,0 +1,75 @@
+//! Criterion benches for the core pipeline stages (Table III's rows):
+//! dataset/graph construction, correlation features, model prediction.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use fexiot::{FexIot, FexIotConfig};
+use fexiot_graph::{generate_dataset, DatasetConfig};
+use fexiot_nlp::{parse_rule, Lexicon, PairFeatureExtractor};
+use fexiot_tensor::Rng;
+use std::hint::black_box;
+
+fn bench_graph_construction(c: &mut Criterion) {
+    c.bench_function("dataset_generation_ifttt_40_graphs", |b| {
+        let mut seed = 0u64;
+        b.iter_batched(
+            || {
+                seed += 1;
+                Rng::seed_from_u64(seed)
+            },
+            |mut rng| {
+                let mut cfg = DatasetConfig::small_ifttt();
+                cfg.graph_count = 40;
+                black_box(generate_dataset(&cfg, &mut rng))
+            },
+            BatchSize::LargeInput,
+        );
+    });
+    c.bench_function("dataset_generation_hetero_40_graphs", |b| {
+        let mut seed = 100u64;
+        b.iter_batched(
+            || {
+                seed += 1;
+                Rng::seed_from_u64(seed)
+            },
+            |mut rng| {
+                let mut cfg = DatasetConfig::small_hetero();
+                cfg.graph_count = 40;
+                black_box(generate_dataset(&cfg, &mut rng))
+            },
+            BatchSize::LargeInput,
+        );
+    });
+}
+
+fn bench_correlation_features(c: &mut Criterion) {
+    let lex = Lexicon::new();
+    let extractor = PairFeatureExtractor::with_word_dim(32);
+    let a = parse_rule("Turn on the kitchen water valve if smoke is detected", &lex);
+    let b_rule = parse_rule("Send a notification when the water valve is open", &lex);
+    c.bench_function("pair_features", |bch| {
+        bch.iter(|| black_box(extractor.pair_features(&a, &b_rule, &lex)));
+    });
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let mut rng = Rng::seed_from_u64(7);
+    let mut cfg = DatasetConfig::small_ifttt();
+    cfg.graph_count = 80;
+    let ds = generate_dataset(&cfg, &mut rng);
+    let mut pipe_cfg = FexIotConfig::default().with_seed(7);
+    pipe_cfg.contrastive.epochs = 3;
+    let model = FexIot::train(&ds, pipe_cfg);
+    let graph = ds.graphs.iter().find(|g| g.node_count() >= 6).unwrap();
+
+    c.bench_function("prediction_per_graph", |b| {
+        b.iter(|| black_box(model.detect(black_box(graph))));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_graph_construction,
+    bench_correlation_features,
+    bench_prediction
+);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Ablation studies for the design choices called out in DESIGN.md.
+//! `cargo run --release --bin ablations [--full]`
+
+use fexiot_bench::{ablation, print_table, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+
+    let agg = ablation::aggregation_ablation(scale);
+    print_table(
+        &format!("Ablation: aggregation strategy ({scale:?} scale)"),
+        &["Strategy", "Accuracy", "Comm (MB)"],
+        &agg.iter()
+            .map(|r| {
+                vec![
+                    r.strategy.to_string(),
+                    format!("{:.3}", r.accuracy),
+                    format!("{:.2}", r.comm_mb),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let contrastive = ablation::contrastive_ablation(scale);
+    print_table(
+        "Ablation: contrastive training budget",
+        &["Epochs", "Accuracy"],
+        &contrastive
+            .iter()
+            .map(|(e, a)| vec![e.to_string(), format!("{a:.3}")])
+            .collect::<Vec<_>>(),
+    );
+
+    let beam = ablation::beam_ablation(scale);
+    print_table(
+        "Ablation: explanation beam width × N_min",
+        &["Beam", "N_min", "Mean Fidelity", "Mean Sparsity"],
+        &beam
+            .iter()
+            .map(|(b, n, f, s)| {
+                vec![
+                    b.to_string(),
+                    n.to_string(),
+                    format!("{f:.3}"),
+                    format!("{s:.3}"),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,30 @@
+//! Regenerates Figure 5: scalability box plots over client counts.
+//! `cargo run --release --bin fig5 [--full]`
+
+use fexiot_bench::{fig5, print_table, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let boxes = fig5::run(scale);
+    let rows: Vec<Vec<String>> = boxes
+        .iter()
+        .map(|b| {
+            vec![
+                b.dataset.to_string(),
+                b.clients.to_string(),
+                format!("{:.3}", b.summary.min),
+                format!("{:.3}", b.summary.q1),
+                format!("{:.3}", b.summary.median),
+                format!("{:.3}", b.summary.q3),
+                format!("{:.3}", b.summary.max),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Figure 5: per-client accuracy distribution ({scale:?} scale)"),
+        &["Dataset", "Clients", "Min", "Q1", "Median", "Q3", "Max"],
+        &rows,
+    );
+    println!("\nPaper: IFTTT Q3 ≈ 0.869-0.882 across 25-100 clients; larger federations");
+    println!("show wider spread (min 0.8, max 0.977 at 100 clients).");
+}

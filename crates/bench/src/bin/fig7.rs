@@ -1,0 +1,62 @@
+//! Regenerates Figure 7: communication cost vs federation size.
+//! `cargo run --release --bin fig7 [--full]`
+
+use fexiot_bench::{fig7, print_table, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let bars = fig7::run(scale);
+    let clients = fig7::client_counts(scale);
+    let mut rows = Vec::new();
+    for strategy in ["FedAvg", "FMTL", "GCFL+", "FexIoT"] {
+        let mut row = vec![strategy.to_string()];
+        for &c in &clients {
+            let bar = bars
+                .iter()
+                .find(|b| b.strategy == strategy && b.clients == c)
+                .expect("bar exists");
+            row.push(format!("{:.2}", bar.total_mb));
+        }
+        rows.push(row);
+    }
+    let header: Vec<String> = std::iter::once("Method".to_string())
+        .chain(clients.iter().map(|c| format!("{c} clients (MB)")))
+        .collect();
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    print_table(
+        &format!("Figure 7: total transferred data ({scale:?} scale)"),
+        &header_refs,
+        &rows,
+    );
+    println!(
+        "\nFexIoT saving vs FedAvg at the largest federation: {:.1}% (paper: 40.2%)",
+        fig7::fexiot_saving(&bars) * 100.0
+    );
+    let groups: Vec<String> = clients.iter().map(|c| format!("{c} clients")).collect();
+    let series = ["FedAvg", "FMTL", "GCFL+", "FexIoT"];
+    let values: Vec<Vec<f64>> = series
+        .iter()
+        .map(|s| {
+            clients
+                .iter()
+                .map(|&c| {
+                    bars.iter()
+                        .find(|b| b.strategy == *s && b.clients == c)
+                        .map_or(0.0, |b| b.total_mb)
+                })
+                .collect()
+        })
+        .collect();
+    std::fs::create_dir_all("results").ok();
+    let svg = "results/fig7_communication.svg";
+    fexiot_bench::plot::grouped_bars_svg(
+        svg,
+        "Fig. 7: total transferred data",
+        "MB",
+        &groups,
+        &series,
+        &values,
+    )
+    .expect("write svg");
+    println!("wrote bar chart to {svg}");
+}

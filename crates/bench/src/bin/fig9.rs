@@ -1,0 +1,58 @@
+//! Regenerates Figure 9: Fidelity vs Sparsity of the explanation methods.
+//! Writes per-case scatter points to `results/fig9_points.csv`.
+//! `cargo run --release --bin fig9 [--full]`
+
+use fexiot_bench::{fig9, print_table, Scale};
+use std::io::Write;
+
+fn main() {
+    let scale = Scale::from_env();
+    let rows = fig9::run(scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.method.to_string(),
+                format!("{:.3}", r.mean_fidelity),
+                format!("{:.3}", r.mean_sparsity),
+                r.points.len().to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Figure 9: explanation quality ({scale:?} scale)"),
+        &["Method", "Mean Fidelity", "Mean Sparsity", "Cases"],
+        &table,
+    );
+
+    std::fs::create_dir_all("results").ok();
+    let path = "results/fig9_points.csv";
+    let mut f = std::fs::File::create(path).expect("create csv");
+    writeln!(f, "method,fidelity,sparsity").unwrap();
+    for r in &rows {
+        for (fid, spa) in &r.points {
+            writeln!(f, "{},{fid:.4},{spa:.4}", r.method).unwrap();
+        }
+    }
+    println!("wrote scatter points to {path}");
+    let names: Vec<&str> = rows.iter().map(|r| r.method).collect();
+    let mut points = Vec::new();
+    for (s, r) in rows.iter().enumerate() {
+        for &(fid, spa) in &r.points {
+            points.push((fid, spa, s));
+        }
+    }
+    let svg = "results/fig9_fidelity_sparsity.svg";
+    fexiot_bench::plot::scatter_svg(
+        svg,
+        "Fig. 9: Fidelity vs Sparsity",
+        "Fidelity",
+        "Sparsity",
+        &names,
+        &points,
+    )
+    .expect("write svg");
+    println!("wrote scatter figure to {svg}");
+    println!("Paper: FexIoT balances fidelity and sparsity (concise yet important");
+    println!("subgraphs); half the cases have fidelity > 0.3 with sparsity < 0.7.");
+}

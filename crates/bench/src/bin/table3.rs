@@ -1,0 +1,36 @@
+//! Regenerates Table III: runtime efficiency per dataset.
+//! `cargo run --release --bin table3 [--full]`
+
+use fexiot_bench::{print_table, table3, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let rows = table3::run(scale);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.to_string(),
+                format!("{}", r.graphs),
+                format!("{:.2}", r.graph_construction_s),
+                format!("{:.2e}", r.prediction_s),
+                format!("{:.2e}", r.analysis_s),
+                format!("{:.2}", r.model_mb),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Table III: runtime efficiency ({scale:?} scale)"),
+        &[
+            "Dataset",
+            "Graphs",
+            "Construction (s)",
+            "Prediction (s)",
+            "Analysis (s)",
+            "Model (MB)",
+        ],
+        &table,
+    );
+    println!("\nPaper: IFTTT 17.19 s construction / 0.52 s prediction / 2.18 s analysis /");
+    println!("5.48 MB model; heterogeneous 976.99 s / 0.61 s / 3.64 s / 6.13 MB.");
+}

@@ -1,0 +1,250 @@
+//! Minimal SVG plotting for the figure binaries: scatter plots (Fig. 6 t-SNE,
+//! Fig. 9 fidelity/sparsity) and grouped bar charts (Fig. 7 communication).
+//! No dependencies — the experiment bins write self-contained `.svg` files
+//! next to their `.csv` outputs.
+
+use std::fmt::Write as _;
+
+const WIDTH: f64 = 640.0;
+const HEIGHT: f64 = 480.0;
+const MARGIN: f64 = 56.0;
+
+/// Categorical palette (colorblind-safe Okabe-Ito).
+const PALETTE: [&str; 8] = [
+    "#0072B2", "#E69F00", "#009E73", "#D55E00", "#CC79A7", "#56B4E9", "#F0E442", "#000000",
+];
+
+fn axis_bounds(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        return (0.0, 1.0);
+    }
+    if (hi - lo).abs() < 1e-12 {
+        return (lo - 0.5, hi + 0.5);
+    }
+    let pad = (hi - lo) * 0.06;
+    (lo - pad, hi + pad)
+}
+
+fn svg_header(title: &str) -> String {
+    format!(
+        concat!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" ",
+            "viewBox=\"0 0 {w} {h}\" font-family=\"sans-serif\">\n",
+            "<rect width=\"{w}\" height=\"{h}\" fill=\"white\"/>\n",
+            "<text x=\"{cx}\" y=\"24\" text-anchor=\"middle\" font-size=\"15\">{title}</text>\n"
+        ),
+        w = WIDTH,
+        h = HEIGHT,
+        cx = WIDTH / 2.0,
+        title = title
+    )
+}
+
+fn axes(out: &mut String, xlabel: &str, ylabel: &str, xb: (f64, f64), yb: (f64, f64)) {
+    let x0 = MARGIN;
+    let x1 = WIDTH - MARGIN;
+    let y0 = HEIGHT - MARGIN;
+    let y1 = MARGIN;
+    let _ = writeln!(
+        out,
+        "<line x1=\"{x0}\" y1=\"{y0}\" x2=\"{x1}\" y2=\"{y0}\" stroke=\"black\"/>\n<line x1=\"{x0}\" y1=\"{y0}\" x2=\"{x0}\" y2=\"{y1}\" stroke=\"black\"/>"
+    );
+    let _ = writeln!(
+        out,
+        "<text x=\"{}\" y=\"{}\" text-anchor=\"middle\" font-size=\"12\">{xlabel}</text>",
+        (x0 + x1) / 2.0,
+        HEIGHT - 14.0
+    );
+    let _ = writeln!(
+        out,
+        "<text x=\"16\" y=\"{}\" text-anchor=\"middle\" font-size=\"12\" transform=\"rotate(-90 16 {y})\">{ylabel}</text>",
+        (y0 + y1) / 2.0,
+        y = (y0 + y1) / 2.0
+    );
+    // Min/max tick labels.
+    let _ = writeln!(
+        out,
+        "<text x=\"{x0}\" y=\"{}\" font-size=\"10\" text-anchor=\"middle\">{:.2}</text>",
+        y0 + 14.0,
+        xb.0
+    );
+    let _ = writeln!(
+        out,
+        "<text x=\"{x1}\" y=\"{}\" font-size=\"10\" text-anchor=\"middle\">{:.2}</text>",
+        y0 + 14.0,
+        xb.1
+    );
+    let _ = writeln!(
+        out,
+        "<text x=\"{}\" y=\"{y0}\" font-size=\"10\" text-anchor=\"end\">{:.2}</text>",
+        x0 - 4.0,
+        yb.0
+    );
+    let _ = writeln!(
+        out,
+        "<text x=\"{}\" y=\"{}\" font-size=\"10\" text-anchor=\"end\">{:.2}</text>",
+        x0 - 4.0,
+        y1 + 4.0,
+        yb.1
+    );
+}
+
+fn sx(x: f64, xb: (f64, f64)) -> f64 {
+    MARGIN + (x - xb.0) / (xb.1 - xb.0) * (WIDTH - 2.0 * MARGIN)
+}
+
+fn sy(y: f64, yb: (f64, f64)) -> f64 {
+    HEIGHT - MARGIN - (y - yb.0) / (yb.1 - yb.0) * (HEIGHT - 2.0 * MARGIN)
+}
+
+/// Writes a scatter plot; each point is `(x, y, series)`, series index
+/// selects the color and appears in the legend.
+pub fn scatter_svg(
+    path: &str,
+    title: &str,
+    xlabel: &str,
+    ylabel: &str,
+    series_names: &[&str],
+    points: &[(f64, f64, usize)],
+) -> std::io::Result<()> {
+    let xb = axis_bounds(points.iter().map(|p| p.0));
+    let yb = axis_bounds(points.iter().map(|p| p.1));
+    let mut out = svg_header(title);
+    axes(&mut out, xlabel, ylabel, xb, yb);
+    for &(x, y, s) in points {
+        let _ = writeln!(
+            out,
+            "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"3.2\" fill=\"{}\" fill-opacity=\"0.75\"/>",
+            sx(x, xb),
+            sy(y, yb),
+            PALETTE[s % PALETTE.len()]
+        );
+    }
+    for (i, name) in series_names.iter().enumerate() {
+        let ly = MARGIN + 16.0 * i as f64;
+        let _ = writeln!(
+            out,
+            "<circle cx=\"{:.1}\" cy=\"{ly}\" r=\"4\" fill=\"{}\"/><text x=\"{:.1}\" y=\"{}\" font-size=\"11\">{name}</text>",
+            WIDTH - MARGIN - 110.0,
+            PALETTE[i % PALETTE.len()],
+            WIDTH - MARGIN - 100.0,
+            ly + 4.0
+        );
+    }
+    out.push_str("</svg>\n");
+    std::fs::write(path, out)
+}
+
+/// Writes a grouped bar chart: `groups` label the x clusters, `series` label
+/// the bars within each cluster, `values[s][g]` is the bar height.
+pub fn grouped_bars_svg(
+    path: &str,
+    title: &str,
+    ylabel: &str,
+    groups: &[String],
+    series: &[&str],
+    values: &[Vec<f64>],
+) -> std::io::Result<()> {
+    assert_eq!(values.len(), series.len(), "plot: one value row per series");
+    let max = values
+        .iter()
+        .flatten()
+        .cloned()
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let yb = (0.0, max * 1.08);
+    let mut out = svg_header(title);
+    axes(&mut out, "", ylabel, (0.0, 1.0), yb);
+    let plot_w = WIDTH - 2.0 * MARGIN;
+    let group_w = plot_w / groups.len() as f64;
+    let bar_w = group_w * 0.8 / series.len() as f64;
+    for (g, gname) in groups.iter().enumerate() {
+        for (s, vals) in values.iter().enumerate() {
+            let v = vals.get(g).copied().unwrap_or(0.0);
+            let x = MARGIN + g as f64 * group_w + group_w * 0.1 + s as f64 * bar_w;
+            let y = sy(v, yb);
+            let h = (HEIGHT - MARGIN) - y;
+            let _ = writeln!(
+                out,
+                "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{:.1}\" height=\"{h:.1}\" fill=\"{}\"/>",
+                bar_w * 0.92,
+                PALETTE[s % PALETTE.len()]
+            );
+        }
+        let _ = writeln!(
+            out,
+            "<text x=\"{:.1}\" y=\"{}\" text-anchor=\"middle\" font-size=\"11\">{gname}</text>",
+            MARGIN + (g as f64 + 0.5) * group_w,
+            HEIGHT - MARGIN + 16.0
+        );
+    }
+    for (i, name) in series.iter().enumerate() {
+        let ly = MARGIN + 16.0 * i as f64;
+        let _ = writeln!(
+            out,
+            "<rect x=\"{:.1}\" y=\"{}\" width=\"10\" height=\"10\" fill=\"{}\"/><text x=\"{:.1}\" y=\"{}\" font-size=\"11\">{name}</text>",
+            WIDTH - MARGIN - 110.0,
+            ly - 8.0,
+            PALETTE[i % PALETTE.len()],
+            WIDTH - MARGIN - 96.0,
+            ly + 1.0
+        );
+    }
+    out.push_str("</svg>\n");
+    std::fs::write(path, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scatter_writes_valid_svg() {
+        let dir = std::env::temp_dir().join("fexiot_plot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("scatter.svg");
+        let points = vec![(0.0, 0.0, 0), (1.0, 1.0, 1), (0.5, 0.2, 0)];
+        scatter_svg(path.to_str().unwrap(), "t", "x", "y", &["a", "b"], &points).unwrap();
+        let svg = std::fs::read_to_string(&path).unwrap();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert_eq!(svg.matches("<circle").count(), 3 + 2); // points + legend dots
+    }
+
+    #[test]
+    fn bars_write_one_rect_per_value() {
+        let dir = std::env::temp_dir().join("fexiot_plot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bars.svg");
+        let groups = vec!["g1".to_string(), "g2".to_string()];
+        grouped_bars_svg(
+            path.to_str().unwrap(),
+            "t",
+            "MB",
+            &groups,
+            &["s1", "s2"],
+            &[vec![1.0, 2.0], vec![3.0, 4.0]],
+        )
+        .unwrap();
+        let svg = std::fs::read_to_string(&path).unwrap();
+        // 4 bars + 2 legend swatches + 1 background rect.
+        assert_eq!(svg.matches("<rect").count(), 7);
+    }
+
+    #[test]
+    fn degenerate_bounds_do_not_divide_by_zero() {
+        let dir = std::env::temp_dir().join("fexiot_plot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("flat.svg");
+        let points = vec![(1.0, 1.0, 0), (1.0, 1.0, 0)];
+        scatter_svg(path.to_str().unwrap(), "t", "x", "y", &["a"], &points).unwrap();
+        let svg = std::fs::read_to_string(&path).unwrap();
+        assert!(!svg.contains("NaN"));
+    }
+}

@@ -1,0 +1,387 @@
+//! Table II: system comparison on testbed data — FexIoT vs HAWatcher,
+//! DeepLog, and IsolationForest on online interaction graphs built from
+//! simulated event logs, half of them vulnerable (internal structural
+//! vulnerabilities or HAWatcher-style log-tampering attacks).
+//!
+//! Each simulated household gets a clean *history* period (baselines fit
+//! per home on it, as HAWatcher/DeepLog do in deployment) and a *test*
+//! period that is attacked for the externally-vulnerable cases. FexIoT is
+//! trained once, federated-style data pooled, on online graphs from separate
+//! training households.
+
+use crate::scale::Scale;
+use fexiot::{FexIot, FexIotConfig};
+use fexiot_graph::attacks::{apply_attack, AttackKind};
+use fexiot_graph::builder::{CorpusIndex, FeatureConfig, GraphBuilder};
+use fexiot_graph::corpus::{CorpusConfig, CorpusGenerator};
+use fexiot_graph::events::{clean_log, CleanEvent, HomeSimulator, SimConfig};
+use fexiot_graph::online::{fuse_online, mark_external_vulnerable};
+use fexiot_graph::{GraphDataset, InteractionGraph, VulnKind};
+use fexiot_ml::{
+    DeepLog, DeepLogConfig, HaWatcher, HaWatcherConfig, IForestConfig, IsolationForest, Metrics,
+};
+use fexiot_tensor::matrix::Matrix;
+use fexiot_tensor::rng::Rng;
+
+/// What kind of household a testbed case is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaseKind {
+    Benign,
+    /// Internal structural vulnerability (one of the six classes).
+    Structural,
+    /// Externally attacked event log (one of the five attacks).
+    Attacked,
+}
+
+/// One simulated household in the testbed.
+pub struct TestbedCase {
+    pub kind: CaseKind,
+    /// Online graph fused from the (possibly attacked) test-period log.
+    pub online: InteractionGraph,
+    /// Clean history-period template sequence (baseline training).
+    pub history_templates: Vec<String>,
+    /// Test-period template sequence (baseline input).
+    pub test_templates: Vec<String>,
+    /// History / test cleaned logs (feature extraction for IsolationForest).
+    pub history_log: Vec<CleanEvent>,
+    pub test_log: Vec<CleanEvent>,
+    pub label: usize,
+}
+
+fn template_of(e: &CleanEvent) -> String {
+    format!("{} {}", e.device.name(), e.state)
+}
+
+/// Builds one household case.
+fn build_case(
+    kind: CaseKind,
+    builder: &GraphBuilder,
+    index: &CorpusIndex,
+    gen: &mut CorpusGenerator,
+    rng: &mut Rng,
+) -> TestbedCase {
+    // Structural cases plant a vulnerability; others resample toward benign.
+    let offline = match kind {
+        CaseKind::Structural => {
+            let k = VulnKind::ALL[rng.usize(VulnKind::ALL.len())];
+            builder.sample_vulnerable(k, index, 4 + rng.usize(5), gen, rng)
+        }
+        _ => {
+            let mut g = builder.sample_graph(index, 4 + rng.usize(5), rng);
+            for _ in 0..6 {
+                if !g.label.as_ref().is_some_and(|l| l.vulnerable) {
+                    break;
+                }
+                g = builder.sample_graph(index, 4 + rng.usize(5), rng);
+            }
+            g
+        }
+    };
+    let rules: Vec<_> = offline.nodes.iter().map(|n| n.rule.clone()).collect();
+
+    // History period (always clean). Long enough that per-home baselines
+    // have real pattern statistics to mine (~100+ cleaned events).
+    let mut sim = HomeSimulator::new(rules.clone());
+    let cfg = SimConfig {
+        duration: 28_800,
+        stimulus_interval: 90,
+        report_interval: 600,
+        error_prob: 0.03,
+    };
+    let history_raw = sim.run(&cfg, rng);
+    let history_log = clean_log(&history_raw);
+
+    // Test period; attacked cases get a random log-tampering attack.
+    let mut sim2 = HomeSimulator::new(rules);
+    let test_raw = sim2.run(&cfg, rng);
+    let test_raw = if kind == CaseKind::Attacked {
+        let attack = AttackKind::ALL[rng.usize(AttackKind::ALL.len())];
+        apply_attack(attack, &test_raw, 0.35, rng)
+    } else {
+        test_raw
+    };
+    let test_log = clean_log(&test_raw);
+
+    let mut online = fuse_online(&offline, &test_log);
+    if kind == CaseKind::Attacked {
+        mark_external_vulnerable(&mut online);
+    }
+    let label = usize::from(kind != CaseKind::Benign);
+
+    TestbedCase {
+        kind,
+        history_templates: history_log.iter().map(template_of).collect(),
+        test_templates: test_log.iter().map(template_of).collect(),
+        history_log,
+        test_log,
+        online,
+        label,
+    }
+}
+
+/// Builds `n` cases with the paper's 50% vulnerable mix (half structural,
+/// half attacked).
+pub fn build_testbed(n: usize, seed: u64) -> Vec<TestbedCase> {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut gen = CorpusGenerator::new();
+    let rules = gen.generate(&CorpusConfig::small(), &mut rng);
+    let index = CorpusIndex::build(rules);
+    let builder = GraphBuilder::new(FeatureConfig::small());
+    (0..n)
+        .map(|i| {
+            let kind = match i % 4 {
+                0 => CaseKind::Structural,
+                1 => CaseKind::Attacked,
+                _ => CaseKind::Benign,
+            };
+            build_case(kind, &builder, &index, &mut gen, &mut rng)
+        })
+        .collect()
+}
+
+/// Windowed log features for the IsolationForest baseline: per time window,
+/// `[events, active_fraction, revert_rate, distinct_devices, mean_gap]`.
+fn window_features(log: &[CleanEvent], windows: usize) -> Matrix {
+    let horizon = log.last().map_or(1, |e| e.time.max(1));
+    let w = (horizon / windows as u64).max(1);
+    let mut rows = Vec::with_capacity(windows);
+    for i in 0..windows {
+        let lo = i as u64 * w;
+        let hi = lo + w;
+        let slice: Vec<&CleanEvent> = log.iter().filter(|e| e.time >= lo && e.time < hi).collect();
+        let events = slice.len() as f64;
+        let active = slice.iter().filter(|e| e.active).count() as f64 / events.max(1.0);
+        let mut reverts = 0usize;
+        for pair in slice.windows(2) {
+            if pair[0].device == pair[1].device && pair[0].active != pair[1].active {
+                reverts += 1;
+            }
+        }
+        let mut devices: Vec<_> = slice.iter().map(|e| e.device).collect();
+        devices.sort_unstable();
+        devices.dedup();
+        let mean_gap = if slice.len() > 1 {
+            (slice.last().unwrap().time - slice[0].time) as f64 / (slice.len() - 1) as f64
+        } else {
+            w as f64
+        };
+        rows.push(vec![
+            events,
+            active,
+            reverts as f64 / events.max(1.0),
+            devices.len() as f64,
+            mean_gap / w as f64,
+        ]);
+    }
+    Matrix::from_rows(&rows)
+}
+
+/// Quick-revert rate: fraction of device state transitions that are undone
+/// within `window` seconds — the live-log signature of action-revert /
+/// conflict / loop behavior that HAWatcher-style correlation checking keys
+/// on. Benign homes hold states until the next external stimulus; vulnerable
+/// cascades undo themselves within seconds.
+pub fn quick_revert_rate(seq: &[CleanEvent], window: u64) -> f64 {
+    let mut transitions = 0usize;
+    let mut reverted = 0usize;
+    for (i, e) in seq.iter().enumerate() {
+        if e.device.kind.is_sensor() {
+            continue; // Sensors flip with the environment; actuators carry the signal.
+        }
+        transitions += 1;
+        if seq[i + 1..]
+            .iter()
+            .take_while(|f| f.time <= e.time + window)
+            .any(|f| f.device == e.device && f.active != e.active)
+        {
+            reverted += 1;
+        }
+    }
+    if transitions == 0 {
+        0.0
+    } else {
+        reverted as f64 / transitions as f64
+    }
+}
+
+/// Table II output rows.
+#[derive(Debug, Clone)]
+pub struct Table2Row {
+    pub system: &'static str,
+    pub metrics: Metrics,
+}
+
+/// Runs the full comparison.
+pub fn run(scale: Scale) -> Vec<Table2Row> {
+    let n_test = scale.pick(80, 600);
+    let n_train = scale.pick(120, 600);
+    let test = build_testbed(n_test, 70);
+    let train = build_testbed(n_train, 71);
+
+    // --- FexIoT: train the pipeline on training-household online graphs.
+    let train_graphs: Vec<InteractionGraph> = train
+        .iter()
+        .map(|c| {
+            let mut g = c.online.clone();
+            if c.label == 1 && !g.label.as_ref().is_some_and(|l| l.vulnerable) {
+                mark_external_vulnerable(&mut g);
+            }
+            g
+        })
+        .collect();
+    let mut cfg = FexIotConfig::default()
+        .with_encoder(fexiot_gnn::EncoderKind::Magnn)
+        .with_seed(70);
+    cfg.contrastive.epochs = scale.pick(14, 20);
+    cfg.contrastive.pairs_per_epoch = scale.pick(192, 320);
+    let model = FexIot::train(&GraphDataset::new(train_graphs), cfg);
+    let fexiot_preds: Vec<usize> = test
+        .iter()
+        .map(|c| usize::from(model.detect(&c.online).vulnerable))
+        .collect();
+
+    // --- HAWatcher: per-home templates + flap checking.
+    let hawatcher_preds: Vec<usize> = test
+        .iter()
+        .map(|c| {
+            let hw = HaWatcher::fit(
+                std::slice::from_ref(&c.history_templates),
+                HaWatcherConfig {
+                    violation_fraction: 0.3,
+                    ..Default::default()
+                },
+            );
+            let template_violation = hw.violation_rate(&c.test_templates);
+            let quick_revert = quick_revert_rate(&c.test_log, 45);
+            usize::from(template_violation > 0.05 || quick_revert > 0.15)
+        })
+        .collect();
+
+    // --- DeepLog: per-home LSTM on the history sequence.
+    let deeplog_preds: Vec<usize> = test
+        .iter()
+        .map(|c| {
+            let hist: Vec<String> = c
+                .history_templates
+                .iter()
+                .take(scale.pick(120, 240))
+                .cloned()
+                .collect();
+            let dl = DeepLog::fit(
+                std::slice::from_ref(&hist),
+                DeepLogConfig {
+                    hidden_dim: 12,
+                    epochs: scale.pick(15, 30),
+                    ..Default::default()
+                },
+            );
+            let tst: Vec<String> = c
+                .test_templates
+                .iter()
+                .take(scale.pick(120, 240))
+                .cloned()
+                .collect();
+            // Self-calibration: the history period is DeepLog's validation
+            // set; a test window is anomalous when its top-k miss rate
+            // clearly exceeds the home's own baseline.
+            let baseline = dl.miss_rate(&hist);
+            usize::from(dl.miss_rate(&tst) > baseline + 0.20)
+        })
+        .collect();
+
+    // --- IsolationForest: windowed status features, per home.
+    let iforest_preds: Vec<usize> = test
+        .iter()
+        .map(|c| {
+            let hist = window_features(&c.history_log, 16);
+            let forest = IsolationForest::fit(
+                &hist,
+                IForestConfig {
+                    trees: 40,
+                    sample_size: 16,
+                    seed: 72,
+                },
+            );
+            let tst = window_features(&c.test_log, 16);
+            let scores = forest.scores(&tst);
+            let hist_scores = forest.scores(&hist);
+            let baseline = fexiot_tensor::stats::mean(&hist_scores);
+            let score = fexiot_tensor::stats::mean(&scores);
+            usize::from(score > baseline + 0.03)
+        })
+        .collect();
+
+    let truth: Vec<usize> = test.iter().map(|c| c.label).collect();
+    vec![
+        Table2Row {
+            system: "HAWatcher",
+            metrics: Metrics::from_predictions(&hawatcher_preds, &truth),
+        },
+        Table2Row {
+            system: "DeepLog",
+            metrics: Metrics::from_predictions(&deeplog_preds, &truth),
+        },
+        Table2Row {
+            system: "IsolationForest",
+            metrics: Metrics::from_predictions(&iforest_preds, &truth),
+        },
+        Table2Row {
+            system: "FexIoT",
+            metrics: Metrics::from_predictions(&fexiot_preds, &truth),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn testbed_has_balanced_labels() {
+        let cases = build_testbed(40, 1);
+        let vulnerable = cases.iter().filter(|c| c.label == 1).count();
+        assert_eq!(vulnerable, 20);
+        assert!(cases.iter().any(|c| c.kind == CaseKind::Structural));
+        assert!(cases.iter().any(|c| c.kind == CaseKind::Attacked));
+    }
+
+    #[test]
+    fn cases_have_logs_and_online_graphs() {
+        let cases = build_testbed(8, 2);
+        for c in &cases {
+            assert!(c.online.node_count() >= 2);
+            // Online flag set on every node.
+            for n in &c.online.nodes {
+                assert_eq!(*n.features.last().unwrap(), 1.0);
+            }
+        }
+        assert!(cases.iter().any(|c| !c.history_templates.is_empty()));
+    }
+
+    #[test]
+    fn quick_revert_detects_self_undoing_cascades() {
+        use fexiot_graph::device::{DeviceKind, Location};
+        use fexiot_graph::rule::dev;
+        let d = dev(DeviceKind::WaterValve, Location::Kitchen);
+        let mk = |t: u64, a: bool| CleanEvent {
+            time: t,
+            device: d,
+            state: if a { "open" } else { "closed" }.into(),
+            active: a,
+        };
+        // Vulnerable cascade: open then close seconds later, repeatedly.
+        let flappy: Vec<CleanEvent> = (0..10).map(|i| mk(i * 5, i % 2 == 0)).collect();
+        // Benign: state changes hold for minutes.
+        let stable: Vec<CleanEvent> = (0..10).map(|i| mk(i * 600, i % 2 == 0)).collect();
+        assert!(quick_revert_rate(&flappy, 45) > 0.8);
+        assert!(quick_revert_rate(&stable, 45) < 0.1);
+    }
+
+    #[test]
+    fn window_features_shape() {
+        let cases = build_testbed(2, 3);
+        let m = window_features(&cases[0].history_log, 8);
+        assert_eq!(m.shape(), (8, 5));
+        assert!(m.is_finite());
+    }
+}

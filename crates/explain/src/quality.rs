@@ -1,0 +1,92 @@
+//! Explanation-quality metrics: Fidelity and Sparsity (paper Fig. 9,
+//! following Pope et al.). Fidelity is the prediction drop when the
+//! explanation subgraph is removed; Sparsity is the fraction of the graph
+//! *not* needed by the explanation.
+
+use crate::model::GraphScorer;
+use fexiot_graph::InteractionGraph;
+
+/// Fidelity: `f(G) - f(G \ G_sub)` — how much the prediction relies on the
+/// explanation. Higher is better (more important subgraph).
+pub fn fidelity(scorer: &GraphScorer, graph: &InteractionGraph, subgraph_nodes: &[usize]) -> f64 {
+    let n = graph.node_count();
+    let full = scorer.score_with_nodes(graph, &vec![true; n]);
+    let mut present = vec![true; n];
+    for &i in subgraph_nodes {
+        present[i] = false;
+    }
+    let without = scorer.score_with_nodes(graph, &present);
+    full - without
+}
+
+/// Sparsity: `1 - |G_sub| / |G|`. Higher means a more concise explanation.
+pub fn sparsity(graph: &InteractionGraph, subgraph_nodes: &[usize]) -> f64 {
+    if graph.node_count() == 0 {
+        return 0.0;
+    }
+    1.0 - subgraph_nodes.len() as f64 / graph.node_count() as f64
+}
+
+/// One (fidelity, sparsity) point for a produced explanation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityPoint {
+    pub fidelity: f64,
+    pub sparsity: f64,
+}
+
+/// Evaluates an explanation's quality pair.
+pub fn quality(
+    scorer: &GraphScorer,
+    graph: &InteractionGraph,
+    subgraph_nodes: &[usize],
+) -> QualityPoint {
+    QualityPoint {
+        fidelity: fidelity(scorer, graph, subgraph_nodes),
+        sparsity: sparsity(graph, subgraph_nodes),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::tests::trained_scorer;
+
+    #[test]
+    fn sparsity_bounds() {
+        let (_, ds) = trained_scorer(31);
+        let g = ds.graphs.iter().find(|g| g.node_count() >= 4).unwrap();
+        assert_eq!(sparsity(g, &[]), 1.0);
+        let all: Vec<usize> = (0..g.node_count()).collect();
+        assert_eq!(sparsity(g, &all), 0.0);
+        let one = sparsity(g, &[0]);
+        assert!(one > 0.0 && one < 1.0);
+    }
+
+    #[test]
+    fn fidelity_of_empty_subgraph_is_zero() {
+        let (scorer, ds) = trained_scorer(32);
+        let g = &ds.graphs[0];
+        assert!(fidelity(&scorer, g, &[]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn removing_everything_moves_prediction_to_baseline() {
+        let (scorer, ds) = trained_scorer(33);
+        let g = ds.graphs.iter().find(|g| g.node_count() >= 3).unwrap();
+        let all: Vec<usize> = (0..g.node_count()).collect();
+        let n = g.node_count();
+        let f = fidelity(&scorer, g, &all);
+        let full = scorer.score_with_nodes(g, &vec![true; n]);
+        let empty = scorer.score_with_nodes(g, &vec![false; n]);
+        assert!((f - (full - empty)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quality_point_combines_both() {
+        let (scorer, ds) = trained_scorer(34);
+        let g = ds.graphs.iter().find(|g| g.node_count() >= 4).unwrap();
+        let q = quality(&scorer, g, &[0, 1]);
+        assert!(q.fidelity.is_finite());
+        assert!((0.0..=1.0).contains(&q.sparsity));
+    }
+}

@@ -1,0 +1,59 @@
+//! Byte-level communication accounting for the federated simulation
+//! (paper Fig. 7): every parameter upload and download is priced at its
+//! `f64` wire size.
+
+/// Running totals of data moved between clients and the server.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommStats {
+    pub uploaded_bytes: usize,
+    pub downloaded_bytes: usize,
+    pub upload_messages: usize,
+    pub download_messages: usize,
+}
+
+impl CommStats {
+    pub fn record_upload(&mut self, bytes: usize) {
+        self.uploaded_bytes += bytes;
+        self.upload_messages += 1;
+    }
+
+    pub fn record_download(&mut self, bytes: usize) {
+        self.downloaded_bytes += bytes;
+        self.download_messages += 1;
+    }
+
+    /// Total bytes in both directions.
+    pub fn total_bytes(&self) -> usize {
+        self.uploaded_bytes + self.downloaded_bytes
+    }
+
+    /// Total transferred data in megabytes.
+    pub fn total_mb(&self) -> f64 {
+        self.total_bytes() as f64 / (1024.0 * 1024.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_accumulate() {
+        let mut c = CommStats::default();
+        c.record_upload(100);
+        c.record_upload(50);
+        c.record_download(200);
+        assert_eq!(c.uploaded_bytes, 150);
+        assert_eq!(c.downloaded_bytes, 200);
+        assert_eq!(c.total_bytes(), 350);
+        assert_eq!(c.upload_messages, 2);
+        assert_eq!(c.download_messages, 1);
+    }
+
+    #[test]
+    fn megabytes_conversion() {
+        let mut c = CommStats::default();
+        c.record_upload(1024 * 1024);
+        assert!((c.total_mb() - 1.0).abs() < 1e-12);
+    }
+}

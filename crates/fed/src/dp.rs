@@ -1,0 +1,205 @@
+//! Differential privacy for federated updates (paper §VI: "we will add
+//! differential privacy ... to FexIoT in the future").
+//!
+//! DP-FedAvg-style update privatization: each client's round update is
+//! L2-clipped to a sensitivity bound and perturbed with Gaussian noise
+//! `sigma = clip_norm * noise_multiplier`. The accountant composes rounds
+//! under Rényi differential privacy (the Gaussian mechanism's RDP is
+//! `alpha / (2 z^2)` per release at noise multiplier `z`) and converts to
+//! `(epsilon, delta)`-DP.
+
+use fexiot_tensor::matrix::Matrix;
+use fexiot_tensor::optim::ParamVec;
+use fexiot_tensor::rng::Rng;
+
+/// Differential-privacy configuration for client updates.
+#[derive(Debug, Clone, Copy)]
+pub struct DpConfig {
+    /// L2 clipping bound on the per-round update.
+    pub clip_norm: f64,
+    /// Noise multiplier `z`; Gaussian std is `clip_norm * z`.
+    pub noise_multiplier: f64,
+}
+
+impl Default for DpConfig {
+    fn default() -> Self {
+        Self {
+            clip_norm: 1.0,
+            noise_multiplier: 1.1,
+        }
+    }
+}
+
+/// Clips `delta` to L2 norm `clip_norm` in place; returns the pre-clip norm.
+pub fn clip_update(delta: &mut ParamVec, clip_norm: f64) -> f64 {
+    assert!(clip_norm > 0.0, "dp: clip_norm must be positive");
+    let norm: f64 = delta
+        .iter()
+        .map(|m| m.frobenius_norm().powi(2))
+        .sum::<f64>()
+        .sqrt();
+    if norm > clip_norm {
+        let scale = clip_norm / norm;
+        for m in delta.iter_mut() {
+            *m = m.scale(scale);
+        }
+    }
+    norm
+}
+
+/// Adds i.i.d. Gaussian noise with std `sigma` to every coordinate.
+pub fn add_gaussian_noise(delta: &mut ParamVec, sigma: f64, rng: &mut Rng) {
+    for m in delta.iter_mut() {
+        let noise = Matrix::from_fn(m.rows(), m.cols(), |_, _| rng.normal(0.0, sigma));
+        m.axpy(1.0, &noise);
+    }
+}
+
+/// Privatizes an update: clip then noise. Returns the pre-clip norm.
+pub fn privatize_update(delta: &mut ParamVec, config: &DpConfig, rng: &mut Rng) -> f64 {
+    let norm = clip_update(delta, config.clip_norm);
+    add_gaussian_noise(delta, config.clip_norm * config.noise_multiplier, rng);
+    norm
+}
+
+/// RDP accountant for the subsampled-free Gaussian mechanism (every client
+/// participates every round, so there is no amplification-by-sampling term).
+#[derive(Debug, Clone)]
+pub struct PrivacyAccountant {
+    noise_multiplier: f64,
+    releases: usize,
+}
+
+impl PrivacyAccountant {
+    pub fn new(noise_multiplier: f64) -> Self {
+        assert!(
+            noise_multiplier > 0.0,
+            "dp: noise multiplier must be positive"
+        );
+        Self {
+            noise_multiplier,
+            releases: 0,
+        }
+    }
+
+    /// Records one privatized release (one round).
+    pub fn record_release(&mut self) {
+        self.releases += 1;
+    }
+
+    pub fn releases(&self) -> usize {
+        self.releases
+    }
+
+    /// Converts the composed RDP guarantee to `(epsilon, delta)`-DP:
+    /// `eps = min_alpha T * alpha / (2 z^2) + ln(1/delta) / (alpha - 1)`.
+    pub fn epsilon(&self, delta: f64) -> f64 {
+        assert!(
+            (0.0..1.0).contains(&delta) && delta > 0.0,
+            "dp: delta in (0,1)"
+        );
+        if self.releases == 0 {
+            return 0.0;
+        }
+        let t = self.releases as f64;
+        let z2 = self.noise_multiplier * self.noise_multiplier;
+        let ln_inv_delta = (1.0 / delta).ln();
+        let mut best = f64::INFINITY;
+        for alpha_i in 2..=512 {
+            let alpha = alpha_i as f64;
+            let eps = t * alpha / (2.0 * z2) + ln_inv_delta / (alpha - 1.0);
+            best = best.min(eps);
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn delta_of(norm_target: f64) -> ParamVec {
+        // A 2x2 + 1x4 update with a known combined norm.
+        let unit = 1.0 / (8.0f64).sqrt();
+        vec![
+            Matrix::full(2, 2, unit * norm_target),
+            Matrix::full(1, 4, unit * norm_target),
+        ]
+    }
+
+    fn norm(p: &ParamVec) -> f64 {
+        p.iter()
+            .map(|m| m.frobenius_norm().powi(2))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    #[test]
+    fn clipping_caps_large_updates_only() {
+        let mut big = delta_of(10.0);
+        let pre = clip_update(&mut big, 1.0);
+        assert!((pre - 10.0).abs() < 1e-9);
+        assert!((norm(&big) - 1.0).abs() < 1e-9);
+
+        let mut small = delta_of(0.5);
+        clip_update(&mut small, 1.0);
+        assert!((norm(&small) - 0.5).abs() < 1e-9, "small updates untouched");
+    }
+
+    #[test]
+    fn noise_has_expected_scale() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut acc = 0.0;
+        let n = 200;
+        for _ in 0..n {
+            let mut d = vec![Matrix::zeros(4, 4)];
+            add_gaussian_noise(&mut d, 2.0, &mut rng);
+            acc += d[0].as_slice().iter().map(|v| v * v).sum::<f64>() / 16.0;
+        }
+        let var = acc / n as f64;
+        assert!((var - 4.0).abs() < 0.5, "empirical variance {var}");
+    }
+
+    #[test]
+    fn privatized_update_differs_but_is_bounded_in_expectation() {
+        let mut rng = Rng::seed_from_u64(2);
+        let cfg = DpConfig {
+            clip_norm: 1.0,
+            noise_multiplier: 0.5,
+        };
+        let mut d = delta_of(3.0);
+        let pre = privatize_update(&mut d, &cfg, &mut rng);
+        assert!((pre - 3.0).abs() < 1e-9);
+        // Clipped to 1 + noise of std 0.5 over 8 coords: norm stays small.
+        assert!(norm(&d) < 4.0);
+    }
+
+    #[test]
+    fn accountant_grows_with_rounds_and_shrinks_with_noise() {
+        let mut low_noise = PrivacyAccountant::new(0.5);
+        let mut high_noise = PrivacyAccountant::new(2.0);
+        for _ in 0..10 {
+            low_noise.record_release();
+            high_noise.record_release();
+        }
+        let e_low = low_noise.epsilon(1e-5);
+        let e_high = high_noise.epsilon(1e-5);
+        assert!(
+            e_low > e_high,
+            "more noise must mean less epsilon: {e_low} vs {e_high}"
+        );
+
+        let mut short = PrivacyAccountant::new(1.0);
+        short.record_release();
+        let mut long = PrivacyAccountant::new(1.0);
+        for _ in 0..100 {
+            long.record_release();
+        }
+        assert!(long.epsilon(1e-5) > short.epsilon(1e-5));
+    }
+
+    #[test]
+    fn zero_releases_zero_epsilon() {
+        assert_eq!(PrivacyAccountant::new(1.0).epsilon(1e-5), 0.0);
+    }
+}

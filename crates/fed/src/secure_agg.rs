@@ -1,0 +1,156 @@
+//! Secure aggregation (paper §VI, citing Bonawitz et al. CCS 2017):
+//! pairwise-masked uploads whose sum equals the true sum, so the server can
+//! compute the weighted average without observing any individual model.
+//!
+//! This is the *protocol simulation* — pairwise masks are derived from
+//! shared seeds as they would be after a Diffie-Hellman agreement; the
+//! dropout-recovery secret-sharing layer of the full protocol is out of
+//! scope (no client drops out in our simulator).
+
+use fexiot_tensor::matrix::Matrix;
+use fexiot_tensor::optim::ParamVec;
+use fexiot_tensor::rng::Rng;
+
+/// Deterministic pairwise mask for the (i, j) client pair, shaped like
+/// `template`. Both parties derive the same mask from the shared seed.
+fn pairwise_mask(template: &ParamVec, pair_seed: u64) -> ParamVec {
+    let mut rng = Rng::seed_from_u64(pair_seed);
+    template
+        .iter()
+        .map(|m| Matrix::from_fn(m.rows(), m.cols(), |_, _| rng.normal(0.0, 10.0)))
+        .collect()
+}
+
+/// Produces the masked uploads for all clients: client `i` uploads
+/// `w_i * W_i + sum_{j>i} M_ij - sum_{j<i} M_ji`. Summing all uploads
+/// cancels every mask exactly.
+pub fn masked_uploads(models: &[&ParamVec], weights: &[f64], session_seed: u64) -> Vec<ParamVec> {
+    assert_eq!(
+        models.len(),
+        weights.len(),
+        "secure_agg: weight count mismatch"
+    );
+    assert!(!models.is_empty(), "secure_agg: no models");
+    let n = models.len();
+    let mut uploads: Vec<ParamVec> = models
+        .iter()
+        .zip(weights)
+        .map(|(m, &w)| m.iter().map(|mat| mat.scale(w)).collect())
+        .collect();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let pair_seed = session_seed
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add((i * n + j) as u64);
+            let mask = pairwise_mask(models[0], pair_seed);
+            for (u, m) in uploads[i].iter_mut().zip(&mask) {
+                u.axpy(1.0, m);
+            }
+            for (u, m) in uploads[j].iter_mut().zip(&mask) {
+                u.axpy(-1.0, m);
+            }
+        }
+    }
+    uploads
+}
+
+/// Server side: sums masked uploads and divides by the total weight,
+/// recovering the exact weighted average without seeing any plaintext model.
+pub fn aggregate_masked(uploads: &[ParamVec], total_weight: f64) -> ParamVec {
+    assert!(!uploads.is_empty(), "secure_agg: no uploads");
+    assert!(total_weight > 0.0, "secure_agg: zero total weight");
+    let mut sum: ParamVec = uploads[0]
+        .iter()
+        .map(|m| Matrix::zeros(m.rows(), m.cols()))
+        .collect();
+    for u in uploads {
+        for (s, m) in sum.iter_mut().zip(u) {
+            s.axpy(1.0, m);
+        }
+    }
+    for s in &mut sum {
+        *s = s.scale(1.0 / total_weight);
+    }
+    sum
+}
+
+/// Full round: clients mask, server aggregates. Equivalent to
+/// `param_weighted_average` but leaking no individual model.
+pub fn secure_weighted_average(
+    models: &[&ParamVec],
+    weights: &[f64],
+    session_seed: u64,
+) -> ParamVec {
+    let uploads = masked_uploads(models, weights, session_seed);
+    let total: f64 = weights.iter().sum();
+    aggregate_masked(&uploads, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fexiot_tensor::optim::param_weighted_average;
+
+    fn random_models(n: usize, seed: u64) -> Vec<ParamVec> {
+        let mut rng = Rng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                vec![
+                    Matrix::random_normal(3, 4, 0.0, 1.0, &mut rng),
+                    Matrix::random_normal(1, 5, 0.0, 1.0, &mut rng),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn secure_average_matches_plain_average() {
+        let models = random_models(5, 1);
+        let refs: Vec<&ParamVec> = models.iter().collect();
+        let weights = vec![3.0, 1.0, 2.0, 5.0, 4.0];
+        let plain = param_weighted_average(&refs, &weights);
+        let secure = secure_weighted_average(&refs, &weights, 42);
+        for (a, b) in plain.iter().zip(&secure) {
+            assert!(a.max_abs_diff(b) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn masked_upload_hides_the_model() {
+        let models = random_models(4, 2);
+        let refs: Vec<&ParamVec> = models.iter().collect();
+        let uploads = masked_uploads(&refs, &[1.0; 4], 7);
+        // Each upload must be far from the plaintext model (mask std = 10).
+        for (u, m) in uploads.iter().zip(&models) {
+            let dist: f64 = u
+                .iter()
+                .zip(m.iter())
+                .map(|(a, b)| a.sub(b).frobenius_norm().powi(2))
+                .sum::<f64>()
+                .sqrt();
+            assert!(dist > 5.0, "upload too close to plaintext: {dist}");
+        }
+    }
+
+    #[test]
+    fn masks_cancel_exactly_in_the_sum() {
+        let models = random_models(6, 3);
+        let refs: Vec<&ParamVec> = models.iter().collect();
+        let uploads = masked_uploads(&refs, &[1.0; 6], 9);
+        let sum = aggregate_masked(&uploads, 6.0);
+        let plain = param_weighted_average(&refs, &[1.0; 6]);
+        for (a, b) in plain.iter().zip(&sum) {
+            assert!(a.max_abs_diff(b) < 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_client_degenerates_to_identity() {
+        let models = random_models(1, 4);
+        let refs: Vec<&ParamVec> = models.iter().collect();
+        let avg = secure_weighted_average(&refs, &[2.0], 11);
+        for (a, b) in avg.iter().zip(&models[0]) {
+            assert!(a.max_abs_diff(b) < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,662 @@
+//! The federated training simulator: drives client local training, runs the
+//! configured aggregation strategy, and accounts every byte moved.
+
+use crate::client::Client;
+use crate::comm::CommStats;
+use crate::strategy::Strategy;
+use fexiot_gnn::ContrastiveConfig;
+use fexiot_graph::GraphDataset;
+use fexiot_ml::{binary_cosine_split, Metrics};
+use fexiot_tensor::matrix::Matrix;
+use fexiot_tensor::optim::{param_flatten, param_weighted_average, ParamVec};
+use fexiot_tensor::rng::Rng;
+use fexiot_tensor::stats::cosine_similarity;
+
+/// Federated-simulation configuration.
+#[derive(Debug, Clone)]
+pub struct FedConfig {
+    pub strategy: Strategy,
+    pub rounds: usize,
+    /// Local contrastive training config per round.
+    pub local: ContrastiveConfig,
+    /// Differential privacy on client updates (paper §VI extension).
+    pub dp: Option<crate::dp::DpConfig>,
+    /// Pairwise-masked secure aggregation (paper §VI extension). Changes
+    /// what the server can observe, not the aggregate itself.
+    pub secure_aggregation: bool,
+    /// FoolsGold-style Sybil down-weighting (paper §VI extension).
+    pub sybil_defense: bool,
+    /// FexIoT layer cadence: when true (default), layer `l` syncs every
+    /// `l + 1` rounds (the Fig. 7 communication saving); when false, every
+    /// layer syncs every round (ablation knob).
+    pub layer_cadence: bool,
+    pub seed: u64,
+}
+
+impl Default for FedConfig {
+    fn default() -> Self {
+        Self {
+            strategy: Strategy::fexiot_default(),
+            rounds: 10,
+            local: ContrastiveConfig {
+                epochs: 1,
+                pairs_per_epoch: 32,
+                ..Default::default()
+            },
+            dp: None,
+            secure_aggregation: false,
+            sybil_defense: false,
+            layer_cadence: true,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-round report.
+#[derive(Debug, Clone, Copy)]
+pub struct RoundReport {
+    pub round: usize,
+    pub mean_loss: f64,
+    pub cumulative_comm: CommStats,
+}
+
+/// The whole federation: clients + server state.
+pub struct FedSim {
+    pub clients: Vec<Client>,
+    pub comm: CommStats,
+    config: FedConfig,
+    /// Persistent cluster state for FMTL / GCFL+.
+    clusters: Vec<Vec<usize>>,
+    /// `(offset, matrix_count)` per encoder layer, bottom-up.
+    layer_spans: Vec<(usize, usize)>,
+    /// Per-client trust weights from the Sybil defense (1.0 = trusted).
+    trust: Vec<f64>,
+    /// Privacy accountant, present when DP is enabled.
+    accountant: Option<crate::dp::PrivacyAccountant>,
+    rng: Rng,
+    round: usize,
+}
+
+impl FedSim {
+    /// Builds a federation. All clients must share the encoder architecture.
+    pub fn new(clients: Vec<Client>, config: FedConfig) -> Self {
+        assert!(!clients.is_empty(), "fed: no clients");
+        let sizes = clients[0].encoder.layer_sizes();
+        let mut layer_spans = Vec::with_capacity(sizes.len());
+        let mut offset = 0;
+        for s in sizes {
+            layer_spans.push((offset, s));
+            offset += s;
+        }
+        let all: Vec<usize> = (0..clients.len()).collect();
+        let rng = Rng::seed_from_u64(config.seed);
+        let trust = vec![1.0; clients.len()];
+        let accountant = config
+            .dp
+            .as_ref()
+            .map(|dp| crate::dp::PrivacyAccountant::new(dp.noise_multiplier));
+        Self {
+            clients,
+            comm: CommStats::default(),
+            config,
+            clusters: vec![all],
+            layer_spans,
+            trust,
+            accountant,
+            rng,
+            round: 0,
+        }
+    }
+
+    /// Runs all configured rounds; returns per-round reports.
+    pub fn run(&mut self) -> Vec<RoundReport> {
+        (0..self.config.rounds).map(|_| self.run_round()).collect()
+    }
+
+    /// One federated round: local training then aggregation.
+    pub fn run_round(&mut self) -> RoundReport {
+        let local_cfg = ContrastiveConfig {
+            seed: self.config.local.seed ^ (self.round as u64) << 17,
+            ..self.config.local.clone()
+        };
+        let mut total_loss = 0.0;
+        for c in &mut self.clients {
+            total_loss += c.local_train(&local_cfg);
+        }
+        let mean_loss = total_loss / self.clients.len() as f64;
+
+        // §VI extensions: privatize what the server will observe, then score
+        // client trust from the (privatized) update histories.
+        if let Some(dp) = self.config.dp {
+            for c in &mut self.clients {
+                c.privatize_last_update(&dp, &mut self.rng);
+            }
+            if let Some(acc) = &mut self.accountant {
+                acc.record_release();
+            }
+        }
+        if self.config.sybil_defense {
+            let histories: Vec<Vec<f64>> = self
+                .clients
+                .iter()
+                .map(|c| {
+                    // Cumulative update direction over the retained history.
+                    let mut acc: Vec<f64> = Vec::new();
+                    for h in &c.update_history {
+                        if acc.is_empty() {
+                            acc = h.clone();
+                        } else {
+                            for (a, v) in acc.iter_mut().zip(h) {
+                                *a += v;
+                            }
+                        }
+                    }
+                    acc
+                })
+                .collect();
+            self.trust = crate::sybil::foolsgold_weights(&histories);
+        }
+
+        match self.config.strategy.clone() {
+            Strategy::LocalOnly => {}
+            Strategy::FedAvg => self.aggregate_full(&[(0..self.clients.len()).collect()]),
+            Strategy::Fmtl { eps1, eps2 } => {
+                self.refine_clusters(eps1, eps2, false);
+                let clusters = self.clusters.clone();
+                self.aggregate_full(&clusters);
+            }
+            Strategy::GcflPlus { eps1, eps2 } => {
+                self.refine_clusters(eps1, eps2, true);
+                let clusters = self.clusters.clone();
+                self.aggregate_full(&clusters);
+            }
+            Strategy::FexIot { eps1, eps2 } => {
+                let all: Vec<usize> = (0..self.clients.len()).collect();
+                self.recursive_layerwise(0, &all, eps1, eps2);
+            }
+        }
+
+        self.round += 1;
+        RoundReport {
+            round: self.round,
+            mean_loss,
+            cumulative_comm: self.comm,
+        }
+    }
+
+    /// Full-model aggregation within each cluster (FedAvg / FMTL / GCFL+).
+    /// Every member uploads its whole model; members of clusters with at
+    /// least two clients download the cluster average.
+    fn aggregate_full(&mut self, clusters: &[Vec<usize>]) {
+        for cluster in clusters {
+            for &c in cluster {
+                self.comm.record_upload(fexiot_tensor::optim::param_bytes(
+                    self.clients[c].encoder.params(),
+                ));
+            }
+            if cluster.len() < 2 {
+                continue; // Aggregating one model is the identity: no download.
+            }
+            let sets: Vec<&ParamVec> = cluster
+                .iter()
+                .map(|&c| self.clients[c].encoder.params())
+                .collect();
+            let weights = self.aggregation_weights(cluster);
+            let avg = if self.config.secure_aggregation {
+                crate::secure_agg::secure_weighted_average(
+                    &sets,
+                    &weights,
+                    self.config.seed ^ (self.round as u64) << 8,
+                )
+            } else {
+                param_weighted_average(&sets, &weights)
+            };
+            for &c in cluster {
+                self.comm
+                    .record_download(fexiot_tensor::optim::param_bytes(&avg));
+                self.clients[c].install(avg.clone());
+            }
+        }
+    }
+
+    /// FMTL / GCFL+ cluster refinement: split a cluster in two when the
+    /// stationarity criteria (Eq. 3, whole-model variant) fire.
+    fn refine_clusters(&mut self, eps1: f64, eps2: f64, use_history: bool) {
+        let mut next = Vec::new();
+        for cluster in self.clusters.clone() {
+            if cluster.len() < 2 {
+                next.push(cluster);
+                continue;
+            }
+            let deltas: Vec<Vec<f64>> = cluster
+                .iter()
+                .map(|&c| {
+                    self.clients[c]
+                        .last_delta
+                        .as_ref()
+                        .map(param_flatten)
+                        .unwrap_or_default()
+                })
+                .collect();
+            if deltas.iter().any(Vec::is_empty) {
+                next.push(cluster);
+                continue;
+            }
+            if !self.split_criteria(&cluster, &deltas, eps1, eps2) {
+                next.push(cluster);
+                continue;
+            }
+            // Similarity basis: latest update (FMTL) or update history (GCFL+).
+            let basis: Vec<Vec<f64>> = if use_history {
+                cluster
+                    .iter()
+                    .map(|&c| {
+                        let h = &self.clients[c].update_history;
+                        h.iter().flatten().copied().collect()
+                    })
+                    .collect()
+            } else {
+                deltas
+            };
+            // Histories can have unequal lengths early on; pad with zeros.
+            let max_len = basis.iter().map(Vec::len).max().unwrap_or(0);
+            let padded: Vec<Vec<f64>> = basis
+                .into_iter()
+                .map(|mut v| {
+                    v.resize(max_len, 0.0);
+                    v
+                })
+                .collect();
+            let (a, b) = binary_cosine_split(&padded, &mut self.rng);
+            next.push(a.into_iter().map(|i| cluster[i]).collect());
+            next.push(b.into_iter().map(|i| cluster[i]).collect());
+        }
+        self.clusters = next;
+    }
+
+    /// Eq. (3): ϵ1 > ‖Σ_i (|G_i|/|G|) ΔW_i‖ and ϵ2 < max_i ‖ΔW_i‖.
+    fn split_criteria(&self, cluster: &[usize], deltas: &[Vec<f64>], eps1: f64, eps2: f64) -> bool {
+        let total: f64 = cluster
+            .iter()
+            .map(|&c| self.clients[c].sample_count() as f64)
+            .sum();
+        if total == 0.0 {
+            return false;
+        }
+        let dim = deltas[0].len();
+        let mut weighted_sum = vec![0.0; dim];
+        let mut max_norm = 0.0f64;
+        for (&c, d) in cluster.iter().zip(deltas) {
+            let w = self.clients[c].sample_count() as f64 / total;
+            for (s, &v) in weighted_sum.iter_mut().zip(d) {
+                *s += w * v;
+            }
+            max_norm = max_norm.max(d.iter().map(|v| v * v).sum::<f64>().sqrt());
+        }
+        let mean_norm = weighted_sum.iter().map(|v| v * v).sum::<f64>().sqrt();
+        eps1 > mean_norm && eps2 < max_norm
+    }
+
+    /// Algorithm 1: `RecursiveClusteringAgg(l, cluster)`. Traffic follows the
+    /// paper's layer-wise scheme in two ways: (i) singleton clusters stop
+    /// syncing (aggregating one model is a no-op), and (ii) upper layers sync
+    /// on a slower cadence — layer `l` is exchanged every `l + 1` rounds.
+    /// The cadence operationalizes the paper's observation that "from the
+    /// bottom up, the degree of similarity among deep models decreases":
+    /// upper layers are more client-specific, so averaging them every round
+    /// buys little, and skipping them is where FexIoT's ~40% communication
+    /// saving over whole-model strategies comes from (Fig. 7).
+    fn recursive_layerwise(&mut self, layer: usize, subset: &[usize], eps1: f64, eps2: f64) {
+        if layer >= self.layer_spans.len() || subset.len() < 2 {
+            return;
+        }
+        if self.config.layer_cadence && !self.round.is_multiple_of(layer + 1) {
+            // This layer is off-cadence this round: no upload, no aggregation,
+            // no split decision; continue with the same cluster below.
+            self.recursive_layerwise(layer + 1, subset, eps1, eps2);
+            return;
+        }
+        let (offset, len) = self.layer_spans[layer];
+        let layer_bytes = |client: &Client| {
+            client.encoder.params()[offset..offset + len]
+                .iter()
+                .map(Matrix::len)
+                .sum::<usize>()
+                * std::mem::size_of::<f64>()
+        };
+        // Upload layer l.
+        for &c in subset {
+            let bytes = layer_bytes(&self.clients[c]);
+            self.comm.record_upload(bytes);
+        }
+        // Layer-l deltas for the split criteria.
+        let layer_deltas: Vec<Vec<f64>> = subset
+            .iter()
+            .map(|&c| match &self.clients[c].last_delta {
+                Some(d) => {
+                    let mut flat = Vec::new();
+                    for m in &d[offset..offset + len] {
+                        flat.extend_from_slice(m.as_slice());
+                    }
+                    flat
+                }
+                None => Vec::new(),
+            })
+            .collect();
+
+        let split = !layer_deltas.iter().any(Vec::is_empty)
+            && self.split_criteria(subset, &layer_deltas, eps1, eps2);
+
+        if split {
+            // Cosine similarity of the layer *weights* (Alg. 1 line 13).
+            let weights_flat: Vec<Vec<f64>> = subset
+                .iter()
+                .map(|&c| {
+                    let mut flat = Vec::new();
+                    for m in &self.clients[c].encoder.params()[offset..offset + len] {
+                        flat.extend_from_slice(m.as_slice());
+                    }
+                    flat
+                })
+                .collect();
+            let (a, b) = binary_cosine_split(&weights_flat, &mut self.rng);
+            let sub_a: Vec<usize> = a.into_iter().map(|i| subset[i]).collect();
+            let sub_b: Vec<usize> = b.into_iter().map(|i| subset[i]).collect();
+            self.aggregate_layer(layer, &sub_a);
+            self.aggregate_layer(layer, &sub_b);
+            self.recursive_layerwise(layer + 1, &sub_a, eps1, eps2);
+            self.recursive_layerwise(layer + 1, &sub_b, eps1, eps2);
+        } else {
+            self.aggregate_layer(layer, subset);
+            self.recursive_layerwise(layer + 1, subset, eps1, eps2);
+        }
+    }
+
+    /// Weighted average of one layer within a cluster, installed to members.
+    fn aggregate_layer(&mut self, layer: usize, subset: &[usize]) {
+        if subset.len() < 2 {
+            return;
+        }
+        let (offset, len) = self.layer_spans[layer];
+        let sets: Vec<ParamVec> = subset
+            .iter()
+            .map(|&c| self.clients[c].encoder.params()[offset..offset + len].to_vec())
+            .collect();
+        let refs: Vec<&ParamVec> = sets.iter().collect();
+        let weights = self.aggregation_weights(subset);
+        let avg = if self.config.secure_aggregation {
+            crate::secure_agg::secure_weighted_average(
+                &refs,
+                &weights,
+                self.config.seed ^ (self.round as u64) << 8 ^ (layer as u64) << 4,
+            )
+        } else {
+            param_weighted_average(&refs, &weights)
+        };
+        let bytes: usize = avg.iter().map(Matrix::len).sum::<usize>() * std::mem::size_of::<f64>();
+        for &c in subset {
+            self.comm.record_download(bytes);
+            self.clients[c].install_layer(offset, &avg);
+        }
+    }
+
+    /// Sample-count weights scaled by Sybil-defense trust. Falls back to
+    /// plain sample counts if the defense zeroed everything out.
+    fn aggregation_weights(&self, subset: &[usize]) -> Vec<f64> {
+        let weighted: Vec<f64> = subset
+            .iter()
+            .map(|&c| self.clients[c].sample_count() as f64 * self.trust[c])
+            .collect();
+        if weighted.iter().sum::<f64>() > 0.0 {
+            weighted
+        } else {
+            subset
+                .iter()
+                .map(|&c| self.clients[c].sample_count() as f64)
+                .collect()
+        }
+    }
+
+    /// Current FMTL/GCFL+ cluster assignment (for diagnostics).
+    pub fn clusters(&self) -> &[Vec<usize>] {
+        &self.clusters
+    }
+
+    /// Per-client trust weights from the Sybil defense (all 1.0 when off).
+    pub fn trust(&self) -> &[f64] {
+        &self.trust
+    }
+
+    /// Cumulative `(epsilon, delta)`-DP guarantee spent so far, if DP is on.
+    pub fn privacy_epsilon(&self, delta: f64) -> Option<f64> {
+        self.accountant.as_ref().map(|a| a.epsilon(delta))
+    }
+
+    /// Evaluates every client on a shared test set.
+    pub fn evaluate(&mut self, test: &GraphDataset) -> Vec<Metrics> {
+        self.clients.iter_mut().map(|c| c.evaluate(test)).collect()
+    }
+
+    /// Mean pairwise cosine similarity of client models (convergence probe).
+    pub fn model_similarity(&self) -> f64 {
+        let flats: Vec<Vec<f64>> = self
+            .clients
+            .iter()
+            .map(|c| param_flatten(c.encoder.params()))
+            .collect();
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for i in 0..flats.len() {
+            for j in (i + 1)..flats.len() {
+                total += cosine_similarity(&flats[i], &flats[j]);
+                n += 1;
+            }
+        }
+        if n == 0 {
+            1.0
+        } else {
+            total / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fexiot_gnn::{Encoder, Gin};
+    use fexiot_graph::{generate_dataset, DatasetConfig};
+
+    fn make_sim(strategy: Strategy, n_clients: usize, seed: u64) -> (FedSim, GraphDataset) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut cfg = DatasetConfig::small_ifttt();
+        cfg.graph_count = 80;
+        let ds = generate_dataset(&cfg, &mut rng);
+        let (train, test) = ds.train_test_split(0.8, &mut rng);
+        let splits = train.dirichlet_split(n_clients, 1.0, &mut rng);
+        let d = train.graphs[0].nodes[0].features.len();
+        let template = Gin::new(d, &[12], 6, &mut rng);
+        let clients = splits
+            .into_iter()
+            .enumerate()
+            .map(|(i, data)| Client::new(i, Encoder::Gin(template.clone()), data))
+            .collect();
+        let config = FedConfig {
+            strategy,
+            rounds: 2,
+            local: ContrastiveConfig {
+                epochs: 1,
+                pairs_per_epoch: 12,
+                ..Default::default()
+            },
+            seed,
+            ..Default::default()
+        };
+        (FedSim::new(clients, config), test)
+    }
+
+    #[test]
+    fn fedavg_synchronizes_models() {
+        let (mut sim, _) = make_sim(Strategy::FedAvg, 4, 1);
+        sim.run();
+        assert!(
+            sim.model_similarity() > 0.999,
+            "similarity {}",
+            sim.model_similarity()
+        );
+        assert!(sim.comm.total_bytes() > 0);
+    }
+
+    #[test]
+    fn local_only_never_communicates() {
+        let (mut sim, _) = make_sim(Strategy::LocalOnly, 4, 2);
+        sim.run();
+        assert_eq!(sim.comm.total_bytes(), 0);
+        assert!(
+            sim.model_similarity() < 0.9999,
+            "local models should diverge"
+        );
+    }
+
+    #[test]
+    fn fexiot_uses_less_traffic_than_fedavg() {
+        let (mut avg_sim, _) = make_sim(Strategy::FedAvg, 6, 3);
+        avg_sim.run();
+        let (mut fex_sim, _) = make_sim(Strategy::fexiot_default(), 6, 3);
+        fex_sim.run();
+        assert!(
+            fex_sim.comm.total_bytes() <= avg_sim.comm.total_bytes(),
+            "fexiot {} vs fedavg {}",
+            fex_sim.comm.total_bytes(),
+            avg_sim.comm.total_bytes()
+        );
+    }
+
+    #[test]
+    fn evaluation_returns_per_client_metrics() {
+        let (mut sim, test) = make_sim(Strategy::FedAvg, 3, 4);
+        sim.run();
+        let metrics = sim.evaluate(&test);
+        assert_eq!(metrics.len(), 3);
+        for m in metrics {
+            assert!((0.0..=1.0).contains(&m.accuracy));
+        }
+    }
+
+    #[test]
+    fn fmtl_clusters_partition_clients() {
+        let (mut sim, _) = make_sim(Strategy::fmtl_default(), 5, 5);
+        sim.run();
+        let mut seen: Vec<usize> = sim.clusters().iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn magnn_federation_runs_layerwise_on_hetero_data() {
+        // Heterogeneous platforms + MAGNN + FexIoT layer-wise recursion: the
+        // per-type projection layer (5 matrices), metapath layer (7), and
+        // readout (1) must all aggregate without shape errors.
+        let mut rng = Rng::seed_from_u64(31);
+        let mut cfg = fexiot_graph::DatasetConfig::small_hetero();
+        cfg.graph_count = 60;
+        let ds = generate_dataset(&cfg, &mut rng);
+        let (train, test) = ds.train_test_split(0.8, &mut rng);
+        let splits = train.dirichlet_split(3, 1.0, &mut rng);
+        let template =
+            fexiot_gnn::Magnn::for_config(fexiot_graph::FeatureConfig::small(), 12, 6, 6, &mut rng);
+        let clients: Vec<Client> = splits
+            .into_iter()
+            .enumerate()
+            .map(|(i, data)| Client::new(i, Encoder::Magnn(template.clone()), data))
+            .collect();
+        let config = FedConfig {
+            strategy: Strategy::fexiot_default(),
+            rounds: 3,
+            local: ContrastiveConfig {
+                epochs: 1,
+                pairs_per_epoch: 8,
+                ..Default::default()
+            },
+            seed: 31,
+            ..Default::default()
+        };
+        let mut sim = FedSim::new(clients, config);
+        sim.run();
+        assert!(sim.comm.total_bytes() > 0);
+        for m in sim.evaluate(&test) {
+            assert!(m.accuracy.is_finite());
+        }
+        for c in &sim.clients {
+            assert!(c.encoder.params().iter().all(|p| p.is_finite()));
+        }
+    }
+
+    #[test]
+    fn dp_training_stays_finite_and_accounts_privacy() {
+        let (mut sim, test) = make_sim(Strategy::FedAvg, 3, 7);
+        sim.config.dp = Some(crate::dp::DpConfig {
+            clip_norm: 1.0,
+            noise_multiplier: 1.0,
+        });
+        sim.accountant = Some(crate::dp::PrivacyAccountant::new(1.0));
+        sim.run();
+        let eps = sim.privacy_epsilon(1e-5).expect("accountant present");
+        assert!(eps > 0.0 && eps.is_finite(), "epsilon {eps}");
+        for m in sim.evaluate(&test) {
+            assert!(m.accuracy.is_finite());
+        }
+        for c in &sim.clients {
+            assert!(c.encoder.params().iter().all(|m| m.is_finite()));
+        }
+    }
+
+    #[test]
+    fn secure_aggregation_matches_plain_aggregation() {
+        let (mut plain, _) = make_sim(Strategy::FedAvg, 4, 8);
+        let (mut secure, _) = make_sim(Strategy::FedAvg, 4, 8);
+        secure.config.secure_aggregation = true;
+        plain.run();
+        secure.run();
+        for (a, b) in plain.clients.iter().zip(&secure.clients) {
+            for (ma, mb) in a.encoder.params().iter().zip(b.encoder.params()) {
+                assert!(ma.max_abs_diff(mb) < 1e-6, "secure aggregation diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn sybil_defense_downweights_replicas() {
+        // Clone one client's dataset across three "sybils"; honest clients
+        // keep distinct data. After rounds, sybil trust should be lowest.
+        let (mut sim, _) = make_sim(Strategy::FedAvg, 6, 9);
+        sim.config.sybil_defense = true;
+        // Make clients 0,1,2 identical replicas (same data ⇒ same updates,
+        // since local seeds derive from client ids we align those too).
+        let template = sim.clients[0].data.clone();
+        for i in 1..3 {
+            sim.clients[i].data = template.clone();
+            sim.clients[i].labels = sim.clients[0].labels.clone();
+            sim.clients[i].classes = sim.clients[0].classes.clone();
+            sim.clients[i].id = sim.clients[0].id; // identical pair sampling
+        }
+        sim.run();
+        let trust = sim.trust().to_vec();
+        let sybil_mean = (trust[0] + trust[1] + trust[2]) / 3.0;
+        let honest_mean = (trust[3] + trust[4] + trust[5]) / 3.0;
+        assert!(
+            sybil_mean < honest_mean,
+            "sybils {sybil_mean} should be trusted less than honest {honest_mean}: {trust:?}"
+        );
+    }
+
+    #[test]
+    fn reports_track_rounds_and_comm_monotone() {
+        let (mut sim, _) = make_sim(Strategy::FedAvg, 3, 6);
+        let reports = sim.run();
+        assert_eq!(reports.len(), 2);
+        assert!(
+            reports[0].cumulative_comm.total_bytes() <= reports[1].cumulative_comm.total_bytes()
+        );
+        assert_eq!(reports[1].round, 2);
+    }
+}

@@ -1,0 +1,58 @@
+//! Federated aggregation strategies: FedAvg, clustered FMTL, gradient-
+//! sequence GCFL+, local-only self-training, and FexIoT's layer-wise
+//! recursive clustering (paper Alg. 1 and §IV-C baselines).
+
+/// Which server-side aggregation to run each round.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Strategy {
+    /// McMahan et al.: weighted average of the full model over all clients.
+    FedAvg,
+    /// No communication at all — each client trains alone (the "Client"
+    /// baseline in Fig. 4).
+    LocalOnly,
+    /// Sattler et al. FMTL: recursive bi-partitioning of clients by cosine
+    /// similarity of their *whole-model updates* when the stationarity
+    /// criteria fire; full-model aggregation within clusters.
+    Fmtl { eps1: f64, eps2: f64 },
+    /// Xie et al. GCFL+: like FMTL but clients are compared by their
+    /// *gradient sequences* (history of flattened updates) rather than the
+    /// latest update alone.
+    GcflPlus { eps1: f64, eps2: f64 },
+    /// This paper: bottom-up layer-wise recursive binary clustering
+    /// (Algorithm 1) with per-layer aggregation and layer-wise traffic.
+    FexIot { eps1: f64, eps2: f64 },
+}
+
+impl Strategy {
+    /// Default thresholds from the paper (§IV-C): ϵ1 = 1.2, ϵ2 = 0.8.
+    pub fn fexiot_default() -> Self {
+        Strategy::FexIot {
+            eps1: 1.2,
+            eps2: 0.8,
+        }
+    }
+
+    pub fn fmtl_default() -> Self {
+        Strategy::Fmtl {
+            eps1: 1.2,
+            eps2: 0.8,
+        }
+    }
+
+    pub fn gcfl_default() -> Self {
+        Strategy::GcflPlus {
+            eps1: 1.2,
+            eps2: 0.8,
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            Strategy::FedAvg => "FedAvg",
+            Strategy::LocalOnly => "Client",
+            Strategy::Fmtl { .. } => "FMTL",
+            Strategy::GcflPlus { .. } => "GCFL+",
+            Strategy::FexIot { .. } => "FexIoT",
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Sybil-attack mitigation (paper §VI, citing Fung et al.'s "limitations of
+//! federated learning in sybil settings"): a FoolsGold-style defense that
+//! down-weights clients whose *cumulative update directions* are suspiciously
+//! similar. Honest clients' updates diverge (different data); Sybil replicas
+//! pushing a coordinated model point the same way round after round.
+
+use fexiot_tensor::stats::cosine_similarity;
+
+/// FoolsGold-style aggregation weights from per-client cumulative update
+/// histories. Returns one weight in `[0, 1]` per client; coordinated groups
+/// approach 0, independent clients approach 1.
+pub fn foolsgold_weights(histories: &[Vec<f64>]) -> Vec<f64> {
+    let n = histories.len();
+    if n <= 1 {
+        return vec![1.0; n];
+    }
+    // Pairwise cosine similarity matrix.
+    let mut sim = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && !histories[i].is_empty() && !histories[j].is_empty() {
+                sim[i][j] = cosine_similarity(&histories[i], &histories[j]);
+            }
+        }
+    }
+    // Per-client maximum similarity.
+    let maxcs: Vec<f64> = (0..n)
+        .map(|i| sim[i].iter().cloned().fold(0.0f64, f64::max))
+        .collect();
+    // Pardoning (FoolsGold): an honest client i that happens to resemble a
+    // Sybil j is pardoned by rescaling sim[i][j] when maxcs_i < maxcs_j.
+    #[allow(clippy::needless_range_loop)] // i/j index the similarity matrix
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && maxcs[j] > maxcs[i] && maxcs[j] > 0.0 {
+                sim[i][j] *= maxcs[i] / maxcs[j];
+            }
+        }
+    }
+    let cs: Vec<f64> = (0..n)
+        .map(|i| sim[i].iter().cloned().fold(0.0f64, f64::max))
+        .collect();
+    let mut wv: Vec<f64> = cs.iter().map(|&c| (1.0 - c).clamp(0.0, 1.0)).collect();
+    // Renormalize to [0, 1] by the max, then logit-sharpen (FoolsGold Eq. 5).
+    let max_wv = wv.iter().cloned().fold(0.0, f64::max);
+    if max_wv > 0.0 {
+        for w in &mut wv {
+            *w /= max_wv;
+        }
+    }
+    for w in &mut wv {
+        if *w >= 1.0 {
+            *w = 1.0;
+            continue;
+        }
+        if *w <= 0.0 {
+            *w = 0.0;
+            continue;
+        }
+        // logit(w) scaled into [0,1] with saturation.
+        let logit = (*w / (1.0 - *w)).ln() * 0.5 + 0.5;
+        *w = logit.clamp(0.0, 1.0);
+    }
+    wv
+}
+
+/// Convenience: detects the indices whose weight falls below `threshold`.
+pub fn flag_sybils(histories: &[Vec<f64>], threshold: f64) -> Vec<usize> {
+    foolsgold_weights(histories)
+        .iter()
+        .enumerate()
+        .filter(|(_, &w)| w < threshold)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fexiot_tensor::rng::Rng;
+
+    fn random_direction(dim: usize, rng: &mut Rng) -> Vec<f64> {
+        (0..dim).map(|_| rng.standard_normal()).collect()
+    }
+
+    #[test]
+    fn sybil_pack_is_downweighted() {
+        let mut rng = Rng::seed_from_u64(1);
+        let dim = 64;
+        let sybil_dir = random_direction(dim, &mut rng);
+        let mut histories: Vec<Vec<f64>> = Vec::new();
+        // Three Sybils: same direction with tiny jitter.
+        for _ in 0..3 {
+            histories.push(
+                sybil_dir
+                    .iter()
+                    .map(|v| v + rng.normal(0.0, 0.01))
+                    .collect(),
+            );
+        }
+        // Four honest clients: independent directions.
+        for _ in 0..4 {
+            histories.push(random_direction(dim, &mut rng));
+        }
+        let w = foolsgold_weights(&histories);
+        for (i, &wi) in w.iter().enumerate().take(3) {
+            assert!(wi < 0.2, "sybil {i} weight {wi}");
+        }
+        for (i, &wi) in w.iter().enumerate().skip(3) {
+            assert!(wi > 0.5, "honest {i} weight {wi}");
+        }
+        let flagged = flag_sybils(&histories, 0.2);
+        assert_eq!(flagged, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn all_honest_clients_keep_high_weights() {
+        let mut rng = Rng::seed_from_u64(2);
+        let histories: Vec<Vec<f64>> = (0..6).map(|_| random_direction(128, &mut rng)).collect();
+        let w = foolsgold_weights(&histories);
+        assert!(w.iter().all(|&x| x > 0.4), "{w:?}");
+    }
+
+    #[test]
+    fn single_client_is_trusted() {
+        let histories = vec![vec![1.0, 2.0, 3.0]];
+        assert_eq!(foolsgold_weights(&histories), vec![1.0]);
+    }
+
+    #[test]
+    fn empty_histories_do_not_panic() {
+        let histories = vec![Vec::new(), vec![1.0, 0.0]];
+        let w = foolsgold_weights(&histories);
+        assert_eq!(w.len(), 2);
+        assert!(w.iter().all(|v| v.is_finite()));
+    }
+}

@@ -1,0 +1,77 @@
+//! Property tests for the federated substrate: secure aggregation must be
+//! exactly equivalent to plain weighted averaging for arbitrary shapes and
+//! weights, DP clipping must enforce its bound for arbitrary updates, and the
+//! Sybil weights must stay in range.
+
+use fexiot_fed::dp::{clip_update, privatize_update, DpConfig};
+use fexiot_fed::secure_agg::secure_weighted_average;
+use fexiot_fed::sybil::foolsgold_weights;
+use fexiot_tensor::optim::{param_weighted_average, ParamVec};
+use fexiot_tensor::{Matrix, Rng};
+use proptest::prelude::*;
+
+fn random_params(rng: &mut Rng, layers: usize, max_dim: usize) -> ParamVec {
+    (0..layers)
+        .map(|_| {
+            let r = 1 + rng.usize(max_dim);
+            let c = 1 + rng.usize(max_dim);
+            Matrix::random_normal(r, c, 0.0, 2.0, rng)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn secure_aggregation_equals_plain_average(seed in 0u64..500, n in 2usize..8) {
+        let mut rng = Rng::seed_from_u64(seed);
+        // All clients share layer shapes (as in a real federation).
+        let template = random_params(&mut rng, 3, 5);
+        let models: Vec<ParamVec> = (0..n)
+            .map(|_| {
+                template
+                    .iter()
+                    .map(|m| Matrix::random_normal(m.rows(), m.cols(), 0.0, 1.0, &mut rng))
+                    .collect()
+            })
+            .collect();
+        let refs: Vec<&ParamVec> = models.iter().collect();
+        let weights: Vec<f64> = (0..n).map(|_| rng.uniform(0.5, 10.0)).collect();
+        let plain = param_weighted_average(&refs, &weights);
+        let secure = secure_weighted_average(&refs, &weights, seed ^ 0xABCD);
+        for (a, b) in plain.iter().zip(&secure) {
+            prop_assert!(a.max_abs_diff(b) < 1e-8);
+        }
+    }
+
+    #[test]
+    fn clipping_enforces_the_bound(seed in 0u64..500, clip in 0.1f64..5.0) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut delta = random_params(&mut rng, 2, 6);
+        clip_update(&mut delta, clip);
+        let norm: f64 = delta.iter().map(|m| m.frobenius_norm().powi(2)).sum::<f64>().sqrt();
+        prop_assert!(norm <= clip + 1e-9, "norm {norm} > clip {clip}");
+    }
+
+    #[test]
+    fn privatized_updates_stay_finite(seed in 0u64..200, noise in 0.01f64..3.0) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut delta = random_params(&mut rng, 2, 4);
+        privatize_update(&mut delta, &DpConfig { clip_norm: 1.0, noise_multiplier: noise }, &mut rng);
+        for m in &delta {
+            prop_assert!(m.is_finite());
+        }
+    }
+
+    #[test]
+    fn sybil_weights_in_unit_interval(seed in 0u64..300, n in 1usize..10, dim in 1usize..20) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let histories: Vec<Vec<f64>> = (0..n)
+            .map(|_| (0..dim).map(|_| rng.standard_normal()).collect())
+            .collect();
+        let w = foolsgold_weights(&histories);
+        prop_assert_eq!(w.len(), n);
+        prop_assert!(w.iter().all(|&x| (0.0..=1.0).contains(&x) && x.is_finite()));
+    }
+}

@@ -1,0 +1,241 @@
+//! External attack simulation (paper §IV-A, following HAWatcher): five log
+//! tampering attacks that create *external* graph vulnerabilities. Each attack
+//! is a pure mutator over a raw event log.
+
+use crate::device::Device;
+use crate::events::{EventRecord, EventValue};
+use fexiot_tensor::rng::Rng;
+
+/// The five attack types from HAWatcher that the paper injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AttackKind {
+    /// Forged sensor events for things that never happened.
+    FakeEvents,
+    /// Forged device-command state changes with no rule cause.
+    FakeCommands,
+    /// Real commands whose log records are suppressed (state changes silently).
+    StealthyCommands,
+    /// Commands that are logged as executed but the device never changed.
+    CommandFailure,
+    /// Random loss of legitimate event records.
+    EventLosses,
+}
+
+impl AttackKind {
+    pub const ALL: [AttackKind; 5] = [
+        AttackKind::FakeEvents,
+        AttackKind::FakeCommands,
+        AttackKind::StealthyCommands,
+        AttackKind::CommandFailure,
+        AttackKind::EventLosses,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackKind::FakeEvents => "fake events",
+            AttackKind::FakeCommands => "fake commands",
+            AttackKind::StealthyCommands => "stealthy commands",
+            AttackKind::CommandFailure => "command failure",
+            AttackKind::EventLosses => "event losses",
+        }
+    }
+}
+
+/// Applies `kind` to the log with the given intensity (fraction of records
+/// touched/injected, in `(0, 1]`). Returns the tampered log, time-ordered.
+pub fn apply_attack(
+    kind: AttackKind,
+    log: &[EventRecord],
+    intensity: f64,
+    rng: &mut Rng,
+) -> Vec<EventRecord> {
+    assert!(
+        intensity > 0.0 && intensity <= 1.0,
+        "intensity out of (0,1]"
+    );
+    let mut out: Vec<EventRecord> = match kind {
+        AttackKind::FakeEvents => {
+            let mut out = log.to_vec();
+            let devices = sensor_devices(log);
+            if !devices.is_empty() {
+                let count = ((log.len() as f64 * intensity) as usize).max(1);
+                let max_t = log.last().map_or(100, |e| e.time);
+                for _ in 0..count {
+                    let device = *rng.choose(&devices);
+                    let (on_word, off_word) = device.kind.state_words();
+                    out.push(EventRecord {
+                        time: rng.usize(max_t as usize + 1) as u64,
+                        device,
+                        attribute: "reading",
+                        value: EventValue::State(
+                            if rng.bool(0.7) { on_word } else { off_word }.to_string(),
+                        ),
+                    });
+                }
+            }
+            out
+        }
+        AttackKind::FakeCommands => {
+            let mut out = log.to_vec();
+            let devices = actuator_devices(log);
+            if !devices.is_empty() {
+                let count = ((log.len() as f64 * intensity) as usize).max(1);
+                let max_t = log.last().map_or(100, |e| e.time);
+                for _ in 0..count {
+                    let device = *rng.choose(&devices);
+                    let (on_word, off_word) = device.kind.state_words();
+                    out.push(EventRecord {
+                        time: rng.usize(max_t as usize + 1) as u64,
+                        device,
+                        attribute: "state",
+                        value: EventValue::State(
+                            if rng.bool(0.5) { on_word } else { off_word }.to_string(),
+                        ),
+                    });
+                }
+            }
+            out
+        }
+        AttackKind::StealthyCommands => {
+            // Suppress a fraction of actuator state-change records.
+            log.iter()
+                .filter(|e| !(e.attribute == "state" && rng.bool(intensity)))
+                .cloned()
+                .collect()
+        }
+        AttackKind::CommandFailure => {
+            // A fraction of state changes never happened: revert the recorded
+            // value to the device's opposite state word.
+            log.iter()
+                .map(|e| {
+                    if e.attribute == "state" && rng.bool(intensity) {
+                        let mut e = e.clone();
+                        if let EventValue::State(s) = &e.value {
+                            let (on_word, off_word) = e.device.kind.state_words();
+                            let flipped = if s == on_word { off_word } else { on_word };
+                            e.value = EventValue::State(flipped.to_string());
+                        }
+                        e
+                    } else {
+                        e.clone()
+                    }
+                })
+                .collect()
+        }
+        AttackKind::EventLosses => log
+            .iter()
+            .filter(|_| !rng.bool(intensity))
+            .cloned()
+            .collect(),
+    };
+    out.sort_by_key(|e| e.time);
+    out
+}
+
+fn sensor_devices(log: &[EventRecord]) -> Vec<Device> {
+    let mut ds: Vec<Device> = log
+        .iter()
+        .map(|e| e.device)
+        .filter(|d| d.kind.is_sensor())
+        .collect();
+    ds.sort_unstable();
+    ds.dedup();
+    ds
+}
+
+fn actuator_devices(log: &[EventRecord]) -> Vec<Device> {
+    let mut ds: Vec<Device> = log
+        .iter()
+        .map(|e| e.device)
+        .filter(|d| !d.kind.is_sensor())
+        .collect();
+    ds.sort_unstable();
+    ds.dedup();
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{DeviceKind as K, Location as L};
+    use crate::rule::dev;
+
+    fn sample_log() -> Vec<EventRecord> {
+        let motion = dev(K::MotionSensor, L::Kitchen);
+        let light = dev(K::Light, L::Kitchen);
+        (0..50)
+            .map(|i| {
+                if i % 2 == 0 {
+                    EventRecord {
+                        time: i,
+                        device: motion,
+                        attribute: "reading",
+                        value: EventValue::State(
+                            if i % 4 == 0 { "active" } else { "inactive" }.into(),
+                        ),
+                    }
+                } else {
+                    EventRecord {
+                        time: i,
+                        device: light,
+                        attribute: "state",
+                        value: EventValue::State(if i % 4 == 1 { "on" } else { "off" }.into()),
+                    }
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fake_events_grow_the_log() {
+        let log = sample_log();
+        let mut rng = Rng::seed_from_u64(1);
+        let attacked = apply_attack(AttackKind::FakeEvents, &log, 0.2, &mut rng);
+        assert!(attacked.len() > log.len());
+        assert!(attacked.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn event_losses_shrink_the_log() {
+        let log = sample_log();
+        let mut rng = Rng::seed_from_u64(2);
+        let attacked = apply_attack(AttackKind::EventLosses, &log, 0.5, &mut rng);
+        assert!(attacked.len() < log.len());
+    }
+
+    #[test]
+    fn stealthy_commands_remove_only_state_records() {
+        let log = sample_log();
+        let mut rng = Rng::seed_from_u64(3);
+        let attacked = apply_attack(AttackKind::StealthyCommands, &log, 1.0, &mut rng);
+        assert!(attacked.iter().all(|e| e.attribute != "state"));
+        let readings = log.iter().filter(|e| e.attribute == "reading").count();
+        assert_eq!(attacked.len(), readings);
+    }
+
+    #[test]
+    fn command_failure_flips_states() {
+        let log = sample_log();
+        let mut rng = Rng::seed_from_u64(4);
+        let attacked = apply_attack(AttackKind::CommandFailure, &log, 1.0, &mut rng);
+        assert_eq!(attacked.len(), log.len());
+        let flipped = log
+            .iter()
+            .zip(&attacked)
+            .filter(|(a, b)| a.attribute == "state" && a.value != b.value)
+            .count();
+        assert!(flipped > 0);
+    }
+
+    #[test]
+    fn fake_commands_target_actuators() {
+        let log = sample_log();
+        let mut rng = Rng::seed_from_u64(5);
+        let attacked = apply_attack(AttackKind::FakeCommands, &log, 0.3, &mut rng);
+        let added = attacked.len() - log.len();
+        assert!(added > 0);
+        // All injected records must be actuator state records.
+        let injected: Vec<&EventRecord> = attacked.iter().filter(|e| !log.contains(e)).collect();
+        assert!(injected.iter().all(|e| !e.device.kind.is_sensor()));
+    }
+}

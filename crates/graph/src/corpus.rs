@@ -1,0 +1,449 @@
+//! Synthetic rule-corpus generation for the five platforms.
+//!
+//! Substitutes the paper's crawled corpora (185 SmartThings apps, 574 Home
+//! Assistant blueprints, 316k IFTTT applets, Google Assistant and Alexa
+//! command sets). Rules are sampled from the structured semantics in
+//! [`crate::rule`] and rendered into each platform's characteristic phrasing,
+//! so the NLP pipeline faces the same heterogeneity the paper describes:
+//! conditional sentences for app platforms, terse imperative commands for the
+//! voice assistants.
+
+use crate::device::{Channel, Device, DeviceKind, Location};
+use crate::rule::{command_phrase, dev, trigger_phrase, Command, Platform, Rule, Trigger};
+use fexiot_tensor::rng::Rng;
+
+/// Configuration for corpus generation.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Number of rules to generate per platform.
+    pub rules_per_platform: Vec<(Platform, usize)>,
+    /// Probability that a rule has a second action command.
+    pub multi_action_prob: f64,
+    /// Probability that a trigger is channel-based rather than device-based.
+    pub channel_trigger_prob: f64,
+    /// Locations devices may be placed in (empty = all). Household
+    /// archetypes restrict this to create genuine federated heterogeneity.
+    pub location_pool: Vec<Location>,
+    /// Actuator kinds the household deploys (empty = all).
+    pub actuator_pool: Vec<DeviceKind>,
+}
+
+impl CorpusConfig {
+    /// A small default corpus for tests and quick examples.
+    pub fn small() -> Self {
+        Self {
+            rules_per_platform: vec![
+                (Platform::SmartThings, 60),
+                (Platform::HomeAssistant, 60),
+                (Platform::Ifttt, 120),
+                (Platform::GoogleAssistant, 40),
+                (Platform::AmazonAlexa, 40),
+            ],
+            multi_action_prob: 0.35,
+            channel_trigger_prob: 0.45,
+            location_pool: Vec::new(),
+            actuator_pool: Vec::new(),
+        }
+    }
+
+    /// Proportions mirroring the paper's Table I crawl scales (scaled down by
+    /// `scale`; `scale = 1.0` approximates the paper's usable rule counts).
+    pub fn paper_scale(scale: f64) -> Self {
+        let n = |base: usize| ((base as f64 * scale).round() as usize).max(8);
+        Self {
+            rules_per_platform: vec![
+                (Platform::SmartThings, n(185)),
+                (Platform::HomeAssistant, n(574)),
+                (Platform::Ifttt, n(1535)),
+                (Platform::GoogleAssistant, n(480)),
+                (Platform::AmazonAlexa, n(320)),
+            ],
+            multi_action_prob: 0.35,
+            channel_trigger_prob: 0.45,
+            location_pool: Vec::new(),
+            actuator_pool: Vec::new(),
+        }
+    }
+
+    /// Only the IFTTT platform (the paper's homogeneous dataset).
+    pub fn ifttt_only(rules: usize) -> Self {
+        Self {
+            rules_per_platform: vec![(Platform::Ifttt, rules)],
+            multi_action_prob: 0.35,
+            channel_trigger_prob: 0.45,
+            location_pool: Vec::new(),
+            actuator_pool: Vec::new(),
+        }
+    }
+
+    /// Restricts the corpus to a household archetype: a subset of rooms and
+    /// preferred actuator kinds. Used by the federated dataset generator to
+    /// create genuinely heterogeneous clients (paper §III-B2: "there exist
+    /// several clusters of households" with i.i.d. data inside each).
+    pub fn with_archetype(mut self, locations: Vec<Location>, actuators: Vec<DeviceKind>) -> Self {
+        self.location_pool = locations;
+        self.actuator_pool = actuators;
+        self
+    }
+
+    pub fn total_rules(&self) -> usize {
+        self.rules_per_platform.iter().map(|(_, n)| n).sum()
+    }
+}
+
+/// Generates rule corpora with ground-truth semantics.
+pub struct CorpusGenerator {
+    next_id: u32,
+}
+
+impl CorpusGenerator {
+    pub fn new() -> Self {
+        Self { next_id: 0 }
+    }
+
+    /// Generates the full corpus described by `config`.
+    pub fn generate(&mut self, config: &CorpusConfig, rng: &mut Rng) -> Vec<Rule> {
+        let mut rules = Vec::with_capacity(config.total_rules());
+        for &(platform, count) in &config.rules_per_platform {
+            for _ in 0..count {
+                rules.push(self.generate_rule(platform, config, rng));
+            }
+        }
+        rules
+    }
+
+    /// Generates one random rule for `platform`.
+    pub fn generate_rule(
+        &mut self,
+        platform: Platform,
+        config: &CorpusConfig,
+        rng: &mut Rng,
+    ) -> Rule {
+        let trigger = self.random_trigger(platform, config, rng);
+        let mut actions = vec![self.random_command(config, rng)];
+        if rng.bool(config.multi_action_prob) {
+            let second = self.random_command(config, rng);
+            if second.device != actions[0].device {
+                actions.push(second);
+            }
+        }
+        self.build_rule(platform, trigger, actions)
+    }
+
+    /// Builds a rule with explicit semantics (used by the vulnerability
+    /// injectors to construct specific patterns).
+    pub fn build_rule(
+        &mut self,
+        platform: Platform,
+        trigger: Trigger,
+        actions: Vec<Command>,
+    ) -> Rule {
+        let id = self.next_id;
+        self.next_id += 1;
+        let text = render_text(platform, &trigger, &actions);
+        Rule {
+            id,
+            platform,
+            trigger,
+            actions,
+            text,
+        }
+    }
+
+    /// Next id that will be assigned (used by injectors to reserve blocks).
+    pub fn peek_next_id(&self) -> u32 {
+        self.next_id
+    }
+
+    /// Skips `count` ids (reserving them for externally-built rules).
+    pub fn advance_ids(&mut self, count: u32) {
+        self.next_id += count;
+    }
+
+    fn random_trigger(
+        &mut self,
+        platform: Platform,
+        config: &CorpusConfig,
+        rng: &mut Rng,
+    ) -> Trigger {
+        // Voice assistants are predominantly manually invoked.
+        if matches!(platform, Platform::GoogleAssistant | Platform::AmazonAlexa) && rng.bool(0.5) {
+            return Trigger::Manual;
+        }
+        if rng.bool(0.06) {
+            return Trigger::Time {
+                hour: rng.range(0, 24) as u8,
+            };
+        }
+        if rng.bool(config.channel_trigger_prob) {
+            let channel = *rng.choose(&Channel::ALL);
+            let location = pick_location(config, rng);
+            // Hazard channels trigger on detection (high) almost always.
+            let high = match channel {
+                Channel::Smoke | Channel::Co | Channel::Water | Channel::Motion => rng.bool(0.9),
+                _ => rng.bool(0.5),
+            };
+            Trigger::ChannelLevel {
+                channel,
+                location,
+                high,
+            }
+        } else {
+            let device = self.random_device(config, rng);
+            Trigger::DeviceState {
+                device,
+                active: rng.bool(0.55),
+            }
+        }
+    }
+
+    fn random_device(&mut self, config: &CorpusConfig, rng: &mut Rng) -> Device {
+        // Triggers can come from sensors or actuator state changes.
+        let kind = if rng.bool(0.3) {
+            *rng.choose(&DeviceKind::SENSORS)
+        } else {
+            pick_actuator(config, rng)
+        };
+        dev(kind, pick_location(config, rng))
+    }
+
+    fn random_command(&mut self, config: &CorpusConfig, rng: &mut Rng) -> Command {
+        Command {
+            device: dev(pick_actuator(config, rng), pick_location(config, rng)),
+            activate: rng.bool(0.6),
+        }
+    }
+}
+
+impl Default for CorpusGenerator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn pick_location(config: &CorpusConfig, rng: &mut Rng) -> Location {
+    if config.location_pool.is_empty() {
+        *rng.choose(&Location::ALL)
+    } else {
+        *rng.choose(&config.location_pool)
+    }
+}
+
+fn pick_actuator(config: &CorpusConfig, rng: &mut Rng) -> DeviceKind {
+    if config.actuator_pool.is_empty() {
+        *rng.choose(&DeviceKind::ACTUATORS)
+    } else {
+        *rng.choose(&config.actuator_pool)
+    }
+}
+
+/// The household archetypes used for federated heterogeneity: each archetype
+/// is a coherent home profile (rooms + device emphasis). Clients assigned the
+/// same archetype have approximately i.i.d. data; across archetypes the
+/// distributions genuinely differ — exactly the structure Alg. 1 clusters on.
+pub fn archetype(index: usize) -> (Vec<Location>, Vec<DeviceKind>) {
+    use DeviceKind as K;
+    use Location as L;
+    match index % 4 {
+        0 => (
+            // Climate-focused apartment.
+            vec![L::LivingRoom, L::Bedroom, L::Kitchen],
+            vec![
+                K::Thermostat,
+                K::Heater,
+                K::AirConditioner,
+                K::Fan,
+                K::Humidifier,
+                K::Dehumidifier,
+                K::Window,
+                K::Light,
+            ],
+        ),
+        1 => (
+            // Security-focused house.
+            vec![L::Hallway, L::Garage, L::LivingRoom, L::Basement],
+            vec![
+                K::Lock,
+                K::Door,
+                K::Camera,
+                K::Alarm,
+                K::GarageDoor,
+                K::Light,
+            ],
+        ),
+        2 => (
+            // Entertainment / convenience home.
+            vec![L::LivingRoom, L::Bedroom, L::Bathroom],
+            vec![
+                K::Tv,
+                K::Speaker,
+                K::Light,
+                K::Blind,
+                K::Plug,
+                K::CoffeeMaker,
+                K::Vacuum,
+            ],
+        ),
+        _ => (
+            // Utility / garden home.
+            vec![L::Kitchen, L::Garden, L::Basement],
+            vec![
+                K::WaterValve,
+                K::Sprinkler,
+                K::Washer,
+                K::Dryer,
+                K::Oven,
+                K::Plug,
+                K::Light,
+            ],
+        ),
+    }
+}
+
+/// Renders the rule description in the platform's characteristic style.
+pub fn render_text(platform: Platform, trigger: &Trigger, actions: &[Command]) -> String {
+    let action_text = actions
+        .iter()
+        .map(command_phrase)
+        .collect::<Vec<_>>()
+        .join(" and ");
+    let action_text = capitalize(&action_text);
+    match platform {
+        Platform::SmartThings => match trigger {
+            Trigger::Manual => format!("{action_text} when I tap the app"),
+            t => format!("{action_text} if {}", trigger_phrase(t)),
+        },
+        Platform::HomeAssistant => match trigger {
+            Trigger::Manual => format!("{action_text} on manual trigger"),
+            t => format!(
+                "When {} then {}",
+                trigger_phrase(t),
+                action_text.to_lowercase()
+            ),
+        },
+        Platform::Ifttt => match trigger {
+            Trigger::Manual => format!("If I press the button then {}", action_text.to_lowercase()),
+            t => format!(
+                "If {} then {}",
+                trigger_phrase(t),
+                action_text.to_lowercase()
+            ),
+        },
+        Platform::GoogleAssistant => match trigger {
+            Trigger::Manual => format!("Hey Google {}", action_text.to_lowercase()),
+            t => format!(
+                "Hey Google {} when {}",
+                action_text.to_lowercase(),
+                trigger_phrase(t)
+            ),
+        },
+        Platform::AmazonAlexa => match trigger {
+            Trigger::Manual => format!("Alexa {}", action_text.to_lowercase()),
+            t => format!(
+                "Alexa {} when {}",
+                action_text.to_lowercase(),
+                trigger_phrase(t)
+            ),
+        },
+    }
+}
+
+fn capitalize(s: &str) -> String {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) => c.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_sizes_match_config() {
+        let mut rng = Rng::seed_from_u64(1);
+        let config = CorpusConfig::small();
+        let rules = CorpusGenerator::new().generate(&config, &mut rng);
+        assert_eq!(rules.len(), config.total_rules());
+        for p in Platform::ALL {
+            let expected = config
+                .rules_per_platform
+                .iter()
+                .find(|(q, _)| *q == p)
+                .unwrap()
+                .1;
+            assert_eq!(rules.iter().filter(|r| r.platform == p).count(), expected);
+        }
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut rng = Rng::seed_from_u64(2);
+        let rules = CorpusGenerator::new().generate(&CorpusConfig::small(), &mut rng);
+        let mut ids: Vec<u32> = rules.iter().map(|r| r.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), rules.len());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let gen = |seed| {
+            let mut rng = Rng::seed_from_u64(seed);
+            CorpusGenerator::new().generate(&CorpusConfig::small(), &mut rng)
+        };
+        assert_eq!(gen(7), gen(7));
+        assert_ne!(gen(7), gen(8));
+    }
+
+    #[test]
+    fn platform_phrasing_differs() {
+        let trigger = Trigger::ChannelLevel {
+            channel: Channel::Smoke,
+            location: Location::Kitchen,
+            high: true,
+        };
+        let actions = vec![Command {
+            device: dev(DeviceKind::WaterValve, Location::Kitchen),
+            activate: true,
+        }];
+        let st = render_text(Platform::SmartThings, &trigger, &actions);
+        let ifttt = render_text(Platform::Ifttt, &trigger, &actions);
+        let alexa = render_text(Platform::AmazonAlexa, &trigger, &actions);
+        assert!(st.contains("if smoke is detected"), "{st}");
+        assert!(ifttt.starts_with("If smoke is detected"), "{ifttt}");
+        assert!(alexa.starts_with("Alexa"), "{alexa}");
+    }
+
+    #[test]
+    fn some_rules_have_multiple_actions() {
+        let mut rng = Rng::seed_from_u64(3);
+        let rules = CorpusGenerator::new().generate(&CorpusConfig::small(), &mut rng);
+        assert!(rules.iter().any(|r| r.actions.len() > 1));
+    }
+
+    #[test]
+    fn corpus_contains_correlated_pairs() {
+        // Ground truth must be non-degenerate: some pairs correlate, most do not.
+        let mut rng = Rng::seed_from_u64(4);
+        let rules = CorpusGenerator::new().generate(&CorpusConfig::small(), &mut rng);
+        let mut positives = 0usize;
+        let mut total = 0usize;
+        for a in &rules {
+            for b in &rules {
+                if a.id != b.id {
+                    total += 1;
+                    if a.can_trigger(b) {
+                        positives += 1;
+                    }
+                }
+            }
+        }
+        assert!(positives > 0, "no correlated pairs in corpus");
+        assert!(
+            (positives as f64) < 0.2 * total as f64,
+            "too many correlations: {positives}/{total}"
+        );
+    }
+}

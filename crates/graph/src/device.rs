@@ -1,0 +1,429 @@
+//! Smart-home device and physical-channel semantics.
+//!
+//! This is the ground-truth world model behind the synthetic corpora: which
+//! devices exist, which physical channels their actuation influences (a heater
+//! raises temperature; a water valve raises water flow), and which channels
+//! their sensors observe. The interaction-graph builder uses these semantics
+//! to decide which rule pairs genuinely compose "action-trigger" correlations,
+//! which is exactly the ground truth the paper's volunteers labelled by hand.
+
+/// A physical channel in the home environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Channel {
+    Temperature,
+    Humidity,
+    Smoke,
+    Co,
+    Motion,
+    Illuminance,
+    Sound,
+    Water,
+    Power,
+}
+
+impl Channel {
+    pub const ALL: [Channel; 9] = [
+        Channel::Temperature,
+        Channel::Humidity,
+        Channel::Smoke,
+        Channel::Co,
+        Channel::Motion,
+        Channel::Illuminance,
+        Channel::Sound,
+        Channel::Water,
+        Channel::Power,
+    ];
+
+    /// The lexicon word naming this channel.
+    pub fn word(self) -> &'static str {
+        match self {
+            Channel::Temperature => "temperature",
+            Channel::Humidity => "humidity",
+            Channel::Smoke => "smoke",
+            Channel::Co => "co",
+            Channel::Motion => "motion",
+            Channel::Illuminance => "brightness",
+            Channel::Sound => "sound",
+            Channel::Water => "water",
+            Channel::Power => "power",
+        }
+    }
+}
+
+/// Rooms / areas used for device placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Location {
+    Kitchen,
+    Bedroom,
+    Bathroom,
+    LivingRoom,
+    Hallway,
+    Garage,
+    Garden,
+    Basement,
+}
+
+impl Location {
+    pub const ALL: [Location; 8] = [
+        Location::Kitchen,
+        Location::Bedroom,
+        Location::Bathroom,
+        Location::LivingRoom,
+        Location::Hallway,
+        Location::Garage,
+        Location::Garden,
+        Location::Basement,
+    ];
+
+    pub fn word(self) -> &'static str {
+        match self {
+            Location::Kitchen => "kitchen",
+            Location::Bedroom => "bedroom",
+            Location::Bathroom => "bathroom",
+            Location::LivingRoom => "living room",
+            Location::Hallway => "hallway",
+            Location::Garage => "garage",
+            Location::Garden => "garden",
+            Location::Basement => "basement",
+        }
+    }
+}
+
+/// Every device kind in the simulated catalog, actuators and sensors alike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DeviceKind {
+    // Actuators.
+    Light,
+    Plug,
+    Camera,
+    Door,
+    Lock,
+    Window,
+    Blind,
+    Thermostat,
+    Heater,
+    AirConditioner,
+    Fan,
+    Humidifier,
+    Dehumidifier,
+    WaterValve,
+    Sprinkler,
+    Alarm,
+    Speaker,
+    Tv,
+    Oven,
+    CoffeeMaker,
+    Washer,
+    Dryer,
+    Vacuum,
+    GarageDoor,
+    // Sensors.
+    MotionSensor,
+    ContactSensor,
+    SmokeDetector,
+    CoDetector,
+    LeakSensor,
+    PresenceSensor,
+    Button,
+    Doorbell,
+    TemperatureSensor,
+    HumiditySensor,
+    IlluminanceSensor,
+    SoundSensor,
+    PowerMeter,
+}
+
+impl DeviceKind {
+    pub const ACTUATORS: [DeviceKind; 24] = [
+        DeviceKind::Light,
+        DeviceKind::Plug,
+        DeviceKind::Camera,
+        DeviceKind::Door,
+        DeviceKind::Lock,
+        DeviceKind::Window,
+        DeviceKind::Blind,
+        DeviceKind::Thermostat,
+        DeviceKind::Heater,
+        DeviceKind::AirConditioner,
+        DeviceKind::Fan,
+        DeviceKind::Humidifier,
+        DeviceKind::Dehumidifier,
+        DeviceKind::WaterValve,
+        DeviceKind::Sprinkler,
+        DeviceKind::Alarm,
+        DeviceKind::Speaker,
+        DeviceKind::Tv,
+        DeviceKind::Oven,
+        DeviceKind::CoffeeMaker,
+        DeviceKind::Washer,
+        DeviceKind::Dryer,
+        DeviceKind::Vacuum,
+        DeviceKind::GarageDoor,
+    ];
+
+    pub const SENSORS: [DeviceKind; 13] = [
+        DeviceKind::MotionSensor,
+        DeviceKind::ContactSensor,
+        DeviceKind::SmokeDetector,
+        DeviceKind::CoDetector,
+        DeviceKind::LeakSensor,
+        DeviceKind::PresenceSensor,
+        DeviceKind::Button,
+        DeviceKind::Doorbell,
+        DeviceKind::TemperatureSensor,
+        DeviceKind::HumiditySensor,
+        DeviceKind::IlluminanceSensor,
+        DeviceKind::SoundSensor,
+        DeviceKind::PowerMeter,
+    ];
+
+    /// The dedicated sensor kind observing a channel.
+    pub fn sensor_for_channel(channel: Channel) -> DeviceKind {
+        match channel {
+            Channel::Temperature => DeviceKind::TemperatureSensor,
+            Channel::Humidity => DeviceKind::HumiditySensor,
+            Channel::Smoke => DeviceKind::SmokeDetector,
+            Channel::Co => DeviceKind::CoDetector,
+            Channel::Motion => DeviceKind::MotionSensor,
+            Channel::Illuminance => DeviceKind::IlluminanceSensor,
+            Channel::Sound => DeviceKind::SoundSensor,
+            Channel::Water => DeviceKind::LeakSensor,
+            Channel::Power => DeviceKind::PowerMeter,
+        }
+    }
+
+    /// True for sensing devices (they trigger rules but take no commands).
+    pub fn is_sensor(self) -> bool {
+        DeviceKind::SENSORS.contains(&self)
+    }
+
+    /// The lexicon word naming this device.
+    pub fn word(self) -> &'static str {
+        match self {
+            DeviceKind::Light => "light",
+            DeviceKind::Plug => "plug",
+            DeviceKind::Camera => "camera",
+            DeviceKind::Door => "door",
+            DeviceKind::Lock => "lock",
+            DeviceKind::Window => "window",
+            DeviceKind::Blind => "blind",
+            DeviceKind::Thermostat => "thermostat",
+            DeviceKind::Heater => "heater",
+            DeviceKind::AirConditioner => "air conditioner",
+            DeviceKind::Fan => "fan",
+            DeviceKind::Humidifier => "humidifier",
+            DeviceKind::Dehumidifier => "dehumidifier",
+            DeviceKind::WaterValve => "water valve",
+            DeviceKind::Sprinkler => "sprinkler",
+            DeviceKind::Alarm => "alarm",
+            DeviceKind::Speaker => "speaker",
+            DeviceKind::Tv => "tv",
+            DeviceKind::Oven => "oven",
+            DeviceKind::CoffeeMaker => "coffee maker",
+            DeviceKind::Washer => "washer",
+            DeviceKind::Dryer => "dryer",
+            DeviceKind::Vacuum => "vacuum",
+            DeviceKind::GarageDoor => "garage door",
+            DeviceKind::MotionSensor => "motion sensor",
+            DeviceKind::ContactSensor => "contact sensor",
+            DeviceKind::SmokeDetector => "smoke detector",
+            DeviceKind::CoDetector => "co detector",
+            DeviceKind::LeakSensor => "water leak sensor",
+            DeviceKind::PresenceSensor => "presence sensor",
+            DeviceKind::Button => "button",
+            DeviceKind::Doorbell => "doorbell",
+            DeviceKind::TemperatureSensor => "temperature sensor",
+            DeviceKind::HumiditySensor => "humidity sensor",
+            DeviceKind::IlluminanceSensor => "illuminance sensor",
+            DeviceKind::SoundSensor => "sound sensor",
+            DeviceKind::PowerMeter => "power meter",
+        }
+    }
+
+    /// Physical channels this device influences when activated, with the
+    /// direction of the effect (+1 raises the channel level, -1 lowers it).
+    /// Deactivation reverses the sign for sustained effects.
+    pub fn channel_effects(self, activate: bool) -> Vec<(Channel, i8)> {
+        let sign = |d: i8| if activate { d } else { -d };
+        match self {
+            DeviceKind::Light => vec![(Channel::Illuminance, sign(1)), (Channel::Power, sign(1))],
+            DeviceKind::Plug => vec![(Channel::Power, sign(1))],
+            DeviceKind::Blind => vec![(Channel::Illuminance, sign(-1))],
+            DeviceKind::Window => vec![
+                (Channel::Temperature, sign(-1)),
+                (Channel::Humidity, sign(-1)),
+            ],
+            DeviceKind::Thermostat | DeviceKind::Heater => {
+                vec![(Channel::Temperature, sign(1)), (Channel::Power, sign(1))]
+            }
+            DeviceKind::AirConditioner => {
+                vec![
+                    (Channel::Temperature, sign(-1)),
+                    (Channel::Humidity, sign(-1)),
+                    (Channel::Power, sign(1)),
+                ]
+            }
+            DeviceKind::Fan => vec![
+                (Channel::Temperature, sign(-1)),
+                (Channel::Humidity, sign(-1)),
+            ],
+            DeviceKind::Humidifier => vec![(Channel::Humidity, sign(1))],
+            DeviceKind::Dehumidifier => vec![(Channel::Humidity, sign(-1))],
+            DeviceKind::WaterValve | DeviceKind::Sprinkler => vec![(Channel::Water, sign(1))],
+            DeviceKind::Alarm | DeviceKind::Speaker | DeviceKind::Doorbell => {
+                vec![(Channel::Sound, sign(1))]
+            }
+            DeviceKind::Tv => vec![(Channel::Sound, sign(1)), (Channel::Power, sign(1))],
+            DeviceKind::Oven => vec![(Channel::Temperature, sign(1)), (Channel::Power, sign(1))],
+            DeviceKind::Dryer => vec![(Channel::Temperature, sign(1)), (Channel::Power, sign(1))],
+            DeviceKind::Washer => vec![(Channel::Water, sign(1)), (Channel::Power, sign(1))],
+            DeviceKind::Vacuum => vec![(Channel::Sound, sign(1)), (Channel::Power, sign(1))],
+            DeviceKind::CoffeeMaker => vec![(Channel::Power, sign(1))],
+            _ => Vec::new(),
+        }
+    }
+
+    /// The channel a sensor observes, if this is a sensor.
+    pub fn sense_channel(self) -> Option<Channel> {
+        match self {
+            DeviceKind::MotionSensor | DeviceKind::PresenceSensor => Some(Channel::Motion),
+            DeviceKind::SmokeDetector => Some(Channel::Smoke),
+            DeviceKind::CoDetector => Some(Channel::Co),
+            DeviceKind::LeakSensor => Some(Channel::Water),
+            DeviceKind::TemperatureSensor => Some(Channel::Temperature),
+            DeviceKind::HumiditySensor => Some(Channel::Humidity),
+            DeviceKind::IlluminanceSensor => Some(Channel::Illuminance),
+            DeviceKind::SoundSensor => Some(Channel::Sound),
+            DeviceKind::PowerMeter => Some(Channel::Power),
+            _ => None,
+        }
+    }
+
+    /// Whether readings from this sensor are numeric in raw event logs
+    /// (temperature-style) rather than binary (motion-style). Used by the
+    /// log cleaner's Jenks discretization.
+    pub fn numeric_readings(self) -> bool {
+        matches!(
+            self,
+            DeviceKind::LeakSensor
+                | DeviceKind::TemperatureSensor
+                | DeviceKind::HumiditySensor
+                | DeviceKind::IlluminanceSensor
+                | DeviceKind::PowerMeter
+        )
+    }
+
+    /// Verb pair used to phrase activation/deactivation of this device in
+    /// rule descriptions ("open"/"close" for valves, "lock"/"unlock" for locks).
+    pub fn verbs(self) -> (&'static str, &'static str) {
+        match self {
+            DeviceKind::Door | DeviceKind::Window | DeviceKind::GarageDoor | DeviceKind::Blind => {
+                ("open", "close")
+            }
+            DeviceKind::Lock => ("unlock", "lock"),
+            DeviceKind::WaterValve => ("open", "close"),
+            DeviceKind::Washer
+            | DeviceKind::Dryer
+            | DeviceKind::Vacuum
+            | DeviceKind::Sprinkler
+            | DeviceKind::CoffeeMaker => ("start", "stop"),
+            DeviceKind::Alarm => ("activate", "deactivate"),
+            _ => ("turn on", "turn off"),
+        }
+    }
+
+    /// State words reported by event logs for the two activation states.
+    pub fn state_words(self) -> (&'static str, &'static str) {
+        match self {
+            DeviceKind::Door
+            | DeviceKind::Window
+            | DeviceKind::GarageDoor
+            | DeviceKind::Blind
+            | DeviceKind::WaterValve
+            | DeviceKind::ContactSensor => ("open", "closed"),
+            DeviceKind::Lock => ("unlocked", "locked"),
+            DeviceKind::MotionSensor | DeviceKind::PresenceSensor | DeviceKind::SoundSensor => {
+                ("active", "inactive")
+            }
+            DeviceKind::SmokeDetector | DeviceKind::CoDetector => ("detected", "clear"),
+            DeviceKind::LeakSensor => ("wet", "dry"),
+            DeviceKind::TemperatureSensor
+            | DeviceKind::HumiditySensor
+            | DeviceKind::IlluminanceSensor
+            | DeviceKind::PowerMeter => ("high", "low"),
+            _ => ("on", "off"),
+        }
+    }
+}
+
+/// A concrete device instance: kind + placement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Device {
+    pub kind: DeviceKind,
+    pub location: Location,
+}
+
+impl Device {
+    pub fn new(kind: DeviceKind, location: Location) -> Self {
+        Self { kind, location }
+    }
+
+    /// Human-readable name, e.g. "kitchen water valve".
+    pub fn name(&self) -> String {
+        format!("{} {}", self.location.word(), self.kind.word())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensors_and_actuators_partition() {
+        for k in DeviceKind::ACTUATORS {
+            assert!(!k.is_sensor(), "{k:?}");
+        }
+        for k in DeviceKind::SENSORS {
+            assert!(k.is_sensor(), "{k:?}");
+        }
+    }
+
+    #[test]
+    fn heater_raises_temperature() {
+        let fx = DeviceKind::Heater.channel_effects(true);
+        assert!(fx.contains(&(Channel::Temperature, 1)));
+        let fx_off = DeviceKind::Heater.channel_effects(false);
+        assert!(fx_off.contains(&(Channel::Temperature, -1)));
+    }
+
+    #[test]
+    fn ac_lowers_temperature_but_draws_power() {
+        let fx = DeviceKind::AirConditioner.channel_effects(true);
+        assert!(fx.contains(&(Channel::Temperature, -1)));
+        assert!(fx.contains(&(Channel::Power, 1)));
+    }
+
+    #[test]
+    fn sensors_have_sense_channels() {
+        assert_eq!(
+            DeviceKind::SmokeDetector.sense_channel(),
+            Some(Channel::Smoke)
+        );
+        assert_eq!(DeviceKind::LeakSensor.sense_channel(), Some(Channel::Water));
+        assert_eq!(DeviceKind::Button.sense_channel(), None);
+        assert_eq!(DeviceKind::Light.sense_channel(), None);
+    }
+
+    #[test]
+    fn verbs_match_device_semantics() {
+        assert_eq!(DeviceKind::Lock.verbs(), ("unlock", "lock"));
+        assert_eq!(DeviceKind::WaterValve.verbs(), ("open", "close"));
+        assert_eq!(DeviceKind::Light.verbs(), ("turn on", "turn off"));
+    }
+
+    #[test]
+    fn device_name_includes_location() {
+        let d = Device::new(DeviceKind::WaterValve, Location::Kitchen);
+        assert_eq!(d.name(), "kitchen water valve");
+    }
+}

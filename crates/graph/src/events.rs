@@ -1,0 +1,595 @@
+//! Event-log simulation and cleaning (paper §III-A2, §IV-A).
+//!
+//! Substitutes the paper's one-week testbed deployment: a discrete-event
+//! simulator runs a home's rule set against stochastic environment stimuli and
+//! emits raw event logs with the same noise the paper's cleaner must handle —
+//! periodic repeated sensor readings, execution-error records, and numeric
+//! readings where rules speak in logical levels. The cleaner removes the
+//! noise and Jenks-discretizes numeric values.
+
+use crate::device::{Channel, Device, DeviceKind, Location};
+use crate::rule::{Rule, Trigger};
+use fexiot_nlp::jenks;
+use fexiot_tensor::rng::Rng;
+use std::collections::BTreeMap;
+
+/// Value carried by one raw event record.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventValue {
+    /// A device state word ("on", "locked", "wet").
+    State(String),
+    /// A numeric sensor reading.
+    Numeric(f64),
+    /// An execution-error record (noise).
+    Error(String),
+}
+
+/// One raw event-log record: timestamp, device, attribute, value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Seconds since simulation start.
+    pub time: u64,
+    pub device: Device,
+    pub attribute: &'static str,
+    pub value: EventValue,
+}
+
+/// A cleaned event: state changes only, numeric readings discretized.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CleanEvent {
+    pub time: u64,
+    pub device: Device,
+    /// Logical state word after cleaning.
+    pub state: String,
+    /// Whether the state corresponds to the device's "active" polarity.
+    pub active: bool,
+}
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Simulated duration in seconds.
+    pub duration: u64,
+    /// Mean seconds between external stimuli (motion, smoke, leaks...).
+    pub stimulus_interval: u64,
+    /// Period of noisy repeated sensor reports.
+    pub report_interval: u64,
+    /// Probability a command execution errors out (logged as noise).
+    pub error_prob: f64,
+}
+
+impl SimConfig {
+    /// A compressed "one week" at coarse resolution for tests and benches.
+    pub fn short() -> Self {
+        Self {
+            duration: 3_600,
+            stimulus_interval: 120,
+            report_interval: 300,
+            error_prob: 0.03,
+        }
+    }
+
+    /// Paper-scale week of logs.
+    pub fn week() -> Self {
+        Self {
+            duration: 7 * 24 * 3_600,
+            stimulus_interval: 900,
+            report_interval: 600,
+            error_prob: 0.03,
+        }
+    }
+}
+
+/// Discrete-event smart-home simulator.
+pub struct HomeSimulator {
+    pub rules: Vec<Rule>,
+    /// Current activation state per device.
+    device_state: BTreeMap<Device, bool>,
+    /// Channel levels per (channel, location), in arbitrary units around 0.
+    channel_level: BTreeMap<(Channel, Location), f64>,
+    /// Channel/location pairs the deployed rules actually observe; external
+    /// stimuli are biased toward these so the log is eventful.
+    watched: Vec<(Channel, Location)>,
+}
+
+impl HomeSimulator {
+    pub fn new(rules: Vec<Rule>) -> Self {
+        let mut device_state = BTreeMap::new();
+        let mut watched = Vec::new();
+        for r in &rules {
+            for c in &r.actions {
+                device_state.entry(c.device).or_insert(false);
+            }
+            match r.trigger {
+                Trigger::DeviceState { device, .. } => {
+                    device_state.entry(device).or_insert(false);
+                }
+                Trigger::ChannelLevel {
+                    channel, location, ..
+                } => {
+                    // A rule watching a channel implies the home has the
+                    // matching sensor installed there.
+                    let sensor = Device::new(DeviceKind::sensor_for_channel(channel), location);
+                    device_state.entry(sensor).or_insert(false);
+                    if !watched.contains(&(channel, location)) {
+                        watched.push((channel, location));
+                    }
+                }
+                _ => {}
+            }
+        }
+        Self {
+            rules,
+            device_state,
+            channel_level: BTreeMap::new(),
+            watched,
+        }
+    }
+
+    /// Runs the simulation and returns the raw event log, time-ordered.
+    ///
+    /// Stimuli follow a per-home *routine* (a repeating cycle of channel
+    /// pokes — residents have habits) with occasional random deviations, so
+    /// normal logs carry learnable sequential structure.
+    pub fn run(&mut self, config: &SimConfig, rng: &mut Rng) -> Vec<EventRecord> {
+        let mut log = Vec::new();
+        let mut t: u64 = 0;
+        let mut next_report: u64 = config.report_interval;
+        // Build the home's routine: a short cycle over the watched channels.
+        let routine: Vec<(Channel, Location, f64)> = (0..6)
+            .map(|_| {
+                let (c, l) = if !self.watched.is_empty() && rng.bool(0.8) {
+                    *rng.choose(&self.watched)
+                } else {
+                    (*rng.choose(&Channel::ALL), *rng.choose(&Location::ALL))
+                };
+                (c, l, if rng.bool(0.6) { 1.0 } else { -1.0 })
+            })
+            .collect();
+        let mut routine_at = 0usize;
+        while t < config.duration {
+            let dt = 1 + rng.usize(config.stimulus_interval as usize * 2) as u64;
+            t += dt;
+            if t >= config.duration {
+                break;
+            }
+            // Mostly follow the routine; sometimes act spontaneously.
+            let (channel, location, delta) = if rng.bool(0.75) {
+                let item = routine[routine_at % routine.len()];
+                routine_at += 1;
+                item
+            } else if !self.watched.is_empty() && rng.bool(0.7) {
+                let (c, l) = *rng.choose(&self.watched);
+                (c, l, if rng.bool(0.6) { 1.0 } else { -1.0 })
+            } else {
+                (
+                    *rng.choose(&Channel::ALL),
+                    *rng.choose(&Location::ALL),
+                    if rng.bool(0.6) { 1.0 } else { -1.0 },
+                )
+            };
+            self.bump_channel(
+                channel,
+                location,
+                delta * rng.uniform(0.8, 1.6),
+                t,
+                &mut log,
+                rng,
+            );
+
+            // Periodic noisy sensor reports (repeated readings the cleaner drops).
+            while next_report <= t {
+                self.emit_periodic_reports(next_report, &mut log, rng);
+                next_report += config.report_interval;
+            }
+
+            // Fire the rule engine to a fixed point (bounded cascade depth).
+            self.fire_rules(t, config, &mut log, rng);
+        }
+        log.sort_by_key(|e| e.time);
+        log
+    }
+
+    fn bump_channel(
+        &mut self,
+        channel: Channel,
+        location: Location,
+        delta: f64,
+        t: u64,
+        log: &mut Vec<EventRecord>,
+        rng: &mut Rng,
+    ) {
+        let level = self.channel_level.entry((channel, location)).or_insert(0.0);
+        *level = (*level + delta).clamp(-3.0, 3.0);
+        self.report_channel(channel, location, t, log, rng);
+    }
+
+    /// Sensors observing `channel` at `location` report its current level —
+    /// whether the change came from an external stimulus or a device's
+    /// physical side effect.
+    fn report_channel(
+        &mut self,
+        channel: Channel,
+        location: Location,
+        t: u64,
+        log: &mut Vec<EventRecord>,
+        rng: &mut Rng,
+    ) {
+        let level = self
+            .channel_level
+            .get(&(channel, location))
+            .copied()
+            .unwrap_or(0.0);
+        let sensors: Vec<Device> = self
+            .device_state
+            .keys()
+            .filter(|d| d.location == location && d.kind.sense_channel() == Some(channel))
+            .copied()
+            .collect();
+        for s in sensors {
+            let record = if s.kind.numeric_readings() {
+                // Numeric reading (e.g. "humidity is 32"): affine map of level.
+                EventValue::Numeric(50.0 + 15.0 * level + rng.normal(0.0, 1.0))
+            } else {
+                let (on_word, off_word) = s.kind.state_words();
+                EventValue::State(if level > 0.5 { on_word } else { off_word }.to_string())
+            };
+            log.push(EventRecord {
+                time: t,
+                device: s,
+                attribute: "reading",
+                value: record,
+            });
+            let active = level > 0.5;
+            self.device_state.insert(s, active);
+        }
+    }
+
+    fn emit_periodic_reports(&self, t: u64, log: &mut Vec<EventRecord>, rng: &mut Rng) {
+        for (&device, &state) in &self.device_state {
+            if device.kind.is_sensor() && rng.bool(0.5) {
+                let value = if device.kind.numeric_readings() {
+                    let level = self
+                        .channel_level
+                        .get(&(
+                            device.kind.sense_channel().unwrap_or(Channel::Power),
+                            device.location,
+                        ))
+                        .copied()
+                        .unwrap_or(0.0);
+                    EventValue::Numeric(50.0 + 15.0 * level + rng.normal(0.0, 1.0))
+                } else {
+                    let (on_word, off_word) = device.kind.state_words();
+                    EventValue::State(if state { on_word } else { off_word }.to_string())
+                };
+                log.push(EventRecord {
+                    time: t,
+                    device,
+                    attribute: "periodic",
+                    value,
+                });
+            }
+        }
+    }
+
+    fn fire_rules(
+        &mut self,
+        t: u64,
+        config: &SimConfig,
+        log: &mut Vec<EventRecord>,
+        rng: &mut Rng,
+    ) {
+        for depth in 0..6u64 {
+            let mut fired = false;
+            let satisfied: Vec<usize> = (0..self.rules.len())
+                .filter(|&i| self.trigger_satisfied(&self.rules[i].trigger))
+                .collect();
+            for i in satisfied {
+                let actions = self.rules[i].actions.clone();
+                for cmd in actions {
+                    let current = self.device_state.get(&cmd.device).copied().unwrap_or(false);
+                    if current == cmd.activate {
+                        continue; // Already in the commanded state.
+                    }
+                    let ts = t + depth + 1;
+                    if rng.bool(config.error_prob) {
+                        // Execution error: logged, state unchanged (noise).
+                        log.push(EventRecord {
+                            time: ts,
+                            device: cmd.device,
+                            attribute: "command",
+                            value: EventValue::Error("execution failed".to_string()),
+                        });
+                        continue;
+                    }
+                    self.device_state.insert(cmd.device, cmd.activate);
+                    let (on_word, off_word) = cmd.device.kind.state_words();
+                    log.push(EventRecord {
+                        time: ts,
+                        device: cmd.device,
+                        attribute: "state",
+                        value: EventValue::State(
+                            if cmd.activate { on_word } else { off_word }.to_string(),
+                        ),
+                    });
+                    // Physical side effects propagate to channels, and the
+                    // sensors watching those channels report the change.
+                    for (ch, dir) in cmd.device.kind.channel_effects(cmd.activate) {
+                        let level = self
+                            .channel_level
+                            .entry((ch, cmd.device.location))
+                            .or_insert(0.0);
+                        *level = (*level + 0.7 * dir as f64).clamp(-3.0, 3.0);
+                        self.report_channel(ch, cmd.device.location, ts, log, rng);
+                    }
+                    fired = true;
+                }
+            }
+            if !fired {
+                break;
+            }
+        }
+    }
+
+    fn trigger_satisfied(&self, trigger: &Trigger) -> bool {
+        match *trigger {
+            Trigger::DeviceState { device, active } => {
+                self.device_state.get(&device).copied().unwrap_or(false) == active
+            }
+            Trigger::ChannelLevel {
+                channel,
+                location,
+                high,
+            } => {
+                // Platforms consume binary sensor states, so the engine uses
+                // the same threshold the sensors report with (level > 0.5 =
+                // "high"/"detected"; anything else reads as low).
+                let level = self
+                    .channel_level
+                    .get(&(channel, location))
+                    .copied()
+                    .unwrap_or(0.0);
+                if high {
+                    level > 0.5
+                } else {
+                    level <= 0.5
+                }
+            }
+            Trigger::Time { .. } | Trigger::Manual => false,
+        }
+    }
+
+    /// Current activation state of a device (for tests).
+    pub fn device_state(&self, device: Device) -> Option<bool> {
+        self.device_state.get(&device).copied()
+    }
+}
+
+/// Cleans a raw log (paper §III-A2): drops execution errors, deduplicates
+/// repeated readings that do not change device state, and discretizes numeric
+/// readings into logical levels with Jenks natural breaks.
+pub fn clean_log(raw: &[EventRecord]) -> Vec<CleanEvent> {
+    // Collect numeric readings per device for Jenks break computation.
+    let mut numeric: BTreeMap<Device, Vec<f64>> = BTreeMap::new();
+    for e in raw {
+        if let EventValue::Numeric(v) = e.value {
+            numeric.entry(e.device).or_default().push(v);
+        }
+    }
+    let breaks: BTreeMap<Device, Vec<f64>> = numeric
+        .iter()
+        .map(|(d, vals)| (*d, jenks::jenks_breaks(vals, 2)))
+        .collect();
+
+    let mut last_state: BTreeMap<Device, String> = BTreeMap::new();
+    let mut out = Vec::new();
+    for e in raw {
+        let state = match &e.value {
+            EventValue::Error(_) => continue, // Execution errors are noise.
+            EventValue::State(s) => s.clone(),
+            EventValue::Numeric(v) => {
+                let class =
+                    jenks::classify(*v, breaks.get(&e.device).map_or(&[], |b| b.as_slice()));
+                jenks::level_name(class, 2).to_string()
+            }
+        };
+        // Repetitive readings that do not change the state are noise.
+        if last_state.get(&e.device) == Some(&state) {
+            continue;
+        }
+        last_state.insert(e.device, state.clone());
+        let active = is_active_word(e.device.kind, &state);
+        out.push(CleanEvent {
+            time: e.time,
+            device: e.device,
+            state,
+            active,
+        });
+    }
+    out
+}
+
+/// Maps a state word to the device's activation polarity.
+fn is_active_word(kind: DeviceKind, word: &str) -> bool {
+    let (on_word, _) = kind.state_words();
+    word == on_word
+        || matches!(
+            word,
+            "high" | "on" | "active" | "open" | "detected" | "wet" | "unlocked"
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::{dev, Command, Platform};
+
+    fn smoke_rules() -> Vec<Rule> {
+        // smoke -> valve open; water flow -> valve close (the paper's intro example).
+        vec![
+            Rule {
+                id: 0,
+                platform: Platform::SmartThings,
+                trigger: Trigger::ChannelLevel {
+                    channel: Channel::Smoke,
+                    location: Location::Kitchen,
+                    high: true,
+                },
+                actions: vec![Command {
+                    device: dev(DeviceKind::WaterValve, Location::Kitchen),
+                    activate: true,
+                }],
+                text: String::new(),
+            },
+            Rule {
+                id: 1,
+                platform: Platform::SmartThings,
+                trigger: Trigger::ChannelLevel {
+                    channel: Channel::Water,
+                    location: Location::Kitchen,
+                    high: true,
+                },
+                actions: vec![Command {
+                    device: dev(DeviceKind::WaterValve, Location::Kitchen),
+                    activate: false,
+                }],
+                text: String::new(),
+            },
+        ]
+    }
+
+    #[test]
+    fn simulation_produces_ordered_log() {
+        let mut sim = HomeSimulator::new(smoke_rules());
+        let mut rng = Rng::seed_from_u64(1);
+        let log = sim.run(&SimConfig::short(), &mut rng);
+        assert!(!log.is_empty());
+        assert!(log.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn log_contains_noise_types() {
+        let mut rules = smoke_rules();
+        // Add a numeric-reading sensor to exercise Jenks cleaning.
+        rules.push(Rule {
+            id: 2,
+            platform: Platform::SmartThings,
+            trigger: Trigger::DeviceState {
+                device: dev(DeviceKind::LeakSensor, Location::Kitchen),
+                active: true,
+            },
+            actions: vec![Command {
+                device: dev(DeviceKind::Fan, Location::Kitchen),
+                activate: true,
+            }],
+            text: String::new(),
+        });
+        let mut sim = HomeSimulator::new(rules);
+        let mut rng = Rng::seed_from_u64(2);
+        let mut cfg = SimConfig::short();
+        cfg.duration = 60_000;
+        cfg.error_prob = 0.5;
+        let log = sim.run(&cfg, &mut rng);
+        assert!(
+            log.iter()
+                .any(|e| matches!(e.value, EventValue::Numeric(_))),
+            "no numeric readings"
+        );
+        assert!(
+            log.iter().any(|e| matches!(e.value, EventValue::Error(_))),
+            "no error noise"
+        );
+    }
+
+    #[test]
+    fn cleaner_removes_errors_and_duplicates() {
+        let d = dev(DeviceKind::Light, Location::Kitchen);
+        let raw = vec![
+            EventRecord {
+                time: 1,
+                device: d,
+                attribute: "state",
+                value: EventValue::State("on".into()),
+            },
+            EventRecord {
+                time: 2,
+                device: d,
+                attribute: "periodic",
+                value: EventValue::State("on".into()),
+            },
+            EventRecord {
+                time: 3,
+                device: d,
+                attribute: "command",
+                value: EventValue::Error("boom".into()),
+            },
+            EventRecord {
+                time: 4,
+                device: d,
+                attribute: "state",
+                value: EventValue::State("off".into()),
+            },
+            EventRecord {
+                time: 5,
+                device: d,
+                attribute: "periodic",
+                value: EventValue::State("off".into()),
+            },
+        ];
+        let clean = clean_log(&raw);
+        assert_eq!(clean.len(), 2);
+        assert_eq!(clean[0].state, "on");
+        assert!(clean[0].active);
+        assert_eq!(clean[1].state, "off");
+        assert!(!clean[1].active);
+    }
+
+    #[test]
+    fn cleaner_discretizes_numeric_readings() {
+        let d = dev(DeviceKind::LeakSensor, Location::Kitchen);
+        let raw: Vec<EventRecord> = [20.0, 21.0, 22.0, 80.0, 81.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| EventRecord {
+                time: i as u64,
+                device: d,
+                attribute: "reading",
+                value: EventValue::Numeric(v),
+            })
+            .collect();
+        let clean = clean_log(&raw);
+        // 20,21,22 -> "low" (dedup to one), 80,81 -> "high" (dedup to one).
+        assert_eq!(clean.len(), 2);
+        assert_eq!(clean[0].state, "low");
+        assert_eq!(clean[1].state, "high");
+    }
+
+    #[test]
+    fn rule_cascade_changes_device_state() {
+        let mut sim = HomeSimulator::new(smoke_rules());
+        let valve = dev(DeviceKind::WaterValve, Location::Kitchen);
+        assert_eq!(sim.device_state(valve), Some(false));
+        // Force smoke high and fire.
+        let mut rng = Rng::seed_from_u64(3);
+        let mut log = Vec::new();
+        sim.bump_channel(
+            Channel::Smoke,
+            Location::Kitchen,
+            2.0,
+            10,
+            &mut log,
+            &mut rng,
+        );
+        let cfg = SimConfig {
+            error_prob: 0.0,
+            ..SimConfig::short()
+        };
+        sim.fire_rules(10, &cfg, &mut log, &mut rng);
+        // Valve opened by rule 0, then its water side effect triggered rule 1 closing it.
+        let valve_events: Vec<&EventRecord> = log.iter().filter(|e| e.device == valve).collect();
+        assert!(
+            valve_events.len() >= 2,
+            "expected open then close, got {valve_events:?}"
+        );
+    }
+}

@@ -1,0 +1,406 @@
+//! The interaction graph (paper Definition 1): nodes are automation rules,
+//! directed edges are "action-trigger" correlations, node features are text
+//! embeddings, and the graph label says whether the interaction is vulnerable.
+
+use crate::rule::{Platform, Rule};
+use crate::vuln::VulnKind;
+use fexiot_tensor::matrix::Matrix;
+
+/// A node in an interaction graph: one automation rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleNode {
+    pub rule: Rule,
+    /// Feature vector (word/sentence embedding, platform-dependent dim).
+    pub features: Vec<f64>,
+}
+
+/// Label attached to a graph sample.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphLabel {
+    /// True if any interaction vulnerability is present.
+    pub vulnerable: bool,
+    /// The specific vulnerabilities found (empty for benign graphs).
+    pub kinds: Vec<VulnKind>,
+}
+
+impl GraphLabel {
+    pub fn benign() -> Self {
+        Self {
+            vulnerable: false,
+            kinds: Vec::new(),
+        }
+    }
+
+    pub fn vulnerable(kinds: Vec<VulnKind>) -> Self {
+        Self {
+            vulnerable: !kinds.is_empty(),
+            kinds,
+        }
+    }
+}
+
+/// A directed interaction graph over automation rules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InteractionGraph {
+    pub nodes: Vec<RuleNode>,
+    /// Directed edges `(from, to)`: `from`'s action can trigger `to`.
+    pub edges: Vec<(usize, usize)>,
+    /// Ground-truth label, if known.
+    pub label: Option<GraphLabel>,
+}
+
+impl InteractionGraph {
+    pub fn new(nodes: Vec<RuleNode>, edges: Vec<(usize, usize)>) -> Self {
+        let n = nodes.len();
+        for &(a, b) in &edges {
+            assert!(a < n && b < n, "edge ({a},{b}) out of bounds for {n} nodes");
+        }
+        Self {
+            nodes,
+            edges,
+            label: None,
+        }
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Outgoing neighbor lists.
+    pub fn out_neighbors(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.nodes.len()];
+        for &(a, b) in &self.edges {
+            adj[a].push(b);
+        }
+        adj
+    }
+
+    /// Undirected neighbor lists (used by connectivity checks and GNN
+    /// message passing, which treats interaction edges symmetrically).
+    pub fn undirected_neighbors(&self) -> Vec<Vec<usize>> {
+        let mut adj = vec![Vec::new(); self.nodes.len()];
+        for &(a, b) in &self.edges {
+            if a != b {
+                adj[a].push(b);
+                adj[b].push(a);
+            }
+        }
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+        }
+        adj
+    }
+
+    /// Symmetrically normalized adjacency with self-loops,
+    /// `D^{-1/2} (A + I) D^{-1/2}`, for GCN propagation.
+    pub fn normalized_adjacency(&self) -> Matrix {
+        let n = self.nodes.len();
+        let mut a = Matrix::eye(n);
+        for &(u, v) in &self.edges {
+            if u != v {
+                a[(u, v)] = 1.0;
+                a[(v, u)] = 1.0;
+            }
+        }
+        let mut deg_inv_sqrt = vec![0.0; n];
+        for i in 0..n {
+            let d: f64 = (0..n).map(|j| a[(i, j)]).sum();
+            deg_inv_sqrt[i] = if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 };
+        }
+        let mut out = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                out[(i, j)] = deg_inv_sqrt[i] * a[(i, j)] * deg_inv_sqrt[j];
+            }
+        }
+        out
+    }
+
+    /// GIN aggregation matrix `A + (1 + eps) I` (undirected, eps = 0 gives GIN-0).
+    pub fn gin_adjacency(&self, eps: f64) -> Matrix {
+        let n = self.nodes.len();
+        let mut a = Matrix::zeros(n, n);
+        for i in 0..n {
+            a[(i, i)] = 1.0 + eps;
+        }
+        for &(u, v) in &self.edges {
+            if u != v {
+                a[(u, v)] = 1.0;
+                a[(v, u)] = 1.0;
+            }
+        }
+        a
+    }
+
+    /// Node feature matrix; all nodes must share a feature dimension.
+    ///
+    /// # Panics
+    /// Panics if node feature dims differ (heterogeneous graphs must go
+    /// through per-type projection first).
+    pub fn feature_matrix(&self) -> Matrix {
+        assert!(!self.nodes.is_empty(), "feature_matrix: empty graph");
+        let d = self.nodes[0].features.len();
+        let rows: Vec<Vec<f64>> = self
+            .nodes
+            .iter()
+            .map(|n| {
+                assert_eq!(
+                    n.features.len(),
+                    d,
+                    "heterogeneous feature dims; project first"
+                );
+                n.features.clone()
+            })
+            .collect();
+        Matrix::from_rows(&rows)
+    }
+
+    /// True if every node's feature dim matches.
+    pub fn is_feature_homogeneous(&self) -> bool {
+        match self.nodes.first() {
+            Some(first) => {
+                let d = first.features.len();
+                self.nodes.iter().all(|n| n.features.len() == d)
+            }
+            None => true,
+        }
+    }
+
+    /// The set of platforms present in this graph.
+    pub fn platforms(&self) -> Vec<Platform> {
+        let mut ps: Vec<Platform> = self.nodes.iter().map(|n| n.rule.platform).collect();
+        ps.sort_unstable();
+        ps.dedup();
+        ps
+    }
+
+    /// True if the induced subgraph over `keep` (node indices) is connected
+    /// when edges are viewed as undirected. Empty sets are not connected.
+    pub fn is_connected_subset(&self, keep: &[usize]) -> bool {
+        if keep.is_empty() {
+            return false;
+        }
+        let in_set = |x: usize| keep.contains(&x);
+        let adj = self.undirected_neighbors();
+        let mut visited = vec![false; self.nodes.len()];
+        let mut stack = vec![keep[0]];
+        visited[keep[0]] = true;
+        let mut count = 0;
+        while let Some(u) = stack.pop() {
+            count += 1;
+            for &v in &adj[u] {
+                if in_set(v) && !visited[v] {
+                    visited[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        count == keep.len()
+    }
+
+    /// Number of connected components of the induced subgraph over `keep`
+    /// (undirected view). Zero for an empty set.
+    pub fn component_count_subset(&self, keep: &[usize]) -> usize {
+        if keep.is_empty() {
+            return 0;
+        }
+        let adj = self.undirected_neighbors();
+        let mut visited = vec![false; self.nodes.len()];
+        let in_set = |x: usize| keep.contains(&x);
+        let mut components = 0;
+        for &start in keep {
+            if visited[start] {
+                continue;
+            }
+            components += 1;
+            let mut stack = vec![start];
+            visited[start] = true;
+            while let Some(u) = stack.pop() {
+                for &v in &adj[u] {
+                    if in_set(v) && !visited[v] {
+                        visited[v] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+        }
+        components
+    }
+
+    /// Induced subgraph over the given node indices (preserving their order).
+    /// Edges are remapped; the label is dropped.
+    pub fn induced_subgraph(&self, keep: &[usize]) -> InteractionGraph {
+        let mut remap = vec![usize::MAX; self.nodes.len()];
+        for (new_idx, &old) in keep.iter().enumerate() {
+            remap[old] = new_idx;
+        }
+        let nodes: Vec<RuleNode> = keep.iter().map(|&i| self.nodes[i].clone()).collect();
+        let edges: Vec<(usize, usize)> = self
+            .edges
+            .iter()
+            .filter(|&&(a, b)| remap[a] != usize::MAX && remap[b] != usize::MAX)
+            .map(|&(a, b)| (remap[a], remap[b]))
+            .collect();
+        InteractionGraph::new(nodes, edges)
+    }
+
+    /// Nodes reachable from `start` following directed edges (incl. start).
+    pub fn reachable_from(&self, start: usize) -> Vec<usize> {
+        let adj = self.out_neighbors();
+        let mut visited = vec![false; self.nodes.len()];
+        let mut stack = vec![start];
+        visited[start] = true;
+        let mut out = Vec::new();
+        while let Some(u) = stack.pop() {
+            out.push(u);
+            for &v in &adj[u] {
+                if !visited[v] {
+                    visited[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// True if the directed graph contains a cycle.
+    pub fn has_cycle(&self) -> bool {
+        let n = self.nodes.len();
+        let adj = self.out_neighbors();
+        // 0 = unvisited, 1 = on stack, 2 = done.
+        let mut state = vec![0u8; n];
+        for start in 0..n {
+            if state[start] != 0 {
+                continue;
+            }
+            // Iterative DFS with explicit stack of (node, neighbor cursor).
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            state[start] = 1;
+            while let Some(&mut (u, ref mut cursor)) = stack.last_mut() {
+                if *cursor < adj[u].len() {
+                    let v = adj[u][*cursor];
+                    *cursor += 1;
+                    match state[v] {
+                        0 => {
+                            state[v] = 1;
+                            stack.push((v, 0));
+                        }
+                        1 => return true,
+                        _ => {}
+                    }
+                } else {
+                    state[u] = 2;
+                    stack.pop();
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::{DeviceKind as K, Location as L};
+    use crate::rule::{dev, Command, Trigger};
+
+    fn node(id: u32) -> RuleNode {
+        RuleNode {
+            rule: Rule {
+                id,
+                platform: Platform::Ifttt,
+                trigger: Trigger::Manual,
+                actions: vec![Command {
+                    device: dev(K::Light, L::Kitchen),
+                    activate: true,
+                }],
+                text: format!("rule {id}"),
+            },
+            features: vec![id as f64, 1.0],
+        }
+    }
+
+    fn chain(n: usize) -> InteractionGraph {
+        let nodes = (0..n).map(|i| node(i as u32)).collect();
+        let edges = (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        InteractionGraph::new(nodes, edges)
+    }
+
+    #[test]
+    fn normalized_adjacency_rows_are_finite_and_symmetric() {
+        let g = chain(4);
+        let a = g.normalized_adjacency();
+        assert!(a.is_finite());
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((a[(i, j)] - a[(j, i)]).abs() < 1e-12);
+            }
+        }
+        // Self-loops present.
+        assert!(a[(0, 0)] > 0.0);
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut g = chain(3);
+        assert!(!g.has_cycle());
+        g.edges.push((2, 0));
+        assert!(g.has_cycle());
+    }
+
+    #[test]
+    fn self_loop_is_a_cycle() {
+        let mut g = chain(2);
+        g.edges.push((1, 1));
+        assert!(g.has_cycle());
+    }
+
+    #[test]
+    fn reachability() {
+        let g = chain(4);
+        assert_eq!(g.reachable_from(1), vec![1, 2, 3]);
+        assert_eq!(g.reachable_from(3), vec![3]);
+    }
+
+    #[test]
+    fn connected_subset_checks() {
+        let g = chain(4);
+        assert!(g.is_connected_subset(&[0, 1, 2]));
+        assert!(!g.is_connected_subset(&[0, 2]));
+        assert!(!g.is_connected_subset(&[]));
+        assert!(g.is_connected_subset(&[2]));
+    }
+
+    #[test]
+    fn induced_subgraph_remaps_edges() {
+        let g = chain(4);
+        let sub = g.induced_subgraph(&[1, 2, 3]);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edges, vec![(0, 1), (1, 2)]);
+        assert_eq!(sub.nodes[0].rule.id, 1);
+    }
+
+    #[test]
+    fn feature_matrix_shape() {
+        let g = chain(3);
+        let x = g.feature_matrix();
+        assert_eq!(x.shape(), (3, 2));
+        assert_eq!(x[(2, 0)], 2.0);
+    }
+
+    #[test]
+    fn gin_adjacency_diagonal() {
+        let g = chain(3);
+        let a = g.gin_adjacency(0.5);
+        assert!((a[(0, 0)] - 1.5).abs() < 1e-12);
+        assert_eq!(a[(0, 1)], 1.0);
+        assert_eq!(a[(1, 0)], 1.0);
+        assert_eq!(a[(0, 2)], 0.0);
+    }
+}

@@ -1,0 +1,399 @@
+//! Online interaction graphs: fusing cleaned event logs with offline graphs
+//! (paper §III-A3). The offline graph carries the "trigger-action" logic; the
+//! event log contributes real-time device status, timing, and — crucially —
+//! *trigger consistency*: whether each rule's observed device transitions are
+//! explained by its trigger having fired shortly before. Log-tampering
+//! attacks (fake/stealthy commands, command failures, event losses) break
+//! this consistency, which is the signal the detection GNN uses for external
+//! vulnerabilities.
+
+use crate::builder::RUNTIME_FEATURE_DIMS;
+use crate::device::Device;
+use crate::events::CleanEvent;
+use crate::graph::{GraphLabel, InteractionGraph};
+use crate::rule::Trigger;
+use std::collections::BTreeMap;
+
+/// Seconds within which a trigger event "explains" a subsequent action.
+/// Seconds within which a trigger observation "explains" a subsequent
+/// action (fusion window for the consistency/completion features).
+pub const EXPLAIN_WINDOW: u64 = 120;
+
+/// Fuses a cleaned event log into an offline graph, producing the online
+/// graph. Per-node runtime block:
+/// `[status, sin(t), cos(t), trigger_consistency, event_rate, 1.0]`.
+pub fn fuse_online(offline: &InteractionGraph, log: &[CleanEvent]) -> InteractionGraph {
+    // Latest status and full event history per device.
+    let mut latest: BTreeMap<Device, (u64, bool)> = BTreeMap::new();
+    let mut per_device: BTreeMap<Device, Vec<&CleanEvent>> = BTreeMap::new();
+    for e in log {
+        let entry = latest.entry(e.device).or_insert((e.time, e.active));
+        if e.time >= entry.0 {
+            *entry = (e.time, e.active);
+        }
+        per_device.entry(e.device).or_default().push(e);
+    }
+
+    let all_rules: Vec<crate::rule::Rule> = offline.nodes.iter().map(|n| n.rule.clone()).collect();
+    let consistency: Vec<f64> = offline
+        .nodes
+        .iter()
+        .map(|n| device_consistency(&n.rule, &all_rules, log))
+        .collect();
+
+    let mut online = offline.clone();
+    for (i, node) in online.nodes.iter_mut().enumerate() {
+        let dims = node.features.len();
+        assert!(
+            dims >= RUNTIME_FEATURE_DIMS,
+            "node features missing runtime block"
+        );
+        let block = dims - RUNTIME_FEATURE_DIMS;
+
+        // Primary action device; fall back to the trigger device.
+        let device = node
+            .rule
+            .actions
+            .first()
+            .map(|c| c.device)
+            .or(match node.rule.trigger {
+                Trigger::DeviceState { device, .. } => Some(device),
+                _ => None,
+            });
+        let mut event_count = 0usize;
+        if let Some(d) = device {
+            if let Some(&(t, active)) = latest.get(&d) {
+                let phase = (t % 86_400) as f64 / 86_400.0 * std::f64::consts::TAU;
+                node.features[block] = if active { 1.0 } else { -1.0 };
+                node.features[block + 1] = phase.sin();
+                node.features[block + 2] = phase.cos();
+            }
+            event_count = per_device.get(&d).map_or(0, |v| v.len());
+        }
+        node.features[block + 3] = consistency[i];
+        node.features[block + 4] = trigger_completion(&node.rule, log);
+        node.features[block + 5] = (1.0 + event_count as f64).ln() / 5.0;
+        node.features[block + 6] = 1.0; // online flag
+    }
+    online
+}
+
+/// Fraction of the rule's action-device transitions that are explained by
+/// *some* rule in the home: a transition of device `d` to state `s` is
+/// legitimate if any deployed rule commands `(d, s)` and that rule's trigger
+/// was observable within [`EXPLAIN_WINDOW`] beforehand. Unexplained
+/// transitions are the signature of fake/stealthy commands. Returns 1.0 when
+/// the rule's devices never transition.
+pub fn device_consistency(
+    rule: &crate::rule::Rule,
+    all_rules: &[crate::rule::Rule],
+    log: &[CleanEvent],
+) -> f64 {
+    let action_devices: Vec<Device> = rule.actions.iter().map(|c| c.device).collect();
+    if action_devices.is_empty() {
+        return 1.0;
+    }
+    let mut total = 0usize;
+    let mut explained = 0usize;
+    for e in log {
+        if e.device.kind.is_sensor() || !action_devices.contains(&e.device) {
+            continue;
+        }
+        total += 1;
+        let ok = all_rules.iter().any(|r| {
+            r.actions
+                .iter()
+                .any(|c| c.device == e.device && c.activate == e.active)
+                && trigger_observable_before(r, log, e.time)
+        });
+        if ok {
+            explained += 1;
+        }
+    }
+    if total == 0 {
+        1.0
+    } else {
+        explained as f64 / total as f64
+    }
+}
+
+/// Back-compat single-rule view of [`device_consistency`].
+pub fn trigger_consistency(rule: &crate::rule::Rule, log: &[CleanEvent]) -> f64 {
+    device_consistency(rule, std::slice::from_ref(rule), log)
+}
+
+/// Trigger-to-action completion: each time the rule's trigger becomes
+/// observable in the log, did every commanded device reach its commanded
+/// state within [`EXPLAIN_WINDOW`]? Fake sensor events, stealthy commands,
+/// and command failures all lower this. Returns 1.0 when the trigger is
+/// never observed (including manual/time triggers).
+pub fn trigger_completion(rule: &crate::rule::Rule, log: &[CleanEvent]) -> f64 {
+    if rule.actions.is_empty() {
+        return 1.0;
+    }
+    // Trigger-satisfaction instants.
+    let instants: Vec<u64> = log
+        .iter()
+        .filter(|e| trigger_event_matches(rule, e))
+        .map(|e| e.time)
+        .collect();
+    if instants.is_empty() {
+        return 1.0;
+    }
+    // State of a device as of time `t` (last record at or before t).
+    let state_at = |device: Device, t: u64| -> Option<bool> {
+        log.iter()
+            .filter(|e| e.device == device && e.time <= t)
+            .max_by_key(|e| e.time)
+            .map(|e| e.active)
+    };
+    let mut checks = 0usize;
+    let mut satisfied = 0usize;
+    for &t in &instants {
+        for cmd in &rule.actions {
+            checks += 1;
+            // Completed if the device was already in the commanded state at
+            // trigger time, or transitioned into it at any point within the
+            // window (later rules may legitimately flip it again).
+            let already = state_at(cmd.device, t) == Some(cmd.activate);
+            let transitioned = log.iter().any(|f| {
+                f.device == cmd.device
+                    && f.active == cmd.activate
+                    && f.time > t
+                    && f.time <= t + EXPLAIN_WINDOW
+            });
+            if already || transitioned {
+                satisfied += 1;
+            }
+        }
+    }
+    satisfied as f64 / checks.max(1) as f64
+}
+
+/// Does this single event satisfy the rule's trigger predicate?
+fn trigger_event_matches(rule: &crate::rule::Rule, e: &CleanEvent) -> bool {
+    match rule.trigger {
+        Trigger::DeviceState { device, active } => e.device == device && e.active == active,
+        Trigger::ChannelLevel {
+            channel,
+            location,
+            high,
+        } => {
+            e.device.location == location
+                && e.device.kind.sense_channel() == Some(channel)
+                && e.active == high
+        }
+        Trigger::Time { .. } | Trigger::Manual => false,
+    }
+}
+
+/// Is the rule's trigger satisfied according to the log's last-known state at
+/// time `t`? Triggers are level-based (a rule fires while the light *is* on),
+/// so the check reads the most recent record at or before `t`, not only
+/// recent transitions.
+fn trigger_observable_before(rule: &crate::rule::Rule, log: &[CleanEvent], t: u64) -> bool {
+    match rule.trigger {
+        Trigger::DeviceState { device, active } => log
+            .iter()
+            .filter(|e| e.device == device && e.time <= t)
+            .max_by_key(|e| e.time)
+            // Devices start inactive: no record yet means "off".
+            .map_or(!active, |e| e.active == active),
+        Trigger::ChannelLevel {
+            channel,
+            location,
+            high,
+        } => log
+            .iter()
+            .filter(|e| {
+                e.device.location == location
+                    && e.device.kind.sense_channel() == Some(channel)
+                    && e.time <= t
+            })
+            .max_by_key(|e| e.time)
+            .is_some_and(|e| e.active == high),
+        // Manual/time triggers leave no log trace; treat as explained.
+        Trigger::Time { .. } | Trigger::Manual => true,
+    }
+}
+
+/// Marks a graph as carrying an external (attack-induced) vulnerability.
+/// External vulnerabilities are outside the six internal classes, so the
+/// label is vulnerable with no internal kind attached.
+pub fn mark_external_vulnerable(graph: &mut InteractionGraph) {
+    let kinds = graph
+        .label
+        .as_ref()
+        .map(|l| l.kinds.clone())
+        .unwrap_or_default();
+    graph.label = Some(GraphLabel {
+        vulnerable: true,
+        kinds,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{FeatureConfig, GraphBuilder};
+    use crate::corpus::{CorpusConfig, CorpusGenerator};
+    use crate::device::{Channel, DeviceKind, Location};
+    use crate::events::{clean_log, HomeSimulator, SimConfig};
+    use crate::rule::{dev, Command, Platform, Rule};
+    use fexiot_tensor::rng::Rng;
+
+    fn offline_graph(seed: u64) -> InteractionGraph {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut gen = CorpusGenerator::new();
+        let rules = gen.generate(&CorpusConfig::small(), &mut rng);
+        let index = crate::builder::CorpusIndex::build(rules);
+        let builder = GraphBuilder::new(FeatureConfig::small());
+        builder.sample_graph(&index, 6, &mut rng)
+    }
+
+    fn ev(time: u64, device: Device, active: bool) -> CleanEvent {
+        let (on, off) = device.kind.state_words();
+        CleanEvent {
+            time,
+            device,
+            state: if active { on } else { off }.to_string(),
+            active,
+        }
+    }
+
+    #[test]
+    fn fusion_sets_online_flag_everywhere() {
+        let g = offline_graph(1);
+        let online = fuse_online(&g, &[]);
+        for node in &online.nodes {
+            let d = node.features.len();
+            assert_eq!(node.features[d - 1], 1.0);
+        }
+    }
+
+    #[test]
+    fn fusion_writes_status_from_log() {
+        let g = offline_graph(2);
+        let rules: Vec<_> = g.nodes.iter().map(|n| n.rule.clone()).collect();
+        let mut sim = HomeSimulator::new(rules);
+        let mut rng = Rng::seed_from_u64(3);
+        let raw = sim.run(&SimConfig::short(), &mut rng);
+        let clean = clean_log(&raw);
+        let online = fuse_online(&g, &clean);
+        assert_eq!(online.edges, g.edges);
+        for node in &online.nodes {
+            let d = node.features.len();
+            let status = node.features[d - RUNTIME_FEATURE_DIMS];
+            assert!(status == 0.0 || status == 1.0 || status == -1.0);
+            let consistency = node.features[d - 4];
+            assert!((0.0..=1.0).contains(&consistency));
+            let completion = node.features[d - 3];
+            assert!((0.0..=1.0).contains(&completion));
+        }
+    }
+
+    #[test]
+    fn offline_features_unchanged_by_fusion() {
+        let g = offline_graph(4);
+        let online = fuse_online(&g, &[]);
+        for (a, b) in g.nodes.iter().zip(&online.nodes) {
+            let d = a.features.len();
+            assert_eq!(
+                &a.features[..d - RUNTIME_FEATURE_DIMS],
+                &b.features[..d - RUNTIME_FEATURE_DIMS]
+            );
+        }
+    }
+
+    #[test]
+    fn consistency_flags_unexplained_transitions() {
+        // Rule: motion (living room) -> light on. A light-on event WITHOUT a
+        // preceding motion event is unexplained (a fake command).
+        let light = dev(DeviceKind::Light, Location::LivingRoom);
+        let motion = dev(DeviceKind::MotionSensor, Location::LivingRoom);
+        let rule = Rule {
+            id: 0,
+            platform: Platform::SmartThings,
+            trigger: Trigger::ChannelLevel {
+                channel: Channel::Motion,
+                location: Location::LivingRoom,
+                high: true,
+            },
+            actions: vec![Command {
+                device: light,
+                activate: true,
+            }],
+            text: String::new(),
+        };
+        // Explained: motion then light.
+        let explained_log = vec![ev(10, motion, true), ev(20, light, true)];
+        assert_eq!(trigger_consistency(&rule, &explained_log), 1.0);
+        // Unexplained: light turns on with no motion in the window.
+        let fake_log = vec![ev(500, light, true)];
+        assert_eq!(trigger_consistency(&rule, &fake_log), 0.0);
+        // Mixed: the second light-on happens long after motion cleared.
+        let mixed: Vec<CleanEvent> = vec![
+            ev(10, motion, true),
+            ev(20, light, true),
+            ev(40, motion, false),
+            ev(5000, light, true),
+        ];
+        assert!((trigger_consistency(&rule, &mixed) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn completion_flags_missing_actions() {
+        // Rule: motion -> light on. Motion fires but the light never turns on
+        // (stealthy command / fake event): completion drops to 0.
+        let light = dev(DeviceKind::Light, Location::LivingRoom);
+        let motion = dev(DeviceKind::MotionSensor, Location::LivingRoom);
+        let rule = Rule {
+            id: 0,
+            platform: Platform::SmartThings,
+            trigger: Trigger::ChannelLevel {
+                channel: Channel::Motion,
+                location: Location::LivingRoom,
+                high: true,
+            },
+            actions: vec![Command {
+                device: light,
+                activate: true,
+            }],
+            text: String::new(),
+        };
+        let completed = vec![ev(10, motion, true), ev(20, light, true)];
+        assert_eq!(trigger_completion(&rule, &completed), 1.0);
+        let missing = vec![ev(10, motion, true)];
+        assert_eq!(trigger_completion(&rule, &missing), 0.0);
+        // Already in the commanded state counts as completed.
+        let pre_set = vec![ev(5, light, true), ev(10, motion, true)];
+        assert_eq!(trigger_completion(&rule, &pre_set), 1.0);
+        // Never-observed trigger defaults to 1.
+        assert_eq!(trigger_completion(&rule, &[]), 1.0);
+    }
+
+    #[test]
+    fn manual_triggers_are_always_consistent() {
+        let light = dev(DeviceKind::Light, Location::Kitchen);
+        let rule = Rule {
+            id: 0,
+            platform: Platform::AmazonAlexa,
+            trigger: Trigger::Manual,
+            actions: vec![Command {
+                device: light,
+                activate: true,
+            }],
+            text: String::new(),
+        };
+        let log = vec![ev(100, light, true)];
+        assert_eq!(trigger_consistency(&rule, &log), 1.0);
+    }
+
+    #[test]
+    fn external_mark_sets_vulnerable() {
+        let mut g = offline_graph(5);
+        g.label = Some(GraphLabel::benign());
+        mark_external_vulnerable(&mut g);
+        assert!(g.label.as_ref().unwrap().vulnerable);
+    }
+}

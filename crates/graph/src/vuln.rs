@@ -1,0 +1,529 @@
+//! Interaction-vulnerability model: the six classes from iRuler that the
+//! paper adopts (Definition 2), encoded as structural detectors over
+//! interaction graphs, plus injectors that plant each pattern into a graph.
+//!
+//! Operational definitions (u, v are rule nodes; "together" means they can
+//! execute in the same scenario — one reaches the other or both are reachable
+//! from a common ancestor):
+//!
+//! * **Action conflict** — sibling branches command the same device into
+//!   opposite states (neither node reaches the other).
+//! * **Action revert** — a downstream rule undoes an upstream rule's command
+//!   on the same device.
+//! * **Action loop** — a directed trigger cycle.
+//! * **Action duplicate** — two distinct rules that can execute together
+//!   issue the identical command.
+//! * **Condition block** — a rule forces a device into a state that makes
+//!   another rule's device-state trigger unsatisfiable: some rule commands the
+//!   opposite state and no rule in the graph can command the required state.
+//! * **Condition bypass** — a rule's trigger is satisfied by a *secondary*
+//!   physical side effect of another rule's command (the environmental
+//!   condition the trigger guards is bypassed by an unrelated device).
+
+use crate::device::{Channel, DeviceKind, Location};
+use crate::graph::InteractionGraph;
+use crate::rule::{dev, Command, Platform, Trigger};
+
+/// The six vulnerability classes (paper Definition 2, from iRuler).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum VulnKind {
+    ConditionBypass,
+    ConditionBlock,
+    ActionRevert,
+    ActionLoop,
+    ActionConflict,
+    ActionDuplicate,
+}
+
+impl VulnKind {
+    pub const ALL: [VulnKind; 6] = [
+        VulnKind::ConditionBypass,
+        VulnKind::ConditionBlock,
+        VulnKind::ActionRevert,
+        VulnKind::ActionLoop,
+        VulnKind::ActionConflict,
+        VulnKind::ActionDuplicate,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            VulnKind::ConditionBypass => "condition bypass",
+            VulnKind::ConditionBlock => "condition block",
+            VulnKind::ActionRevert => "action revert",
+            VulnKind::ActionLoop => "action loop",
+            VulnKind::ActionConflict => "action conflict",
+            VulnKind::ActionDuplicate => "action duplicate",
+        }
+    }
+}
+
+/// Structural vulnerability detector. This encodes the labeling procedure the
+/// paper's volunteers performed manually.
+pub fn detect_vulnerabilities(graph: &InteractionGraph) -> Vec<VulnKind> {
+    let n = graph.node_count();
+    let mut found = Vec::new();
+    if n == 0 {
+        return found;
+    }
+
+    if graph.has_cycle() {
+        found.push(VulnKind::ActionLoop);
+    }
+
+    // Reachability closure (directed).
+    let reach: Vec<Vec<bool>> = (0..n)
+        .map(|s| {
+            let r = graph.reachable_from(s);
+            let mut mask = vec![false; n];
+            for i in r {
+                mask[i] = true;
+            }
+            mask
+        })
+        .collect();
+    let together = |u: usize, v: usize| -> bool {
+        reach[u][v] || reach[v][u] || (0..n).any(|w| reach[w][u] && reach[w][v])
+    };
+
+    let mut conflict = false;
+    let mut revert = false;
+    let mut duplicate = false;
+    let mut block = false;
+
+    #[allow(clippy::needless_range_loop)] // u/v index the reachability closure
+    for u in 0..n {
+        for v in 0..n {
+            if u == v {
+                continue;
+            }
+            let ru = &graph.nodes[u].rule;
+            let rv = &graph.nodes[v].rule;
+            for cu in &ru.actions {
+                // Command-vs-command interactions.
+                for cv in &rv.actions {
+                    if cu.device != cv.device {
+                        continue;
+                    }
+                    if cu.activate != cv.activate {
+                        if reach[u][v] {
+                            // Downstream undo.
+                            revert = true;
+                        } else if !reach[v][u] && together(u, v) {
+                            conflict = true;
+                        }
+                    } else if u < v && together(u, v) {
+                        duplicate = true;
+                    }
+                }
+                // Command-vs-trigger blocking: `u` drives the device into the
+                // wrong state and nothing in this graph can drive it right.
+                if let Trigger::DeviceState { device, active } = rv.trigger {
+                    if cu.device == device && cu.activate != active {
+                        let satisfiable = (0..n).any(|w| {
+                            w != v
+                                && graph.nodes[w]
+                                    .rule
+                                    .actions
+                                    .iter()
+                                    .any(|c| c.device == device && c.activate == active)
+                        });
+                        if !satisfiable {
+                            block = true;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Condition bypass: an edge realized through a secondary channel effect
+    // on an environmental channel. The ubiquitous Power side effect is
+    // excluded — almost every actuator draws power, so counting it would
+    // label nearly every graph (verified empirically during corpus tuning).
+    let mut bypass = false;
+    for &(u, v) in &graph.edges {
+        let ru = &graph.nodes[u].rule;
+        let rv = &graph.nodes[v].rule;
+        if let Trigger::ChannelLevel {
+            channel,
+            location,
+            high,
+        } = rv.trigger
+        {
+            if channel == Channel::Power {
+                continue;
+            }
+            let want: i8 = if high { 1 } else { -1 };
+            // Explicitly satisfied by a primary effect?
+            let mut primary = false;
+            let mut secondary = false;
+            for c in &ru.actions {
+                if c.device.location != location {
+                    continue;
+                }
+                for (idx, &(ch, dir)) in c.channel_effects().iter().enumerate() {
+                    if ch == channel && dir == want {
+                        if idx == 0 {
+                            primary = true;
+                        } else {
+                            secondary = true;
+                        }
+                    }
+                }
+            }
+            if secondary && !primary {
+                bypass = true;
+            }
+        }
+    }
+
+    if bypass {
+        found.push(VulnKind::ConditionBypass);
+    }
+    if block {
+        found.push(VulnKind::ConditionBlock);
+    }
+    if revert {
+        found.push(VulnKind::ActionRevert);
+    }
+    if conflict {
+        found.push(VulnKind::ActionConflict);
+    }
+    if duplicate {
+        found.push(VulnKind::ActionDuplicate);
+    }
+    found.sort_unstable();
+    found.dedup();
+    found
+}
+
+/// Builds the structured rules that realize one vulnerability pattern.
+/// Returned as (rules, required-edge-hints); the graph builder recomputes
+/// edges from semantics, so the hints are only used in tests.
+pub struct VulnInjector;
+
+impl VulnInjector {
+    /// Constructs a minimal rule set exhibiting `kind`. `id_base` seeds the
+    /// rule ids; `platform` tags every rule.
+    pub fn pattern_rules(
+        kind: VulnKind,
+        id_base: u32,
+        platform: Platform,
+    ) -> Vec<crate::rule::Rule> {
+        use crate::rule::Rule;
+        let mk = |id: u32, trigger: Trigger, actions: Vec<Command>| {
+            let text = crate::corpus::render_text(platform, &trigger, &actions);
+            Rule {
+                id,
+                platform,
+                trigger,
+                actions,
+                text,
+            }
+        };
+        let light = dev(DeviceKind::Light, Location::LivingRoom);
+        let valve = dev(DeviceKind::WaterValve, Location::Kitchen);
+        let fan = dev(DeviceKind::Fan, Location::Kitchen);
+        let ac = dev(DeviceKind::AirConditioner, Location::Bedroom);
+
+        match kind {
+            VulnKind::ActionConflict => vec![
+                // w triggers both u and v; u opens the valve, v closes it.
+                mk(
+                    id_base,
+                    Trigger::ChannelLevel {
+                        channel: Channel::Smoke,
+                        location: Location::Kitchen,
+                        high: true,
+                    },
+                    vec![Command {
+                        device: light,
+                        activate: true,
+                    }],
+                ),
+                mk(
+                    id_base + 1,
+                    Trigger::DeviceState {
+                        device: light,
+                        active: true,
+                    },
+                    vec![Command {
+                        device: valve,
+                        activate: true,
+                    }],
+                ),
+                mk(
+                    id_base + 2,
+                    Trigger::DeviceState {
+                        device: light,
+                        active: true,
+                    },
+                    vec![Command {
+                        device: valve,
+                        activate: false,
+                    }],
+                ),
+            ],
+            VulnKind::ActionRevert => vec![
+                mk(
+                    id_base,
+                    Trigger::ChannelLevel {
+                        channel: Channel::Smoke,
+                        location: Location::Kitchen,
+                        high: true,
+                    },
+                    vec![Command {
+                        device: valve,
+                        activate: true,
+                    }],
+                ),
+                // Triggered by the valve opening (water flow), closes the valve.
+                mk(
+                    id_base + 1,
+                    Trigger::ChannelLevel {
+                        channel: Channel::Water,
+                        location: Location::Kitchen,
+                        high: true,
+                    },
+                    vec![Command {
+                        device: valve,
+                        activate: false,
+                    }],
+                ),
+            ],
+            VulnKind::ActionLoop => vec![
+                mk(
+                    id_base,
+                    Trigger::DeviceState {
+                        device: fan,
+                        active: true,
+                    },
+                    vec![Command {
+                        device: light,
+                        activate: true,
+                    }],
+                ),
+                mk(
+                    id_base + 1,
+                    Trigger::DeviceState {
+                        device: light,
+                        active: true,
+                    },
+                    vec![Command {
+                        device: fan,
+                        activate: true,
+                    }],
+                ),
+            ],
+            VulnKind::ActionDuplicate => vec![
+                mk(
+                    id_base,
+                    Trigger::ChannelLevel {
+                        channel: Channel::Motion,
+                        location: Location::LivingRoom,
+                        high: true,
+                    },
+                    vec![Command {
+                        device: light,
+                        activate: true,
+                    }],
+                ),
+                mk(
+                    id_base + 1,
+                    Trigger::DeviceState {
+                        device: light,
+                        active: true,
+                    },
+                    vec![Command {
+                        device: fan,
+                        activate: true,
+                    }],
+                ),
+                mk(
+                    id_base + 2,
+                    Trigger::DeviceState {
+                        device: light,
+                        active: true,
+                    },
+                    vec![Command {
+                        device: fan,
+                        activate: true,
+                    }],
+                ),
+            ],
+            VulnKind::ConditionBlock => vec![
+                mk(
+                    id_base,
+                    Trigger::ChannelLevel {
+                        channel: Channel::Motion,
+                        location: Location::LivingRoom,
+                        high: true,
+                    },
+                    vec![
+                        Command {
+                            device: light,
+                            activate: true,
+                        },
+                        Command {
+                            device: fan,
+                            activate: false,
+                        },
+                    ],
+                ),
+                // Waits for the fan to be ON, but the sibling command forces it off.
+                mk(
+                    id_base + 1,
+                    Trigger::DeviceState {
+                        device: light,
+                        active: true,
+                    },
+                    vec![Command {
+                        device: valve,
+                        activate: true,
+                    }],
+                ),
+                mk(
+                    id_base + 2,
+                    Trigger::DeviceState {
+                        device: fan,
+                        active: true,
+                    },
+                    vec![Command {
+                        device: valve,
+                        activate: false,
+                    }],
+                ),
+            ],
+            VulnKind::ConditionBypass => vec![
+                // AC's *secondary* humidity effect satisfies the humidity-low trigger.
+                mk(
+                    id_base,
+                    Trigger::Manual,
+                    vec![Command {
+                        device: ac,
+                        activate: true,
+                    }],
+                ),
+                mk(
+                    id_base + 1,
+                    Trigger::ChannelLevel {
+                        channel: Channel::Humidity,
+                        location: Location::Bedroom,
+                        high: false,
+                    },
+                    vec![Command {
+                        device: dev(DeviceKind::Humidifier, Location::Bedroom),
+                        activate: true,
+                    }],
+                ),
+            ],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{InteractionGraph, RuleNode};
+
+    /// Builds a graph from rules with edges derived from ground-truth semantics.
+    fn graph_from_rules(rules: Vec<crate::rule::Rule>) -> InteractionGraph {
+        let n = rules.len();
+        let mut edges = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                if i != j && rules[i].can_trigger(&rules[j]) {
+                    edges.push((i, j));
+                }
+            }
+        }
+        let nodes = rules
+            .into_iter()
+            .map(|rule| RuleNode {
+                rule,
+                features: vec![0.0],
+            })
+            .collect();
+        InteractionGraph::new(nodes, edges)
+    }
+
+    #[test]
+    fn each_injected_pattern_is_detected() {
+        for kind in VulnKind::ALL {
+            let rules = VulnInjector::pattern_rules(kind, 0, Platform::Ifttt);
+            let g = graph_from_rules(rules);
+            let found = detect_vulnerabilities(&g);
+            assert!(
+                found.contains(&kind),
+                "{kind:?} not detected; found {found:?}, edges {:?}",
+                g.edges
+            );
+        }
+    }
+
+    #[test]
+    fn single_rule_graph_is_benign() {
+        let rules = vec![crate::rule::Rule {
+            id: 0,
+            platform: Platform::Ifttt,
+            trigger: Trigger::Manual,
+            actions: vec![Command {
+                device: dev(DeviceKind::Light, Location::Kitchen),
+                activate: true,
+            }],
+            text: String::new(),
+        }];
+        let g = graph_from_rules(rules);
+        assert!(detect_vulnerabilities(&g).is_empty());
+    }
+
+    #[test]
+    fn disjoint_opposite_commands_are_not_conflict() {
+        // Two rules with opposite commands but no shared ancestor and no path.
+        let light = dev(DeviceKind::Light, Location::Kitchen);
+        let mk = |id, activate| crate::rule::Rule {
+            id,
+            platform: Platform::Ifttt,
+            trigger: Trigger::Time { hour: id as u8 },
+            actions: vec![Command {
+                device: light,
+                activate,
+            }],
+            text: String::new(),
+        };
+        let g = graph_from_rules(vec![mk(1, true), mk(2, false)]);
+        let found = detect_vulnerabilities(&g);
+        assert!(!found.contains(&VulnKind::ActionConflict), "{found:?}");
+    }
+
+    #[test]
+    fn loop_pattern_has_cycle() {
+        let rules = VulnInjector::pattern_rules(VulnKind::ActionLoop, 0, Platform::Ifttt);
+        let g = graph_from_rules(rules);
+        assert!(g.has_cycle());
+    }
+
+    #[test]
+    fn revert_requires_downstream_direction() {
+        // The revert pattern: opening the valve triggers its own closing.
+        let rules = VulnInjector::pattern_rules(VulnKind::ActionRevert, 0, Platform::Ifttt);
+        let g = graph_from_rules(rules);
+        assert!(
+            g.edges.contains(&(0, 1)),
+            "valve-open must trigger the water rule"
+        );
+        let found = detect_vulnerabilities(&g);
+        assert!(found.contains(&VulnKind::ActionRevert));
+    }
+
+    #[test]
+    fn bypass_needs_secondary_effect() {
+        let rules = VulnInjector::pattern_rules(VulnKind::ConditionBypass, 0, Platform::Ifttt);
+        let g = graph_from_rules(rules);
+        assert!(
+            g.edges.contains(&(0, 1)),
+            "AC side effect must create the edge"
+        );
+        assert!(detect_vulnerabilities(&g).contains(&VulnKind::ConditionBypass));
+    }
+}

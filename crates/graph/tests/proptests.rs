@@ -1,0 +1,109 @@
+//! Property tests for the graph substrate: corpus/parse round-trips, event
+//! cleaner invariants, attack mutator sanity, and graph-structure laws.
+
+use fexiot_graph::attacks::{apply_attack, AttackKind};
+use fexiot_graph::corpus::{CorpusConfig, CorpusGenerator};
+use fexiot_graph::events::{clean_log, EventValue, HomeSimulator, SimConfig};
+use fexiot_graph::{CorpusIndex, FeatureConfig, GraphBuilder};
+use fexiot_nlp::{parse_rule, Lexicon};
+use fexiot_tensor::Rng;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn rendered_rules_parse_to_their_action_devices(seed in 0u64..300) {
+        // The NLP pipeline must recover the commanded device word from every
+        // platform's rendering — that is the cross-modality fusion contract.
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut gen = CorpusGenerator::new();
+        let mut cfg = CorpusConfig::small();
+        cfg.rules_per_platform.iter_mut().for_each(|(_, n)| *n = 4);
+        let rules = gen.generate(&cfg, &mut rng);
+        let lex = Lexicon::new();
+        for rule in &rules {
+            let parse = parse_rule(&rule.text, &lex);
+            for cmd in &rule.actions {
+                // The device's head word (last token of the lexicon word).
+                let head = cmd.device.kind.word().split(' ').next_back().unwrap().to_string();
+                let merged = cmd.device.kind.word().replace(' ', "_");
+                // A location can merge with the head into a collocation
+                // ("garage door" -> garage_door), so suffix matches count.
+                let matches = |t: &String| t == &head || t == &merged || t.ends_with(&format!("_{head}"));
+                let found = parse.action.objects.iter().any(matches)
+                    || parse.action.tokens.iter().any(matches);
+                prop_assert!(
+                    found,
+                    "device {:?} not recovered from '{}' (objects {:?})",
+                    cmd.device.kind,
+                    rule.text,
+                    parse.action.objects
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cleaner_output_has_no_noise(seed in 0u64..200) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut gen = CorpusGenerator::new();
+        let rules = gen.generate(&CorpusConfig::ifttt_only(20), &mut rng);
+        let mut sim = HomeSimulator::new(rules);
+        let mut cfg = SimConfig::short();
+        cfg.error_prob = 0.2;
+        let raw = sim.run(&cfg, &mut rng);
+        let clean = clean_log(&raw);
+        // No record corresponds to an execution error.
+        prop_assert!(raw.iter().filter(|e| matches!(e.value, EventValue::Error(_))).count() == 0
+            || clean.len() < raw.len());
+        // Per device, consecutive cleaned states always differ (dedup holds).
+        for d in clean.iter().map(|e| e.device).collect::<std::collections::BTreeSet<_>>() {
+            let states: Vec<&str> =
+                clean.iter().filter(|e| e.device == d).map(|e| e.state.as_str()).collect();
+            prop_assert!(states.windows(2).all(|w| w[0] != w[1]), "repeated state for {d:?}");
+        }
+        // Time-ordered.
+        prop_assert!(clean.windows(2).all(|w| w[0].time <= w[1].time));
+    }
+
+    #[test]
+    fn attacks_preserve_time_order_and_never_panic(seed in 0u64..200, intensity in 0.05f64..0.9) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut gen = CorpusGenerator::new();
+        let rules = gen.generate(&CorpusConfig::ifttt_only(15), &mut rng);
+        let mut sim = HomeSimulator::new(rules);
+        let raw = sim.run(&SimConfig::short(), &mut rng);
+        for kind in AttackKind::ALL {
+            let attacked = apply_attack(kind, &raw, intensity, &mut rng);
+            prop_assert!(attacked.windows(2).all(|w| w[0].time <= w[1].time), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn sampled_graph_edges_match_ground_truth(seed in 0u64..200, size in 2usize..10) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut gen = CorpusGenerator::new();
+        let rules = gen.generate(&CorpusConfig::ifttt_only(60), &mut rng);
+        let index = CorpusIndex::build(rules);
+        let builder = GraphBuilder::new(FeatureConfig::small());
+        let g = builder.sample_graph(&index, size, &mut rng);
+        // Every edge must be justified by `can_trigger`, and every justified
+        // pair must be an edge (the builder is exact, not approximate).
+        for i in 0..g.node_count() {
+            for j in 0..g.node_count() {
+                let should = i != j && g.nodes[i].rule.can_trigger(&g.nodes[j].rule);
+                let has = g.edges.contains(&(i, j));
+                prop_assert_eq!(should, has, "edge ({}, {}) mismatch", i, j);
+            }
+        }
+        // Node features are finite and platform-dimensioned.
+        for n in &g.nodes {
+            prop_assert!(n.features.iter().all(|v| v.is_finite()));
+            prop_assert_eq!(
+                n.features.len(),
+                builder.config().node_dim(n.rule.platform)
+            );
+        }
+    }
+}

@@ -1,0 +1,194 @@
+//! DeepLog (Du et al., CCS 2017) baseline: event logs as a language, an LSTM
+//! trained on normal sequences, and anomaly flags when the observed next
+//! event is not among the model's top-k predictions (paper Table II).
+
+use crate::lstm::Lstm;
+use fexiot_tensor::rng::Rng;
+use std::collections::HashMap;
+
+/// DeepLog hyperparameters.
+#[derive(Debug, Clone)]
+pub struct DeepLogConfig {
+    pub hidden_dim: usize,
+    pub top_k: usize,
+    pub epochs: usize,
+    pub lr: f64,
+    /// A sequence is anomalous if more than this fraction of its events miss
+    /// the top-k prediction set.
+    pub anomaly_fraction: f64,
+    pub seed: u64,
+}
+
+impl Default for DeepLogConfig {
+    fn default() -> Self {
+        Self {
+            hidden_dim: 24,
+            top_k: 3,
+            epochs: 30,
+            lr: 0.02,
+            anomaly_fraction: 0.25,
+            seed: 0,
+        }
+    }
+}
+
+/// Trained DeepLog detector over string event templates.
+pub struct DeepLog {
+    vocab: HashMap<String, usize>,
+    model: Lstm,
+    config: DeepLogConfig,
+}
+
+impl DeepLog {
+    /// Trains on *normal* template sequences (unsupervised w.r.t. anomalies).
+    pub fn fit(normal_sequences: &[Vec<String>], config: DeepLogConfig) -> Self {
+        // Build the template vocabulary (+1 slot for unseen templates).
+        let mut vocab: HashMap<String, usize> = HashMap::new();
+        for seq in normal_sequences {
+            for tpl in seq {
+                let next = vocab.len();
+                vocab.entry(tpl.clone()).or_insert(next);
+            }
+        }
+        let unk = vocab.len();
+        let vocab_size = vocab.len() + 1;
+
+        let mut rng = Rng::seed_from_u64(config.seed);
+        let mut model = Lstm::new(vocab_size, config.hidden_dim, vocab_size, &mut rng);
+
+        let encode = |tpl: &String| *vocab.get(tpl).unwrap_or(&unk);
+        let mut inputs = Vec::new();
+        let mut targets = Vec::new();
+        for seq in normal_sequences {
+            if seq.len() < 2 {
+                continue;
+            }
+            let ids: Vec<usize> = seq.iter().map(encode).collect();
+            inputs.push(
+                ids[..ids.len() - 1]
+                    .iter()
+                    .map(|&t| one_hot(t, vocab_size))
+                    .collect(),
+            );
+            targets.push(ids[1..].to_vec());
+        }
+        if !inputs.is_empty() {
+            model.fit_next_step(&inputs, &targets, config.epochs, config.lr);
+        }
+        Self {
+            vocab,
+            model,
+            config,
+        }
+    }
+
+    fn encode(&self, tpl: &str) -> usize {
+        self.vocab.get(tpl).copied().unwrap_or(self.vocab.len())
+    }
+
+    /// Fraction of events whose observed template missed the top-k predictions.
+    pub fn miss_rate(&self, seq: &[String]) -> f64 {
+        if seq.len() < 2 {
+            return 0.0;
+        }
+        let vocab_size = self.vocab.len() + 1;
+        let ids: Vec<usize> = seq.iter().map(|t| self.encode(t)).collect();
+        let inputs: Vec<Vec<f64>> = ids[..ids.len() - 1]
+            .iter()
+            .map(|&t| one_hot(t, vocab_size))
+            .collect();
+        let probs = self.model.predict_next_probs(&inputs);
+        let mut misses = 0usize;
+        for (p, &actual) in probs.iter().zip(&ids[1..]) {
+            let mut ranked: Vec<usize> = (0..p.len()).collect();
+            ranked.sort_by(|&a, &b| p[b].partial_cmp(&p[a]).unwrap_or(std::cmp::Ordering::Equal));
+            // top-k must stay below the vocabulary size or nothing can miss.
+            let k = self.config.top_k.min(ranked.len().saturating_sub(1)).max(1);
+            if !ranked[..k].contains(&actual) {
+                misses += 1;
+            }
+        }
+        misses as f64 / (ids.len() - 1) as f64
+    }
+
+    /// Flags a sequence as anomalous (1) or normal (0).
+    pub fn predict(&self, seq: &[String]) -> usize {
+        usize::from(self.miss_rate(seq) > self.config.anomaly_fraction)
+    }
+}
+
+fn one_hot(i: usize, n: usize) -> Vec<f64> {
+    let mut v = vec![0.0; n];
+    v[i.min(n - 1)] = 1.0;
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cyclic(templates: &[&str], len: usize) -> Vec<String> {
+        (0..len)
+            .map(|i| templates[i % templates.len()].to_string())
+            .collect()
+    }
+
+    #[test]
+    fn normal_pattern_accepted_broken_pattern_flagged() {
+        let normal: Vec<Vec<String>> = (0..4)
+            .map(|_| cyclic(&["motion on", "light on", "motion off", "light off"], 24))
+            .collect();
+        let detector = DeepLog::fit(
+            &normal,
+            DeepLogConfig {
+                epochs: 60,
+                ..Default::default()
+            },
+        );
+
+        let good = cyclic(&["motion on", "light on", "motion off", "light off"], 16);
+        assert_eq!(
+            detector.predict(&good),
+            0,
+            "miss rate {}",
+            detector.miss_rate(&good)
+        );
+
+        // Shuffle order and inject unknown templates: pattern broken.
+        let bad = cyclic(&["light off", "door open", "motion on", "valve open"], 16);
+        assert_eq!(
+            detector.predict(&bad),
+            1,
+            "miss rate {}",
+            detector.miss_rate(&bad)
+        );
+    }
+
+    #[test]
+    fn unknown_templates_count_as_misses() {
+        let normal = vec![cyclic(&["a", "b"], 12)];
+        let detector = DeepLog::fit(
+            &normal,
+            DeepLogConfig {
+                epochs: 40,
+                ..Default::default()
+            },
+        );
+        let unknowns = cyclic(&["x", "y", "z"], 9);
+        assert!(detector.miss_rate(&unknowns) > 0.4);
+    }
+
+    #[test]
+    fn short_sequences_are_normal_by_default() {
+        let normal = vec![cyclic(&["a", "b"], 12)];
+        let detector = DeepLog::fit(
+            &normal,
+            DeepLogConfig {
+                epochs: 5,
+                ..Default::default()
+            },
+        );
+        assert_eq!(detector.predict(&["a".to_string()]), 0);
+        assert_eq!(detector.predict(&[]), 0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Random forest classifier: bootstrap bagging + random feature subspaces
+//! over CART trees (the Scikit-learn `RandomForestClassifier` stand-in,
+//! paper Fig. 3).
+
+use crate::tree::{DecisionTree, TreeConfig};
+use fexiot_tensor::matrix::Matrix;
+use fexiot_tensor::rng::Rng;
+
+/// Random-forest hyperparameters.
+#[derive(Debug, Clone)]
+pub struct ForestConfig {
+    pub trees: usize,
+    pub max_depth: usize,
+    /// Features sampled per split; `0` = sqrt(d).
+    pub max_features: usize,
+    pub seed: u64,
+}
+
+impl Default for ForestConfig {
+    fn default() -> Self {
+        Self {
+            trees: 50,
+            max_depth: 12,
+            max_features: 0,
+            seed: 0,
+        }
+    }
+}
+
+/// A trained random forest.
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+    classes: usize,
+}
+
+impl RandomForest {
+    pub fn fit(x: &Matrix, y: &[usize], classes: usize, config: ForestConfig) -> Self {
+        assert!(x.rows() > 0, "forest: empty training set");
+        assert_eq!(x.rows(), y.len(), "forest: label count mismatch");
+        let mut rng = Rng::seed_from_u64(config.seed);
+        let max_features = if config.max_features == 0 {
+            (x.cols() as f64).sqrt().ceil() as usize
+        } else {
+            config.max_features
+        };
+        let tree_config = TreeConfig {
+            max_depth: config.max_depth,
+            min_samples_split: 2,
+            max_features,
+        };
+        let n = x.rows();
+        let trees = (0..config.trees)
+            .map(|_| {
+                // Bootstrap sample (with replacement).
+                let idx: Vec<usize> = (0..n).map(|_| rng.usize(n)).collect();
+                let xb = x.select_rows(&idx);
+                let yb: Vec<usize> = idx.iter().map(|&i| y[i]).collect();
+                DecisionTree::fit_classifier(&xb, &yb, classes, tree_config, &mut rng)
+            })
+            .collect();
+        Self { trees, classes }
+    }
+
+    /// Soft voting: mean of per-tree leaf distributions.
+    pub fn predict_proba(&self, x: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), self.classes);
+        for tree in &self.trees {
+            for r in 0..x.rows() {
+                let p = tree.predict_proba_row(x.row(r));
+                for (c, &v) in p.iter().enumerate() {
+                    out[(r, c)] += v;
+                }
+            }
+        }
+        out.scale(1.0 / self.trees.len().max(1) as f64)
+    }
+
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        let p = self.predict_proba(x);
+        (0..p.rows()).map(|r| p.argmax_row(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy_blobs(n: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let c = i % 2;
+            rows.push(vec![
+                c as f64 * 2.0 + rng.normal(0.0, 0.6),
+                c as f64 * -1.5 + rng.normal(0.0, 0.6),
+                rng.normal(0.0, 1.0), // pure-noise feature
+            ]);
+            labels.push(c);
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn classifies_blobs_with_noise_feature() {
+        let (x, y) = noisy_blobs(300, 1);
+        let (xt, yt) = noisy_blobs(100, 2);
+        let f = RandomForest::fit(
+            &x,
+            &y,
+            2,
+            ForestConfig {
+                trees: 30,
+                ..Default::default()
+            },
+        );
+        let preds = f.predict(&xt);
+        let acc = preds.iter().zip(&yt).filter(|(p, t)| p == t).count() as f64 / yt.len() as f64;
+        assert!(acc > 0.9, "forest accuracy {acc}");
+    }
+
+    #[test]
+    fn proba_rows_are_distributions() {
+        let (x, y) = noisy_blobs(100, 3);
+        let f = RandomForest::fit(
+            &x,
+            &y,
+            2,
+            ForestConfig {
+                trees: 10,
+                ..Default::default()
+            },
+        );
+        let p = f.predict_proba(&x);
+        for r in 0..p.rows() {
+            let s: f64 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "row {r} sums to {s}");
+            assert!(p.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (x, y) = noisy_blobs(80, 4);
+        let cfg = ForestConfig {
+            trees: 5,
+            seed: 9,
+            ..Default::default()
+        };
+        let a = RandomForest::fit(&x, &y, 2, cfg.clone()).predict(&x);
+        let b = RandomForest::fit(&x, &y, 2, cfg).predict(&x);
+        assert_eq!(a, b);
+    }
+}

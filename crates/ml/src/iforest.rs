@@ -1,0 +1,252 @@
+//! Isolation Forest anomaly detection (Liu, Ting & Zhou, 2008) — the
+//! density-based baseline of the paper's Table II system comparison.
+
+use fexiot_tensor::matrix::Matrix;
+use fexiot_tensor::rng::Rng;
+
+/// Isolation-forest hyperparameters.
+#[derive(Debug, Clone)]
+pub struct IForestConfig {
+    pub trees: usize,
+    pub sample_size: usize,
+    pub seed: u64,
+}
+
+impl Default for IForestConfig {
+    fn default() -> Self {
+        Self {
+            trees: 100,
+            sample_size: 256,
+            seed: 0,
+        }
+    }
+}
+
+enum INode {
+    Leaf {
+        size: usize,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+struct ITree {
+    nodes: Vec<INode>,
+    root: usize,
+}
+
+impl ITree {
+    fn build(
+        x: &Matrix,
+        idx: &[usize],
+        depth: usize,
+        max_depth: usize,
+        rng: &mut Rng,
+    ) -> (Vec<INode>, usize) {
+        let mut nodes = Vec::new();
+        let root = Self::grow(x, idx, depth, max_depth, rng, &mut nodes);
+        (nodes, root)
+    }
+
+    fn grow(
+        x: &Matrix,
+        idx: &[usize],
+        depth: usize,
+        max_depth: usize,
+        rng: &mut Rng,
+        nodes: &mut Vec<INode>,
+    ) -> usize {
+        if depth >= max_depth || idx.len() <= 1 {
+            nodes.push(INode::Leaf { size: idx.len() });
+            return nodes.len() - 1;
+        }
+        // Random feature with a non-degenerate range.
+        let d = x.cols();
+        let mut feature = None;
+        for _ in 0..d.max(4) {
+            let f = rng.usize(d);
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for &i in idx {
+                lo = lo.min(x[(i, f)]);
+                hi = hi.max(x[(i, f)]);
+            }
+            if hi - lo > 1e-12 {
+                feature = Some((f, lo, hi));
+                break;
+            }
+        }
+        let Some((f, lo, hi)) = feature else {
+            nodes.push(INode::Leaf { size: idx.len() });
+            return nodes.len() - 1;
+        };
+        let threshold = rng.uniform(lo, hi);
+        let left_idx: Vec<usize> = idx
+            .iter()
+            .copied()
+            .filter(|&i| x[(i, f)] < threshold)
+            .collect();
+        let right_idx: Vec<usize> = idx
+            .iter()
+            .copied()
+            .filter(|&i| x[(i, f)] >= threshold)
+            .collect();
+        if left_idx.is_empty() || right_idx.is_empty() {
+            nodes.push(INode::Leaf { size: idx.len() });
+            return nodes.len() - 1;
+        }
+        let left = Self::grow(x, &left_idx, depth + 1, max_depth, rng, nodes);
+        let right = Self::grow(x, &right_idx, depth + 1, max_depth, rng, nodes);
+        nodes.push(INode::Split {
+            feature: f,
+            threshold,
+            left,
+            right,
+        });
+        nodes.len() - 1
+    }
+
+    fn path_length(&self, row: &[f64]) -> f64 {
+        let mut at = self.root;
+        let mut depth = 0.0;
+        loop {
+            match &self.nodes[at] {
+                INode::Leaf { size } => return depth + average_path_length(*size),
+                INode::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    depth += 1.0;
+                    at = if row[*feature] < *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Expected path length of an unsuccessful BST search over `n` points.
+fn average_path_length(n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let n = n as f64;
+    2.0 * ((n - 1.0).ln() + 0.577_215_664_901_532_9) - 2.0 * (n - 1.0) / n
+}
+
+/// A trained isolation forest.
+pub struct IsolationForest {
+    trees: Vec<ITree>,
+    sample_size: usize,
+}
+
+impl IsolationForest {
+    pub fn fit(x: &Matrix, config: IForestConfig) -> Self {
+        assert!(x.rows() > 0, "iforest: empty training set");
+        let mut rng = Rng::seed_from_u64(config.seed);
+        let n = x.rows();
+        let sample_size = config.sample_size.clamp(2, n);
+        let max_depth = (sample_size as f64).log2().ceil() as usize;
+        let trees = (0..config.trees)
+            .map(|_| {
+                let idx = rng.sample_indices(n, sample_size);
+                let (nodes, root) = ITree::build(x, &idx, 0, max_depth, &mut rng);
+                ITree { nodes, root }
+            })
+            .collect();
+        Self { trees, sample_size }
+    }
+
+    /// Anomaly score in `(0, 1)`: higher = more anomalous (≈0.5 is normal).
+    pub fn score_row(&self, row: &[f64]) -> f64 {
+        let mean_path: f64 =
+            self.trees.iter().map(|t| t.path_length(row)).sum::<f64>() / self.trees.len() as f64;
+        let c = average_path_length(self.sample_size).max(1e-12);
+        2f64.powf(-mean_path / c)
+    }
+
+    pub fn scores(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.rows()).map(|r| self.score_row(x.row(r))).collect()
+    }
+
+    /// Binary predictions with a score threshold (1 = anomaly).
+    pub fn predict(&self, x: &Matrix, threshold: f64) -> Vec<usize> {
+        self.scores(x)
+            .iter()
+            .map(|&s| usize::from(s > threshold))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outlier_scores_higher_than_inliers() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut rows: Vec<Vec<f64>> = (0..200)
+            .map(|_| vec![rng.normal(0.0, 1.0), rng.normal(0.0, 1.0)])
+            .collect();
+        rows.push(vec![8.0, -8.0]); // clear outlier
+        let x = Matrix::from_rows(&rows);
+        let forest = IsolationForest::fit(
+            &x,
+            IForestConfig {
+                trees: 50,
+                ..Default::default()
+            },
+        );
+        let scores = forest.scores(&x);
+        let outlier = scores[200];
+        let inlier_mean = fexiot_tensor::stats::mean(&scores[..200]);
+        assert!(
+            outlier > inlier_mean + 0.1,
+            "outlier {outlier}, inliers {inlier_mean}"
+        );
+    }
+
+    #[test]
+    fn scores_in_unit_interval() {
+        let mut rng = Rng::seed_from_u64(2);
+        let x = Matrix::random_normal(100, 3, 0.0, 1.0, &mut rng);
+        let forest = IsolationForest::fit(
+            &x,
+            IForestConfig {
+                trees: 20,
+                ..Default::default()
+            },
+        );
+        for s in forest.scores(&x) {
+            assert!(s > 0.0 && s < 1.0, "score {s}");
+        }
+    }
+
+    #[test]
+    fn average_path_length_monotonic() {
+        assert_eq!(average_path_length(1), 0.0);
+        assert!(average_path_length(10) < average_path_length(100));
+    }
+
+    #[test]
+    fn constant_data_does_not_panic() {
+        let x = Matrix::full(50, 2, 3.0);
+        let forest = IsolationForest::fit(
+            &x,
+            IForestConfig {
+                trees: 10,
+                ..Default::default()
+            },
+        );
+        let s = forest.score_row(&[3.0, 3.0]);
+        assert!(s.is_finite());
+    }
+}

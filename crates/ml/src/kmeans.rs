@@ -1,0 +1,227 @@
+//! k-means clustering with k-means++ initialization (paper Fig. 6 clusters
+//! graph representations; Algorithm 1 uses the binary variant to split client
+//! weight vectors).
+
+use fexiot_tensor::matrix::Matrix;
+use fexiot_tensor::rng::Rng;
+use fexiot_tensor::stats::euclidean;
+
+/// k-means result: assignments and centroids.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    pub assignments: Vec<usize>,
+    pub centroids: Matrix,
+    pub inertia: f64,
+    pub iterations: usize,
+}
+
+/// Runs k-means++ on the rows of `x`.
+///
+/// # Panics
+/// Panics if `k == 0` or `x` has no rows.
+pub fn kmeans(x: &Matrix, k: usize, max_iters: usize, rng: &mut Rng) -> KMeansResult {
+    assert!(k >= 1, "kmeans: k must be >= 1");
+    assert!(x.rows() > 0, "kmeans: empty input");
+    let n = x.rows();
+    let k = k.min(n);
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(x.row(rng.usize(n)).to_vec());
+    while centroids.len() < k {
+        let d2: Vec<f64> = (0..n)
+            .map(|i| {
+                centroids
+                    .iter()
+                    .map(|c| euclidean(x.row(i), c).powi(2))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        let next = if total > 0.0 {
+            rng.weighted_index(&d2)
+        } else {
+            rng.usize(n)
+        };
+        centroids.push(x.row(next).to_vec());
+    }
+
+    let mut assignments = vec![0usize; n];
+    let mut iterations = 0;
+    for iter in 0..max_iters {
+        iterations = iter + 1;
+        // Assignment step.
+        let mut changed = false;
+        #[allow(clippy::needless_range_loop)] // i indexes both x rows and assignments
+        for i in 0..n {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    euclidean(x.row(i), &centroids[a])
+                        .partial_cmp(&euclidean(x.row(i), &centroids[b]))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("k >= 1");
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0; x.cols()]; k];
+        let mut counts = vec![0usize; k];
+        for i in 0..n {
+            counts[assignments[i]] += 1;
+            for (s, &v) in sums[assignments[i]].iter_mut().zip(x.row(i)) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for s in &mut sums[c] {
+                    *s /= counts[c] as f64;
+                }
+                centroids[c] = sums[c].clone();
+            }
+            // Empty clusters keep their previous centroid.
+        }
+        if !changed && iter > 0 {
+            break;
+        }
+    }
+
+    let inertia: f64 = (0..n)
+        .map(|i| euclidean(x.row(i), &centroids[assignments[i]]).powi(2))
+        .sum();
+    KMeansResult {
+        assignments,
+        centroids: Matrix::from_rows(&centroids),
+        inertia,
+        iterations,
+    }
+}
+
+/// Binary split by cosine similarity: clusters vectors into two groups by
+/// k-means on L2-normalized rows (equivalent to spherical 2-means). Used by
+/// Algorithm 1's `BinaryClustering` over client layer weights.
+pub fn binary_cosine_split(rows: &[Vec<f64>], rng: &mut Rng) -> (Vec<usize>, Vec<usize>) {
+    assert!(rows.len() >= 2, "binary split needs at least 2 vectors");
+    let normed: Vec<Vec<f64>> = rows
+        .iter()
+        .map(|r| {
+            let n = r.iter().map(|v| v * v).sum::<f64>().sqrt();
+            if n > 0.0 {
+                r.iter().map(|v| v / n).collect()
+            } else {
+                r.clone()
+            }
+        })
+        .collect();
+    let x = Matrix::from_rows(&normed);
+    let result = kmeans(&x, 2, 50, rng);
+    let mut a = Vec::new();
+    let mut b = Vec::new();
+    for (i, &c) in result.assignments.iter().enumerate() {
+        if c == 0 {
+            a.push(i);
+        } else {
+            b.push(i);
+        }
+    }
+    // Guarantee both sides non-empty (k-means can collapse on degenerate data).
+    if a.is_empty() {
+        a.push(b.pop().expect("at least two rows"));
+    } else if b.is_empty() {
+        b.push(a.pop().expect("at least two rows"));
+    }
+    (a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(k: usize, per: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut truth = Vec::new();
+        for c in 0..k {
+            for _ in 0..per {
+                rows.push(vec![
+                    c as f64 * 10.0 + rng.normal(0.0, 0.5),
+                    (c as f64 * 7.0) % 13.0 + rng.normal(0.0, 0.5),
+                ]);
+                truth.push(c);
+            }
+        }
+        (Matrix::from_rows(&rows), truth)
+    }
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let (x, truth) = blobs(3, 40, 1);
+        let mut rng = Rng::seed_from_u64(2);
+        let result = kmeans(&x, 3, 100, &mut rng);
+        // Cluster labels are permuted; check purity instead.
+        let mut purity = 0usize;
+        for c in 0..3 {
+            let mut counts = [0usize; 3];
+            for (i, &a) in result.assignments.iter().enumerate() {
+                if a == c {
+                    counts[truth[i]] += 1;
+                }
+            }
+            purity += counts.iter().max().unwrap();
+        }
+        assert_eq!(purity, truth.len(), "impure clustering");
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let (x, _) = blobs(4, 30, 3);
+        let mut rng = Rng::seed_from_u64(4);
+        let i1 = kmeans(&x, 1, 50, &mut rng).inertia;
+        let i4 = kmeans(&x, 4, 50, &mut rng).inertia;
+        assert!(i4 < i1 * 0.2, "i1 {i1}, i4 {i4}");
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+        let mut rng = Rng::seed_from_u64(5);
+        let result = kmeans(&x, 10, 10, &mut rng);
+        assert_eq!(result.centroids.rows(), 2);
+    }
+
+    #[test]
+    fn binary_split_separates_directions() {
+        // Two bundles of vectors pointing in orthogonal directions.
+        let rows: Vec<Vec<f64>> = (0..10)
+            .map(|i| {
+                if i < 5 {
+                    vec![1.0 + 0.01 * i as f64, 0.0]
+                } else {
+                    vec![0.0, 1.0 + 0.01 * i as f64]
+                }
+            })
+            .collect();
+        let mut rng = Rng::seed_from_u64(6);
+        let (a, b) = binary_cosine_split(&rows, &mut rng);
+        assert_eq!(a.len() + b.len(), 10);
+        let group_of = |i: usize| a.contains(&i);
+        for i in 1..5 {
+            assert_eq!(group_of(i), group_of(0), "first bundle split");
+        }
+        for i in 6..10 {
+            assert_eq!(group_of(i), group_of(5), "second bundle split");
+        }
+        assert_ne!(group_of(0), group_of(5), "bundles not separated");
+    }
+
+    #[test]
+    fn binary_split_never_empty() {
+        let rows = vec![vec![1.0, 0.0]; 6];
+        let mut rng = Rng::seed_from_u64(7);
+        let (a, b) = binary_cosine_split(&rows, &mut rng);
+        assert!(!a.is_empty() && !b.is_empty());
+    }
+}

@@ -1,0 +1,113 @@
+//! k-nearest-neighbors classifier (the Scikit-learn `KNeighborsClassifier`
+//! stand-in, paper Fig. 3).
+
+use fexiot_tensor::matrix::Matrix;
+use fexiot_tensor::stats::euclidean;
+
+/// A fitted (memorized) KNN classifier.
+pub struct Knn {
+    x: Matrix,
+    y: Vec<usize>,
+    k: usize,
+    classes: usize,
+}
+
+impl Knn {
+    /// Stores the training set. `k` is clamped to the training size.
+    pub fn fit(x: &Matrix, y: &[usize], classes: usize, k: usize) -> Self {
+        assert!(x.rows() > 0, "knn: empty training set");
+        assert_eq!(x.rows(), y.len(), "knn: label count mismatch");
+        Self {
+            x: x.clone(),
+            y: y.to_vec(),
+            k: k.clamp(1, x.rows()),
+            classes,
+        }
+    }
+
+    fn vote(&self, row: &[f64]) -> Vec<f64> {
+        let mut dists: Vec<(f64, usize)> = (0..self.x.rows())
+            .map(|i| (euclidean(self.x.row(i), row), self.y[i]))
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let mut votes = vec![0.0; self.classes];
+        for &(_, label) in dists.iter().take(self.k) {
+            votes[label] += 1.0;
+        }
+        let total: f64 = votes.iter().sum();
+        if total > 0.0 {
+            for v in &mut votes {
+                *v /= total;
+            }
+        }
+        votes
+    }
+
+    pub fn predict_proba(&self, x: &Matrix) -> Matrix {
+        let rows: Vec<Vec<f64>> = (0..x.rows()).map(|r| self.vote(x.row(r))).collect();
+        Matrix::from_rows(&rows)
+    }
+
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        let p = self.predict_proba(x);
+        (0..p.rows()).map(|r| p.argmax_row(r)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fexiot_tensor::rng::Rng;
+
+    #[test]
+    fn one_nn_memorizes_training_set() {
+        let x = Matrix::from_rows(&[vec![0.0, 0.0], vec![1.0, 1.0], vec![2.0, 0.0]]);
+        let y = vec![0, 1, 0];
+        let knn = Knn::fit(&x, &y, 2, 1);
+        assert_eq!(knn.predict(&x), y);
+    }
+
+    #[test]
+    fn majority_vote_smooths_noise() {
+        // One mislabeled point surrounded by correct ones: k=5 outvotes it.
+        let mut rows = vec![vec![0.0, 0.0]];
+        let mut y = vec![1]; // mislabeled
+        for i in 0..8 {
+            let a = (i as f64) * 0.05 + 0.01;
+            rows.push(vec![a, -a]);
+            y.push(0);
+        }
+        let x = Matrix::from_rows(&rows);
+        let knn = Knn::fit(&x, &y, 2, 5);
+        let pred = knn.predict(&Matrix::from_rows(&[vec![0.0, 0.0]]));
+        assert_eq!(pred[0], 0);
+    }
+
+    #[test]
+    fn blob_accuracy() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for i in 0..200 {
+            let c = i % 2;
+            rows.push(vec![
+                c as f64 * 3.0 + rng.normal(0.0, 0.5),
+                rng.normal(0.0, 0.5),
+            ]);
+            y.push(c);
+        }
+        let x = Matrix::from_rows(&rows);
+        let knn = Knn::fit(&x, &y, 2, 7);
+        let preds = knn.predict(&x);
+        let acc = preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64;
+        assert!(acc > 0.97, "knn accuracy {acc}");
+    }
+
+    #[test]
+    fn k_clamped_to_dataset() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+        let knn = Knn::fit(&x, &[0, 1], 2, 100);
+        // Must not panic, and with k=2 the vote ties; argmax picks class 0.
+        assert_eq!(knn.predict(&Matrix::from_rows(&[vec![0.4]]))[0], 0);
+    }
+}

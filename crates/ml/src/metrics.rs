@@ -1,0 +1,194 @@
+//! Classification metrics: accuracy, precision, recall, F1 — the four numbers
+//! every figure and table in the paper's evaluation reports.
+
+/// Binary-classification metrics (positive class = 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Metrics {
+    pub accuracy: f64,
+    pub precision: f64,
+    pub recall: f64,
+    pub f1: f64,
+}
+
+impl Metrics {
+    /// Computes metrics from aligned predictions and ground truth.
+    ///
+    /// Conventions for degenerate cases: precision/recall are 1 when there
+    /// are no predicted/actual positives respectively and no errors, else 0;
+    /// empty inputs yield all-zero metrics.
+    ///
+    /// # Panics
+    /// Panics if lengths differ.
+    pub fn from_predictions(pred: &[usize], truth: &[usize]) -> Self {
+        assert_eq!(pred.len(), truth.len(), "metrics: length mismatch");
+        if pred.is_empty() {
+            return Self {
+                accuracy: 0.0,
+                precision: 0.0,
+                recall: 0.0,
+                f1: 0.0,
+            };
+        }
+        let mut tp = 0usize;
+        let mut fp = 0usize;
+        let mut tn = 0usize;
+        let mut fneg = 0usize;
+        for (&p, &t) in pred.iter().zip(truth) {
+            match (p != 0, t != 0) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, false) => tn += 1,
+                (false, true) => fneg += 1,
+            }
+        }
+        let accuracy = (tp + tn) as f64 / pred.len() as f64;
+        let precision = if tp + fp > 0 {
+            tp as f64 / (tp + fp) as f64
+        } else if fneg == 0 {
+            1.0
+        } else {
+            0.0
+        };
+        let recall = if tp + fneg > 0 {
+            tp as f64 / (tp + fneg) as f64
+        } else if fp == 0 {
+            1.0
+        } else {
+            0.0
+        };
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        Self {
+            accuracy,
+            precision,
+            recall,
+            f1,
+        }
+    }
+
+    /// Averages a set of metric rows (used for multi-client reporting).
+    pub fn mean(rows: &[Metrics]) -> Metrics {
+        if rows.is_empty() {
+            return Metrics {
+                accuracy: 0.0,
+                precision: 0.0,
+                recall: 0.0,
+                f1: 0.0,
+            };
+        }
+        let n = rows.len() as f64;
+        Metrics {
+            accuracy: rows.iter().map(|m| m.accuracy).sum::<f64>() / n,
+            precision: rows.iter().map(|m| m.precision).sum::<f64>() / n,
+            recall: rows.iter().map(|m| m.recall).sum::<f64>() / n,
+            f1: rows.iter().map(|m| m.f1).sum::<f64>() / n,
+        }
+    }
+}
+
+impl std::fmt::Display for Metrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "acc {:.3}  prec {:.3}  rec {:.3}  f1 {:.3}",
+            self.accuracy, self.precision, self.recall, self.f1
+        )
+    }
+}
+
+/// Multiclass confusion matrix (row = truth, column = prediction).
+#[derive(Debug, Clone)]
+pub struct ConfusionMatrix {
+    pub classes: usize,
+    pub counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    pub fn from_predictions(pred: &[usize], truth: &[usize], classes: usize) -> Self {
+        assert_eq!(pred.len(), truth.len(), "confusion: length mismatch");
+        let mut counts = vec![vec![0usize; classes]; classes];
+        for (&p, &t) in pred.iter().zip(truth) {
+            counts[t.min(classes - 1)][p.min(classes - 1)] += 1;
+        }
+        Self { classes, counts }
+    }
+
+    pub fn accuracy(&self) -> f64 {
+        let correct: usize = (0..self.classes).map(|i| self.counts[i][i]).sum();
+        let total: usize = self.counts.iter().flatten().sum();
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let m = Metrics::from_predictions(&[1, 0, 1, 0], &[1, 0, 1, 0]);
+        assert_eq!(m.accuracy, 1.0);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+    }
+
+    #[test]
+    fn known_confusion_values() {
+        // tp=2, fp=1, tn=1, fn=1.
+        let m = Metrics::from_predictions(&[1, 1, 1, 0, 0], &[1, 1, 0, 0, 1]);
+        assert!((m.accuracy - 0.6).abs() < 1e-12);
+        assert!((m.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.recall - 2.0 / 3.0).abs() < 1e-12);
+        assert!((m.f1 - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_no_positives() {
+        let m = Metrics::from_predictions(&[0, 0], &[0, 0]);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+    }
+
+    #[test]
+    fn degenerate_all_missed() {
+        let m = Metrics::from_predictions(&[0, 0], &[1, 1]);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.f1, 0.0);
+    }
+
+    #[test]
+    fn mean_of_rows() {
+        let a = Metrics {
+            accuracy: 1.0,
+            precision: 1.0,
+            recall: 0.0,
+            f1: 0.0,
+        };
+        let b = Metrics {
+            accuracy: 0.0,
+            precision: 0.0,
+            recall: 1.0,
+            f1: 1.0,
+        };
+        let m = Metrics::mean(&[a, b]);
+        assert_eq!(m.accuracy, 0.5);
+        assert_eq!(m.f1, 0.5);
+    }
+
+    #[test]
+    fn confusion_matrix_diagonal() {
+        let cm = ConfusionMatrix::from_predictions(&[0, 1, 2, 2], &[0, 1, 2, 1], 3);
+        assert_eq!(cm.counts[1][1], 1);
+        assert_eq!(cm.counts[1][2], 1);
+        assert!((cm.accuracy() - 0.75).abs() < 1e-12);
+    }
+}

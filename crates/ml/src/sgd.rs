@@ -1,0 +1,221 @@
+//! Linear classifier trained by SGD on logistic loss — the `SGDClassifier`
+//! each FexIoT client runs on top of the learned graph representations
+//! (paper §III-B1). Also provides the linear form `h(x) = w·x + b` that the
+//! kernel-SHAP explainer regresses against (paper §III-C).
+
+use fexiot_tensor::matrix::Matrix;
+use fexiot_tensor::rng::Rng;
+
+/// SGDClassifier hyperparameters.
+#[derive(Debug, Clone)]
+pub struct SgdConfig {
+    pub lr: f64,
+    pub epochs: usize,
+    pub l2: f64,
+    /// Per-class loss weights `[w_neg, w_pos]`; uniform if empty.
+    pub class_weights: Vec<f64>,
+    pub seed: u64,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        Self {
+            lr: 0.05,
+            epochs: 60,
+            l2: 1e-4,
+            class_weights: Vec::new(),
+            seed: 0,
+        }
+    }
+}
+
+/// A binary logistic-regression model trained with SGD.
+#[derive(Debug, Clone)]
+pub struct SgdClassifier {
+    pub weights: Vec<f64>,
+    pub bias: f64,
+}
+
+impl SgdClassifier {
+    /// Fits on labels in `{0, 1}`.
+    pub fn fit(x: &Matrix, y: &[usize], config: SgdConfig) -> Self {
+        assert!(x.rows() > 0, "sgd: empty training set");
+        assert_eq!(x.rows(), y.len(), "sgd: label count mismatch");
+        assert!(y.iter().all(|&v| v <= 1), "sgd: binary labels only");
+        let mut rng = Rng::seed_from_u64(config.seed);
+        let d = x.cols();
+        let mut w = vec![0.0; d];
+        let mut b = 0.0;
+        let (w_neg, w_pos) = match config.class_weights.as_slice() {
+            [n, p] => (*n, *p),
+            _ => (1.0, 1.0),
+        };
+        let mut order: Vec<usize> = (0..x.rows()).collect();
+        for epoch in 0..config.epochs {
+            rng.shuffle(&mut order);
+            // 1/t learning-rate decay.
+            let lr = config.lr / (1.0 + 0.05 * epoch as f64);
+            for &i in &order {
+                let row = x.row(i);
+                let z: f64 = b + w.iter().zip(row).map(|(wi, xi)| wi * xi).sum::<f64>();
+                let p = 1.0 / (1.0 + (-z).exp());
+                let target = y[i] as f64;
+                let cw = if y[i] == 1 { w_pos } else { w_neg };
+                let g = cw * (p - target);
+                for (wi, &xi) in w.iter_mut().zip(row) {
+                    *wi -= lr * (g * xi + config.l2 * *wi);
+                }
+                b -= lr * g;
+            }
+        }
+        Self {
+            weights: w,
+            bias: b,
+        }
+    }
+
+    /// Raw decision value `w·x + b` for one row.
+    pub fn decision(&self, row: &[f64]) -> f64 {
+        assert_eq!(row.len(), self.weights.len(), "sgd: feature dim mismatch");
+        self.bias
+            + self
+                .weights
+                .iter()
+                .zip(row)
+                .map(|(w, x)| w * x)
+                .sum::<f64>()
+    }
+
+    /// Positive-class probability for one row.
+    pub fn proba(&self, row: &[f64]) -> f64 {
+        1.0 / (1.0 + (-self.decision(row)).exp())
+    }
+
+    pub fn predict_row(&self, row: &[f64]) -> usize {
+        usize::from(self.decision(row) >= 0.0)
+    }
+
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        (0..x.rows()).map(|r| self.predict_row(x.row(r))).collect()
+    }
+
+    /// Serializes the model (weights + bias).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = fexiot_tensor::codec::ByteWriter::new();
+        w.write_f64_slice(&self.weights);
+        w.write_f64(self.bias);
+        w.into_bytes()
+    }
+
+    /// Restores a model from [`SgdClassifier::to_bytes`] output.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, fexiot_tensor::codec::CodecError> {
+        let mut r = fexiot_tensor::codec::ByteReader::new(bytes);
+        let weights = r.read_f64_vec()?;
+        let bias = r.read_f64()?;
+        Ok(Self { weights, bias })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_data(n: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        for _ in 0..n {
+            let a = rng.uniform(-2.0, 2.0);
+            let b = rng.uniform(-2.0, 2.0);
+            rows.push(vec![a, b]);
+            y.push(usize::from(a + 2.0 * b > 0.3));
+        }
+        (Matrix::from_rows(&rows), y)
+    }
+
+    #[test]
+    fn separates_linear_data() {
+        let (x, y) = linear_data(400, 1);
+        let (xt, yt) = linear_data(150, 2);
+        let model = SgdClassifier::fit(&x, &y, SgdConfig::default());
+        let preds = model.predict(&xt);
+        let acc = preds.iter().zip(&yt).filter(|(p, t)| p == t).count() as f64 / yt.len() as f64;
+        assert!(acc > 0.93, "sgd accuracy {acc}");
+    }
+
+    #[test]
+    fn decision_is_linear_in_features() {
+        let (x, y) = linear_data(100, 3);
+        let model = SgdClassifier::fit(
+            &x,
+            &y,
+            SgdConfig {
+                epochs: 10,
+                ..Default::default()
+            },
+        );
+        // decision(a + b) - decision(0) == (decision(a) - decision(0)) + (decision(b) - decision(0))
+        let d0 = model.decision(&[0.0, 0.0]);
+        let da = model.decision(&[1.0, 0.0]) - d0;
+        let db = model.decision(&[0.0, 1.0]) - d0;
+        let dab = model.decision(&[1.0, 1.0]) - d0;
+        assert!((dab - (da + db)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_weights_shift_boundary() {
+        // Imbalanced data; upweighting the minority class must raise recall.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        let mut rng = Rng::seed_from_u64(4);
+        for i in 0..200 {
+            let c = usize::from(i % 10 == 0); // 10% positive
+            rows.push(vec![c as f64 + rng.normal(0.0, 0.8)]);
+            y.push(c);
+        }
+        let x = Matrix::from_rows(&rows);
+        let plain = SgdClassifier::fit(&x, &y, SgdConfig::default());
+        let weighted = SgdClassifier::fit(
+            &x,
+            &y,
+            SgdConfig {
+                class_weights: vec![1.0, 9.0],
+                ..Default::default()
+            },
+        );
+        let recall = |m: &SgdClassifier| {
+            let preds = m.predict(&x);
+            let tp = preds
+                .iter()
+                .zip(&y)
+                .filter(|(&p, &t)| p == 1 && t == 1)
+                .count();
+            let pos = y.iter().filter(|&&t| t == 1).count();
+            tp as f64 / pos as f64
+        };
+        assert!(recall(&weighted) >= recall(&plain));
+    }
+
+    #[test]
+    fn l2_shrinks_weights() {
+        let (x, y) = linear_data(200, 5);
+        let small = SgdClassifier::fit(
+            &x,
+            &y,
+            SgdConfig {
+                l2: 0.0,
+                ..Default::default()
+            },
+        );
+        let large = SgdClassifier::fit(
+            &x,
+            &y,
+            SgdConfig {
+                l2: 0.5,
+                ..Default::default()
+            },
+        );
+        let norm = |m: &SgdClassifier| m.weights.iter().map(|w| w * w).sum::<f64>();
+        assert!(norm(&large) < norm(&small));
+    }
+}

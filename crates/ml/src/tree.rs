@@ -1,0 +1,386 @@
+//! CART decision trees (gini impurity), shared by the RandomForest and the
+//! GradientBoost (regression variant) classifiers.
+
+use fexiot_tensor::matrix::Matrix;
+use fexiot_tensor::rng::Rng;
+
+/// Tree growth limits.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeConfig {
+    pub max_depth: usize,
+    pub min_samples_split: usize,
+    /// Number of candidate features per split; `0` = all features.
+    pub max_features: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            max_depth: 12,
+            min_samples_split: 2,
+            max_features: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        value: f64,
+        class_counts: Vec<usize>,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
+}
+
+/// A CART tree used either as a classifier (gini, majority leaves) or as a
+/// regressor (variance reduction, mean leaves).
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    classes: usize,
+}
+
+impl DecisionTree {
+    /// Fits a classification tree on rows `x` with integer labels `y`.
+    pub fn fit_classifier(
+        x: &Matrix,
+        y: &[usize],
+        classes: usize,
+        config: TreeConfig,
+        rng: &mut Rng,
+    ) -> Self {
+        assert_eq!(x.rows(), y.len(), "tree: label count mismatch");
+        assert!(x.rows() > 0, "tree: empty training set");
+        let targets: Vec<f64> = y.iter().map(|&v| v as f64).collect();
+        let idx: Vec<usize> = (0..x.rows()).collect();
+        let mut tree = Self {
+            nodes: Vec::new(),
+            classes,
+        };
+        tree.grow(x, &targets, Some(y), &idx, config, 0, rng);
+        tree
+    }
+
+    /// Fits a regression tree on rows `x` with real targets `y` (for boosting).
+    pub fn fit_regressor(x: &Matrix, y: &[f64], config: TreeConfig, rng: &mut Rng) -> Self {
+        assert_eq!(x.rows(), y.len(), "tree: target count mismatch");
+        assert!(x.rows() > 0, "tree: empty training set");
+        let idx: Vec<usize> = (0..x.rows()).collect();
+        let mut tree = Self {
+            nodes: Vec::new(),
+            classes: 0,
+        };
+        tree.grow(x, y, None, &idx, config, 0, rng);
+        tree
+    }
+
+    /// Recursively grows the tree; returns the created node index.
+    #[allow(clippy::too_many_arguments)] // internal recursion carries the full split context
+    fn grow(
+        &mut self,
+        x: &Matrix,
+        y: &[f64],
+        labels: Option<&[usize]>,
+        idx: &[usize],
+        config: TreeConfig,
+        depth: usize,
+        rng: &mut Rng,
+    ) -> usize {
+        let make_leaf = |tree: &mut Self, idx: &[usize]| {
+            let (value, class_counts) = match labels {
+                Some(labels) => {
+                    let mut counts = vec![0usize; tree.classes];
+                    for &i in idx {
+                        counts[labels[i]] += 1;
+                    }
+                    let majority = counts
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|&(_, c)| *c)
+                        .map(|(c, _)| c)
+                        .unwrap_or(0);
+                    (majority as f64, counts)
+                }
+                None => {
+                    let mean = idx.iter().map(|&i| y[i]).sum::<f64>() / idx.len().max(1) as f64;
+                    (mean, Vec::new())
+                }
+            };
+            tree.nodes.push(Node::Leaf {
+                value,
+                class_counts,
+            });
+            tree.nodes.len() - 1
+        };
+
+        let impurity = |idx: &[usize]| -> f64 {
+            match labels {
+                Some(labels) => {
+                    // Gini impurity.
+                    let mut counts = vec![0usize; self.classes];
+                    for &i in idx {
+                        counts[labels[i]] += 1;
+                    }
+                    let n = idx.len() as f64;
+                    1.0 - counts.iter().map(|&c| (c as f64 / n).powi(2)).sum::<f64>()
+                }
+                None => {
+                    // Variance.
+                    let n = idx.len() as f64;
+                    let mean = idx.iter().map(|&i| y[i]).sum::<f64>() / n;
+                    idx.iter().map(|&i| (y[i] - mean).powi(2)).sum::<f64>() / n
+                }
+            }
+        };
+
+        let parent_impurity = impurity(idx);
+        if depth >= config.max_depth
+            || idx.len() < config.min_samples_split
+            || parent_impurity < 1e-12
+        {
+            return make_leaf(self, idx);
+        }
+
+        // Candidate features (random subspace when max_features > 0).
+        let d = x.cols();
+        let features: Vec<usize> = if config.max_features > 0 && config.max_features < d {
+            rng.sample_indices(d, config.max_features)
+        } else {
+            (0..d).collect()
+        };
+
+        let mut best: Option<(f64, usize, f64)> = None; // (weighted impurity, feature, threshold)
+        for &f in &features {
+            // Sort indices by feature value; evaluate midpoints between
+            // distinct consecutive values.
+            let mut sorted: Vec<usize> = idx.to_vec();
+            sorted.sort_by(|&a, &b| {
+                x[(a, f)]
+                    .partial_cmp(&x[(b, f)])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for w in 1..sorted.len() {
+                let lo = x[(sorted[w - 1], f)];
+                let hi = x[(sorted[w], f)];
+                if hi - lo < 1e-12 {
+                    continue;
+                }
+                let threshold = 0.5 * (lo + hi);
+                let (left, right) = (&sorted[..w], &sorted[w..]);
+                let n = idx.len() as f64;
+                let score = left.len() as f64 / n * impurity(left)
+                    + right.len() as f64 / n * impurity(right);
+                if best.is_none_or(|(b, _, _)| score < b) {
+                    best = Some((score, f, threshold));
+                }
+            }
+        }
+
+        // Zero-improvement splits are allowed (they are what lets greedy CART
+        // work through XOR-like structure); recursion still terminates because
+        // both children are strictly smaller.
+        let Some((_score, feature, threshold)) = best else {
+            return make_leaf(self, idx);
+        };
+
+        let left_idx: Vec<usize> = idx
+            .iter()
+            .copied()
+            .filter(|&i| x[(i, feature)] <= threshold)
+            .collect();
+        let right_idx: Vec<usize> = idx
+            .iter()
+            .copied()
+            .filter(|&i| x[(i, feature)] > threshold)
+            .collect();
+        if left_idx.is_empty() || right_idx.is_empty() {
+            return make_leaf(self, idx);
+        }
+
+        // Reserve this node's slot, then grow children.
+        self.nodes.push(Node::Leaf {
+            value: 0.0,
+            class_counts: Vec::new(),
+        });
+        let me = self.nodes.len() - 1;
+        let left = self.grow(x, y, labels, &left_idx, config, depth + 1, rng);
+        let right = self.grow(x, y, labels, &right_idx, config, depth + 1, rng);
+        self.nodes[me] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
+        me
+    }
+
+    fn leaf_for(&self, row: &[f64]) -> &Node {
+        // Root is the first node pushed *after* recursion bottoms out, so we
+        // track it explicitly: the last remaining index is the entry point.
+        let mut at = self.root();
+        loop {
+            match &self.nodes[at] {
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    at = if row[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
+                }
+                leaf => return leaf,
+            }
+        }
+    }
+
+    fn root(&self) -> usize {
+        // `grow` pushes children before finalizing the parent, so the root is
+        // the node not referenced by any split.
+        // For a single-leaf tree it is node 0.
+        if self.nodes.len() == 1 {
+            return 0;
+        }
+        let mut referenced = vec![false; self.nodes.len()];
+        for n in &self.nodes {
+            if let Node::Split { left, right, .. } = n {
+                referenced[*left] = true;
+                referenced[*right] = true;
+            }
+        }
+        referenced
+            .iter()
+            .position(|&r| !r)
+            .expect("tree has a root")
+    }
+
+    /// Predicted class for one feature row (classification trees).
+    pub fn predict_row(&self, row: &[f64]) -> usize {
+        match self.leaf_for(row) {
+            Node::Leaf { value, .. } => *value as usize,
+            Node::Split { .. } => unreachable!("leaf_for returns leaves"),
+        }
+    }
+
+    /// Predicted value for one row (regression trees).
+    pub fn predict_value(&self, row: &[f64]) -> f64 {
+        match self.leaf_for(row) {
+            Node::Leaf { value, .. } => *value,
+            Node::Split { .. } => unreachable!("leaf_for returns leaves"),
+        }
+    }
+
+    /// Per-class vote distribution at the reached leaf (classification trees).
+    pub fn predict_proba_row(&self, row: &[f64]) -> Vec<f64> {
+        match self.leaf_for(row) {
+            Node::Leaf { class_counts, .. } => {
+                let total: usize = class_counts.iter().sum();
+                if total == 0 {
+                    vec![0.0; self.classes]
+                } else {
+                    class_counts
+                        .iter()
+                        .map(|&c| c as f64 / total as f64)
+                        .collect()
+                }
+            }
+            Node::Split { .. } => unreachable!("leaf_for returns leaves"),
+        }
+    }
+
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xor_data() -> (Matrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for &(a, b) in &[(0.0, 0.0), (0.0, 1.0), (1.0, 0.0), (1.0, 1.0)] {
+            for _ in 0..10 {
+                rows.push(vec![a, b]);
+                labels.push((a as usize) ^ (b as usize));
+            }
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn solves_xor() {
+        let (x, y) = xor_data();
+        let mut rng = Rng::seed_from_u64(1);
+        let tree = DecisionTree::fit_classifier(&x, &y, 2, TreeConfig::default(), &mut rng);
+        for (i, &label) in y.iter().enumerate() {
+            assert_eq!(tree.predict_row(x.row(i)), label);
+        }
+    }
+
+    #[test]
+    fn pure_node_stays_leaf() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let y = vec![1, 1, 1];
+        let mut rng = Rng::seed_from_u64(2);
+        let tree = DecisionTree::fit_classifier(&x, &y, 2, TreeConfig::default(), &mut rng);
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.predict_row(&[10.0]), 1);
+    }
+
+    #[test]
+    fn depth_limit_respected() {
+        let (x, y) = xor_data();
+        let mut rng = Rng::seed_from_u64(3);
+        let tree = DecisionTree::fit_classifier(
+            &x,
+            &y,
+            2,
+            TreeConfig {
+                max_depth: 0,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        assert_eq!(tree.node_count(), 1);
+    }
+
+    #[test]
+    fn regression_tree_fits_step_function() {
+        let x = Matrix::from_rows(&(0..20).map(|i| vec![i as f64]).collect::<Vec<_>>());
+        let y: Vec<f64> = (0..20).map(|i| if i < 10 { -1.0 } else { 2.0 }).collect();
+        let mut rng = Rng::seed_from_u64(4);
+        let tree = DecisionTree::fit_regressor(&x, &y, TreeConfig::default(), &mut rng);
+        assert!((tree.predict_value(&[3.0]) + 1.0).abs() < 1e-9);
+        assert!((tree.predict_value(&[15.0]) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn proba_reflects_leaf_composition() {
+        // One ambiguous region: leaf votes should not be one-hot.
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.0], vec![0.0], vec![1.0]]);
+        let y = vec![0, 0, 1, 1];
+        let mut rng = Rng::seed_from_u64(5);
+        let tree = DecisionTree::fit_classifier(
+            &x,
+            &y,
+            2,
+            TreeConfig {
+                max_depth: 1,
+                ..Default::default()
+            },
+            &mut rng,
+        );
+        let p = tree.predict_proba_row(&[0.0]);
+        assert!((p[0] - 2.0 / 3.0).abs() < 1e-9, "{p:?}");
+    }
+}

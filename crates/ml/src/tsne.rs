@@ -1,0 +1,249 @@
+//! Exact t-SNE (van der Maaten & Hinton, 2008) for 2-D visualization of
+//! graph representations (paper Fig. 6). O(n²) per iteration — fine for the
+//! 1,500-sample visualizations the paper draws.
+
+use fexiot_tensor::matrix::Matrix;
+use fexiot_tensor::rng::Rng;
+use fexiot_tensor::stats::euclidean;
+
+/// t-SNE hyperparameters.
+#[derive(Debug, Clone)]
+pub struct TsneConfig {
+    pub perplexity: f64,
+    pub iterations: usize,
+    pub learning_rate: f64,
+    /// Early-exaggeration factor applied for the first quarter of iterations.
+    pub exaggeration: f64,
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        Self {
+            perplexity: 30.0,
+            iterations: 300,
+            learning_rate: 100.0,
+            exaggeration: 4.0,
+            seed: 0,
+        }
+    }
+}
+
+/// Embeds the rows of `x` into 2-D.
+pub fn tsne(x: &Matrix, config: &TsneConfig) -> Matrix {
+    let n = x.rows();
+    assert!(n >= 2, "tsne: need at least 2 points");
+    let p = joint_probabilities(x, config.perplexity.min((n as f64 - 1.0) / 3.0).max(2.0));
+
+    let mut rng = Rng::seed_from_u64(config.seed);
+    let mut y = Matrix::random_normal(n, 2, 0.0, 1e-2, &mut rng);
+    let mut velocity = Matrix::zeros(n, 2);
+    let exaggeration_end = config.iterations / 4;
+
+    for iter in 0..config.iterations {
+        let exag = if iter < exaggeration_end {
+            config.exaggeration
+        } else {
+            1.0
+        };
+        // Student-t affinities in embedding space.
+        let mut q_num = vec![0.0; n * n];
+        let mut q_sum = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let d2 = euclidean(y.row(i), y.row(j)).powi(2);
+                let v = 1.0 / (1.0 + d2);
+                q_num[i * n + j] = v;
+                q_num[j * n + i] = v;
+                q_sum += 2.0 * v;
+            }
+        }
+        let q_sum = q_sum.max(1e-12);
+
+        // Gradient: 4 * sum_j (exag*p_ij - q_ij) * (y_i - y_j) * (1 + |y_i - y_j|^2)^-1.
+        let mut grad = Matrix::zeros(n, 2);
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let num = q_num[i * n + j];
+                let q = (num / q_sum).max(1e-12);
+                let mult = (exag * p[i * n + j] - q) * num;
+                for d in 0..2 {
+                    grad[(i, d)] += 4.0 * mult * (y[(i, d)] - y[(j, d)]);
+                }
+            }
+        }
+
+        // Momentum update.
+        let momentum = if iter < exaggeration_end { 0.5 } else { 0.8 };
+        for i in 0..n {
+            for d in 0..2 {
+                velocity[(i, d)] =
+                    momentum * velocity[(i, d)] - config.learning_rate * grad[(i, d)];
+                y[(i, d)] += velocity[(i, d)];
+            }
+        }
+        // Re-center.
+        let mean = y.mean_rows();
+        for i in 0..n {
+            for d in 0..2 {
+                y[(i, d)] -= mean[(0, d)];
+            }
+        }
+    }
+    y
+}
+
+/// Symmetric joint probabilities with per-point bandwidths found by binary
+/// search to hit the requested perplexity.
+fn joint_probabilities(x: &Matrix, perplexity: f64) -> Vec<f64> {
+    let n = x.rows();
+    let mut d2 = vec![0.0; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = euclidean(x.row(i), x.row(j)).powi(2);
+            d2[i * n + j] = d;
+            d2[j * n + i] = d;
+        }
+    }
+    let target_entropy = perplexity.ln();
+    let mut p_cond = vec![0.0; n * n];
+    for i in 0..n {
+        // Binary search beta = 1/(2 sigma^2).
+        let mut beta = 1.0;
+        let (mut lo, mut hi) = (0.0f64, f64::INFINITY);
+        for _ in 0..50 {
+            let mut sum = 0.0;
+            let mut weighted = 0.0;
+            for j in 0..n {
+                if j == i {
+                    continue;
+                }
+                let e = (-beta * d2[i * n + j]).exp();
+                sum += e;
+                weighted += beta * d2[i * n + j] * e;
+            }
+            let sum = sum.max(1e-300);
+            let entropy = sum.ln() + weighted / sum;
+            let diff = entropy - target_entropy;
+            if diff.abs() < 1e-5 {
+                break;
+            }
+            if diff > 0.0 {
+                lo = beta;
+                beta = if hi.is_finite() {
+                    0.5 * (beta + hi)
+                } else {
+                    beta * 2.0
+                };
+            } else {
+                hi = beta;
+                beta = 0.5 * (beta + lo);
+            }
+        }
+        let mut sum = 0.0;
+        for j in 0..n {
+            if j != i {
+                let e = (-beta * d2[i * n + j]).exp();
+                p_cond[i * n + j] = e;
+                sum += e;
+            }
+        }
+        let sum = sum.max(1e-300);
+        for j in 0..n {
+            p_cond[i * n + j] /= sum;
+        }
+    }
+    // Symmetrize.
+    let mut p = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            p[i * n + j] = ((p_cond[i * n + j] + p_cond[j * n + i]) / (2.0 * n as f64)).max(1e-12);
+        }
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_clusters(per: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..2 {
+            for _ in 0..per {
+                let base = c as f64 * 8.0;
+                rows.push(vec![
+                    base + rng.normal(0.0, 0.3),
+                    base + rng.normal(0.0, 0.3),
+                    rng.normal(0.0, 0.3),
+                    rng.normal(0.0, 0.3),
+                ]);
+                labels.push(c);
+            }
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn separated_clusters_stay_separated() {
+        let (x, labels) = two_clusters(20, 1);
+        let y = tsne(
+            &x,
+            &TsneConfig {
+                iterations: 150,
+                ..Default::default()
+            },
+        );
+        assert_eq!(y.shape(), (40, 2));
+        assert!(y.is_finite());
+        // Mean within-cluster distance must be well below between-cluster distance.
+        let dist = |i: usize, j: usize| euclidean(y.row(i), y.row(j));
+        let mut within = Vec::new();
+        let mut between = Vec::new();
+        for i in 0..40 {
+            for j in (i + 1)..40 {
+                if labels[i] == labels[j] {
+                    within.push(dist(i, j));
+                } else {
+                    between.push(dist(i, j));
+                }
+            }
+        }
+        let mw = fexiot_tensor::stats::mean(&within);
+        let mb = fexiot_tensor::stats::mean(&between);
+        assert!(mb > 2.0 * mw, "within {mw}, between {mb}");
+    }
+
+    #[test]
+    fn output_is_centered() {
+        let (x, _) = two_clusters(10, 2);
+        let y = tsne(
+            &x,
+            &TsneConfig {
+                iterations: 60,
+                ..Default::default()
+            },
+        );
+        let mean = y.mean_rows();
+        assert!(mean[(0, 0)].abs() < 1e-6);
+        assert!(mean[(0, 1)].abs() < 1e-6);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let (x, _) = two_clusters(8, 3);
+        let cfg = TsneConfig {
+            iterations: 40,
+            seed: 7,
+            ..Default::default()
+        };
+        let a = tsne(&x, &cfg);
+        let b = tsne(&x, &cfg);
+        assert!(a.max_abs_diff(&b) < 1e-12);
+    }
+}

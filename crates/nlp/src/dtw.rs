@@ -1,0 +1,108 @@
+//! Dynamic time warping over embedding sequences.
+//!
+//! §III-A1: when two rules have different numbers of verb or object elements,
+//! the paper aligns the embedding sequences with DTW and uses the warped
+//! distance as the similarity feature. Cost between elements is cosine
+//! distance (`1 - cos`).
+
+/// DTW distance between two sequences of vectors under cosine distance,
+/// normalized by the warping-path length so values are comparable across
+/// sequence lengths. Returns 0 when both sequences are empty and 1 when
+/// exactly one is empty (maximally dissimilar).
+pub fn dtw_distance(a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
+    match (a.is_empty(), b.is_empty()) {
+        (true, true) => return 0.0,
+        (true, false) | (false, true) => return 1.0,
+        _ => {}
+    }
+    let (n, m) = (a.len(), b.len());
+    const INF: f64 = f64::INFINITY;
+    // dp[i][j] = (cost, path length); stored flat with two planes.
+    let mut cost = vec![INF; (n + 1) * (m + 1)];
+    let mut steps = vec![0u32; (n + 1) * (m + 1)];
+    let idx = |i: usize, j: usize| i * (m + 1) + j;
+    cost[idx(0, 0)] = 0.0;
+
+    for i in 1..=n {
+        for j in 1..=m {
+            let d = cosine_distance(&a[i - 1], &b[j - 1]);
+            let candidates = [(i - 1, j), (i, j - 1), (i - 1, j - 1)];
+            let (pi, pj) = candidates
+                .into_iter()
+                .min_by(|&(x1, y1), &(x2, y2)| {
+                    cost[idx(x1, y1)]
+                        .partial_cmp(&cost[idx(x2, y2)])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("non-empty candidates");
+            if cost[idx(pi, pj)].is_finite() {
+                cost[idx(i, j)] = cost[idx(pi, pj)] + d;
+                steps[idx(i, j)] = steps[idx(pi, pj)] + 1;
+            }
+        }
+    }
+    let total = cost[idx(n, m)];
+    let len = steps[idx(n, m)].max(1) as f64;
+    if total.is_finite() {
+        total / len
+    } else {
+        1.0
+    }
+}
+
+/// DTW similarity in `[0, 1]`: `1 - clamp(distance)`.
+pub fn dtw_similarity(a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
+    (1.0 - dtw_distance(a, b)).clamp(0.0, 1.0)
+}
+
+fn cosine_distance(a: &[f64], b: &[f64]) -> f64 {
+    1.0 - fexiot_tensor::stats::cosine_similarity(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(vals: &[&[f64]]) -> Vec<Vec<f64>> {
+        vals.iter().map(|v| v.to_vec()).collect()
+    }
+
+    #[test]
+    fn identical_sequences_have_zero_distance() {
+        let a = seq(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        assert!(dtw_distance(&a, &a) < 1e-12);
+        assert!((dtw_similarity(&a, &a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn opposite_sequences_are_far() {
+        let a = seq(&[&[1.0, 0.0]]);
+        let b = seq(&[&[-1.0, 0.0]]);
+        assert!((dtw_distance(&a, &b) - 2.0).abs() < 1e-12);
+        assert_eq!(dtw_similarity(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn handles_different_lengths() {
+        // Repeating an element should not change the normalized distance much.
+        let a = seq(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let b = seq(&[&[1.0, 0.0], &[1.0, 0.0], &[0.0, 1.0]]);
+        assert!(dtw_distance(&a, &b) < 0.05, "dist {}", dtw_distance(&a, &b));
+    }
+
+    #[test]
+    fn empty_cases() {
+        let a = seq(&[&[1.0, 0.0]]);
+        let empty: Vec<Vec<f64>> = Vec::new();
+        assert_eq!(dtw_distance(&empty, &empty), 0.0);
+        assert_eq!(dtw_distance(&a, &empty), 1.0);
+        assert_eq!(dtw_distance(&empty, &a), 1.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let a = seq(&[&[1.0, 0.2], &[0.3, 1.0], &[0.5, 0.5]]);
+        let b = seq(&[&[0.9, 0.1], &[0.2, 0.8]]);
+        assert!((dtw_distance(&a, &b) - dtw_distance(&b, &a)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,235 @@
+//! Rule-pair correlation features (§III-A1).
+//!
+//! Given rule A (provider) and rule B (consumer), these features feed the
+//! binary *action-trigger correlation* classifier that decides whether A's
+//! action can trigger B: (i) DTW similarity of verb and object embedding
+//! sequences, (ii) one-hot lexical-relation flags (synonym / hypernym /
+//! meronym / holonym), (iii) sentence-level embedding similarity, plus
+//! channel- and polarity-agreement signals derivable from the lexicon.
+
+use crate::dtw::dtw_similarity;
+use crate::embed::{cosine, SentenceEncoder, WordEmbedder};
+use crate::lexicon::Lexicon;
+use crate::parse::RuleParse;
+
+/// Number of features produced by [`PairFeatureExtractor::pair_features`].
+pub const PAIR_FEATURE_DIM: usize = 12;
+
+/// Names of the features, aligned with the output vector (for reports).
+pub const PAIR_FEATURE_NAMES: [&str; PAIR_FEATURE_DIM] = [
+    "verb_dtw_sim",
+    "object_dtw_sim",
+    "rel_synonym",
+    "rel_hypernym",
+    "rel_meronym",
+    "rel_holonym",
+    "sentence_sim",
+    "channel_match",
+    "polarity_agreement",
+    "state_sim",
+    "location_match",
+    "device_exact_match",
+];
+
+/// Extracts the correlation features for the ordered pair (A.action → B.trigger).
+pub struct PairFeatureExtractor {
+    words: WordEmbedder,
+    sentences: SentenceEncoder,
+}
+
+impl PairFeatureExtractor {
+    pub fn new() -> Self {
+        Self {
+            words: WordEmbedder::new(),
+            sentences: SentenceEncoder::new(),
+        }
+    }
+
+    /// A reduced-dimension extractor for scaled-down experiments.
+    pub fn with_word_dim(dim: usize) -> Self {
+        Self {
+            words: WordEmbedder::with_dim(dim),
+            sentences: SentenceEncoder::with_dims(dim, dim * 2),
+        }
+    }
+
+    /// Computes the [`PAIR_FEATURE_DIM`]-dimensional feature vector.
+    pub fn pair_features(&self, a: &RuleParse, b: &RuleParse, lex: &Lexicon) -> Vec<f64> {
+        let a_act = &a.action;
+        let b_trig = &b.trigger;
+
+        let verb_sim = dtw_similarity(
+            &self.words.embed_sequence(&a_act.verbs, lex),
+            &self.words.embed_sequence(&b_trig.verbs, lex),
+        );
+        let obj_sim = dtw_similarity(
+            &self.words.embed_sequence(&a_act.objects, lex),
+            &self.words.embed_sequence(&b_trig.objects, lex),
+        );
+
+        let mut synonym = 0.0;
+        let mut hypernym = 0.0;
+        let mut meronym = 0.0;
+        let mut holonym = 0.0;
+        for x in &a_act.objects {
+            for y in &b_trig.objects {
+                if lex.are_synonyms(x, y) {
+                    synonym = 1.0;
+                }
+                if lex.is_hypernym(x, y) || lex.is_hypernym(y, x) {
+                    hypernym = 1.0;
+                }
+                if lex.is_meronym(x, y) {
+                    meronym = 1.0;
+                }
+                if lex.is_holonym(x, y) {
+                    holonym = 1.0;
+                }
+            }
+        }
+
+        let sent_a = self.sentences.encode(&a_act.tokens, lex);
+        let sent_b = self.sentences.encode(&b_trig.tokens, lex);
+        let sentence_sim = cosine(&sent_a, &sent_b);
+
+        // Channel match: does any A-action word share a physical channel with
+        // any B-trigger word? This is the physical-interaction signal ("heater
+        // on" can raise "temperature high" triggers).
+        let channels = |ws: &[String]| -> Vec<&'static str> {
+            ws.iter().filter_map(|w| lex.channel_of(w)).collect()
+        };
+        let mut a_channels = channels(&a_act.objects);
+        a_channels.extend(channels(&a_act.states));
+        a_channels.extend(channels(&a_act.verbs));
+        let mut b_channels = channels(&b_trig.objects);
+        b_channels.extend(channels(&b_trig.states));
+        let channel_match = if a_channels.iter().any(|c| b_channels.contains(c)) {
+            1.0
+        } else {
+            0.0
+        };
+
+        // Polarity agreement between A's action words and B's trigger state
+        // words: +1 if aligned, -1 if opposed, 0 if undetermined.
+        let pol = |ws: &[String]| -> i32 { ws.iter().map(|w| lex.polarity(w) as i32).sum() };
+        let pa = pol(&a_act.verbs) + pol(&a_act.states);
+        let pb = pol(&b_trig.states) + pol(&b_trig.verbs);
+        let polarity_agreement = ((pa.signum() * pb.signum()) as f64).clamp(-1.0, 1.0);
+
+        let state_sim = dtw_similarity(
+            &self.words.embed_sequence(&a_act.states, lex),
+            &self.words.embed_sequence(&b_trig.states, lex),
+        );
+
+        // Location agreement: device identity is (kind, location), so an
+        // action can only satisfy a trigger in the same place. A clause with
+        // no location word is location-agnostic (counts as compatible).
+        let location_match = if a_act.locations.is_empty() || b_trig.locations.is_empty() {
+            0.5
+        } else if a_act.locations.iter().any(|l| b_trig.locations.contains(l)) {
+            1.0
+        } else {
+            0.0
+        };
+
+        // Exact device-word overlap between A's action objects and B's
+        // trigger objects (the strongest explicit-correlation signal).
+        let device_exact_match = if a_act.objects.iter().any(|x| b_trig.objects.contains(x)) {
+            1.0
+        } else {
+            0.0
+        };
+
+        vec![
+            verb_sim,
+            obj_sim,
+            synonym,
+            hypernym,
+            meronym,
+            holonym,
+            sentence_sim,
+            channel_match,
+            polarity_agreement,
+            state_sim,
+            location_match,
+            device_exact_match,
+        ]
+    }
+}
+
+impl Default for PairFeatureExtractor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_rule;
+
+    #[test]
+    fn feature_vector_has_declared_dim() {
+        let lex = Lexicon::new();
+        let ex = PairFeatureExtractor::with_word_dim(16);
+        let a = parse_rule("Turn on the heater when it is cold", &lex);
+        let b = parse_rule("Start the fan if temperature is high", &lex);
+        let f = ex.pair_features(&a, &b, &lex);
+        assert_eq!(f.len(), PAIR_FEATURE_DIM);
+        assert!(f.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn matching_pair_scores_higher_than_unrelated() {
+        let lex = Lexicon::new();
+        let ex = PairFeatureExtractor::with_word_dim(32);
+        // A's action (turn on water valve) matches B's trigger (water valve on).
+        let a = parse_rule("Turn on the water valve if smoke is detected", &lex);
+        let b = parse_rule("Send a notification when the water valve is on", &lex);
+        // C's trigger is about a completely different device/channel.
+        let c = parse_rule("Lock the door when the camera is off", &lex);
+        let f_match = ex.pair_features(&a, &b, &lex);
+        let f_unrel = ex.pair_features(&a, &c, &lex);
+        let score = |f: &[f64]| f[1] + f[2] + f[6] + f[7]; // obj sim + synonym + sentence + channel
+        assert!(
+            score(&f_match) > score(&f_unrel),
+            "match {:?} vs unrelated {:?}",
+            f_match,
+            f_unrel
+        );
+    }
+
+    #[test]
+    fn synonym_flag_fires() {
+        let lex = Lexicon::new();
+        let ex = PairFeatureExtractor::with_word_dim(16);
+        let a = parse_rule("Turn on the lamp when motion is detected", &lex);
+        let b = parse_rule("Close the blinds if the bulb is on", &lex);
+        let f = ex.pair_features(&a, &b, &lex);
+        assert_eq!(f[2], 1.0, "lamp/bulb share a synset");
+    }
+
+    #[test]
+    fn channel_match_via_physical_effect() {
+        let lex = Lexicon::new();
+        let ex = PairFeatureExtractor::with_word_dim(16);
+        // heater (temperature channel) -> temperature trigger.
+        let a = parse_rule("Turn on the heater when the user arrives", &lex);
+        let b = parse_rule("Open the window if temperature is high", &lex);
+        let f = ex.pair_features(&a, &b, &lex);
+        assert_eq!(
+            f[7], 1.0,
+            "heater should link to temperature trigger: {f:?}"
+        );
+    }
+
+    #[test]
+    fn polarity_opposition_detected() {
+        let lex = Lexicon::new();
+        let ex = PairFeatureExtractor::with_word_dim(16);
+        let a = parse_rule("Turn off the lights when everyone leaves", &lex);
+        let b = parse_rule("Lock the door when the lights are on", &lex);
+        let f = ex.pair_features(&a, &b, &lex);
+        assert_eq!(f[8], -1.0, "off vs on should oppose: {f:?}");
+    }
+}

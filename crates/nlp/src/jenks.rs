@@ -1,0 +1,164 @@
+//! Jenks natural-breaks classification (Fisher's exact dynamic program).
+//!
+//! §III-A2: sensor readings in event logs are numeric ("humidity is 32") while
+//! app descriptions use logical levels ("humidity is low"). The Jenks
+//! algorithm chooses break points minimizing within-class variance, which the
+//! log cleaner uses to map numeric readings onto logical levels.
+
+/// Computes `k`-class natural breaks for `values`.
+///
+/// Returns the `k - 1` inner break values (upper bounds of the first `k - 1`
+/// classes), in increasing order. Values equal to a break fall in the lower
+/// class.
+///
+/// # Panics
+/// Panics if `k == 0` or `values` is empty.
+pub fn jenks_breaks(values: &[f64], k: usize) -> Vec<f64> {
+    assert!(k >= 1, "jenks: k must be >= 1");
+    assert!(!values.is_empty(), "jenks: empty input");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = sorted.len();
+    let k = k.min(n);
+    if k == 1 {
+        return Vec::new();
+    }
+
+    // Prefix sums for O(1) within-class sum of squared deviations.
+    let mut prefix = vec![0.0; n + 1];
+    let mut prefix_sq = vec![0.0; n + 1];
+    for (i, &v) in sorted.iter().enumerate() {
+        prefix[i + 1] = prefix[i] + v;
+        prefix_sq[i + 1] = prefix_sq[i] + v * v;
+    }
+    // ssd of sorted[i..j] (half-open).
+    let ssd = |i: usize, j: usize| -> f64 {
+        let cnt = (j - i) as f64;
+        if cnt <= 0.0 {
+            return 0.0;
+        }
+        let sum = prefix[j] - prefix[i];
+        (prefix_sq[j] - prefix_sq[i]) - sum * sum / cnt
+    };
+
+    // dp[c][j] = min total ssd splitting sorted[0..j] into c classes.
+    const INF: f64 = f64::INFINITY;
+    let mut dp = vec![vec![INF; n + 1]; k + 1];
+    let mut cut = vec![vec![0usize; n + 1]; k + 1];
+    dp[0][0] = 0.0;
+    for c in 1..=k {
+        for j in c..=n {
+            for i in (c - 1)..j {
+                if dp[c - 1][i].is_finite() {
+                    let cand = dp[c - 1][i] + ssd(i, j);
+                    if cand < dp[c][j] {
+                        dp[c][j] = cand;
+                        cut[c][j] = i;
+                    }
+                }
+            }
+        }
+    }
+
+    // Walk back the cut positions -> break values.
+    let mut breaks = Vec::with_capacity(k - 1);
+    let mut j = n;
+    for c in (2..=k).rev() {
+        let i = cut[c][j];
+        breaks.push(sorted[i - 1]);
+        j = i;
+    }
+    breaks.reverse();
+    breaks
+}
+
+/// Classifies `value` against breaks produced by [`jenks_breaks`]: returns the
+/// class index in `0..k`.
+pub fn classify(value: f64, breaks: &[f64]) -> usize {
+    breaks.iter().take_while(|&&b| value > b).count()
+}
+
+/// Maps a class index to the logical level names used in rule descriptions.
+pub fn level_name(class: usize, k: usize) -> &'static str {
+    match (k, class) {
+        (2, 0) => "low",
+        (2, _) => "high",
+        (3, 0) => "low",
+        (3, 1) => "medium",
+        (3, _) => "high",
+        _ => {
+            const NAMES: &[&str] = &["very_low", "low", "medium", "high", "very_high"];
+            NAMES[class.min(NAMES.len() - 1)]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_well_separated_clusters() {
+        let vals = [1.0, 2.0, 1.5, 30.0, 31.0, 29.5];
+        let breaks = jenks_breaks(&vals, 2);
+        assert_eq!(breaks.len(), 1);
+        assert!(breaks[0] >= 2.0 && breaks[0] < 29.5, "break {}", breaks[0]);
+        assert_eq!(classify(1.0, &breaks), 0);
+        assert_eq!(classify(30.0, &breaks), 1);
+    }
+
+    #[test]
+    fn three_clusters() {
+        let vals = [1.0, 1.2, 10.0, 10.5, 11.0, 50.0, 51.0];
+        let breaks = jenks_breaks(&vals, 3);
+        assert_eq!(breaks.len(), 2);
+        assert_eq!(classify(1.1, &breaks), 0);
+        assert_eq!(classify(10.2, &breaks), 1);
+        assert_eq!(classify(50.5, &breaks), 2);
+    }
+
+    #[test]
+    fn k_one_has_no_breaks() {
+        assert!(jenks_breaks(&[1.0, 2.0, 3.0], 1).is_empty());
+    }
+
+    #[test]
+    fn k_clamped_to_n() {
+        let breaks = jenks_breaks(&[5.0, 1.0], 10);
+        assert_eq!(breaks.len(), 1);
+        assert_eq!(classify(1.0, &breaks), 0);
+        assert_eq!(classify(5.0, &breaks), 1);
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_input() {
+        // Brute-force the optimal 2-class split and compare total SSD.
+        let vals = [2.0, 4.0, 7.0, 9.0, 15.0, 16.0];
+        let ssd = |xs: &[f64]| {
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>()
+        };
+        let mut best = f64::INFINITY;
+        for split in 1..vals.len() {
+            best = best.min(ssd(&vals[..split]) + ssd(&vals[split..]));
+        }
+        let breaks = jenks_breaks(&vals, 2);
+        let split = vals.iter().position(|&v| v > breaks[0]).unwrap();
+        let got = ssd(&vals[..split]) + ssd(&vals[split..]);
+        assert!((got - best).abs() < 1e-9, "got {got}, best {best}");
+    }
+
+    #[test]
+    fn level_names() {
+        assert_eq!(level_name(0, 2), "low");
+        assert_eq!(level_name(1, 2), "high");
+        assert_eq!(level_name(1, 3), "medium");
+    }
+
+    #[test]
+    fn constant_input_is_stable() {
+        let breaks = jenks_breaks(&[5.0; 8], 3);
+        // All values identical: classification must put everything in one class.
+        assert_eq!(classify(5.0, &breaks), 0);
+    }
+}

@@ -1,0 +1,1187 @@
+//! Closed-world IoT lexicon.
+//!
+//! The paper relies on spaCy's general-English model plus WordNet-style
+//! lexical relations (synonym / hypernym / meronym / holonym) to compute the
+//! causal-relation features of §III-A1. Smart-home rule language is a narrow
+//! domain, so we substitute a curated lexicon covering the device, action,
+//! state, and environment vocabulary that the five platforms' rule corpora
+//! use, together with the lexical relations the feature extractor consults.
+
+use std::collections::HashMap;
+
+/// Part-of-speech tags (a compact subset of the Universal POS tag set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PosTag {
+    Noun,
+    Verb,
+    Adjective,
+    Adverb,
+    Determiner,
+    Preposition,
+    Pronoun,
+    Conjunction,
+    Number,
+    Particle,
+    Other,
+}
+
+/// Coarse semantic class of a lexicon word; drives the structured part of the
+/// word embeddings so that related words land near each other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SemanticClass {
+    /// Actuating device ("light", "valve", "lock").
+    Device,
+    /// Sensing device ("sensor", "detector").
+    Sensor,
+    /// Command / action verb ("turn", "open", "notify").
+    ActionVerb,
+    /// Perception verb ("detect", "sense").
+    SenseVerb,
+    /// Device or environment state ("on", "locked", "wet").
+    State,
+    /// Physical channel ("temperature", "smoke", "motion").
+    Channel,
+    /// Location ("kitchen", "garage").
+    Location,
+    /// Anything else.
+    General,
+}
+
+/// One lexicon entry.
+#[derive(Debug, Clone)]
+pub struct LexEntry {
+    pub pos: PosTag,
+    pub class: SemanticClass,
+    /// Synonym-set id; words sharing a synset are interchangeable.
+    pub synset: Option<usize>,
+    /// Hypernym (is-a parent), e.g. "lamp" -> "device".
+    pub hypernym: Option<&'static str>,
+    /// Holonym (whole this word is part of), e.g. "kitchen" -> "house".
+    pub holonym: Option<&'static str>,
+    /// Polarity for state/action words: +1 activating, -1 deactivating, 0 neutral.
+    pub polarity: i8,
+    /// Physical channel this word is semantically bound to, if any.
+    pub channel: Option<&'static str>,
+}
+
+/// The IoT domain lexicon: word metadata plus lexical-relation queries.
+pub struct Lexicon {
+    entries: HashMap<&'static str, LexEntry>,
+    /// Known two-word collocations merged into single tokens at tokenization
+    /// time, e.g. ("water", "valve") -> "water_valve".
+    collocations: HashMap<(&'static str, &'static str), &'static str>,
+}
+
+/// Builder row: (word, pos, class, synset, hypernym, holonym, polarity, channel).
+type Row = (
+    &'static str,
+    PosTag,
+    SemanticClass,
+    Option<usize>,
+    Option<&'static str>,
+    Option<&'static str>,
+    i8,
+    Option<&'static str>,
+);
+
+impl Lexicon {
+    /// Builds the full smart-home lexicon. Cheap enough to construct on demand;
+    /// share one instance per pipeline where convenient.
+    pub fn new() -> Self {
+        use PosTag::*;
+        use SemanticClass::*;
+        // Synset ids:
+        // 0: start-like verbs   1: stop-like verbs     2: enable-like verbs
+        // 3: disable-like verbs 4: light-like nouns    5: detect-like verbs
+        // 6: notify-like verbs  7: open-like verbs     8: close-like verbs
+        // 9: plug-like nouns   10: hot-like states    11: cold-like states
+        // 12: on-like states   13: off-like states    14: record-like verbs
+        const ROWS: &[Row] = &[
+            // ------------------------------------------------ actuator devices
+            (
+                "light",
+                Noun,
+                Device,
+                Some(4),
+                Some("device"),
+                Some("room"),
+                0,
+                Some("illuminance"),
+            ),
+            (
+                "lamp",
+                Noun,
+                Device,
+                Some(4),
+                Some("device"),
+                Some("room"),
+                0,
+                Some("illuminance"),
+            ),
+            (
+                "bulb",
+                Noun,
+                Device,
+                Some(4),
+                Some("device"),
+                Some("room"),
+                0,
+                Some("illuminance"),
+            ),
+            (
+                "switch",
+                Noun,
+                Device,
+                None,
+                Some("device"),
+                Some("room"),
+                0,
+                Some("power"),
+            ),
+            (
+                "plug",
+                Noun,
+                Device,
+                Some(9),
+                Some("device"),
+                Some("room"),
+                0,
+                Some("power"),
+            ),
+            (
+                "outlet",
+                Noun,
+                Device,
+                Some(9),
+                Some("device"),
+                Some("room"),
+                0,
+                Some("power"),
+            ),
+            (
+                "camera",
+                Noun,
+                Device,
+                None,
+                Some("device"),
+                Some("room"),
+                0,
+                None,
+            ),
+            (
+                "door",
+                Noun,
+                Device,
+                None,
+                Some("device"),
+                Some("house"),
+                0,
+                None,
+            ),
+            (
+                "lock",
+                Noun,
+                Device,
+                None,
+                Some("device"),
+                Some("door"),
+                0,
+                None,
+            ),
+            (
+                "window",
+                Noun,
+                Device,
+                None,
+                Some("device"),
+                Some("room"),
+                0,
+                None,
+            ),
+            (
+                "blind",
+                Noun,
+                Device,
+                None,
+                Some("device"),
+                Some("window"),
+                0,
+                Some("illuminance"),
+            ),
+            (
+                "shade",
+                Noun,
+                Device,
+                None,
+                Some("device"),
+                Some("window"),
+                0,
+                Some("illuminance"),
+            ),
+            (
+                "curtain",
+                Noun,
+                Device,
+                None,
+                Some("device"),
+                Some("window"),
+                0,
+                Some("illuminance"),
+            ),
+            (
+                "thermostat",
+                Noun,
+                Device,
+                None,
+                Some("device"),
+                Some("room"),
+                0,
+                Some("temperature"),
+            ),
+            (
+                "heater",
+                Noun,
+                Device,
+                None,
+                Some("device"),
+                Some("room"),
+                0,
+                Some("temperature"),
+            ),
+            (
+                "air_conditioner",
+                Noun,
+                Device,
+                None,
+                Some("device"),
+                Some("room"),
+                0,
+                Some("temperature"),
+            ),
+            (
+                "fan",
+                Noun,
+                Device,
+                None,
+                Some("device"),
+                Some("room"),
+                0,
+                Some("temperature"),
+            ),
+            (
+                "humidifier",
+                Noun,
+                Device,
+                None,
+                Some("device"),
+                Some("room"),
+                0,
+                Some("humidity"),
+            ),
+            (
+                "dehumidifier",
+                Noun,
+                Device,
+                None,
+                Some("device"),
+                Some("room"),
+                0,
+                Some("humidity"),
+            ),
+            (
+                "water_valve",
+                Noun,
+                Device,
+                None,
+                Some("device"),
+                Some("house"),
+                0,
+                Some("water"),
+            ),
+            (
+                "valve",
+                Noun,
+                Device,
+                None,
+                Some("device"),
+                Some("house"),
+                0,
+                Some("water"),
+            ),
+            (
+                "sprinkler",
+                Noun,
+                Device,
+                None,
+                Some("device"),
+                Some("garden"),
+                0,
+                Some("water"),
+            ),
+            (
+                "faucet",
+                Noun,
+                Device,
+                None,
+                Some("device"),
+                Some("kitchen"),
+                0,
+                Some("water"),
+            ),
+            (
+                "alarm",
+                Noun,
+                Device,
+                None,
+                Some("device"),
+                Some("house"),
+                0,
+                Some("sound"),
+            ),
+            (
+                "siren",
+                Noun,
+                Device,
+                None,
+                Some("device"),
+                Some("house"),
+                0,
+                Some("sound"),
+            ),
+            (
+                "speaker",
+                Noun,
+                Device,
+                None,
+                Some("device"),
+                Some("room"),
+                0,
+                Some("sound"),
+            ),
+            (
+                "tv",
+                Noun,
+                Device,
+                None,
+                Some("device"),
+                Some("room"),
+                0,
+                Some("sound"),
+            ),
+            (
+                "oven",
+                Noun,
+                Device,
+                None,
+                Some("device"),
+                Some("kitchen"),
+                0,
+                Some("temperature"),
+            ),
+            (
+                "stove",
+                Noun,
+                Device,
+                None,
+                Some("device"),
+                Some("kitchen"),
+                0,
+                Some("temperature"),
+            ),
+            (
+                "coffee_maker",
+                Noun,
+                Device,
+                None,
+                Some("device"),
+                Some("kitchen"),
+                0,
+                None,
+            ),
+            (
+                "washer",
+                Noun,
+                Device,
+                None,
+                Some("device"),
+                Some("house"),
+                0,
+                Some("water"),
+            ),
+            (
+                "dryer",
+                Noun,
+                Device,
+                None,
+                Some("device"),
+                Some("house"),
+                0,
+                Some("temperature"),
+            ),
+            (
+                "vacuum",
+                Noun,
+                Device,
+                None,
+                Some("device"),
+                Some("house"),
+                0,
+                Some("sound"),
+            ),
+            (
+                "doorbell",
+                Noun,
+                Device,
+                None,
+                Some("device"),
+                Some("door"),
+                0,
+                Some("sound"),
+            ),
+            (
+                "garage_door",
+                Noun,
+                Device,
+                None,
+                Some("device"),
+                Some("garage"),
+                0,
+                None,
+            ),
+            (
+                "heating",
+                Noun,
+                Device,
+                None,
+                Some("device"),
+                Some("house"),
+                0,
+                Some("temperature"),
+            ),
+            (
+                "ventilation",
+                Noun,
+                Device,
+                None,
+                Some("device"),
+                Some("house"),
+                0,
+                Some("humidity"),
+            ),
+            ("device", Noun, Device, None, None, Some("house"), 0, None),
+            // ------------------------------------------------------- sensors
+            (
+                "sensor",
+                Noun,
+                Sensor,
+                None,
+                Some("device"),
+                Some("room"),
+                0,
+                None,
+            ),
+            (
+                "detector",
+                Noun,
+                Sensor,
+                None,
+                Some("sensor"),
+                Some("room"),
+                0,
+                None,
+            ),
+            (
+                "motion_sensor",
+                Noun,
+                Sensor,
+                None,
+                Some("sensor"),
+                Some("room"),
+                0,
+                Some("motion"),
+            ),
+            (
+                "contact_sensor",
+                Noun,
+                Sensor,
+                None,
+                Some("sensor"),
+                Some("door"),
+                0,
+                None,
+            ),
+            (
+                "smoke_detector",
+                Noun,
+                Sensor,
+                None,
+                Some("sensor"),
+                Some("room"),
+                0,
+                Some("smoke"),
+            ),
+            (
+                "co_detector",
+                Noun,
+                Sensor,
+                None,
+                Some("sensor"),
+                Some("room"),
+                0,
+                Some("co"),
+            ),
+            (
+                "leak_sensor",
+                Noun,
+                Sensor,
+                None,
+                Some("sensor"),
+                Some("kitchen"),
+                0,
+                Some("water"),
+            ),
+            (
+                "presence_sensor",
+                Noun,
+                Sensor,
+                None,
+                Some("sensor"),
+                Some("house"),
+                0,
+                Some("motion"),
+            ),
+            (
+                "button",
+                Noun,
+                Sensor,
+                None,
+                Some("device"),
+                Some("room"),
+                0,
+                None,
+            ),
+            // ------------------------------------------------ channel nouns
+            ("motion", Noun, Channel, None, None, None, 0, Some("motion")),
+            (
+                "smoke",
+                Noun,
+                Channel,
+                None,
+                Some("hazard"),
+                None,
+                0,
+                Some("smoke"),
+            ),
+            (
+                "co",
+                Noun,
+                Channel,
+                None,
+                Some("hazard"),
+                None,
+                0,
+                Some("co"),
+            ),
+            (
+                "fire",
+                Noun,
+                Channel,
+                None,
+                Some("hazard"),
+                None,
+                0,
+                Some("smoke"),
+            ),
+            (
+                "temperature",
+                Noun,
+                Channel,
+                None,
+                None,
+                None,
+                0,
+                Some("temperature"),
+            ),
+            (
+                "humidity",
+                Noun,
+                Channel,
+                None,
+                None,
+                None,
+                0,
+                Some("humidity"),
+            ),
+            (
+                "illuminance",
+                Noun,
+                Channel,
+                None,
+                None,
+                None,
+                0,
+                Some("illuminance"),
+            ),
+            (
+                "brightness",
+                Noun,
+                Channel,
+                None,
+                None,
+                None,
+                0,
+                Some("illuminance"),
+            ),
+            ("sound", Noun, Channel, None, None, None, 0, Some("sound")),
+            ("noise", Noun, Channel, None, None, None, 0, Some("sound")),
+            ("water", Noun, Channel, None, None, None, 0, Some("water")),
+            (
+                "leak",
+                Noun,
+                Channel,
+                None,
+                Some("hazard"),
+                None,
+                0,
+                Some("water"),
+            ),
+            ("power", Noun, Channel, None, None, None, 0, Some("power")),
+            ("energy", Noun, Channel, None, None, None, 0, Some("power")),
+            (
+                "presence",
+                Noun,
+                Channel,
+                None,
+                None,
+                None,
+                0,
+                Some("motion"),
+            ),
+            ("hazard", Noun, Channel, None, None, None, 0, None),
+            // ---------------------------------------------------- locations
+            ("home", Noun, Location, None, None, None, 0, None),
+            ("house", Noun, Location, None, Some("home"), None, 0, None),
+            ("room", Noun, Location, None, None, Some("house"), 0, None),
+            (
+                "kitchen",
+                Noun,
+                Location,
+                None,
+                Some("room"),
+                Some("house"),
+                0,
+                None,
+            ),
+            (
+                "bedroom",
+                Noun,
+                Location,
+                None,
+                Some("room"),
+                Some("house"),
+                0,
+                None,
+            ),
+            (
+                "bathroom",
+                Noun,
+                Location,
+                None,
+                Some("room"),
+                Some("house"),
+                0,
+                None,
+            ),
+            (
+                "living_room",
+                Noun,
+                Location,
+                None,
+                Some("room"),
+                Some("house"),
+                0,
+                None,
+            ),
+            (
+                "hallway",
+                Noun,
+                Location,
+                None,
+                Some("room"),
+                Some("house"),
+                0,
+                None,
+            ),
+            (
+                "garage",
+                Noun,
+                Location,
+                None,
+                Some("room"),
+                Some("house"),
+                0,
+                None,
+            ),
+            ("garden", Noun, Location, None, None, Some("house"), 0, None),
+            (
+                "basement",
+                Noun,
+                Location,
+                None,
+                Some("room"),
+                Some("house"),
+                0,
+                None,
+            ),
+            // -------------------------------------------------- action verbs
+            ("turn", Verb, ActionVerb, None, None, None, 0, None),
+            ("switch", Verb, ActionVerb, None, None, None, 0, None),
+            ("set", Verb, ActionVerb, None, None, None, 0, None),
+            ("adjust", Verb, ActionVerb, None, None, None, 0, None),
+            ("open", Verb, ActionVerb, Some(7), None, None, 1, None),
+            ("unlock", Verb, ActionVerb, Some(7), None, None, 1, None),
+            ("raise", Verb, ActionVerb, Some(7), None, None, 1, None),
+            ("close", Verb, ActionVerb, Some(8), None, None, -1, None),
+            ("shut", Verb, ActionVerb, Some(8), None, None, -1, None),
+            ("lock", Verb, ActionVerb, Some(8), None, None, -1, None),
+            ("lower", Verb, ActionVerb, Some(8), None, None, -1, None),
+            ("start", Verb, ActionVerb, Some(0), None, None, 1, None),
+            ("begin", Verb, ActionVerb, Some(0), None, None, 1, None),
+            ("run", Verb, ActionVerb, Some(0), None, None, 1, None),
+            ("launch", Verb, ActionVerb, Some(0), None, None, 1, None),
+            ("stop", Verb, ActionVerb, Some(1), None, None, -1, None),
+            ("halt", Verb, ActionVerb, Some(1), None, None, -1, None),
+            ("pause", Verb, ActionVerb, Some(1), None, None, -1, None),
+            ("enable", Verb, ActionVerb, Some(2), None, None, 1, None),
+            ("activate", Verb, ActionVerb, Some(2), None, None, 1, None),
+            ("arm", Verb, ActionVerb, Some(2), None, None, 1, None),
+            ("disable", Verb, ActionVerb, Some(3), None, None, -1, None),
+            (
+                "deactivate",
+                Verb,
+                ActionVerb,
+                Some(3),
+                None,
+                None,
+                -1,
+                None,
+            ),
+            ("disarm", Verb, ActionVerb, Some(3), None, None, -1, None),
+            (
+                "dim",
+                Verb,
+                ActionVerb,
+                None,
+                None,
+                None,
+                -1,
+                Some("illuminance"),
+            ),
+            (
+                "brighten",
+                Verb,
+                ActionVerb,
+                None,
+                None,
+                None,
+                1,
+                Some("illuminance"),
+            ),
+            ("notify", Verb, ActionVerb, Some(6), None, None, 0, None),
+            ("alert", Verb, ActionVerb, Some(6), None, None, 0, None),
+            ("send", Verb, ActionVerb, Some(6), None, None, 0, None),
+            ("text", Verb, ActionVerb, Some(6), None, None, 0, None),
+            ("record", Verb, ActionVerb, Some(14), None, None, 0, None),
+            ("log", Verb, ActionVerb, Some(14), None, None, 0, None),
+            ("beep", Verb, ActionVerb, None, None, None, 1, Some("sound")),
+            ("tap", Verb, ActionVerb, None, None, None, 0, None),
+            ("connect", Verb, ActionVerb, None, None, None, 1, None),
+            // ------------------------------------------------- sense verbs
+            ("detect", Verb, SenseVerb, Some(5), None, None, 0, None),
+            ("sense", Verb, SenseVerb, Some(5), None, None, 0, None),
+            ("observe", Verb, SenseVerb, Some(5), None, None, 0, None),
+            ("report", Verb, SenseVerb, None, None, None, 0, None),
+            ("reach", Verb, SenseVerb, None, None, None, 0, None),
+            ("exceed", Verb, SenseVerb, None, None, None, 0, None),
+            ("drop", Verb, SenseVerb, None, None, None, 0, None),
+            ("rise", Verb, SenseVerb, None, None, None, 0, None),
+            ("arrive", Verb, SenseVerb, None, None, None, 0, None),
+            ("leave", Verb, SenseVerb, None, None, None, 0, None),
+            // ------------------------------------------------------- states
+            (
+                "on",
+                Adjective,
+                State,
+                Some(12),
+                None,
+                None,
+                1,
+                Some("power"),
+            ),
+            (
+                "off",
+                Adjective,
+                State,
+                Some(13),
+                None,
+                None,
+                -1,
+                Some("power"),
+            ),
+            ("active", Adjective, State, Some(12), None, None, 1, None),
+            ("inactive", Adjective, State, Some(13), None, None, -1, None),
+            ("opened", Adjective, State, None, None, None, 1, None),
+            ("closed", Adjective, State, None, None, None, -1, None),
+            ("locked", Adjective, State, None, None, None, -1, None),
+            ("unlocked", Adjective, State, None, None, None, 1, None),
+            (
+                "hot",
+                Adjective,
+                State,
+                Some(10),
+                None,
+                None,
+                1,
+                Some("temperature"),
+            ),
+            (
+                "warm",
+                Adjective,
+                State,
+                Some(10),
+                None,
+                None,
+                1,
+                Some("temperature"),
+            ),
+            (
+                "cold",
+                Adjective,
+                State,
+                Some(11),
+                None,
+                None,
+                -1,
+                Some("temperature"),
+            ),
+            (
+                "cool",
+                Adjective,
+                State,
+                Some(11),
+                None,
+                None,
+                -1,
+                Some("temperature"),
+            ),
+            ("high", Adjective, State, None, None, None, 1, None),
+            ("low", Adjective, State, None, None, None, -1, None),
+            ("wet", Adjective, State, None, None, None, 1, Some("water")),
+            ("dry", Adjective, State, None, None, None, -1, Some("water")),
+            (
+                "bright",
+                Adjective,
+                State,
+                None,
+                None,
+                None,
+                1,
+                Some("illuminance"),
+            ),
+            (
+                "dark",
+                Adjective,
+                State,
+                None,
+                None,
+                None,
+                -1,
+                Some("illuminance"),
+            ),
+            (
+                "present",
+                Adjective,
+                State,
+                None,
+                None,
+                None,
+                1,
+                Some("motion"),
+            ),
+            (
+                "away",
+                Adjective,
+                State,
+                None,
+                None,
+                None,
+                -1,
+                Some("motion"),
+            ),
+            // --------------------------------------------------- function words
+            ("the", Determiner, General, None, None, None, 0, None),
+            ("a", Determiner, General, None, None, None, 0, None),
+            ("an", Determiner, General, None, None, None, 0, None),
+            ("all", Determiner, General, None, None, None, 0, None),
+            ("any", Determiner, General, None, None, None, 0, None),
+            ("if", Conjunction, General, None, None, None, 0, None),
+            ("when", Conjunction, General, None, None, None, 0, None),
+            ("while", Conjunction, General, None, None, None, 0, None),
+            ("then", Conjunction, General, None, None, None, 0, None),
+            ("and", Conjunction, General, None, None, None, 0, None),
+            ("or", Conjunction, General, None, None, None, 0, None),
+            ("in", Preposition, General, None, None, None, 0, None),
+            ("on_prep", Preposition, General, None, None, None, 0, None),
+            ("at", Preposition, General, None, None, None, 0, None),
+            ("to", Preposition, General, None, None, None, 0, None),
+            ("of", Preposition, General, None, None, None, 0, None),
+            ("is", Verb, General, None, None, None, 0, None),
+            ("are", Verb, General, None, None, None, 0, None),
+            ("gets", Verb, General, None, None, None, 0, None),
+            ("me", Pronoun, General, None, None, None, 0, None),
+            ("my", Pronoun, General, None, None, None, 0, None),
+            ("user", Noun, General, None, None, None, 0, None),
+            ("it", Pronoun, General, None, None, None, 0, None),
+            ("alexa", Noun, General, None, None, None, 0, None),
+            ("wifi", Noun, General, None, None, None, 0, None),
+            ("notification", Noun, General, None, None, None, 0, None),
+            ("message", Noun, General, None, None, None, 0, None),
+            ("spreadsheet", Noun, General, None, None, None, 0, None),
+            ("mode", Noun, General, None, None, None, 0, None),
+        ];
+
+        let mut entries = HashMap::with_capacity(ROWS.len());
+        for &(word, pos, class, synset, hyper, holo, polarity, channel) in ROWS {
+            entries.insert(
+                word,
+                LexEntry {
+                    pos,
+                    class,
+                    synset,
+                    hypernym: hyper,
+                    holonym: holo,
+                    polarity,
+                    channel,
+                },
+            );
+        }
+
+        let mut collocations = HashMap::new();
+        for &(a, b, merged) in &[
+            ("water", "valve", "water_valve"),
+            ("air", "conditioner", "air_conditioner"),
+            ("garage", "door", "garage_door"),
+            ("living", "room", "living_room"),
+            ("motion", "sensor", "motion_sensor"),
+            ("contact", "sensor", "contact_sensor"),
+            ("smoke", "detector", "smoke_detector"),
+            ("smoke", "alarm", "smoke_detector"),
+            ("co", "detector", "co_detector"),
+            ("leak", "sensor", "leak_sensor"),
+            ("water_leak", "sensor", "leak_sensor"),
+            ("water", "leak", "water_leak"),
+            ("presence", "sensor", "presence_sensor"),
+            ("coffee", "maker", "coffee_maker"),
+        ] {
+            collocations.insert((a, b), merged);
+        }
+        // "water_leak" itself needs an entry (merged twice: water leak sensor).
+        entries.insert(
+            "water_leak",
+            LexEntry {
+                pos: PosTag::Noun,
+                class: SemanticClass::Channel,
+                synset: None,
+                hypernym: Some("hazard"),
+                holonym: None,
+                polarity: 0,
+                channel: Some("water"),
+            },
+        );
+
+        Self {
+            entries,
+            collocations,
+        }
+    }
+
+    /// Looks a word up; `None` for out-of-vocabulary words.
+    pub fn get(&self, word: &str) -> Option<&LexEntry> {
+        self.entries.get(word)
+    }
+
+    /// Attempts to merge the bigram `(a, b)` into a known collocation token.
+    pub fn merge_collocation(&self, a: &str, b: &str) -> Option<&'static str> {
+        self.collocations
+            .get(&(leak_static(a)?, leak_static(b)?))
+            .copied()
+    }
+
+    /// All known vocabulary words (for corpus generation and tests).
+    pub fn words(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.entries.keys().copied()
+    }
+
+    /// True if the two words share a synset.
+    pub fn are_synonyms(&self, a: &str, b: &str) -> bool {
+        if a == b {
+            return true;
+        }
+        match (
+            self.get(a).and_then(|e| e.synset),
+            self.get(b).and_then(|e| e.synset),
+        ) {
+            (Some(x), Some(y)) => x == y,
+            _ => false,
+        }
+    }
+
+    /// True if `a` is a hyponym of `b` (i.e. `b` is a hypernym of `a`),
+    /// following the hypernym chain transitively.
+    pub fn is_hypernym(&self, a: &str, b: &str) -> bool {
+        let mut cur = a;
+        for _ in 0..8 {
+            match self.get(cur).and_then(|e| e.hypernym) {
+                Some(h) if h == b => return true,
+                Some(h) => cur = h,
+                None => return false,
+            }
+        }
+        false
+    }
+
+    /// True if `a` is a meronym of `b` (a is part of b), via the holonym link.
+    pub fn is_meronym(&self, a: &str, b: &str) -> bool {
+        let mut cur = a;
+        for _ in 0..8 {
+            match self.get(cur).and_then(|e| e.holonym) {
+                Some(h) if h == b => return true,
+                Some(h) => cur = h,
+                None => return false,
+            }
+        }
+        false
+    }
+
+    /// True if `a` is a holonym of `b` (b is part of a).
+    pub fn is_holonym(&self, a: &str, b: &str) -> bool {
+        self.is_meronym(b, a)
+    }
+
+    /// The physical channel a word is bound to, if any.
+    pub fn channel_of(&self, word: &str) -> Option<&'static str> {
+        self.get(word).and_then(|e| e.channel)
+    }
+
+    /// Polarity of a word (+1 activating, -1 deactivating, 0 neutral/unknown).
+    pub fn polarity(&self, word: &str) -> i8 {
+        self.get(word).map_or(0, |e| e.polarity)
+    }
+}
+
+impl Default for Lexicon {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Maps a borrowed `&str` back to the `'static` key used in the collocation
+/// table. Only words already present in the table resolve.
+fn leak_static(s: &str) -> Option<&'static str> {
+    // The collocation table is small; linear scan over its keys.
+    const KEYS: &[&str] = &[
+        "water",
+        "valve",
+        "air",
+        "conditioner",
+        "garage",
+        "door",
+        "living",
+        "room",
+        "motion",
+        "sensor",
+        "contact",
+        "smoke",
+        "detector",
+        "alarm",
+        "co",
+        "leak",
+        "water_leak",
+        "presence",
+        "coffee",
+        "maker",
+    ];
+    KEYS.iter().find(|&&k| k == s).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_basic_words() {
+        let lex = Lexicon::new();
+        assert_eq!(lex.get("light").unwrap().pos, PosTag::Noun);
+        assert_eq!(lex.get("turn").unwrap().pos, PosTag::Verb);
+        assert!(lex.get("zzz_unknown").is_none());
+    }
+
+    #[test]
+    fn synonyms_symmetric() {
+        let lex = Lexicon::new();
+        assert!(lex.are_synonyms("start", "begin"));
+        assert!(lex.are_synonyms("begin", "start"));
+        assert!(lex.are_synonyms("lamp", "bulb"));
+        assert!(!lex.are_synonyms("start", "stop"));
+        assert!(lex.are_synonyms("light", "light"));
+    }
+
+    #[test]
+    fn hypernym_transitive() {
+        let lex = Lexicon::new();
+        assert!(lex.is_hypernym("lamp", "device"));
+        assert!(
+            lex.is_hypernym("motion_sensor", "device"),
+            "sensor -> device chain"
+        );
+        assert!(!lex.is_hypernym("device", "lamp"));
+    }
+
+    #[test]
+    fn meronym_holonym_inverse() {
+        let lex = Lexicon::new();
+        assert!(lex.is_meronym("kitchen", "house"));
+        assert!(lex.is_holonym("house", "kitchen"));
+        assert!(!lex.is_meronym("house", "kitchen"));
+    }
+
+    #[test]
+    fn collocations_merge() {
+        let lex = Lexicon::new();
+        assert_eq!(lex.merge_collocation("water", "valve"), Some("water_valve"));
+        assert_eq!(
+            lex.merge_collocation("air", "conditioner"),
+            Some("air_conditioner")
+        );
+        assert_eq!(lex.merge_collocation("water", "door"), None);
+    }
+
+    #[test]
+    fn channels_and_polarity() {
+        let lex = Lexicon::new();
+        assert_eq!(lex.channel_of("heater"), Some("temperature"));
+        assert_eq!(lex.channel_of("smoke"), Some("smoke"));
+        assert_eq!(lex.polarity("on"), 1);
+        assert_eq!(lex.polarity("off"), -1);
+        assert_eq!(lex.polarity("the"), 0);
+    }
+
+    #[test]
+    fn open_close_are_antonym_synsets() {
+        let lex = Lexicon::new();
+        assert!(lex.are_synonyms("open", "unlock"));
+        assert!(lex.are_synonyms("close", "lock"));
+        assert!(!lex.are_synonyms("open", "close"));
+        assert_eq!(lex.polarity("open") * lex.polarity("close"), -1);
+    }
+}

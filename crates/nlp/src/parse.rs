@@ -1,0 +1,185 @@
+//! Shallow dependency-style parsing of automation rules.
+//!
+//! Mirrors §III-A1: split a rule sentence into its *trigger* and *action*
+//! clauses, then extract the root verbs, device objects, state words, and
+//! locations of each clause. Named locations are kept separately and excluded
+//! from the object list (the paper eliminates named entities because the same
+//! entity might modify two distinct objects).
+
+use crate::lexicon::{Lexicon, PosTag, SemanticClass};
+use crate::tokenize::{analyze, Token};
+
+/// One clause (trigger or action) with its extracted linguistic elements.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Clause {
+    /// The clause's tokens, in order.
+    pub tokens: Vec<String>,
+    /// Main verbs (root verb first).
+    pub verbs: Vec<String>,
+    /// Device / sensor / channel nouns acting as objects or subjects.
+    pub objects: Vec<String>,
+    /// State adjectives ("on", "locked", "wet").
+    pub states: Vec<String>,
+    /// Location nouns (named entities, excluded from `objects`).
+    pub locations: Vec<String>,
+}
+
+/// A parsed trigger-action rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuleParse {
+    pub trigger: Clause,
+    pub action: Clause,
+}
+
+/// Parses a rule description into trigger and action clauses.
+///
+/// The splitter understands the dominant phrasings in the five platforms'
+/// corpora: `<action> if/when/while <trigger>`, `if/when <trigger>, <action>`,
+/// and `if/when <trigger> then <action>`. A sentence with no conditional
+/// marker is treated as action-only (common for voice-assistant commands).
+pub fn parse_rule(text: &str, lex: &Lexicon) -> RuleParse {
+    let tokens = analyze(text, lex);
+    let marker = tokens
+        .iter()
+        .position(|t| matches!(t.text.as_str(), "if" | "when" | "while"));
+
+    let (trigger_toks, action_toks): (Vec<Token>, Vec<Token>) = match marker {
+        Some(0) => {
+            // "if <trigger> then <action>" or "if <trigger>, <action>".
+            let rest = &tokens[1..];
+            if let Some(then_pos) = rest.iter().position(|t| t.text == "then") {
+                (rest[..then_pos].to_vec(), rest[then_pos + 1..].to_vec())
+            } else if let Some(split) = clause_boundary(rest, lex) {
+                (rest[..split].to_vec(), rest[split..].to_vec())
+            } else {
+                (rest.to_vec(), Vec::new())
+            }
+        }
+        Some(pos) => {
+            // "<action> if <trigger>".
+            (tokens[pos + 1..].to_vec(), tokens[..pos].to_vec())
+        }
+        None => (Vec::new(), tokens),
+    };
+
+    RuleParse {
+        trigger: extract_clause(&trigger_toks, lex),
+        action: extract_clause(&action_toks, lex),
+    }
+}
+
+/// For `if <trigger> <action...>` without an explicit "then": find the start
+/// of the action clause — the first action verb after a sense/state pattern.
+fn clause_boundary(tokens: &[Token], lex: &Lexicon) -> Option<usize> {
+    let mut seen_content = false;
+    for (i, t) in tokens.iter().enumerate() {
+        let class = lex.get(&t.text).map(|e| e.class);
+        if seen_content && i > 0 && class == Some(SemanticClass::ActionVerb) {
+            return Some(i);
+        }
+        if matches!(
+            class,
+            Some(
+                SemanticClass::Device
+                    | SemanticClass::Sensor
+                    | SemanticClass::Channel
+                    | SemanticClass::State
+            )
+        ) || matches!(class, Some(SemanticClass::SenseVerb))
+        {
+            seen_content = true;
+        }
+    }
+    None
+}
+
+fn extract_clause(tokens: &[Token], lex: &Lexicon) -> Clause {
+    let mut clause = Clause::default();
+    for t in tokens {
+        clause.tokens.push(t.text.clone());
+        match lex.get(&t.text).map(|e| e.class) {
+            Some(SemanticClass::ActionVerb) | Some(SemanticClass::SenseVerb) => {
+                clause.verbs.push(t.text.clone());
+            }
+            Some(SemanticClass::Device)
+            | Some(SemanticClass::Sensor)
+            | Some(SemanticClass::Channel) => {
+                clause.objects.push(t.text.clone());
+            }
+            Some(SemanticClass::State) => clause.states.push(t.text.clone()),
+            Some(SemanticClass::Location) => clause.locations.push(t.text.clone()),
+            _ => {
+                // Unknown nouns may still be objects (e.g. crawled app jargon).
+                if t.pos == PosTag::Noun && lex.get(&t.text).is_none() {
+                    clause.objects.push(t.text.clone());
+                }
+            }
+        }
+    }
+    clause
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lex() -> Lexicon {
+        Lexicon::new()
+    }
+
+    #[test]
+    fn parses_action_if_trigger() {
+        let r = parse_rule("Close the water valve if a water leak is detected", &lex());
+        assert_eq!(r.action.verbs, vec!["close"]);
+        assert_eq!(r.action.objects, vec!["water_valve"]);
+        assert_eq!(r.trigger.objects, vec!["water_leak"]);
+        assert!(r.trigger.verbs.contains(&"detect".to_string()));
+    }
+
+    #[test]
+    fn parses_if_trigger_then_action() {
+        let r = parse_rule(
+            "If smoke is detected then unlock the door and start the fan",
+            &lex(),
+        );
+        assert_eq!(r.trigger.objects, vec!["smoke"]);
+        assert_eq!(r.action.verbs, vec!["unlock", "start"]);
+        assert_eq!(r.action.objects, vec!["door", "fan"]);
+    }
+
+    #[test]
+    fn parses_when_trigger_comma_action() {
+        let r = parse_rule("When motion is detected turn the lights on", &lex());
+        assert_eq!(r.trigger.objects, vec!["motion"]);
+        assert!(r.action.verbs.contains(&"turn".to_string()));
+        assert_eq!(r.action.objects, vec!["light"]);
+        assert_eq!(r.action.states, vec!["on"]);
+    }
+
+    #[test]
+    fn locations_excluded_from_objects() {
+        let r = parse_rule("Turn on the kitchen light when motion is detected", &lex());
+        assert_eq!(r.action.locations, vec!["kitchen"]);
+        assert!(!r.action.objects.contains(&"kitchen".to_string()));
+        assert!(r.action.objects.contains(&"light".to_string()));
+    }
+
+    #[test]
+    fn command_without_trigger_is_action_only() {
+        let r = parse_rule("Alexa, turn on the heater", &lex());
+        assert!(r.trigger.tokens.is_empty());
+        assert_eq!(r.action.objects, vec!["heater"]);
+        assert_eq!(r.action.states, vec!["on"]);
+    }
+
+    #[test]
+    fn states_extracted() {
+        let r = parse_rule(
+            "Lock the front door when the living room lights are on",
+            &lex(),
+        );
+        assert_eq!(r.trigger.states, vec!["on"]);
+        assert_eq!(r.action.verbs, vec!["lock"]);
+        assert!(r.trigger.locations.contains(&"living_room".to_string()));
+    }
+}

@@ -1,0 +1,197 @@
+//! Tokenization and POS tagging for smart-home rule sentences.
+//!
+//! Replaces the paper's spaCy pipeline (§III-A1): lowercasing, punctuation
+//! splitting, collocation merging ("water valve" → `water_valve`), lexicon
+//! lookup with suffix/context fallbacks for POS, and simple lemmatization of
+//! inflected verb forms ("detected" → "detect" when used verbally).
+
+use crate::lexicon::{Lexicon, PosTag};
+
+/// A token with its part-of-speech tag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub text: String,
+    pub pos: PosTag,
+}
+
+/// Splits raw text into lowercase word/number tokens.
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() || ch == '_' {
+            cur.extend(ch.to_lowercase());
+        } else if !cur.is_empty() {
+            tokens.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        tokens.push(cur);
+    }
+    tokens
+}
+
+/// Tokenizes and merges known collocations into single tokens. Merging is
+/// applied repeatedly so that e.g. "water leak sensor" becomes `leak_sensor`
+/// via `water_leak` + `sensor`.
+pub fn tokenize_merged(text: &str, lex: &Lexicon) -> Vec<String> {
+    let mut tokens = tokenize(text);
+    loop {
+        let mut merged_any = false;
+        let mut out: Vec<String> = Vec::with_capacity(tokens.len());
+        let mut i = 0;
+        while i < tokens.len() {
+            if i + 1 < tokens.len() {
+                if let Some(m) = lex.merge_collocation(&tokens[i], &tokens[i + 1]) {
+                    out.push(m.to_string());
+                    i += 2;
+                    merged_any = true;
+                    continue;
+                }
+            }
+            out.push(tokens[i].clone());
+            i += 1;
+        }
+        tokens = out;
+        if !merged_any {
+            break;
+        }
+    }
+    tokens
+}
+
+/// Strips common verb inflections to find a lexicon lemma, e.g. "detected" →
+/// "detect", "turns" → "turn", "beeping" → "beep".
+pub fn lemma(word: &str, lex: &Lexicon) -> String {
+    if lex.get(word).is_some() {
+        return word.to_string();
+    }
+    let candidates: &[(&str, usize, &str)] = &[
+        ("ing", 3, ""),
+        ("ing", 3, "e"), // beeping -> beep fails, closing -> close works with +e
+        ("ied", 3, "y"),
+        ("ed", 2, ""),
+        ("ed", 2, "e"), // detected -> detect, closed -> close
+        ("es", 2, ""),
+        ("s", 1, ""),
+    ];
+    for (suffix, cut, append) in candidates {
+        if word.len() > *cut + 1 && word.ends_with(suffix) {
+            let stem = format!("{}{}", &word[..word.len() - cut], append);
+            if lex.get(&stem).is_some() {
+                return stem;
+            }
+        }
+    }
+    word.to_string()
+}
+
+/// POS-tags a token sequence. Lexicon lookups win; unknown words fall back to
+/// suffix heuristics, then to a context rule (after a determiner → noun).
+pub fn pos_tag(tokens: &[String], lex: &Lexicon) -> Vec<Token> {
+    let mut out = Vec::with_capacity(tokens.len());
+    for tok in tokens.iter() {
+        let lemmatized = lemma(tok, lex);
+        let pos = if let Some(entry) = lex.get(&lemmatized) {
+            entry.pos
+        } else if tok.chars().all(|c| c.is_ascii_digit()) {
+            PosTag::Number
+        } else if tok.ends_with("ly") {
+            PosTag::Adverb
+        } else if tok.ends_with("ing") || tok.ends_with("ed") {
+            PosTag::Verb
+        } else {
+            // Unknown open-class word in rule language: overwhelmingly a noun
+            // (device/object jargon), regardless of context.
+            PosTag::Noun
+        };
+        out.push(Token {
+            text: lemmatized,
+            pos,
+        });
+    }
+    out
+}
+
+/// Full pipeline: tokenize → merge collocations → lemmatize → POS-tag.
+pub fn analyze(text: &str, lex: &Lexicon) -> Vec<Token> {
+    pos_tag(&tokenize_merged(text, lex), lex)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_splits_punctuation() {
+        assert_eq!(
+            tokenize("Turn the light on, now!"),
+            vec!["turn", "the", "light", "on", "now"]
+        );
+    }
+
+    #[test]
+    fn tokenize_keeps_numbers() {
+        assert_eq!(tokenize("humidity is 32"), vec!["humidity", "is", "32"]);
+    }
+
+    #[test]
+    fn collocations_merged_recursively() {
+        let lex = Lexicon::new();
+        assert_eq!(
+            tokenize_merged("close the water valve", &lex),
+            vec!["close", "the", "water_valve"]
+        );
+        assert_eq!(
+            tokenize_merged("water leak sensor is wet", &lex),
+            vec!["leak_sensor", "is", "wet"]
+        );
+    }
+
+    #[test]
+    fn lemma_strips_inflections() {
+        let lex = Lexicon::new();
+        assert_eq!(lemma("detected", &lex), "detect");
+        assert_eq!(lemma("turns", &lex), "turn");
+        assert_eq!(lemma("closed", &lex), "closed"); // adjective form exists in lexicon
+        assert_eq!(lemma("beeping", &lex), "beep");
+        assert_eq!(lemma("unknownword", &lex), "unknownword");
+    }
+
+    #[test]
+    fn pos_tags_known_sentence() {
+        let lex = Lexicon::new();
+        let toks = analyze("Close the water valve if a water leak is detected", &lex);
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            vec![
+                "close",
+                "the",
+                "water_valve",
+                "if",
+                "a",
+                "water_leak",
+                "is",
+                "detect"
+            ]
+        );
+        assert_eq!(toks[0].pos, PosTag::Verb);
+        assert_eq!(toks[2].pos, PosTag::Noun);
+        assert_eq!(toks[3].pos, PosTag::Conjunction);
+    }
+
+    #[test]
+    fn unknown_words_default_to_noun() {
+        let lex = Lexicon::new();
+        let toks = analyze("the frobnicator is on", &lex);
+        assert_eq!(toks[1].pos, PosTag::Noun);
+    }
+
+    #[test]
+    fn numbers_tagged() {
+        let lex = Lexicon::new();
+        let toks = analyze("temperature is 72", &lex);
+        assert_eq!(toks.last().unwrap().pos, PosTag::Number);
+    }
+}

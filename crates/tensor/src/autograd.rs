@@ -1,0 +1,709 @@
+//! Reverse-mode automatic differentiation over [`Matrix`] values.
+//!
+//! A [`Tape`] records the forward computation as a flat list of nodes; calling
+//! [`Tape::backward`] walks the list in reverse and accumulates gradients for
+//! every node, which the optimizers then read back for the parameter nodes.
+//!
+//! The op set is deliberately small — exactly what the GCN/GIN/MAGNN encoders,
+//! the MLP, and the DeepLog LSTM need — and every rule is pinned down by a
+//! finite-difference test in this module.
+
+use crate::matrix::Matrix;
+
+/// Handle to a node on a [`Tape`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Var(usize);
+
+#[derive(Clone, Debug)]
+enum Op {
+    /// Constant input; no gradient is accumulated for it.
+    Const,
+    /// Trainable parameter; gradient is accumulated and read back.
+    Param,
+    MatMul(usize, usize),
+    Add(usize, usize),
+    Sub(usize, usize),
+    Hadamard(usize, usize),
+    Scale(usize, f64),
+    AddScalar(usize),
+    Relu(usize),
+    Sigmoid(usize),
+    Tanh(usize),
+    Exp(usize),
+    /// (n,d) -> (1,d) column means.
+    MeanRows(usize),
+    /// (n,d) -> (1,1) sum of all entries.
+    SumAll(usize),
+    /// (n,d) -> (1,1) mean of all entries.
+    MeanAll(usize),
+    /// (n,d) + broadcast (1,d).
+    AddRowBroadcast(usize, usize),
+    /// Horizontal concatenation of two equal-row matrices.
+    ConcatCols(usize, usize),
+    /// Matrix times a (1,1) scalar node.
+    MulScalarVar(usize, usize),
+    /// Elementwise division of equal-shaped nodes.
+    Div(usize, usize),
+    /// Row-wise softmax.
+    SoftmaxRow(usize),
+    /// Weighted softmax cross-entropy against integer targets; produces (1,1).
+    ///
+    /// Loss = sum_i w[y_i] * CE_i / sum_i w[y_i]  (weighted mean).
+    SoftmaxCrossEntropy {
+        logits: usize,
+        targets: Vec<usize>,
+        class_weights: Vec<f64>,
+    },
+}
+
+struct Node {
+    op: Op,
+    value: Matrix,
+}
+
+/// Gradients produced by [`Tape::backward`].
+pub struct Grads {
+    grads: Vec<Option<Matrix>>,
+}
+
+impl Grads {
+    /// Gradient of the loss with respect to `var`. Zero matrix if the var did
+    /// not influence the loss.
+    pub fn get(&self, var: Var, shape_like: &Matrix) -> Matrix {
+        match &self.grads[var.0] {
+            Some(g) => g.clone(),
+            None => Matrix::zeros(shape_like.rows(), shape_like.cols()),
+        }
+    }
+
+    /// Borrowing accessor; `None` means the var did not influence the loss.
+    pub fn try_get(&self, var: Var) -> Option<&Matrix> {
+        self.grads[var.0].as_ref()
+    }
+}
+
+/// Records a forward computation for later differentiation.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+}
+
+impl Tape {
+    pub fn new() -> Self {
+        Self { nodes: Vec::new() }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Value of a node.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    fn push(&mut self, op: Op, value: Matrix) -> Var {
+        self.nodes.push(Node { op, value });
+        Var(self.nodes.len() - 1)
+    }
+
+    /// Registers a constant (no gradient tracked).
+    pub fn constant(&mut self, m: Matrix) -> Var {
+        self.push(Op::Const, m)
+    }
+
+    /// Registers a trainable parameter (gradient tracked).
+    pub fn param(&mut self, m: Matrix) -> Var {
+        self.push(Op::Param, m)
+    }
+
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).matmul(self.value(b));
+        self.push(Op::MatMul(a.0, b.0), v)
+    }
+
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).add(self.value(b));
+        self.push(Op::Add(a.0, b.0), v)
+    }
+
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).sub(self.value(b));
+        self.push(Op::Sub(a.0, b.0), v)
+    }
+
+    pub fn hadamard(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).hadamard(self.value(b));
+        self.push(Op::Hadamard(a.0, b.0), v)
+    }
+
+    /// Elementwise `a / b` (equal shapes). The caller must keep `b` away
+    /// from zero (e.g. softmax denominators are strictly positive).
+    pub fn div(&mut self, a: Var, b: Var) -> Var {
+        let v = self.value(a).zip(self.value(b), |x, y| x / y);
+        self.push(Op::Div(a.0, b.0), v)
+    }
+
+    pub fn scale(&mut self, a: Var, s: f64) -> Var {
+        let v = self.value(a).scale(s);
+        self.push(Op::Scale(a.0, s), v)
+    }
+
+    pub fn add_scalar(&mut self, a: Var, s: f64) -> Var {
+        let v = self.value(a).map(|x| x + s);
+        self.push(Op::AddScalar(a.0), v)
+    }
+
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| x.max(0.0));
+        self.push(Op::Relu(a.0), v)
+    }
+
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(Op::Sigmoid(a.0), v)
+    }
+
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f64::tanh);
+        self.push(Op::Tanh(a.0), v)
+    }
+
+    pub fn exp(&mut self, a: Var) -> Var {
+        let v = self.value(a).map(f64::exp);
+        self.push(Op::Exp(a.0), v)
+    }
+
+    pub fn mean_rows(&mut self, a: Var) -> Var {
+        let v = self.value(a).mean_rows();
+        self.push(Op::MeanRows(a.0), v)
+    }
+
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let v = Matrix::from_vec(1, 1, vec![self.value(a).sum()]);
+        self.push(Op::SumAll(a.0), v)
+    }
+
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let v = Matrix::from_vec(1, 1, vec![self.value(a).mean()]);
+        self.push(Op::MeanAll(a.0), v)
+    }
+
+    /// `(n,d) + (1,d)` with the row vector broadcast to every row.
+    pub fn add_row_broadcast(&mut self, a: Var, row: Var) -> Var {
+        let (m, r) = (self.value(a), self.value(row));
+        assert_eq!(r.rows(), 1, "add_row_broadcast: rhs must be a row vector");
+        assert_eq!(m.cols(), r.cols(), "add_row_broadcast: width mismatch");
+        let mut out = m.clone();
+        for i in 0..out.rows() {
+            for (o, &b) in out.row_mut(i).iter_mut().zip(r.row(0)) {
+                *o += b;
+            }
+        }
+        self.push(Op::AddRowBroadcast(a.0, row.0), out)
+    }
+
+    pub fn concat_cols(&mut self, a: Var, b: Var) -> Var {
+        let v = Matrix::hstack(&[self.value(a), self.value(b)]);
+        self.push(Op::ConcatCols(a.0, b.0), v)
+    }
+
+    /// `a * s` where `s` is a `(1,1)` node (scalar gate / attention weight).
+    pub fn mul_scalar_var(&mut self, a: Var, s: Var) -> Var {
+        assert_eq!(
+            self.value(s).shape(),
+            (1, 1),
+            "mul_scalar_var: scalar must be 1x1"
+        );
+        let sv = self.value(s)[(0, 0)];
+        let v = self.value(a).scale(sv);
+        self.push(Op::MulScalarVar(a.0, s.0), v)
+    }
+
+    /// Numerically stable row-wise softmax.
+    pub fn softmax_row(&mut self, a: Var) -> Var {
+        let m = self.value(a);
+        let mut out = m.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+        self.push(Op::SoftmaxRow(a.0), out)
+    }
+
+    /// Weighted-mean softmax cross-entropy. `logits` is `(n, C)`, `targets`
+    /// has length `n`, `class_weights` has length `C`.
+    pub fn softmax_cross_entropy(
+        &mut self,
+        logits: Var,
+        targets: &[usize],
+        class_weights: &[f64],
+    ) -> Var {
+        let lm = self.value(logits);
+        assert_eq!(
+            lm.rows(),
+            targets.len(),
+            "softmax_ce: target count mismatch"
+        );
+        assert_eq!(
+            lm.cols(),
+            class_weights.len(),
+            "softmax_ce: class weight count mismatch"
+        );
+        let mut total = 0.0;
+        let mut wsum = 0.0;
+        for (r, &t) in targets.iter().enumerate() {
+            let row = lm.row(r);
+            let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let lse = max + row.iter().map(|&v| (v - max).exp()).sum::<f64>().ln();
+            let w = class_weights[t];
+            total += w * (lse - row[t]);
+            wsum += w;
+        }
+        let loss = if wsum > 0.0 { total / wsum } else { 0.0 };
+        self.push(
+            Op::SoftmaxCrossEntropy {
+                logits: logits.0,
+                targets: targets.to_vec(),
+                class_weights: class_weights.to_vec(),
+            },
+            Matrix::from_vec(1, 1, vec![loss]),
+        )
+    }
+
+    /// Convenience: squared Frobenius norm of the difference of two vars, as (1,1).
+    pub fn sq_distance(&mut self, a: Var, b: Var) -> Var {
+        let d = self.sub(a, b);
+        let sq = self.hadamard(d, d);
+        self.sum_all(sq)
+    }
+
+    /// Runs reverse-mode differentiation from the scalar node `loss`.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not a `1x1` node.
+    pub fn backward(&self, loss: Var) -> Grads {
+        assert_eq!(
+            self.value(loss).shape(),
+            (1, 1),
+            "backward: loss must be scalar"
+        );
+        let mut grads: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
+        grads[loss.0] = Some(Matrix::ones(1, 1));
+
+        for idx in (0..=loss.0).rev() {
+            let g = match grads[idx].take() {
+                Some(g) => g,
+                None => continue,
+            };
+            let value = &self.nodes[idx].value;
+            match &self.nodes[idx].op {
+                Op::Const | Op::Param => {
+                    grads[idx] = Some(g);
+                    continue;
+                }
+                Op::MatMul(a, b) => {
+                    let (av, bv) = (&self.nodes[*a].value, &self.nodes[*b].value);
+                    accumulate(&mut grads, *a, g.matmul(&bv.transpose()));
+                    accumulate(&mut grads, *b, av.transpose().matmul(&g));
+                }
+                Op::Add(a, b) => {
+                    accumulate(&mut grads, *a, g.clone());
+                    accumulate(&mut grads, *b, g);
+                }
+                Op::Sub(a, b) => {
+                    accumulate(&mut grads, *a, g.clone());
+                    accumulate(&mut grads, *b, g.scale(-1.0));
+                }
+                Op::Hadamard(a, b) => {
+                    let (av, bv) = (&self.nodes[*a].value, &self.nodes[*b].value);
+                    accumulate(&mut grads, *a, g.hadamard(bv));
+                    accumulate(&mut grads, *b, g.hadamard(av));
+                }
+                Op::Scale(a, s) => accumulate(&mut grads, *a, g.scale(*s)),
+                Op::AddScalar(a) => accumulate(&mut grads, *a, g),
+                Op::Relu(a) => {
+                    let mask = self.nodes[*a]
+                        .value
+                        .map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+                    accumulate(&mut grads, *a, g.hadamard(&mask));
+                }
+                Op::Sigmoid(a) => {
+                    let d = value.map(|s| s * (1.0 - s));
+                    accumulate(&mut grads, *a, g.hadamard(&d));
+                }
+                Op::Tanh(a) => {
+                    let d = value.map(|t| 1.0 - t * t);
+                    accumulate(&mut grads, *a, g.hadamard(&d));
+                }
+                Op::Exp(a) => accumulate(&mut grads, *a, g.hadamard(value)),
+                Op::MeanRows(a) => {
+                    let n = self.nodes[*a].value.rows();
+                    let inv = 1.0 / n.max(1) as f64;
+                    let ga = Matrix::from_fn(n, g.cols(), |_, c| g[(0, c)] * inv);
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::SumAll(a) => {
+                    let (r, c) = self.nodes[*a].value.shape();
+                    accumulate(&mut grads, *a, Matrix::full(r, c, g[(0, 0)]));
+                }
+                Op::MeanAll(a) => {
+                    let (r, c) = self.nodes[*a].value.shape();
+                    let inv = 1.0 / (r * c).max(1) as f64;
+                    accumulate(&mut grads, *a, Matrix::full(r, c, g[(0, 0)] * inv));
+                }
+                Op::AddRowBroadcast(a, row) => {
+                    accumulate(&mut grads, *a, g.clone());
+                    accumulate(&mut grads, *row, g.sum_rows());
+                }
+                Op::ConcatCols(a, b) => {
+                    let ac = self.nodes[*a].value.cols();
+                    let bc = self.nodes[*b].value.cols();
+                    let mut ga = Matrix::zeros(g.rows(), ac);
+                    let mut gb = Matrix::zeros(g.rows(), bc);
+                    for r in 0..g.rows() {
+                        ga.row_mut(r).copy_from_slice(&g.row(r)[..ac]);
+                        gb.row_mut(r).copy_from_slice(&g.row(r)[ac..]);
+                    }
+                    accumulate(&mut grads, *a, ga);
+                    accumulate(&mut grads, *b, gb);
+                }
+                Op::Div(a, b) => {
+                    let (av, bv) = (&self.nodes[*a].value, &self.nodes[*b].value);
+                    accumulate(&mut grads, *a, g.zip(bv, |gi, bi| gi / bi));
+                    accumulate(
+                        &mut grads,
+                        *b,
+                        g.zip(av, |gi, ai| gi * ai).zip(bv, |t, bi| -t / (bi * bi)),
+                    );
+                }
+                Op::MulScalarVar(a, s) => {
+                    let sv = self.nodes[*s].value[(0, 0)];
+                    let av = &self.nodes[*a].value;
+                    accumulate(&mut grads, *a, g.scale(sv));
+                    let gs = g.hadamard(av).sum();
+                    accumulate(&mut grads, *s, Matrix::from_vec(1, 1, vec![gs]));
+                }
+                Op::SoftmaxRow(a) => {
+                    // For each row: g_in = s .* (g - (g . s)).
+                    let s = value;
+                    let mut ga = Matrix::zeros(g.rows(), g.cols());
+                    for r in 0..g.rows() {
+                        let dot: f64 = g.row(r).iter().zip(s.row(r)).map(|(&x, &y)| x * y).sum();
+                        for c in 0..g.cols() {
+                            ga[(r, c)] = s[(r, c)] * (g[(r, c)] - dot);
+                        }
+                    }
+                    accumulate(&mut grads, *a, ga);
+                }
+                Op::SoftmaxCrossEntropy {
+                    logits,
+                    targets,
+                    class_weights,
+                } => {
+                    let lm = &self.nodes[*logits].value;
+                    let wsum: f64 = targets.iter().map(|&t| class_weights[t]).sum();
+                    let scale = if wsum > 0.0 { g[(0, 0)] / wsum } else { 0.0 };
+                    let mut ga = Matrix::zeros(lm.rows(), lm.cols());
+                    for (r, &t) in targets.iter().enumerate() {
+                        let row = lm.row(r);
+                        let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                        let exps: Vec<f64> = row.iter().map(|&v| (v - max).exp()).collect();
+                        let z: f64 = exps.iter().sum();
+                        let w = class_weights[t];
+                        for c in 0..lm.cols() {
+                            let p = exps[c] / z;
+                            let onehot = if c == t { 1.0 } else { 0.0 };
+                            ga[(r, c)] = scale * w * (p - onehot);
+                        }
+                    }
+                    accumulate(&mut grads, *logits, ga);
+                }
+            }
+        }
+        Grads { grads }
+    }
+}
+
+fn accumulate(grads: &mut [Option<Matrix>], idx: usize, g: Matrix) {
+    match &mut grads[idx] {
+        Some(existing) => existing.axpy(1.0, &g),
+        slot @ None => *slot = Some(g),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    /// Central finite-difference check of d(loss)/d(param) for a scalar-loss builder.
+    fn check_grad(param: &Matrix, build: impl Fn(&mut Tape, Var) -> Var, tol: f64) {
+        let mut tape = Tape::new();
+        let p = tape.param(param.clone());
+        let loss = build(&mut tape, p);
+        let grads = tape.backward(loss);
+        let analytic = grads.get(p, param);
+
+        let eps = 1e-5;
+        for r in 0..param.rows() {
+            for c in 0..param.cols() {
+                let mut plus = param.clone();
+                plus[(r, c)] += eps;
+                let mut minus = param.clone();
+                minus[(r, c)] -= eps;
+                let f = |m: Matrix| {
+                    let mut t = Tape::new();
+                    let v = t.param(m);
+                    let l = build(&mut t, v);
+                    t.value(l)[(0, 0)]
+                };
+                let numeric = (f(plus) - f(minus)) / (2.0 * eps);
+                let a = analytic[(r, c)];
+                assert!(
+                    (a - numeric).abs() < tol * (1.0 + numeric.abs()),
+                    "grad mismatch at ({r},{c}): analytic {a}, numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grad_matmul_chain() {
+        let mut rng = Rng::seed_from_u64(101);
+        let w = Matrix::random_normal(3, 4, 0.0, 1.0, &mut rng);
+        let x = Matrix::random_normal(2, 3, 0.0, 1.0, &mut rng);
+        check_grad(
+            &w,
+            move |t, p| {
+                let xv = t.constant(x.clone());
+                let y = t.matmul(xv, p);
+                t.sum_all(y)
+            },
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn grad_relu_sigmoid_tanh_exp() {
+        let mut rng = Rng::seed_from_u64(103);
+        let w = Matrix::random_normal(2, 3, 0.0, 1.0, &mut rng);
+        for act in 0..4 {
+            check_grad(
+                &w,
+                move |t, p| {
+                    let a = match act {
+                        0 => t.relu(p),
+                        1 => t.sigmoid(p),
+                        2 => t.tanh(p),
+                        _ => t.exp(p),
+                    };
+                    t.mean_all(a)
+                },
+                2e-4,
+            );
+        }
+    }
+
+    #[test]
+    fn grad_mean_rows_and_broadcast() {
+        let mut rng = Rng::seed_from_u64(107);
+        let b = Matrix::random_normal(1, 4, 0.0, 1.0, &mut rng);
+        let x = Matrix::random_normal(3, 4, 0.0, 1.0, &mut rng);
+        check_grad(
+            &b,
+            move |t, p| {
+                let xv = t.constant(x.clone());
+                let y = t.add_row_broadcast(xv, p);
+                let m = t.mean_rows(y);
+                let s = t.hadamard(m, m);
+                t.sum_all(s)
+            },
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn grad_softmax_row() {
+        let mut rng = Rng::seed_from_u64(109);
+        let w = Matrix::random_normal(2, 5, 0.0, 1.0, &mut rng);
+        let coef = Matrix::random_normal(2, 5, 0.0, 1.0, &mut rng);
+        check_grad(
+            &w,
+            move |t, p| {
+                let s = t.softmax_row(p);
+                let c = t.constant(coef.clone());
+                let weighted = t.hadamard(s, c);
+                t.sum_all(weighted)
+            },
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn grad_softmax_cross_entropy() {
+        let mut rng = Rng::seed_from_u64(113);
+        let logits = Matrix::random_normal(4, 3, 0.0, 1.0, &mut rng);
+        let targets = vec![0usize, 2, 1, 2];
+        let weights = vec![1.0, 2.0, 0.5];
+        check_grad(
+            &logits,
+            move |t, p| t.softmax_cross_entropy(p, &targets, &weights),
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn grad_contrastive_shape() {
+        // Contrastive loss composition: d2*(1-y) + relu(k - d2)*y, both branches.
+        let mut rng = Rng::seed_from_u64(127);
+        let w = Matrix::random_normal(3, 2, 0.0, 0.5, &mut rng);
+        let xa = Matrix::random_normal(2, 3, 0.0, 1.0, &mut rng);
+        let xb = Matrix::random_normal(2, 3, 0.0, 1.0, &mut rng);
+        for &y in &[0.0, 1.0] {
+            let (xa, xb) = (xa.clone(), xb.clone());
+            check_grad(
+                &w,
+                move |t, p| {
+                    let a = t.constant(xa.clone());
+                    let b = t.constant(xb.clone());
+                    let za0 = t.matmul(a, p);
+                    let za = t.mean_rows(za0);
+                    let zb0 = t.matmul(b, p);
+                    let zb = t.mean_rows(zb0);
+                    let d2 = t.sq_distance(za, zb);
+                    let same = t.scale(d2, 1.0 - y);
+                    let neg = t.scale(d2, -1.0);
+                    let marg = t.add_scalar(neg, 1.0);
+                    let hinge0 = t.relu(marg);
+                    let hinge = t.scale(hinge0, y);
+                    t.add(same, hinge)
+                },
+                2e-4,
+            );
+        }
+    }
+
+    #[test]
+    fn grad_concat_cols() {
+        let mut rng = Rng::seed_from_u64(131);
+        let w = Matrix::random_normal(2, 3, 0.0, 1.0, &mut rng);
+        let other = Matrix::random_normal(2, 2, 0.0, 1.0, &mut rng);
+        let coef = Matrix::random_normal(2, 5, 0.0, 1.0, &mut rng);
+        check_grad(
+            &w,
+            move |t, p| {
+                let o = t.constant(other.clone());
+                let cat = t.concat_cols(p, o);
+                let c = t.constant(coef.clone());
+                let h = t.hadamard(cat, c);
+                t.sum_all(h)
+            },
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn grad_div() {
+        let mut rng = Rng::seed_from_u64(139);
+        let w = Matrix::random_normal(2, 2, 0.0, 1.0, &mut rng);
+        let denom = Matrix::random_uniform(2, 2, 0.5, 2.0, &mut rng);
+        let (d1, d2) = (denom.clone(), denom);
+        check_grad(
+            &w,
+            move |t, p| {
+                let d = t.constant(d1.clone());
+                let q = t.div(p, d);
+                t.sum_all(q)
+            },
+            1e-4,
+        );
+        // Gradient w.r.t. the denominator.
+        let numer = Matrix::random_normal(2, 2, 0.0, 1.0, &mut rng);
+        let w2 = Matrix::random_uniform(2, 2, 0.5, 2.0, &mut rng);
+        check_grad(
+            &w2,
+            move |t, p| {
+                let n = t.constant(numer.clone());
+                let q = t.div(n, p);
+                let _ = &d2;
+                t.sum_all(q)
+            },
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn grad_mul_scalar_var() {
+        let mut rng = Rng::seed_from_u64(137);
+        let w = Matrix::random_normal(1, 1, 0.5, 0.2, &mut rng);
+        let m = Matrix::random_normal(2, 3, 0.0, 1.0, &mut rng);
+        let coef = Matrix::random_normal(2, 3, 0.0, 1.0, &mut rng);
+        check_grad(
+            &w,
+            move |t, p| {
+                let mv = t.constant(m.clone());
+                let scaled = t.mul_scalar_var(mv, p);
+                let c = t.constant(coef.clone());
+                let h = t.hadamard(scaled, c);
+                t.sum_all(h)
+            },
+            1e-5,
+        );
+        // And the gradient w.r.t. the matrix side.
+        let mat = Matrix::random_normal(2, 2, 0.0, 1.0, &mut rng);
+        check_grad(
+            &mat,
+            move |t, p| {
+                let s = t.constant(Matrix::from_vec(1, 1, vec![1.7]));
+                let scaled = t.mul_scalar_var(p, s);
+                t.sum_all(scaled)
+            },
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn reused_var_accumulates_gradient() {
+        // loss = sum(p ∘ p); d/dp = 2p.
+        let p0 = Matrix::from_rows(&[vec![1.0, -2.0], vec![3.0, 0.5]]);
+        let mut tape = Tape::new();
+        let p = tape.param(p0.clone());
+        let sq = tape.hadamard(p, p);
+        let loss = tape.sum_all(sq);
+        let g = tape.backward(loss).get(p, &p0);
+        assert!(g.max_abs_diff(&p0.scale(2.0)) < 1e-12);
+    }
+
+    #[test]
+    fn unused_param_gets_zero_grad() {
+        let mut tape = Tape::new();
+        let used = tape.param(Matrix::ones(1, 1));
+        let unused = tape.param(Matrix::ones(2, 2));
+        let loss = tape.sum_all(used);
+        let grads = tape.backward(loss);
+        assert!(grads.try_get(unused).is_none());
+        assert_eq!(grads.get(unused, &Matrix::ones(2, 2)).sum(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar")]
+    fn backward_requires_scalar() {
+        let mut tape = Tape::new();
+        let p = tape.param(Matrix::ones(2, 2));
+        tape.backward(p);
+    }
+}

@@ -1,0 +1,252 @@
+//! Small dense linear-algebra routines: linear solves and (weighted) least
+//! squares. These back the kernel-SHAP weighted regression (paper Eq. 6) and
+//! classic-ML fitting.
+
+use crate::matrix::Matrix;
+
+/// Error type for linear solves.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// The system matrix is singular (or numerically so).
+    Singular,
+    /// Input dimensions are inconsistent.
+    DimensionMismatch,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::Singular => write!(f, "matrix is singular"),
+            LinalgError::DimensionMismatch => write!(f, "dimension mismatch"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Solves `A x = b` for square `A` using Gaussian elimination with partial
+/// pivoting. `b` may have multiple right-hand-side columns.
+pub fn solve(a: &Matrix, b: &Matrix) -> Result<Matrix, LinalgError> {
+    let n = a.rows();
+    if a.cols() != n || b.rows() != n {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    let m = b.cols();
+    // Augmented matrix [A | b].
+    let mut aug = Matrix::zeros(n, n + m);
+    for r in 0..n {
+        aug.row_mut(r)[..n].copy_from_slice(a.row(r));
+        aug.row_mut(r)[n..].copy_from_slice(b.row(r));
+    }
+
+    for col in 0..n {
+        // Partial pivot.
+        let (pivot_row, pivot_val) = (col..n)
+            .map(|r| (r, aug[(r, col)].abs()))
+            .max_by(|x, y| x.1.partial_cmp(&y.1).unwrap_or(std::cmp::Ordering::Equal))
+            .expect("non-empty range");
+        if pivot_val < 1e-12 {
+            return Err(LinalgError::Singular);
+        }
+        if pivot_row != col {
+            // Swap rows in place.
+            for c in 0..n + m {
+                let tmp = aug[(pivot_row, c)];
+                aug[(pivot_row, c)] = aug[(col, c)];
+                aug[(col, c)] = tmp;
+            }
+        }
+        let inv = 1.0 / aug[(col, col)];
+        for r in col + 1..n {
+            let factor = aug[(r, col)] * inv;
+            if factor == 0.0 {
+                continue;
+            }
+            for c in col..n + m {
+                let v = aug[(col, c)];
+                aug[(r, c)] -= factor * v;
+            }
+        }
+    }
+
+    // Back substitution.
+    let mut x = Matrix::zeros(n, m);
+    for r in (0..n).rev() {
+        for c in 0..m {
+            let mut v = aug[(r, n + c)];
+            for k in r + 1..n {
+                v -= aug[(r, k)] * x[(k, c)];
+            }
+            x[(r, c)] = v / aug[(r, r)];
+        }
+    }
+    Ok(x)
+}
+
+/// Ordinary least squares: `argmin_beta ||X beta - y||^2` with ridge
+/// stabilization `lambda` (pass 0 for plain OLS; a tiny ridge is added
+/// automatically if the normal equations are singular).
+pub fn least_squares(x: &Matrix, y: &Matrix, lambda: f64) -> Result<Matrix, LinalgError> {
+    weighted_least_squares(x, y, None, lambda)
+}
+
+/// Weighted least squares: `argmin_beta sum_i w_i (x_i beta - y_i)^2`.
+///
+/// This is the solver behind kernel SHAP (paper Eq. 6): rows are sampled
+/// coalitions, weights are the Shapley kernel weights.
+pub fn weighted_least_squares(
+    x: &Matrix,
+    y: &Matrix,
+    weights: Option<&[f64]>,
+    lambda: f64,
+) -> Result<Matrix, LinalgError> {
+    if y.rows() != x.rows() {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    if let Some(w) = weights {
+        if w.len() != x.rows() {
+            return Err(LinalgError::DimensionMismatch);
+        }
+    }
+    let d = x.cols();
+    // Form X^T W X and X^T W y directly (d is small for SHAP: one row per player).
+    let mut xtwx = Matrix::zeros(d, d);
+    let mut xtwy = Matrix::zeros(d, y.cols());
+    for r in 0..x.rows() {
+        let w = weights.map_or(1.0, |w| w[r]);
+        if w == 0.0 {
+            continue;
+        }
+        let xr = x.row(r);
+        for i in 0..d {
+            let wxi = w * xr[i];
+            if wxi == 0.0 {
+                continue;
+            }
+            for j in 0..d {
+                xtwx[(i, j)] += wxi * xr[j];
+            }
+            for j in 0..y.cols() {
+                xtwy[(i, j)] += wxi * y[(r, j)];
+            }
+        }
+    }
+    for i in 0..d {
+        xtwx[(i, i)] += lambda;
+    }
+    match solve(&xtwx, &xtwy) {
+        Ok(beta) => Ok(beta),
+        Err(LinalgError::Singular) if lambda == 0.0 => {
+            // Retry with a small ridge: sampled-coalition designs are often rank-deficient.
+            for i in 0..d {
+                xtwx[(i, i)] += 1e-8;
+            }
+            solve(&xtwx, &xtwy)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Constrained weighted least squares where the coefficients must sum to a
+/// fixed `total` (the SHAP efficiency constraint). Implemented by
+/// substituting the last coefficient: `beta_last = total - sum(beta_rest)`.
+pub fn sum_constrained_wls(
+    x: &Matrix,
+    y: &Matrix,
+    weights: &[f64],
+    total: f64,
+) -> Result<Matrix, LinalgError> {
+    let d = x.cols();
+    if d == 0 {
+        return Err(LinalgError::DimensionMismatch);
+    }
+    if d == 1 {
+        return Ok(Matrix::from_vec(1, 1, vec![total]));
+    }
+    // Substitute: y' = y - total * x_last; x'_j = x_j - x_last.
+    let mut xr = Matrix::zeros(x.rows(), d - 1);
+    let mut yr = Matrix::zeros(y.rows(), 1);
+    for r in 0..x.rows() {
+        let last = x[(r, d - 1)];
+        for c in 0..d - 1 {
+            xr[(r, c)] = x[(r, c)] - last;
+        }
+        yr[(r, 0)] = y[(r, 0)] - total * last;
+    }
+    let beta = weighted_least_squares(&xr, &yr, Some(weights), 1e-10)?;
+    let mut out = Matrix::zeros(d, 1);
+    let mut rest = 0.0;
+    for c in 0..d - 1 {
+        out[(c, 0)] = beta[(c, 0)];
+        rest += beta[(c, 0)];
+    }
+    out[(d - 1, 0)] = total - rest;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    #[test]
+    fn solve_recovers_known_solution() {
+        let mut rng = Rng::seed_from_u64(5);
+        let a = Matrix::random_normal(5, 5, 0.0, 1.0, &mut rng);
+        let x_true = Matrix::random_normal(5, 2, 0.0, 1.0, &mut rng);
+        let b = a.matmul(&x_true);
+        let x = solve(&a, &b).unwrap();
+        assert!(x.max_abs_diff(&x_true) < 1e-8);
+    }
+
+    #[test]
+    fn solve_detects_singular() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        let b = Matrix::col_vector(&[1.0, 2.0]);
+        assert_eq!(solve(&a, &b), Err(LinalgError::Singular));
+    }
+
+    #[test]
+    fn least_squares_recovers_linear_model() {
+        let mut rng = Rng::seed_from_u64(7);
+        let x = Matrix::random_normal(50, 3, 0.0, 1.0, &mut rng);
+        let beta_true = Matrix::col_vector(&[2.0, -1.0, 0.5]);
+        let y = x.matmul(&beta_true);
+        let beta = least_squares(&x, &y, 0.0).unwrap();
+        assert!(beta.max_abs_diff(&beta_true) < 1e-8);
+    }
+
+    #[test]
+    fn weighted_least_squares_ignores_zero_weight_rows() {
+        // Two clean rows determine the line; a third contaminated row has w=0.
+        let x = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]);
+        let y = Matrix::col_vector(&[1.0, 2.0, 100.0]);
+        let beta = weighted_least_squares(&x, &y, Some(&[1.0, 1.0, 0.0]), 0.0).unwrap();
+        assert!((beta[(0, 0)] - 1.0).abs() < 1e-8);
+        assert!((beta[(1, 0)] - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn sum_constrained_wls_respects_constraint() {
+        let mut rng = Rng::seed_from_u64(11);
+        let x = Matrix::from_fn(40, 4, |_, _| if rng.bool(0.5) { 1.0 } else { 0.0 });
+        let y = Matrix::from_fn(40, 1, |r, _| {
+            x.row(r).iter().sum::<f64>() + rng.normal(0.0, 0.01)
+        });
+        let w = vec![1.0; 40];
+        let beta = sum_constrained_wls(&x, &y, &w, 4.0).unwrap();
+        let total: f64 = beta.col(0).iter().sum();
+        assert!((total - 4.0).abs() < 1e-9, "sum {total}");
+    }
+
+    #[test]
+    fn singular_design_falls_back_to_ridge() {
+        // Duplicate column -> singular normal equations; ridge fallback must solve.
+        let x = Matrix::from_rows(&[vec![1.0, 1.0], vec![2.0, 2.0], vec![3.0, 3.0]]);
+        let y = Matrix::col_vector(&[2.0, 4.0, 6.0]);
+        let beta = least_squares(&x, &y, 0.0).unwrap();
+        // Prediction should still be accurate even though coefficients are not unique.
+        let pred = x.matmul(&beta);
+        assert!(pred.max_abs_diff(&y) < 1e-3);
+    }
+}

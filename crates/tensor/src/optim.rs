@@ -1,0 +1,254 @@
+//! First-order optimizers over flat parameter lists.
+//!
+//! Models in this workspace expose their weights as an ordered `Vec<Matrix>`
+//! (see [`ParamVec`]); the optimizers consume gradients aligned by index.
+
+use crate::matrix::Matrix;
+
+/// An ordered set of parameter matrices with helpers used by the federated
+/// layer (flattening, distances, layer counts).
+pub type ParamVec = Vec<Matrix>;
+
+/// Total number of scalar parameters.
+pub fn param_count(params: &ParamVec) -> usize {
+    params.iter().map(Matrix::len).sum()
+}
+
+/// Serialized size in bytes assuming `f64` wire encoding; used by the
+/// federated communication accounting.
+pub fn param_bytes(params: &ParamVec) -> usize {
+    param_count(params) * std::mem::size_of::<f64>()
+}
+
+/// Euclidean norm of the full parameter vector.
+pub fn param_norm(params: &ParamVec) -> f64 {
+    params
+        .iter()
+        .map(|m| m.frobenius_norm().powi(2))
+        .sum::<f64>()
+        .sqrt()
+}
+
+/// Elementwise difference `a - b` of two aligned parameter vectors.
+pub fn param_sub(a: &ParamVec, b: &ParamVec) -> ParamVec {
+    assert_eq!(a.len(), b.len(), "param_sub: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x.sub(y)).collect()
+}
+
+/// Flattens a parameter vector into one contiguous slice (for cosine similarity).
+pub fn param_flatten(params: &ParamVec) -> Vec<f64> {
+    let mut out = Vec::with_capacity(param_count(params));
+    for m in params {
+        out.extend_from_slice(m.as_slice());
+    }
+    out
+}
+
+/// Weighted average of aligned parameter vectors. Weights are normalized
+/// internally; used by every FedAvg-style aggregator.
+///
+/// # Panics
+/// Panics if `sets` is empty, lengths are misaligned, or all weights are zero.
+pub fn param_weighted_average(sets: &[&ParamVec], weights: &[f64]) -> ParamVec {
+    assert!(!sets.is_empty(), "param_weighted_average: empty input");
+    assert_eq!(
+        sets.len(),
+        weights.len(),
+        "param_weighted_average: weight count"
+    );
+    let total: f64 = weights.iter().sum();
+    assert!(total > 0.0, "param_weighted_average: zero total weight");
+    let mut out: ParamVec = sets[0]
+        .iter()
+        .map(|m| Matrix::zeros(m.rows(), m.cols()))
+        .collect();
+    for (set, &w) in sets.iter().zip(weights) {
+        assert_eq!(
+            set.len(),
+            out.len(),
+            "param_weighted_average: layer count mismatch"
+        );
+        for (acc, m) in out.iter_mut().zip(set.iter()) {
+            acc.axpy(w / total, m);
+        }
+    }
+    out
+}
+
+/// Plain SGD with optional L2 weight decay.
+#[derive(Clone, Debug)]
+pub struct Sgd {
+    pub lr: f64,
+    pub weight_decay: f64,
+}
+
+impl Sgd {
+    pub fn new(lr: f64) -> Self {
+        Self {
+            lr,
+            weight_decay: 0.0,
+        }
+    }
+
+    /// Applies one step: `p -= lr * (g + wd * p)`.
+    pub fn step(&self, params: &mut ParamVec, grads: &[Matrix]) {
+        assert_eq!(params.len(), grads.len(), "sgd: grad count mismatch");
+        for (p, g) in params.iter_mut().zip(grads) {
+            if self.weight_decay != 0.0 {
+                let decay = p.scale(self.weight_decay);
+                p.axpy(-self.lr, &decay);
+            }
+            p.axpy(-self.lr, g);
+        }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba, 2015) with bias correction.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    pub lr: f64,
+    pub beta1: f64,
+    pub beta2: f64,
+    pub eps: f64,
+    t: u64,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+}
+
+impl Adam {
+    /// Creates an Adam optimizer for parameters shaped like `template`.
+    pub fn new(lr: f64, template: &ParamVec) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: template
+                .iter()
+                .map(|p| Matrix::zeros(p.rows(), p.cols()))
+                .collect(),
+            v: template
+                .iter()
+                .map(|p| Matrix::zeros(p.rows(), p.cols()))
+                .collect(),
+        }
+    }
+
+    /// Applies one Adam update.
+    ///
+    /// # Panics
+    /// Panics if `grads` is not aligned with the parameters this optimizer was
+    /// created for.
+    pub fn step(&mut self, params: &mut ParamVec, grads: &[Matrix]) {
+        assert_eq!(params.len(), grads.len(), "adam: grad count mismatch");
+        assert_eq!(params.len(), self.m.len(), "adam: state mismatch");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for i in 0..params.len() {
+            assert_eq!(
+                params[i].shape(),
+                grads[i].shape(),
+                "adam: shape mismatch at layer {i}"
+            );
+            let (m, v) = (&mut self.m[i], &mut self.v[i]);
+            for ((pm, pv), (&g, p)) in m
+                .as_mut_slice()
+                .iter_mut()
+                .zip(v.as_mut_slice())
+                .zip(grads[i].as_slice().iter().zip(params[i].as_mut_slice()))
+            {
+                *pm = self.beta1 * *pm + (1.0 - self.beta1) * g;
+                *pv = self.beta2 * *pv + (1.0 - self.beta2) * g * g;
+                let mhat = *pm / bc1;
+                let vhat = *pv / bc2;
+                *p -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    /// Resets optimizer state (used when a client receives fresh global weights).
+    pub fn reset(&mut self) {
+        self.t = 0;
+        for m in &mut self.m {
+            *m = Matrix::zeros(m.rows(), m.cols());
+        }
+        for v in &mut self.v {
+            *v = Matrix::zeros(v.rows(), v.cols());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autograd::Tape;
+    use crate::rng::Rng;
+
+    /// Both optimizers should drive a convex quadratic toward its minimum.
+    fn quadratic_loss(p: &Matrix) -> (f64, Matrix) {
+        // loss = sum((p - 3)^2)
+        let mut tape = Tape::new();
+        let v = tape.param(p.clone());
+        let shifted = tape.add_scalar(v, -3.0);
+        let sq = tape.hadamard(shifted, shifted);
+        let loss = tape.sum_all(sq);
+        let g = tape.backward(loss).get(v, p);
+        (tape.value(loss)[(0, 0)], g)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut params = vec![Matrix::random_normal(2, 2, 0.0, 1.0, &mut rng)];
+        let opt = Sgd::new(0.1);
+        for _ in 0..200 {
+            let (_, g) = quadratic_loss(&params[0]);
+            opt.step(&mut params, &[g]);
+        }
+        assert!(params[0].max_abs_diff(&Matrix::full(2, 2, 3.0)) < 1e-6);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut rng = Rng::seed_from_u64(2);
+        let mut params = vec![Matrix::random_normal(2, 2, 0.0, 1.0, &mut rng)];
+        let mut opt = Adam::new(0.1, &params);
+        for _ in 0..500 {
+            let (_, g) = quadratic_loss(&params[0]);
+            opt.step(&mut params, &[g]);
+        }
+        assert!(params[0].max_abs_diff(&Matrix::full(2, 2, 3.0)) < 1e-3);
+    }
+
+    #[test]
+    fn weighted_average_matches_manual() {
+        let a = vec![Matrix::full(1, 2, 1.0)];
+        let b = vec![Matrix::full(1, 2, 4.0)];
+        let avg = param_weighted_average(&[&a, &b], &[3.0, 1.0]);
+        assert!((avg[0][(0, 0)] - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn param_bytes_counts_f64() {
+        let p = vec![Matrix::zeros(3, 4), Matrix::zeros(1, 5)];
+        assert_eq!(param_count(&p), 17);
+        assert_eq!(param_bytes(&p), 17 * 8);
+    }
+
+    #[test]
+    fn sgd_weight_decay_shrinks() {
+        let mut params = vec![Matrix::full(1, 1, 10.0)];
+        let opt = Sgd {
+            lr: 0.1,
+            weight_decay: 1.0,
+        };
+        let zero_grad = vec![Matrix::zeros(1, 1)];
+        for _ in 0..10 {
+            opt.step(&mut params, &zero_grad);
+        }
+        assert!(params[0][(0, 0)] < 10.0);
+        assert!(params[0][(0, 0)] > 0.0);
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the numeric substrate: algebraic laws of the
+//! matrix type, distribution invariants of the RNG, and autograd consistency
+//! under random compositions.
+
+use fexiot_tensor::{linalg, Matrix, Rng, Tape};
+use proptest::prelude::*;
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0..10.0f64, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_associative(a in small_matrix(3, 4), b in small_matrix(4, 2), c in small_matrix(2, 5)) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(left.max_abs_diff(&right) < 1e-9);
+    }
+
+    #[test]
+    fn matmul_distributes_over_add(a in small_matrix(3, 3), b in small_matrix(3, 3), c in small_matrix(3, 3)) {
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(left.max_abs_diff(&right) < 1e-9);
+    }
+
+    #[test]
+    fn transpose_reverses_product(a in small_matrix(3, 4), b in small_matrix(4, 2)) {
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        prop_assert!(left.max_abs_diff(&right) < 1e-9);
+    }
+
+    #[test]
+    fn solve_then_multiply_roundtrips(seed in 0u64..1000) {
+        let mut rng = Rng::seed_from_u64(seed);
+        // Diagonally dominant => comfortably nonsingular.
+        let n = 4;
+        let mut a = Matrix::random_normal(n, n, 0.0, 1.0, &mut rng);
+        for i in 0..n {
+            a[(i, i)] += 8.0;
+        }
+        let x_true = Matrix::random_normal(n, 1, 0.0, 1.0, &mut rng);
+        let b = a.matmul(&x_true);
+        let x = linalg::solve(&a, &b).expect("nonsingular");
+        prop_assert!(x.max_abs_diff(&x_true) < 1e-6);
+    }
+
+    #[test]
+    fn rng_usize_in_range(seed in 0u64..1000, n in 1usize..500) {
+        let mut rng = Rng::seed_from_u64(seed);
+        for _ in 0..50 {
+            prop_assert!(rng.usize(n) < n);
+        }
+    }
+
+    #[test]
+    fn dirichlet_is_simplex(seed in 0u64..500, k in 2usize..10, alpha in 0.05f64..20.0) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let d = rng.dirichlet(&vec![alpha; k]);
+        prop_assert_eq!(d.len(), k);
+        prop_assert!((d.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(d.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(m in small_matrix(4, 6)) {
+        let mut tape = Tape::new();
+        let v = tape.constant(m);
+        let s = tape.softmax_row(v);
+        let out = tape.value(s);
+        for r in 0..out.rows() {
+            let sum: f64 = out.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(out.row(r).iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn backward_of_linear_matches_coefficients(w in small_matrix(3, 3), x in small_matrix(2, 3)) {
+        // loss = sum(x W); d loss / d W = x^T * ones.
+        let mut tape = Tape::new();
+        let wv = tape.param(w.clone());
+        let xv = tape.constant(x.clone());
+        let y = tape.matmul(xv, wv);
+        let loss = tape.sum_all(y);
+        let grads = tape.backward(loss);
+        let g = grads.get(wv, &w);
+        let expected = x.transpose().matmul(&Matrix::ones(2, 3));
+        prop_assert!(g.max_abs_diff(&expected) < 1e-9);
+    }
+}

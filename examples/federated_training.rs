@@ -1,0 +1,76 @@
+//! Federated training across simulated households: compares the paper's
+//! layer-wise clustering (FexIoT) against GCFL+, FMTL, FedAvg and local-only
+//! training on a genuinely heterogeneous federation — clients belong to four
+//! household archetypes (climate / security / entertainment / utility homes)
+//! with Dirichlet label skew inside each — reporting accuracy and
+//! communication cost.
+//!
+//! Run with: `cargo run --release --example federated_training`
+
+use fexiot::{build_federation_with_data, FederationConfig, FexIotConfig};
+use fexiot_fed::Strategy;
+use fexiot_graph::dataset::generate_federated;
+use fexiot_graph::DatasetConfig;
+use fexiot_ml::Metrics;
+use fexiot_tensor::Rng;
+
+fn main() {
+    let mut rng = Rng::seed_from_u64(11);
+    let mut ds_cfg = DatasetConfig::small_ifttt();
+    ds_cfg.graph_count = 320;
+    let fed = generate_federated(&ds_cfg, 8, 4, 0.5, &mut rng);
+    println!(
+        "federation: {} clients over 4 household archetypes, {} shared test graphs",
+        fed.clients.len(),
+        fed.test.len()
+    );
+    for (i, c) in fed.clients.iter().enumerate() {
+        println!(
+            "  client {i}: {} local graphs ({} vulnerable)",
+            c.len(),
+            c.vulnerable_count()
+        );
+    }
+
+    let strategies = [
+        Strategy::fexiot_default(),
+        Strategy::gcfl_default(),
+        Strategy::fmtl_default(),
+        Strategy::FedAvg,
+        Strategy::LocalOnly,
+    ];
+
+    println!(
+        "\n{:<8} {:>9} {:>9} {:>9} {:>9} {:>12}",
+        "method", "accuracy", "precision", "recall", "f1", "comm (MB)"
+    );
+    for strategy in strategies {
+        let mut config = FederationConfig {
+            n_clients: fed.clients.len(),
+            alpha: 0.5,
+            strategy: strategy.clone(),
+            rounds: 6,
+            pipeline: FexIotConfig::default().with_seed(11),
+            ..Default::default()
+        };
+        config.pipeline.contrastive.epochs = 1;
+        config.pipeline.contrastive.pairs_per_epoch = 48;
+
+        let mut sim = build_federation_with_data(fed.clients.clone(), &config);
+        sim.run();
+        let per_client = sim.evaluate(&fed.test);
+        let mean = Metrics::mean(&per_client);
+        println!(
+            "{:<8} {:>9.3} {:>9.3} {:>9.3} {:>9.3} {:>12.2}",
+            strategy.name(),
+            mean.accuracy,
+            mean.precision,
+            mean.recall,
+            mean.f1,
+            sim.comm.total_mb()
+        );
+    }
+
+    println!("\nExpected shape (paper Fig. 4/7): clustering-based methods lead; Client");
+    println!("(no communication) trails; FexIoT moves the fewest bytes.");
+}
