@@ -1,0 +1,144 @@
+//! Regression lock: with `FaultPlan::none()` (the default), every strategy's
+//! `RoundReport` sequence must be **bit-identical** to the pre-fault-injection
+//! simulator. The constants below were captured from the simulator before the
+//! resilience layer landed; re-run with `FEXIOT_PRINT_GOLDEN=1 cargo test -q
+//! -p fexiot-fed --test golden -- --nocapture` to regenerate after an
+//! *intentional* numerical change.
+
+use fexiot_fed::{Client, FedConfig, FedSim, Strategy};
+use fexiot_gnn::{ContrastiveConfig, Encoder, Gin};
+use fexiot_graph::{generate_dataset, DatasetConfig};
+use fexiot_tensor::rng::Rng;
+
+fn make_sim(strategy: Strategy, n_clients: usize, seed: u64, rounds: usize) -> FedSim {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut cfg = DatasetConfig::small_ifttt();
+    cfg.graph_count = 80;
+    let ds = generate_dataset(&cfg, &mut rng);
+    let (train, _) = ds.train_test_split(0.8, &mut rng);
+    let splits = train.dirichlet_split(n_clients, 1.0, &mut rng);
+    let d = train.graphs[0].nodes[0].features.len();
+    let template = Gin::new(d, &[12], 6, &mut rng);
+    let clients = splits
+        .into_iter()
+        .enumerate()
+        .map(|(i, data)| Client::new(i, Encoder::Gin(template.clone()), data))
+        .collect();
+    let config = FedConfig {
+        strategy,
+        rounds,
+        local: ContrastiveConfig {
+            epochs: 1,
+            pairs_per_epoch: 12,
+            ..Default::default()
+        },
+        seed,
+        ..Default::default()
+    };
+    FedSim::new(clients, config)
+}
+
+/// One observed round flattened to exactly comparable integers:
+/// `(mean_loss bits, uploaded bytes, downloaded bytes, up msgs, down msgs)`.
+type Row = (u64, usize, usize, usize, usize);
+
+fn observe(strategy: Strategy) -> Vec<Row> {
+    let mut sim = make_sim(strategy, 5, 42, 3);
+    sim.run()
+        .into_iter()
+        .map(|r| {
+            (
+                r.mean_loss.to_bits(),
+                r.cumulative_comm.uploaded_bytes,
+                r.cumulative_comm.downloaded_bytes,
+                r.cumulative_comm.upload_messages,
+                r.cumulative_comm.download_messages,
+            )
+        })
+        .collect()
+}
+
+fn check(name: &str, strategy: Strategy, golden: &[Row]) {
+    let got = observe(strategy);
+    if std::env::var("FEXIOT_PRINT_GOLDEN").is_ok() {
+        println!("        // {name}");
+        for r in &got {
+            println!(
+                "        (0x{:016X}, {}, {}, {}, {}),",
+                r.0, r.1, r.2, r.3, r.4
+            );
+        }
+        return;
+    }
+    assert_eq!(got, golden, "{name}: RoundReport sequence drifted");
+}
+
+#[test]
+fn fedavg_reports_bit_identical_to_seed() {
+    check(
+        "FedAvg",
+        Strategy::FedAvg,
+        &[
+            // FedAvg
+            (0x3FE73B15DB1989D5, 28320, 28320, 5, 5),
+            (0x3FEB1A494EBFF1E6, 56640, 56640, 10, 10),
+            (0x3FE724EB598F579D, 84960, 84960, 15, 15),
+        ],
+    );
+}
+
+#[test]
+fn local_only_reports_bit_identical_to_seed() {
+    check(
+        "LocalOnly",
+        Strategy::LocalOnly,
+        &[
+            // LocalOnly
+            (0x3FE73B15DB1989D5, 0, 0, 0, 0),
+            (0x3FEB0A9792279D3D, 0, 0, 0, 0),
+            (0x3FE6EA4623383AF8, 0, 0, 0, 0),
+        ],
+    );
+}
+
+#[test]
+fn fmtl_reports_bit_identical_to_seed() {
+    check(
+        "FMTL",
+        Strategy::fmtl_default(),
+        &[
+            // FMTL
+            (0x3FE73B15DB1989D5, 28320, 28320, 5, 5),
+            (0x3FEB1A494EBFF1E6, 56640, 56640, 10, 10),
+            (0x3FE724EB598F579D, 84960, 84960, 15, 15),
+        ],
+    );
+}
+
+#[test]
+fn gcfl_reports_bit_identical_to_seed() {
+    check(
+        "GCFL+",
+        Strategy::gcfl_default(),
+        &[
+            // GCFL+
+            (0x3FE73B15DB1989D5, 28320, 28320, 5, 5),
+            (0x3FEB1A494EBFF1E6, 56640, 56640, 10, 10),
+            (0x3FE724EB598F579D, 84960, 84960, 15, 15),
+        ],
+    );
+}
+
+#[test]
+fn fexiot_reports_bit_identical_to_seed() {
+    check(
+        "FexIoT",
+        Strategy::fexiot_default(),
+        &[
+            // FexIoT
+            (0x3FE73B15DB1989D5, 28320, 28320, 10, 10),
+            (0x3FEB1A494EBFF1E6, 53760, 53760, 15, 15),
+            (0x3FE7261F1D537178, 82080, 82080, 25, 25),
+        ],
+    );
+}

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-54050f7c980650d6.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-54050f7c980650d6: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-7be46f813bb459bc.d: crates/core/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-7be46f813bb459bc: crates/core/tests/end_to_end.rs
+
+crates/core/tests/end_to_end.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fexiot-95417a71a863b6ff.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/federation.rs crates/core/src/pipeline.rs
+
+/root/repo/target/debug/deps/libfexiot-95417a71a863b6ff.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/federation.rs crates/core/src/pipeline.rs
+
+/root/repo/target/debug/deps/libfexiot-95417a71a863b6ff.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/federation.rs crates/core/src/pipeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/federation.rs:
+crates/core/src/pipeline.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/fexiot-adea1c17330aecb6.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/federation.rs crates/core/src/pipeline.rs
+
+/root/repo/target/debug/deps/fexiot-adea1c17330aecb6: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/federation.rs crates/core/src/pipeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/federation.rs:
+crates/core/src/pipeline.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/fexiot_bench-dabc263890d327fa.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig3.rs crates/bench/src/fig4.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/fig9.rs crates/bench/src/plot.rs crates/bench/src/scale.rs crates/bench/src/table1.rs crates/bench/src/table2.rs crates/bench/src/table3.rs
+
+/root/repo/target/debug/deps/fexiot_bench-dabc263890d327fa: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/fig3.rs crates/bench/src/fig4.rs crates/bench/src/fig5.rs crates/bench/src/fig6.rs crates/bench/src/fig7.rs crates/bench/src/fig8.rs crates/bench/src/fig9.rs crates/bench/src/plot.rs crates/bench/src/scale.rs crates/bench/src/table1.rs crates/bench/src/table2.rs crates/bench/src/table3.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/fig3.rs:
+crates/bench/src/fig4.rs:
+crates/bench/src/fig5.rs:
+crates/bench/src/fig6.rs:
+crates/bench/src/fig7.rs:
+crates/bench/src/fig8.rs:
+crates/bench/src/fig9.rs:
+crates/bench/src/plot.rs:
+crates/bench/src/scale.rs:
+crates/bench/src/table1.rs:
+crates/bench/src/table2.rs:
+crates/bench/src/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fexiot_cli-9bbc68ba2cab75f2.d: crates/core/src/bin/fexiot-cli.rs
+
+/root/repo/target/debug/deps/fexiot_cli-9bbc68ba2cab75f2: crates/core/src/bin/fexiot-cli.rs
+
+crates/core/src/bin/fexiot-cli.rs:

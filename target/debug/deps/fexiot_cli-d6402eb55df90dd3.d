@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fexiot_cli-d6402eb55df90dd3.d: crates/core/src/bin/fexiot-cli.rs
+
+/root/repo/target/debug/deps/fexiot_cli-d6402eb55df90dd3: crates/core/src/bin/fexiot-cli.rs
+
+crates/core/src/bin/fexiot-cli.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fexiot_explain-19f172bfab732e48.d: crates/explain/src/lib.rs crates/explain/src/model.rs crates/explain/src/quality.rs crates/explain/src/search.rs crates/explain/src/shap.rs
+
+/root/repo/target/debug/deps/fexiot_explain-19f172bfab732e48: crates/explain/src/lib.rs crates/explain/src/model.rs crates/explain/src/quality.rs crates/explain/src/search.rs crates/explain/src/shap.rs
+
+crates/explain/src/lib.rs:
+crates/explain/src/model.rs:
+crates/explain/src/quality.rs:
+crates/explain/src/search.rs:
+crates/explain/src/shap.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fexiot_explain-f16e83670a9510a2.d: crates/explain/src/lib.rs crates/explain/src/model.rs crates/explain/src/quality.rs crates/explain/src/search.rs crates/explain/src/shap.rs
+
+/root/repo/target/debug/deps/libfexiot_explain-f16e83670a9510a2.rlib: crates/explain/src/lib.rs crates/explain/src/model.rs crates/explain/src/quality.rs crates/explain/src/search.rs crates/explain/src/shap.rs
+
+/root/repo/target/debug/deps/libfexiot_explain-f16e83670a9510a2.rmeta: crates/explain/src/lib.rs crates/explain/src/model.rs crates/explain/src/quality.rs crates/explain/src/search.rs crates/explain/src/shap.rs
+
+crates/explain/src/lib.rs:
+crates/explain/src/model.rs:
+crates/explain/src/quality.rs:
+crates/explain/src/search.rs:
+crates/explain/src/shap.rs:

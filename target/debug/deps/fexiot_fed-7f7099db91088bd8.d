@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fexiot_fed-7f7099db91088bd8.d: crates/fed/src/lib.rs crates/fed/src/client.rs crates/fed/src/comm.rs crates/fed/src/dp.rs crates/fed/src/secure_agg.rs crates/fed/src/sim.rs crates/fed/src/strategy.rs crates/fed/src/sybil.rs
+
+/root/repo/target/debug/deps/libfexiot_fed-7f7099db91088bd8.rlib: crates/fed/src/lib.rs crates/fed/src/client.rs crates/fed/src/comm.rs crates/fed/src/dp.rs crates/fed/src/secure_agg.rs crates/fed/src/sim.rs crates/fed/src/strategy.rs crates/fed/src/sybil.rs
+
+/root/repo/target/debug/deps/libfexiot_fed-7f7099db91088bd8.rmeta: crates/fed/src/lib.rs crates/fed/src/client.rs crates/fed/src/comm.rs crates/fed/src/dp.rs crates/fed/src/secure_agg.rs crates/fed/src/sim.rs crates/fed/src/strategy.rs crates/fed/src/sybil.rs
+
+crates/fed/src/lib.rs:
+crates/fed/src/client.rs:
+crates/fed/src/comm.rs:
+crates/fed/src/dp.rs:
+crates/fed/src/secure_agg.rs:
+crates/fed/src/sim.rs:
+crates/fed/src/strategy.rs:
+crates/fed/src/sybil.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fexiot_fed-b3df8d58d28a6478.d: crates/fed/src/lib.rs crates/fed/src/client.rs crates/fed/src/comm.rs crates/fed/src/dp.rs crates/fed/src/secure_agg.rs crates/fed/src/sim.rs crates/fed/src/strategy.rs crates/fed/src/sybil.rs
+
+/root/repo/target/debug/deps/fexiot_fed-b3df8d58d28a6478: crates/fed/src/lib.rs crates/fed/src/client.rs crates/fed/src/comm.rs crates/fed/src/dp.rs crates/fed/src/secure_agg.rs crates/fed/src/sim.rs crates/fed/src/strategy.rs crates/fed/src/sybil.rs
+
+crates/fed/src/lib.rs:
+crates/fed/src/client.rs:
+crates/fed/src/comm.rs:
+crates/fed/src/dp.rs:
+crates/fed/src/secure_agg.rs:
+crates/fed/src/sim.rs:
+crates/fed/src/strategy.rs:
+crates/fed/src/sybil.rs:

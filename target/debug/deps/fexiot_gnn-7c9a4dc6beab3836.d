@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/fexiot_gnn-7c9a4dc6beab3836.d: crates/gnn/src/lib.rs crates/gnn/src/encoder.rs crates/gnn/src/gcn.rs crates/gnn/src/gin.rs crates/gnn/src/magnn.rs crates/gnn/src/serialize.rs crates/gnn/src/trainer.rs
+
+/root/repo/target/debug/deps/libfexiot_gnn-7c9a4dc6beab3836.rlib: crates/gnn/src/lib.rs crates/gnn/src/encoder.rs crates/gnn/src/gcn.rs crates/gnn/src/gin.rs crates/gnn/src/magnn.rs crates/gnn/src/serialize.rs crates/gnn/src/trainer.rs
+
+/root/repo/target/debug/deps/libfexiot_gnn-7c9a4dc6beab3836.rmeta: crates/gnn/src/lib.rs crates/gnn/src/encoder.rs crates/gnn/src/gcn.rs crates/gnn/src/gin.rs crates/gnn/src/magnn.rs crates/gnn/src/serialize.rs crates/gnn/src/trainer.rs
+
+crates/gnn/src/lib.rs:
+crates/gnn/src/encoder.rs:
+crates/gnn/src/gcn.rs:
+crates/gnn/src/gin.rs:
+crates/gnn/src/magnn.rs:
+crates/gnn/src/serialize.rs:
+crates/gnn/src/trainer.rs:

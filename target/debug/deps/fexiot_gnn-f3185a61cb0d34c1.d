@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/fexiot_gnn-f3185a61cb0d34c1.d: crates/gnn/src/lib.rs crates/gnn/src/encoder.rs crates/gnn/src/gcn.rs crates/gnn/src/gin.rs crates/gnn/src/magnn.rs crates/gnn/src/serialize.rs crates/gnn/src/trainer.rs
+
+/root/repo/target/debug/deps/fexiot_gnn-f3185a61cb0d34c1: crates/gnn/src/lib.rs crates/gnn/src/encoder.rs crates/gnn/src/gcn.rs crates/gnn/src/gin.rs crates/gnn/src/magnn.rs crates/gnn/src/serialize.rs crates/gnn/src/trainer.rs
+
+crates/gnn/src/lib.rs:
+crates/gnn/src/encoder.rs:
+crates/gnn/src/gcn.rs:
+crates/gnn/src/gin.rs:
+crates/gnn/src/magnn.rs:
+crates/gnn/src/serialize.rs:
+crates/gnn/src/trainer.rs:

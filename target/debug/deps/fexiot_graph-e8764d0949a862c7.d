@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/fexiot_graph-e8764d0949a862c7.d: crates/graph/src/lib.rs crates/graph/src/attacks.rs crates/graph/src/builder.rs crates/graph/src/corpus.rs crates/graph/src/dataset.rs crates/graph/src/device.rs crates/graph/src/events.rs crates/graph/src/graph.rs crates/graph/src/online.rs crates/graph/src/rule.rs crates/graph/src/vuln.rs
+
+/root/repo/target/debug/deps/fexiot_graph-e8764d0949a862c7: crates/graph/src/lib.rs crates/graph/src/attacks.rs crates/graph/src/builder.rs crates/graph/src/corpus.rs crates/graph/src/dataset.rs crates/graph/src/device.rs crates/graph/src/events.rs crates/graph/src/graph.rs crates/graph/src/online.rs crates/graph/src/rule.rs crates/graph/src/vuln.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/attacks.rs:
+crates/graph/src/builder.rs:
+crates/graph/src/corpus.rs:
+crates/graph/src/dataset.rs:
+crates/graph/src/device.rs:
+crates/graph/src/events.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/online.rs:
+crates/graph/src/rule.rs:
+crates/graph/src/vuln.rs:

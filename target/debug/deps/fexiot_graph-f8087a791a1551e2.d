@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/fexiot_graph-f8087a791a1551e2.d: crates/graph/src/lib.rs crates/graph/src/attacks.rs crates/graph/src/builder.rs crates/graph/src/corpus.rs crates/graph/src/dataset.rs crates/graph/src/device.rs crates/graph/src/events.rs crates/graph/src/graph.rs crates/graph/src/online.rs crates/graph/src/rule.rs crates/graph/src/vuln.rs
+
+/root/repo/target/debug/deps/libfexiot_graph-f8087a791a1551e2.rlib: crates/graph/src/lib.rs crates/graph/src/attacks.rs crates/graph/src/builder.rs crates/graph/src/corpus.rs crates/graph/src/dataset.rs crates/graph/src/device.rs crates/graph/src/events.rs crates/graph/src/graph.rs crates/graph/src/online.rs crates/graph/src/rule.rs crates/graph/src/vuln.rs
+
+/root/repo/target/debug/deps/libfexiot_graph-f8087a791a1551e2.rmeta: crates/graph/src/lib.rs crates/graph/src/attacks.rs crates/graph/src/builder.rs crates/graph/src/corpus.rs crates/graph/src/dataset.rs crates/graph/src/device.rs crates/graph/src/events.rs crates/graph/src/graph.rs crates/graph/src/online.rs crates/graph/src/rule.rs crates/graph/src/vuln.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/attacks.rs:
+crates/graph/src/builder.rs:
+crates/graph/src/corpus.rs:
+crates/graph/src/dataset.rs:
+crates/graph/src/device.rs:
+crates/graph/src/events.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/online.rs:
+crates/graph/src/rule.rs:
+crates/graph/src/vuln.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fexiot_nlp-bfa4e4dab0627b51.d: crates/nlp/src/lib.rs crates/nlp/src/dtw.rs crates/nlp/src/embed.rs crates/nlp/src/features.rs crates/nlp/src/jenks.rs crates/nlp/src/lexicon.rs crates/nlp/src/parse.rs crates/nlp/src/tokenize.rs
+
+/root/repo/target/debug/deps/fexiot_nlp-bfa4e4dab0627b51: crates/nlp/src/lib.rs crates/nlp/src/dtw.rs crates/nlp/src/embed.rs crates/nlp/src/features.rs crates/nlp/src/jenks.rs crates/nlp/src/lexicon.rs crates/nlp/src/parse.rs crates/nlp/src/tokenize.rs
+
+crates/nlp/src/lib.rs:
+crates/nlp/src/dtw.rs:
+crates/nlp/src/embed.rs:
+crates/nlp/src/features.rs:
+crates/nlp/src/jenks.rs:
+crates/nlp/src/lexicon.rs:
+crates/nlp/src/parse.rs:
+crates/nlp/src/tokenize.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fexiot_nlp-ce93c09e7c20d292.d: crates/nlp/src/lib.rs crates/nlp/src/dtw.rs crates/nlp/src/embed.rs crates/nlp/src/features.rs crates/nlp/src/jenks.rs crates/nlp/src/lexicon.rs crates/nlp/src/parse.rs crates/nlp/src/tokenize.rs
+
+/root/repo/target/debug/deps/libfexiot_nlp-ce93c09e7c20d292.rlib: crates/nlp/src/lib.rs crates/nlp/src/dtw.rs crates/nlp/src/embed.rs crates/nlp/src/features.rs crates/nlp/src/jenks.rs crates/nlp/src/lexicon.rs crates/nlp/src/parse.rs crates/nlp/src/tokenize.rs
+
+/root/repo/target/debug/deps/libfexiot_nlp-ce93c09e7c20d292.rmeta: crates/nlp/src/lib.rs crates/nlp/src/dtw.rs crates/nlp/src/embed.rs crates/nlp/src/features.rs crates/nlp/src/jenks.rs crates/nlp/src/lexicon.rs crates/nlp/src/parse.rs crates/nlp/src/tokenize.rs
+
+crates/nlp/src/lib.rs:
+crates/nlp/src/dtw.rs:
+crates/nlp/src/embed.rs:
+crates/nlp/src/features.rs:
+crates/nlp/src/jenks.rs:
+crates/nlp/src/lexicon.rs:
+crates/nlp/src/parse.rs:
+crates/nlp/src/tokenize.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/fexiot_tensor-13472687c6e630f3.d: crates/tensor/src/lib.rs crates/tensor/src/autograd.rs crates/tensor/src/codec.rs crates/tensor/src/linalg.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/rng.rs crates/tensor/src/stats.rs
+
+/root/repo/target/debug/deps/fexiot_tensor-13472687c6e630f3: crates/tensor/src/lib.rs crates/tensor/src/autograd.rs crates/tensor/src/codec.rs crates/tensor/src/linalg.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/rng.rs crates/tensor/src/stats.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/autograd.rs:
+crates/tensor/src/codec.rs:
+crates/tensor/src/linalg.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/stats.rs:

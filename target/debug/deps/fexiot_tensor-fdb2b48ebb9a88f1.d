@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/fexiot_tensor-fdb2b48ebb9a88f1.d: crates/tensor/src/lib.rs crates/tensor/src/autograd.rs crates/tensor/src/codec.rs crates/tensor/src/linalg.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/rng.rs crates/tensor/src/stats.rs
+
+/root/repo/target/debug/deps/libfexiot_tensor-fdb2b48ebb9a88f1.rlib: crates/tensor/src/lib.rs crates/tensor/src/autograd.rs crates/tensor/src/codec.rs crates/tensor/src/linalg.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/rng.rs crates/tensor/src/stats.rs
+
+/root/repo/target/debug/deps/libfexiot_tensor-fdb2b48ebb9a88f1.rmeta: crates/tensor/src/lib.rs crates/tensor/src/autograd.rs crates/tensor/src/codec.rs crates/tensor/src/linalg.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/rng.rs crates/tensor/src/stats.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/autograd.rs:
+crates/tensor/src/codec.rs:
+crates/tensor/src/linalg.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/stats.rs:

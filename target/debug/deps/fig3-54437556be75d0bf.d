@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3-54437556be75d0bf.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/debug/deps/fig3-54437556be75d0bf: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4-250fe1627076929f.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/debug/deps/fig4-250fe1627076929f: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-0558162dda0e14ec.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-0558162dda0e14ec: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-4b5118dd503b08b0.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-4b5118dd503b08b0: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-02d270fe08b9e042.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-02d270fe08b9e042: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-d044f0186a54c991.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-d044f0186a54c991: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

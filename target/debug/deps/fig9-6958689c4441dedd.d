@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-6958689c4441dedd.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-6958689c4441dedd: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/golden-c0c9e9b987f26b81.d: crates/fed/tests/golden.rs
+
+/root/repo/target/debug/deps/golden-c0c9e9b987f26b81: crates/fed/tests/golden.rs
+
+crates/fed/tests/golden.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/headline-9d647a7c4d86adf1.d: crates/bench/src/bin/headline.rs
+
+/root/repo/target/debug/deps/headline-9d647a7c4d86adf1: crates/bench/src/bin/headline.rs
+
+crates/bench/src/bin/headline.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-3d4d725d0fbb4814.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-3d4d725d0fbb4814.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-3d4d725d0fbb4814.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-165ff1f6d0024c63.d: crates/fed/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-165ff1f6d0024c63: crates/fed/tests/proptests.rs
+
+crates/fed/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-42d015a22565fa74.d: crates/tensor/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-42d015a22565fa74: crates/tensor/tests/proptests.rs
+
+crates/tensor/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-6de724b158c1846a.d: crates/core/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-6de724b158c1846a: crates/core/tests/proptests.rs
+
+crates/core/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-98cca269df400bd1.d: crates/graph/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-98cca269df400bd1: crates/graph/tests/proptests.rs
+
+crates/graph/tests/proptests.rs:

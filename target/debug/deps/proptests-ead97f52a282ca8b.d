@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-ead97f52a282ca8b.d: crates/nlp/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-ead97f52a282ca8b: crates/nlp/tests/proptests.rs
+
+crates/nlp/tests/proptests.rs:

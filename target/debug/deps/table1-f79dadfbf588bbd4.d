@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-f79dadfbf588bbd4.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-f79dadfbf588bbd4: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-a40f9b16228d5ea2.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-a40f9b16228d5ea2: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

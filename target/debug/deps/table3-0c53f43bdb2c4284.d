@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-0c53f43bdb2c4284.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-0c53f43bdb2c4284: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

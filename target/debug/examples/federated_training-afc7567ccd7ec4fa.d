@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/federated_training-afc7567ccd7ec4fa.d: crates/core/../../examples/federated_training.rs
+
+/root/repo/target/debug/examples/federated_training-afc7567ccd7ec4fa: crates/core/../../examples/federated_training.rs
+
+crates/core/../../examples/federated_training.rs:

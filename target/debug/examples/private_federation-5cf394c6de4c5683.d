@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/private_federation-5cf394c6de4c5683.d: crates/core/../../examples/private_federation.rs
+
+/root/repo/target/debug/examples/private_federation-5cf394c6de4c5683: crates/core/../../examples/private_federation.rs
+
+crates/core/../../examples/private_federation.rs:

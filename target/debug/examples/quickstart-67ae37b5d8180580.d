@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-67ae37b5d8180580.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-67ae37b5d8180580: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

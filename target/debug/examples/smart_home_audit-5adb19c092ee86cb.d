@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/smart_home_audit-5adb19c092ee86cb.d: crates/core/../../examples/smart_home_audit.rs
+
+/root/repo/target/debug/examples/smart_home_audit-5adb19c092ee86cb: crates/core/../../examples/smart_home_audit.rs
+
+crates/core/../../examples/smart_home_audit.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-9ebf6132008c5c0c.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-9ebf6132008c5c0c: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

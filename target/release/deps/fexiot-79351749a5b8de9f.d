@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/fexiot-79351749a5b8de9f.d: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/federation.rs crates/core/src/pipeline.rs
+
+/root/repo/target/release/deps/libfexiot-79351749a5b8de9f.rlib: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/federation.rs crates/core/src/pipeline.rs
+
+/root/repo/target/release/deps/libfexiot-79351749a5b8de9f.rmeta: crates/core/src/lib.rs crates/core/src/config.rs crates/core/src/federation.rs crates/core/src/pipeline.rs
+
+crates/core/src/lib.rs:
+crates/core/src/config.rs:
+crates/core/src/federation.rs:
+crates/core/src/pipeline.rs:

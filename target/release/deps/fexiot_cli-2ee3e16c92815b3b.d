@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fexiot_cli-2ee3e16c92815b3b.d: crates/core/src/bin/fexiot-cli.rs
+
+/root/repo/target/release/deps/fexiot_cli-2ee3e16c92815b3b: crates/core/src/bin/fexiot-cli.rs
+
+crates/core/src/bin/fexiot-cli.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/fexiot_explain-ebef6ee0d7e6e4de.d: crates/explain/src/lib.rs crates/explain/src/model.rs crates/explain/src/quality.rs crates/explain/src/search.rs crates/explain/src/shap.rs
+
+/root/repo/target/release/deps/libfexiot_explain-ebef6ee0d7e6e4de.rlib: crates/explain/src/lib.rs crates/explain/src/model.rs crates/explain/src/quality.rs crates/explain/src/search.rs crates/explain/src/shap.rs
+
+/root/repo/target/release/deps/libfexiot_explain-ebef6ee0d7e6e4de.rmeta: crates/explain/src/lib.rs crates/explain/src/model.rs crates/explain/src/quality.rs crates/explain/src/search.rs crates/explain/src/shap.rs
+
+crates/explain/src/lib.rs:
+crates/explain/src/model.rs:
+crates/explain/src/quality.rs:
+crates/explain/src/search.rs:
+crates/explain/src/shap.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fexiot_fed-52089359939bcb44.d: crates/fed/src/lib.rs crates/fed/src/client.rs crates/fed/src/comm.rs crates/fed/src/dp.rs crates/fed/src/secure_agg.rs crates/fed/src/sim.rs crates/fed/src/strategy.rs crates/fed/src/sybil.rs
+
+/root/repo/target/release/deps/libfexiot_fed-52089359939bcb44.rlib: crates/fed/src/lib.rs crates/fed/src/client.rs crates/fed/src/comm.rs crates/fed/src/dp.rs crates/fed/src/secure_agg.rs crates/fed/src/sim.rs crates/fed/src/strategy.rs crates/fed/src/sybil.rs
+
+/root/repo/target/release/deps/libfexiot_fed-52089359939bcb44.rmeta: crates/fed/src/lib.rs crates/fed/src/client.rs crates/fed/src/comm.rs crates/fed/src/dp.rs crates/fed/src/secure_agg.rs crates/fed/src/sim.rs crates/fed/src/strategy.rs crates/fed/src/sybil.rs
+
+crates/fed/src/lib.rs:
+crates/fed/src/client.rs:
+crates/fed/src/comm.rs:
+crates/fed/src/dp.rs:
+crates/fed/src/secure_agg.rs:
+crates/fed/src/sim.rs:
+crates/fed/src/strategy.rs:
+crates/fed/src/sybil.rs:

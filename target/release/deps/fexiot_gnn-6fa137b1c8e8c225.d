@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/fexiot_gnn-6fa137b1c8e8c225.d: crates/gnn/src/lib.rs crates/gnn/src/encoder.rs crates/gnn/src/gcn.rs crates/gnn/src/gin.rs crates/gnn/src/magnn.rs crates/gnn/src/serialize.rs crates/gnn/src/trainer.rs
+
+/root/repo/target/release/deps/libfexiot_gnn-6fa137b1c8e8c225.rlib: crates/gnn/src/lib.rs crates/gnn/src/encoder.rs crates/gnn/src/gcn.rs crates/gnn/src/gin.rs crates/gnn/src/magnn.rs crates/gnn/src/serialize.rs crates/gnn/src/trainer.rs
+
+/root/repo/target/release/deps/libfexiot_gnn-6fa137b1c8e8c225.rmeta: crates/gnn/src/lib.rs crates/gnn/src/encoder.rs crates/gnn/src/gcn.rs crates/gnn/src/gin.rs crates/gnn/src/magnn.rs crates/gnn/src/serialize.rs crates/gnn/src/trainer.rs
+
+crates/gnn/src/lib.rs:
+crates/gnn/src/encoder.rs:
+crates/gnn/src/gcn.rs:
+crates/gnn/src/gin.rs:
+crates/gnn/src/magnn.rs:
+crates/gnn/src/serialize.rs:
+crates/gnn/src/trainer.rs:

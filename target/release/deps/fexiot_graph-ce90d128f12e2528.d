@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/fexiot_graph-ce90d128f12e2528.d: crates/graph/src/lib.rs crates/graph/src/attacks.rs crates/graph/src/builder.rs crates/graph/src/corpus.rs crates/graph/src/dataset.rs crates/graph/src/device.rs crates/graph/src/events.rs crates/graph/src/graph.rs crates/graph/src/online.rs crates/graph/src/rule.rs crates/graph/src/vuln.rs
+
+/root/repo/target/release/deps/libfexiot_graph-ce90d128f12e2528.rlib: crates/graph/src/lib.rs crates/graph/src/attacks.rs crates/graph/src/builder.rs crates/graph/src/corpus.rs crates/graph/src/dataset.rs crates/graph/src/device.rs crates/graph/src/events.rs crates/graph/src/graph.rs crates/graph/src/online.rs crates/graph/src/rule.rs crates/graph/src/vuln.rs
+
+/root/repo/target/release/deps/libfexiot_graph-ce90d128f12e2528.rmeta: crates/graph/src/lib.rs crates/graph/src/attacks.rs crates/graph/src/builder.rs crates/graph/src/corpus.rs crates/graph/src/dataset.rs crates/graph/src/device.rs crates/graph/src/events.rs crates/graph/src/graph.rs crates/graph/src/online.rs crates/graph/src/rule.rs crates/graph/src/vuln.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/attacks.rs:
+crates/graph/src/builder.rs:
+crates/graph/src/corpus.rs:
+crates/graph/src/dataset.rs:
+crates/graph/src/device.rs:
+crates/graph/src/events.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/online.rs:
+crates/graph/src/rule.rs:
+crates/graph/src/vuln.rs:

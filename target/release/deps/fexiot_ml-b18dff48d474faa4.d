@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/fexiot_ml-b18dff48d474faa4.d: crates/ml/src/lib.rs crates/ml/src/deeplog.rs crates/ml/src/drift.rs crates/ml/src/forest.rs crates/ml/src/gboost.rs crates/ml/src/hawatcher.rs crates/ml/src/iforest.rs crates/ml/src/kmeans.rs crates/ml/src/knn.rs crates/ml/src/lstm.rs crates/ml/src/metrics.rs crates/ml/src/mlp.rs crates/ml/src/sgd.rs crates/ml/src/tree.rs crates/ml/src/tsne.rs
+
+/root/repo/target/release/deps/libfexiot_ml-b18dff48d474faa4.rlib: crates/ml/src/lib.rs crates/ml/src/deeplog.rs crates/ml/src/drift.rs crates/ml/src/forest.rs crates/ml/src/gboost.rs crates/ml/src/hawatcher.rs crates/ml/src/iforest.rs crates/ml/src/kmeans.rs crates/ml/src/knn.rs crates/ml/src/lstm.rs crates/ml/src/metrics.rs crates/ml/src/mlp.rs crates/ml/src/sgd.rs crates/ml/src/tree.rs crates/ml/src/tsne.rs
+
+/root/repo/target/release/deps/libfexiot_ml-b18dff48d474faa4.rmeta: crates/ml/src/lib.rs crates/ml/src/deeplog.rs crates/ml/src/drift.rs crates/ml/src/forest.rs crates/ml/src/gboost.rs crates/ml/src/hawatcher.rs crates/ml/src/iforest.rs crates/ml/src/kmeans.rs crates/ml/src/knn.rs crates/ml/src/lstm.rs crates/ml/src/metrics.rs crates/ml/src/mlp.rs crates/ml/src/sgd.rs crates/ml/src/tree.rs crates/ml/src/tsne.rs
+
+crates/ml/src/lib.rs:
+crates/ml/src/deeplog.rs:
+crates/ml/src/drift.rs:
+crates/ml/src/forest.rs:
+crates/ml/src/gboost.rs:
+crates/ml/src/hawatcher.rs:
+crates/ml/src/iforest.rs:
+crates/ml/src/kmeans.rs:
+crates/ml/src/knn.rs:
+crates/ml/src/lstm.rs:
+crates/ml/src/metrics.rs:
+crates/ml/src/mlp.rs:
+crates/ml/src/sgd.rs:
+crates/ml/src/tree.rs:
+crates/ml/src/tsne.rs:

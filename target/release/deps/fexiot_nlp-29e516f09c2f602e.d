@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fexiot_nlp-29e516f09c2f602e.d: crates/nlp/src/lib.rs crates/nlp/src/dtw.rs crates/nlp/src/embed.rs crates/nlp/src/features.rs crates/nlp/src/jenks.rs crates/nlp/src/lexicon.rs crates/nlp/src/parse.rs crates/nlp/src/tokenize.rs
+
+/root/repo/target/release/deps/libfexiot_nlp-29e516f09c2f602e.rlib: crates/nlp/src/lib.rs crates/nlp/src/dtw.rs crates/nlp/src/embed.rs crates/nlp/src/features.rs crates/nlp/src/jenks.rs crates/nlp/src/lexicon.rs crates/nlp/src/parse.rs crates/nlp/src/tokenize.rs
+
+/root/repo/target/release/deps/libfexiot_nlp-29e516f09c2f602e.rmeta: crates/nlp/src/lib.rs crates/nlp/src/dtw.rs crates/nlp/src/embed.rs crates/nlp/src/features.rs crates/nlp/src/jenks.rs crates/nlp/src/lexicon.rs crates/nlp/src/parse.rs crates/nlp/src/tokenize.rs
+
+crates/nlp/src/lib.rs:
+crates/nlp/src/dtw.rs:
+crates/nlp/src/embed.rs:
+crates/nlp/src/features.rs:
+crates/nlp/src/jenks.rs:
+crates/nlp/src/lexicon.rs:
+crates/nlp/src/parse.rs:
+crates/nlp/src/tokenize.rs:

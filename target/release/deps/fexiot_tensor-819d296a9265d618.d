@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/fexiot_tensor-819d296a9265d618.d: crates/tensor/src/lib.rs crates/tensor/src/autograd.rs crates/tensor/src/codec.rs crates/tensor/src/linalg.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/rng.rs crates/tensor/src/stats.rs
+
+/root/repo/target/release/deps/libfexiot_tensor-819d296a9265d618.rlib: crates/tensor/src/lib.rs crates/tensor/src/autograd.rs crates/tensor/src/codec.rs crates/tensor/src/linalg.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/rng.rs crates/tensor/src/stats.rs
+
+/root/repo/target/release/deps/libfexiot_tensor-819d296a9265d618.rmeta: crates/tensor/src/lib.rs crates/tensor/src/autograd.rs crates/tensor/src/codec.rs crates/tensor/src/linalg.rs crates/tensor/src/matrix.rs crates/tensor/src/optim.rs crates/tensor/src/rng.rs crates/tensor/src/stats.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/autograd.rs:
+crates/tensor/src/codec.rs:
+crates/tensor/src/linalg.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/optim.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/stats.rs:

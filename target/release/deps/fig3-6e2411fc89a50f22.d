@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-6e2411fc89a50f22.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-6e2411fc89a50f22: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

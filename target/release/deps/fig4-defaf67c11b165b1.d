@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4-defaf67c11b165b1.d: crates/bench/src/bin/fig4.rs
+
+/root/repo/target/release/deps/fig4-defaf67c11b165b1: crates/bench/src/bin/fig4.rs
+
+crates/bench/src/bin/fig4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-f9e03f375f8495c1.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-f9e03f375f8495c1: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

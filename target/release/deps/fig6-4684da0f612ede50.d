@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-4684da0f612ede50.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-4684da0f612ede50: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-123825c63c48e536.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-123825c63c48e536: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-ef6685ce3a9d405d.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-ef6685ce3a9d405d: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

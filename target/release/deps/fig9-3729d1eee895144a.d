@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-3729d1eee895144a.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-3729d1eee895144a: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/headline-cd8c4c09b0169dd4.d: crates/bench/src/bin/headline.rs
+
+/root/repo/target/release/deps/headline-cd8c4c09b0169dd4: crates/bench/src/bin/headline.rs
+
+crates/bench/src/bin/headline.rs:

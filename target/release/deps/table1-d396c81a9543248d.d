@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-d396c81a9543248d.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-d396c81a9543248d: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-94e6033553bdb180.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-94e6033553bdb180: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

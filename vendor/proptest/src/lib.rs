@@ -1,0 +1,470 @@
+//! Offline shim of the `proptest` API surface used by this workspace.
+//!
+//! The build environment has no access to crates.io, so this path crate
+//! stands in for the real `proptest`. It keeps the same names and call
+//! shapes (`proptest!`, `prop_assert!`, range/collection/`prop_map`
+//! strategies, simple regex string strategies) but replaces the machinery
+//! with a deterministic splitmix64 sampler and plain `assert!` failures —
+//! no shrinking, no persistence. Regression files (`.proptest-regressions`)
+//! are ignored.
+
+pub mod test_runner {
+    /// Mirror of `proptest::test_runner::Config` for the fields we use.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Self { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self { cases: 64 }
+        }
+    }
+
+    /// Deterministic generator: splitmix64 keyed by test name and case index.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        pub fn deterministic(name_hash: u64, case: u64) -> Self {
+            Self {
+                state: name_hash ^ case.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xD1B54A32D192ED03,
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+
+        /// Uniform integer in `[lo, hi)`.
+        pub fn u64_range(&mut self, lo: u64, hi: u64) -> u64 {
+            assert!(hi > lo, "empty range {lo}..{hi}");
+            let span = hi - lo;
+            lo + ((self.next_u64() as u128 * span as u128) >> 64) as u64
+        }
+    }
+
+    /// FNV-1a, used to decorrelate streams across test functions.
+    pub fn hash_name(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.as_bytes() {
+            h ^= *b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+}
+
+pub mod strategy {
+    use super::string::sample_pattern;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Value generator. Unlike real proptest there is no value tree or
+    /// shrinking; `generate` draws one value directly.
+    pub trait Strategy {
+        type Value;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Constant strategy (`proptest::strategy::Just`).
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.end > self.start, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u64;
+                    (self.start as i128 + rng.u64_range(0, span) as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + (self.end - self.start) * rng.unit_f64()
+        }
+    }
+
+    impl Strategy for Range<f32> {
+        type Value = f32;
+        fn generate(&self, rng: &mut TestRng) -> f32 {
+            self.start + (self.end - self.start) * rng.unit_f64() as f32
+        }
+    }
+
+    /// String strategies from simple regex patterns, e.g. `"[a-z ]{5,60}"`.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            sample_pattern(self, rng)
+        }
+    }
+}
+
+/// Generator for the regex subset used as string strategies: sequences of
+/// `.`, literal characters, and `[...]` classes (with ranges), each followed
+/// by an optional `{m}`, `{m,n}`, `*`, `+`, or `?` quantifier.
+pub mod string {
+    use super::test_runner::TestRng;
+
+    enum Atom {
+        Any,
+        Class(Vec<(char, char)>),
+        Literal(char),
+    }
+
+    fn parse(pattern: &str) -> Vec<(Atom, u32, u32)> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Atom::Any
+                }
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = if chars[i] == '\\' {
+                            i += 1;
+                            chars[i]
+                        } else {
+                            chars[i]
+                        };
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            ranges.push((lo, chars[i + 2]));
+                            i += 3;
+                        } else {
+                            ranges.push((lo, lo));
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated class in {pattern:?}");
+                    i += 1; // ']'
+                    Atom::Class(ranges)
+                }
+                '\\' => {
+                    i += 1;
+                    let c = chars[i];
+                    i += 1;
+                    Atom::Literal(c)
+                }
+                c => {
+                    i += 1;
+                    Atom::Literal(c)
+                }
+            };
+            // Quantifier.
+            let (min, max) = if i < chars.len() {
+                match chars[i] {
+                    '{' => {
+                        let close = chars[i..]
+                            .iter()
+                            .position(|&c| c == '}')
+                            .expect("unterminated {} quantifier")
+                            + i;
+                        let body: String = chars[i + 1..close].iter().collect();
+                        i = close + 1;
+                        match body.split_once(',') {
+                            Some((m, n)) => (
+                                m.trim().parse().expect("bad quantifier"),
+                                n.trim().parse().expect("bad quantifier"),
+                            ),
+                            None => {
+                                let m: u32 = body.trim().parse().expect("bad quantifier");
+                                (m, m)
+                            }
+                        }
+                    }
+                    '*' => {
+                        i += 1;
+                        (0, 8)
+                    }
+                    '+' => {
+                        i += 1;
+                        (1, 8)
+                    }
+                    '?' => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            out.push((atom, min, max));
+        }
+        out
+    }
+
+    fn sample_any(rng: &mut TestRng) -> char {
+        // Mostly printable ASCII, occasionally Latin-1 supplement / Greek so
+        // the non-ASCII paths in string handling get exercised.
+        match rng.u64_range(0, 10) {
+            0 => char::from_u32(rng.u64_range(0xA1, 0x3C9) as u32).unwrap_or('ø'),
+            _ => char::from_u32(rng.u64_range(0x20, 0x7F) as u32).expect("ascii"),
+        }
+    }
+
+    pub fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let mut s = String::new();
+        for (atom, min, max) in parse(pattern) {
+            let n = rng.u64_range(min as u64, max as u64 + 1);
+            for _ in 0..n {
+                match &atom {
+                    Atom::Any => s.push(sample_any(rng)),
+                    Atom::Literal(c) => s.push(*c),
+                    Atom::Class(ranges) => {
+                        let total: u64 = ranges
+                            .iter()
+                            .map(|&(a, b)| (b as u64).saturating_sub(a as u64) + 1)
+                            .sum();
+                        let mut pick = rng.u64_range(0, total.max(1));
+                        for &(a, b) in ranges {
+                            let span = (b as u64) - (a as u64) + 1;
+                            if pick < span {
+                                s.push(char::from_u32(a as u32 + pick as u32).unwrap_or(a));
+                                break;
+                            }
+                            pick -= span;
+                        }
+                    }
+                }
+            }
+        }
+        s
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Element-count specification accepted by [`vec`]: an exact `usize` or
+    /// a half-open `Range<usize>`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            Self {
+                lo: r.start,
+                hi: r.end,
+            }
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec`: a vector whose length is drawn from
+    /// `size` and whose elements are drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.u64_range(self.size.lo as u64, self.size.hi as u64) as usize;
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Map, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::test_runner::TestRng;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// `proptest!` shim: expands each `#[test] fn name(arg in strategy, ...)`
+/// into a plain test that replays `cases` deterministic samples.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@expand ($cfg) $($rest)*);
+    };
+    (@expand ($cfg:expr) $(
+        #[test]
+        fn $name:ident ( $( $arg:ident in $strat:expr ),* $(,)? ) $body:block
+    )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let __cfg: $crate::test_runner::Config = $cfg;
+                let __hash = $crate::test_runner::hash_name(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for __case in 0..__cfg.cases {
+                    let mut __rng =
+                        $crate::test_runner::TestRng::deterministic(__hash, __case as u64);
+                    $( let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng); )*
+                    $body
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@expand ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// `prop_assert!` shim: plain `assert!` (no shrinking to report).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!` shim: plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `prop_assert_ne!` shim: plain `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::{hash_name, TestRng};
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::deterministic(hash_name("ranges"), 0);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(3u64..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let f = Strategy::generate(&(-2.0..4.0f64), &mut rng);
+            assert!((-2.0..4.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_and_map_compose() {
+        let mut rng = TestRng::deterministic(hash_name("vecmap"), 1);
+        let strat = crate::collection::vec(0.0..1.0f64, 2..6).prop_map(|v| v.len());
+        for _ in 0..100 {
+            let n = Strategy::generate(&strat, &mut rng);
+            assert!((2..6).contains(&n));
+        }
+    }
+
+    #[test]
+    fn string_patterns_match_shape() {
+        let mut rng = TestRng::deterministic(hash_name("strings"), 2);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z]{1,15}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 15);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+            let t = Strategy::generate(&"[a-z ]{5,60}", &mut rng);
+            assert!(t.len() >= 5 && t.len() <= 60);
+            assert!(t.chars().all(|c| c.is_ascii_lowercase() || c == ' '));
+            let any = Strategy::generate(&".{0,80}", &mut rng);
+            assert!(any.chars().count() <= 80);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mk = || {
+            let mut rng = TestRng::deterministic(hash_name("det"), 7);
+            (0..32)
+                .map(|_| Strategy::generate(&(0u64..1000), &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn macro_roundtrip(a in 0u64..50, b in 1usize..4) {
+            prop_assert!(a < 50);
+            prop_assert_eq!(b.min(3), b);
+        }
+    }
+}
