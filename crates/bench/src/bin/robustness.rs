@@ -1,0 +1,42 @@
+//! Robustness sweep: accuracy vs fault rate for FedAvg and FexIoT.
+//! `cargo run --release --bin robustness [--full]`
+
+use fexiot_bench::{print_table, robustness, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    let points = robustness::run(scale);
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.strategy.to_string(),
+                format!("{:.0}%", p.dropout * 100.0),
+                format!("{:.3}", p.accuracy),
+                format!("{:.3}", p.f1),
+                format!("{:.0}%", p.participation * 100.0),
+                format!("{}", p.quarantined),
+                format!("{:.2}", p.total_mb),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Robustness: accuracy vs fault rate ({scale:?} scale)"),
+        &[
+            "Method",
+            "Dropout",
+            "Accuracy",
+            "F1",
+            "Participation",
+            "Quarantined",
+            "Comm (MB)",
+        ],
+        &rows,
+    );
+    for strategy in ["FedAvg", "FexIoT"] {
+        println!(
+            "{strategy}: accuracy degradation from 0% to 50% dropout: {:+.3}",
+            robustness::degradation(&points, strategy)
+        );
+    }
+}

@@ -15,6 +15,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod plot;
+pub mod robustness;
 pub mod scale;
 pub mod table1;
 pub mod table2;

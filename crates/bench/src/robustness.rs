@@ -1,0 +1,129 @@
+//! Robustness experiment: accuracy vs fault rate. Sweeps client dropout
+//! (with lossy links and corrupted updates riding along at lower rates) and
+//! measures how gracefully each aggregation strategy degrades when the
+//! federation becomes unreliable.
+
+use crate::scale::Scale;
+use fexiot::fed::{Corruption, FaultPlan, Strategy};
+use fexiot::{build_federation, FederationConfig, FexIotConfig};
+use fexiot_graph::{generate_dataset, DatasetConfig};
+use fexiot_ml::Metrics;
+use fexiot_tensor::rng::Rng;
+
+/// One cell of the sweep: a strategy trained under a given dropout rate.
+#[derive(Debug, Clone)]
+pub struct RobustnessPoint {
+    pub strategy: &'static str,
+    pub dropout: f64,
+    pub accuracy: f64,
+    pub f1: f64,
+    pub total_mb: f64,
+    /// Fraction of client-rounds that actually contributed an update.
+    pub participation: f64,
+    /// Total quarantined updates over the run.
+    pub quarantined: usize,
+}
+
+/// Dropout rates swept (per client, per round).
+pub fn dropout_rates() -> Vec<f64> {
+    vec![0.0, 0.1, 0.3, 0.5]
+}
+
+/// Runs the accuracy-vs-fault-rate sweep.
+pub fn run(scale: Scale) -> Vec<RobustnessPoint> {
+    let mut rng = Rng::seed_from_u64(77);
+    let mut ds_cfg = DatasetConfig::small_ifttt();
+    ds_cfg.graph_count = scale.pick(200, 1500);
+    let ds = generate_dataset(&ds_cfg, &mut rng);
+    let (train, test) = ds.train_test_split(0.8, &mut rng);
+
+    let strategies = [Strategy::FedAvg, Strategy::fexiot_default()];
+    let rounds = scale.pick(5, 40);
+    let n_clients = scale.pick(6, 25);
+
+    let mut points = Vec::new();
+    for strategy in strategies {
+        for &dropout in &dropout_rates() {
+            let mut pipeline = FexIotConfig::default().with_seed(77);
+            pipeline.contrastive.epochs = 1;
+            pipeline.contrastive.pairs_per_epoch = scale.pick(48, 128);
+            let faults = if dropout > 0.0 {
+                FaultPlan::none()
+                    .with_seed(77)
+                    .with_dropout(dropout)
+                    .with_msg_loss(dropout * 0.3)
+                    .with_corruption(dropout * 0.3, Corruption::NonFinite)
+            } else {
+                FaultPlan::none()
+            };
+            let config = FederationConfig {
+                n_clients,
+                alpha: 1.0,
+                strategy: strategy.clone(),
+                rounds,
+                pipeline,
+                faults,
+                ..Default::default()
+            };
+            let mut sim = build_federation(&train, &config);
+            let reports = sim.run();
+            let client_rounds: usize = reports.iter().map(|r| r.faults.clients).sum();
+            let contributed: usize = reports.iter().map(|r| r.faults.participants).sum();
+            let quarantined: usize = reports.iter().map(|r| r.faults.quarantined).sum();
+            let mean = Metrics::mean(&sim.evaluate(&test));
+            points.push(RobustnessPoint {
+                strategy: strategy.name(),
+                dropout,
+                accuracy: mean.accuracy,
+                f1: mean.f1,
+                total_mb: sim.comm.total_mb(),
+                participation: contributed as f64 / client_rounds.max(1) as f64,
+                quarantined,
+            });
+        }
+    }
+    points
+}
+
+/// Accuracy lost between the fault-free and the worst-fault runs of a
+/// strategy (positive = degradation).
+pub fn degradation(points: &[RobustnessPoint], strategy: &str) -> f64 {
+    let of = |d: f64| {
+        points
+            .iter()
+            .find(|p| p.strategy == strategy && (p.dropout - d).abs() < 1e-9)
+            .map(|p| p.accuracy)
+            .unwrap_or(0.0)
+    };
+    let max_dropout = dropout_rates().last().copied().unwrap_or(0.0);
+    of(0.0) - of(max_dropout)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_all_cells_and_stays_sane() {
+        let points = run(Scale::Small);
+        assert_eq!(points.len(), 2 * dropout_rates().len());
+        for p in &points {
+            assert!(
+                p.accuracy.is_finite() && (0.0..=1.0).contains(&p.accuracy),
+                "{p:?}"
+            );
+            assert!((0.0..=1.0).contains(&p.participation), "{p:?}");
+            if p.dropout == 0.0 {
+                assert!((p.participation - 1.0).abs() < 1e-12, "{p:?}");
+                assert_eq!(p.quarantined, 0, "{p:?}");
+            } else {
+                assert!(p.participation < 1.0, "faults never fired: {p:?}");
+            }
+        }
+        // Even at 50% dropout the federation must keep learning something:
+        // accuracy stays above coin-flip-ish levels rather than collapsing.
+        for p in points.iter().filter(|p| p.dropout >= 0.5) {
+            assert!(p.accuracy > 0.4, "collapsed under faults: {p:?}");
+        }
+    }
+}

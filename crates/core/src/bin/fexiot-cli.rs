@@ -1,18 +1,23 @@
 //! `fexiot-cli` — drive the FexIoT pipeline from the command line.
 //!
 //! ```text
-//! fexiot-cli train   [--graphs N] [--seed S] [--encoder gin|gcn|magnn] --out MODEL
-//! fexiot-cli eval    --model MODEL [--graphs N] [--seed S]
-//! fexiot-cli detect  --model MODEL [--seed S]        # analyze one fresh home
-//! fexiot-cli explain --model MODEL [--seed S]        # explain one detection
+//! fexiot-cli train    [--graphs N] [--seed S] [--encoder gin|gcn|magnn] --out MODEL
+//! fexiot-cli eval     --model MODEL [--graphs N] [--seed S]
+//! fexiot-cli detect   --model MODEL [--seed S]       # analyze one fresh home
+//! fexiot-cli explain  --model MODEL [--seed S]       # explain one detection
+//! fexiot-cli federate [--clients N] [--rounds R] [--strategy fexiot|fedavg|fmtl|gcfl|local]
+//!                     [--dropout P] [--msg-loss P] [--straggler P] [--corrupt P]
+//!                     [--checkpoint-dir DIR]         # federated run under faults
 //! ```
 //!
 //! Datasets are generated from the synthetic corpus (see DESIGN.md); models
 //! are checkpointed with the first-party codec, so `train` on one machine and
 //! `eval`/`explain` on another reproduce identical decisions.
 
-use fexiot::{FexIot, FexIotConfig};
+use fexiot::fed::{Corruption, FaultPlan, Strategy};
+use fexiot::{build_federation, FederationConfig, FexIot, FexIotConfig};
 use fexiot_gnn::EncoderKind;
+use fexiot_ml::Metrics;
 use fexiot_graph::{generate_dataset, DatasetConfig, GraphDataset};
 use fexiot_tensor::Rng;
 use std::process::ExitCode;
@@ -61,11 +66,17 @@ impl Args {
             .and_then(|v| v.parse().ok())
             .unwrap_or(default)
     }
+
+    fn get_f64(&self, name: &str, default: f64) -> f64 {
+        self.get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  fexiot-cli train   [--graphs N] [--seed S] [--encoder gin|gcn|magnn] --out MODEL\n  fexiot-cli eval    --model MODEL [--graphs N] [--seed S]\n  fexiot-cli detect  --model MODEL [--seed S]\n  fexiot-cli explain --model MODEL [--seed S]"
+        "usage:\n  fexiot-cli train    [--graphs N] [--seed S] [--encoder gin|gcn|magnn] --out MODEL\n  fexiot-cli eval     --model MODEL [--graphs N] [--seed S]\n  fexiot-cli detect   --model MODEL [--seed S]\n  fexiot-cli explain  --model MODEL [--seed S]\n  fexiot-cli federate [--clients N] [--rounds R] [--strategy fexiot|fedavg|fmtl|gcfl|local]\n                      [--graphs N] [--seed S] [--alpha A]\n                      [--dropout P] [--msg-loss P] [--straggler P] [--corrupt P]\n                      [--checkpoint-dir DIR]  (resumes from the newest checkpoint there)"
     );
     ExitCode::from(2)
 }
@@ -210,6 +221,116 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        "federate" => {
+            let strategy = match args.get("strategy").unwrap_or("fexiot") {
+                "fexiot" => Strategy::fexiot_default(),
+                "fedavg" => Strategy::FedAvg,
+                "fmtl" => Strategy::fmtl_default(),
+                "gcfl" => Strategy::gcfl_default(),
+                "local" => Strategy::LocalOnly,
+                other => {
+                    eprintln!("unknown strategy {other}");
+                    return usage();
+                }
+            };
+            let seed = args.get_u64("seed", 42);
+            let rounds = args.get_usize("rounds", 10);
+            let mut config = FederationConfig {
+                n_clients: args.get_usize("clients", 8),
+                alpha: args.get_f64("alpha", 1.0),
+                strategy,
+                rounds,
+                ..Default::default()
+            };
+            config.pipeline.seed = seed;
+            config.faults = FaultPlan::none()
+                .with_seed(seed)
+                .with_dropout(args.get_f64("dropout", 0.0))
+                .with_msg_loss(args.get_f64("msg-loss", 0.0))
+                .with_straggler(args.get_f64("straggler", 0.0))
+                .with_corruption(args.get_f64("corrupt", 0.0), Corruption::NonFinite);
+
+            let ds = make_dataset(&args, 240, false);
+            let mut rng = Rng::seed_from_u64(seed ^ 0x5EED);
+            let (train, test) = ds.train_test_split(0.8, &mut rng);
+            println!(
+                "federating {} clients over {} graphs ({}), strategy {}",
+                config.n_clients,
+                train.len(),
+                if config.faults.is_active() {
+                    "faults on"
+                } else {
+                    "reliable fleet"
+                },
+                config.strategy.name(),
+            );
+            let mut sim = build_federation(&train, &config);
+
+            // With --checkpoint-dir, each round is persisted and a rerun with
+            // the same flags resumes from the newest checkpoint found there.
+            let checkpoint_dir = args.get("checkpoint-dir").map(str::to_string);
+            if let Some(dir) = &checkpoint_dir {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("cannot create {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                if let Some(path) = newest_checkpoint(dir) {
+                    match std::fs::read(&path).map_err(|e| e.to_string()).and_then(|b| {
+                        sim.restore(&b).map_err(|e| e.to_string())
+                    }) {
+                        Ok(()) => println!(
+                            "resumed from {path} at round {}",
+                            sim.rounds_completed()
+                        ),
+                        Err(e) => {
+                            eprintln!("cannot resume from {path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            }
+
+            while sim.rounds_completed() < rounds {
+                let r = sim.run_round();
+                let t = r.faults;
+                println!(
+                    "round {:>3}: loss {:.4}  comm {:>8.2} MB  active {}/{} (dropped {}, quarantined {}, stale {}, retries {}, lost {})",
+                    r.round,
+                    r.mean_loss,
+                    r.cumulative_comm.total_mb(),
+                    t.participants,
+                    t.clients,
+                    t.dropped,
+                    t.quarantined,
+                    t.stale_accepted,
+                    t.retried_messages,
+                    t.lost_messages,
+                );
+                if let Some(dir) = &checkpoint_dir {
+                    let path = format!("{dir}/round-{:04}.ck", r.round);
+                    if let Err(e) = std::fs::write(&path, sim.checkpoint()) {
+                        eprintln!("cannot write checkpoint {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            let metrics = sim.evaluate(&test);
+            println!("held-out (mean over clients): {}", Metrics::mean(&metrics));
+            ExitCode::SUCCESS
+        }
         _ => usage(),
     }
+}
+
+/// Newest `round-*.ck` file in `dir` (lexicographic order matches round
+/// order thanks to the zero-padded name).
+fn newest_checkpoint(dir: &str) -> Option<String> {
+    let mut rounds: Vec<String> = std::fs::read_dir(dir)
+        .ok()?
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("round-") && n.ends_with(".ck"))
+        .collect();
+    rounds.sort();
+    rounds.pop().map(|n| format!("{dir}/{n}"))
 }

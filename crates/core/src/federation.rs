@@ -3,7 +3,7 @@
 
 use crate::config::FexIotConfig;
 use crate::pipeline::build_encoder;
-use fexiot_fed::{Client, FedConfig, FedSim, Strategy};
+use fexiot_fed::{Client, FaultPlan, FedConfig, FedSim, Strategy};
 use fexiot_graph::GraphDataset;
 use fexiot_tensor::rng::Rng;
 
@@ -24,6 +24,9 @@ pub struct FederationConfig {
     pub sybil_defense: bool,
     /// FexIoT layer sync cadence (ablation knob; see `FedConfig`).
     pub layer_cadence: bool,
+    /// Fault injection: dropout, crashes, stragglers, lossy links,
+    /// corrupted updates (`FaultPlan::none()` = reliable fleet).
+    pub faults: FaultPlan,
 }
 
 impl Default for FederationConfig {
@@ -38,6 +41,7 @@ impl Default for FederationConfig {
             secure_aggregation: false,
             sybil_defense: false,
             layer_cadence: true,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -80,6 +84,7 @@ pub fn build_federation_with_data(
         secure_aggregation: config.secure_aggregation,
         sybil_defense: config.sybil_defense,
         layer_cadence: config.layer_cadence,
+        faults: config.faults.clone(),
         seed: config.pipeline.seed,
     };
     FedSim::new(clients, fed_config)

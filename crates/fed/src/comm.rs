@@ -2,13 +2,20 @@
 //! (paper Fig. 7): every parameter upload and download is priced at its
 //! `f64` wire size.
 
-/// Running totals of data moved between clients and the server.
+/// Running totals of data moved between clients and the server. Lossy links
+/// re-send messages: every retransmission is priced like a first send *and*
+/// tracked in the `retried_*` counters, so retries can only grow the totals.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CommStats {
     pub uploaded_bytes: usize,
     pub downloaded_bytes: usize,
     pub upload_messages: usize,
     pub download_messages: usize,
+    /// Retransmissions (in either direction) after a lost first attempt.
+    pub retried_messages: usize,
+    /// Bytes consumed by those retransmissions (already included in the
+    /// directional totals above).
+    pub retried_bytes: usize,
 }
 
 impl CommStats {
@@ -20,6 +27,29 @@ impl CommStats {
     pub fn record_download(&mut self, bytes: usize) {
         self.downloaded_bytes += bytes;
         self.download_messages += 1;
+    }
+
+    /// Prices one upload that needed `attempts` transmissions (lost links
+    /// re-send the same bytes; attempts beyond the first count as retries).
+    pub fn record_upload_attempts(&mut self, bytes: usize, attempts: usize) {
+        for _ in 0..attempts.max(1) {
+            self.record_upload(bytes);
+        }
+        self.record_retries(bytes, attempts);
+    }
+
+    /// Prices one download that needed `attempts` transmissions.
+    pub fn record_download_attempts(&mut self, bytes: usize, attempts: usize) {
+        for _ in 0..attempts.max(1) {
+            self.record_download(bytes);
+        }
+        self.record_retries(bytes, attempts);
+    }
+
+    fn record_retries(&mut self, bytes: usize, attempts: usize) {
+        let retries = attempts.saturating_sub(1);
+        self.retried_messages += retries;
+        self.retried_bytes += retries * bytes;
     }
 
     /// Total bytes in both directions.
@@ -48,6 +78,18 @@ mod tests {
         assert_eq!(c.total_bytes(), 350);
         assert_eq!(c.upload_messages, 2);
         assert_eq!(c.download_messages, 1);
+    }
+
+    #[test]
+    fn retries_are_priced_and_tracked() {
+        let mut c = CommStats::default();
+        c.record_upload_attempts(100, 3); // 1 send + 2 retries
+        c.record_download_attempts(40, 1); // clean delivery
+        assert_eq!(c.uploaded_bytes, 300);
+        assert_eq!(c.upload_messages, 3);
+        assert_eq!(c.downloaded_bytes, 40);
+        assert_eq!(c.retried_messages, 2);
+        assert_eq!(c.retried_bytes, 200);
     }
 
     #[test]

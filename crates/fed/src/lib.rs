@@ -9,6 +9,7 @@
 pub mod client;
 pub mod comm;
 pub mod dp;
+pub mod faults;
 pub mod secure_agg;
 pub mod sim;
 pub mod strategy;
@@ -17,7 +18,8 @@ pub mod sybil;
 pub use client::Client;
 pub use comm::CommStats;
 pub use dp::{DpConfig, PrivacyAccountant};
+pub use faults::{Corruption, FaultInjector, FaultPlan, Participation, RoundFaults};
 pub use secure_agg::secure_weighted_average;
-pub use sim::{FedConfig, FedSim, RoundReport};
+pub use sim::{FedConfig, FedError, FedSim, RoundReport, RoundTelemetry};
 pub use strategy::Strategy;
 pub use sybil::{flag_sybils, foolsgold_weights};

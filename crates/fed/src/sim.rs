@@ -1,14 +1,28 @@
 //! The federated training simulator: drives client local training, runs the
 //! configured aggregation strategy, and accounts every byte moved.
+//!
+//! With a non-trivial [`FaultPlan`] the simulator also injects the failure
+//! modes real smart-home fleets exhibit — dropout, crash-and-rejoin,
+//! stragglers, lossy links, corrupted updates — and survives them: partial
+//! participation with weight renormalization over the surviving subset,
+//! bounded retry-with-backoff priced into [`CommStats`], staleness-bounded
+//! decayed acceptance of late updates, NaN/Inf + norm-guard quarantine before
+//! anything reaches the aggregator or the trust scorer, and round-level
+//! checkpoint/restore. `FaultPlan::none()` keeps the simulator bit-identical
+//! to the fault-free implementation (locked by `tests/golden.rs`).
 
 use crate::client::Client;
 use crate::comm::CommStats;
+use crate::faults::{FaultInjector, FaultPlan, Participation, RoundFaults};
 use crate::strategy::Strategy;
 use fexiot_gnn::ContrastiveConfig;
 use fexiot_graph::GraphDataset;
 use fexiot_ml::{binary_cosine_split, Metrics};
+use fexiot_tensor::codec::{ByteReader, ByteWriter, CodecError};
 use fexiot_tensor::matrix::Matrix;
-use fexiot_tensor::optim::{param_flatten, param_weighted_average, ParamVec};
+use fexiot_tensor::optim::{
+    param_bytes, param_flatten, param_is_finite, param_norm, param_weighted_average, ParamVec,
+};
 use fexiot_tensor::rng::Rng;
 use fexiot_tensor::stats::cosine_similarity;
 
@@ -30,6 +44,8 @@ pub struct FedConfig {
     /// `l + 1` rounds (the Fig. 7 communication saving); when false, every
     /// layer syncs every round (ablation knob).
     pub layer_cadence: bool,
+    /// Failure processes to inject each round (`FaultPlan::none()` = off).
+    pub faults: FaultPlan,
     pub seed: u64,
 }
 
@@ -47,9 +63,52 @@ impl Default for FedConfig {
             secure_aggregation: false,
             sybil_defense: false,
             layer_cadence: true,
+            faults: FaultPlan::none(),
             seed: 0,
         }
     }
+}
+
+/// Construction errors for [`FedSim`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FedError {
+    /// A federation needs at least one client.
+    NoClients,
+}
+
+impl std::fmt::Display for FedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FedError::NoClients => write!(f, "fed: no clients"),
+        }
+    }
+}
+
+impl std::error::Error for FedError {}
+
+/// Per-round degradation telemetry. Every client lands in exactly one of
+/// `participants` / `dropped` / `quarantined`, so those three always sum to
+/// `clients`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundTelemetry {
+    /// Federation size this round.
+    pub clients: usize,
+    /// Clients whose update entered aggregation (includes stale-accepted).
+    pub participants: usize,
+    /// Clients that contributed nothing: offline, crashed, too-stale, or
+    /// upload lost after every retry.
+    pub dropped: usize,
+    /// Clients whose delivered update failed validation (NaN/Inf or norm
+    /// guard) and was excluded before aggregation.
+    pub quarantined: usize,
+    /// Subset of `participants` accepted late with decayed weight.
+    pub stale_accepted: usize,
+    /// Message retransmissions this round (also priced in `CommStats`).
+    pub retried_messages: usize,
+    /// Messages lost for good after exhausting the retry budget.
+    pub lost_messages: usize,
+    /// Simulated ticks spent in retry backoff this round.
+    pub backoff_ticks: usize,
 }
 
 /// Per-round report.
@@ -58,6 +117,45 @@ pub struct RoundReport {
     pub round: usize,
     pub mean_loss: f64,
     pub cumulative_comm: CommStats,
+    /// Degradation telemetry (all zeros except `clients`/`participants`
+    /// when faults are off).
+    pub faults: RoundTelemetry,
+}
+
+/// Server-side view of one round under fault injection: who contributes,
+/// what the server actually received, and at what weight.
+struct RoundState {
+    faults: RoundFaults,
+    /// Eligible for aggregation: delivered a valid (non-quarantined) update.
+    contributors: Vec<bool>,
+    /// Server-side copies that differ from the client's true parameters
+    /// (in-flight corruption). `None` = received verbatim.
+    observed: Vec<Option<ParamVec>>,
+    /// Aggregation-weight multiplier from staleness decay (1.0 = on time).
+    stale_weight: Vec<f64>,
+}
+
+impl RoundState {
+    fn clean(n: usize) -> Self {
+        Self {
+            faults: RoundFaults::clean(n),
+            contributors: vec![true; n],
+            observed: vec![None; n],
+            stale_weight: vec![1.0; n],
+        }
+    }
+
+    /// What the server received from client `c` (corrupted copy if the wire
+    /// damaged it, the client's own parameters otherwise).
+    fn observed_params<'a>(&'a self, clients: &'a [Client], c: usize) -> &'a ParamVec {
+        self.observed[c]
+            .as_ref()
+            .unwrap_or_else(|| clients[c].encoder.params())
+    }
+
+    fn up_attempts(&self, c: usize) -> usize {
+        self.faults.up_attempts[c].unwrap_or(1)
+    }
 }
 
 /// The whole federation: clients + server state.
@@ -73,14 +171,32 @@ pub struct FedSim {
     trust: Vec<f64>,
     /// Privacy accountant, present when DP is enabled.
     accountant: Option<crate::dp::PrivacyAccountant>,
+    /// Fault-realization source; draws from its own RNG stream so fault
+    /// randomness never perturbs training randomness.
+    injector: FaultInjector,
+    /// Telemetry being accumulated for the in-flight round.
+    telemetry: RoundTelemetry,
     rng: Rng,
     round: usize,
 }
 
 impl FedSim {
     /// Builds a federation. All clients must share the encoder architecture.
+    ///
+    /// # Panics
+    /// Panics when `clients` is empty; use [`FedSim::try_new`] to get an
+    /// error instead.
     pub fn new(clients: Vec<Client>, config: FedConfig) -> Self {
-        assert!(!clients.is_empty(), "fed: no clients");
+        Self::try_new(clients, config).expect("fed: no clients")
+    }
+
+    /// Fallible constructor: returns [`FedError::NoClients`] for an empty
+    /// federation instead of panicking (an all-zero federation would
+    /// otherwise produce NaN loss reports).
+    pub fn try_new(clients: Vec<Client>, config: FedConfig) -> Result<Self, FedError> {
+        if clients.is_empty() {
+            return Err(FedError::NoClients);
+        }
         let sizes = clients[0].encoder.layer_sizes();
         let mut layer_spans = Vec::with_capacity(sizes.len());
         let mut offset = 0;
@@ -95,7 +211,8 @@ impl FedSim {
             .dp
             .as_ref()
             .map(|dp| crate::dp::PrivacyAccountant::new(dp.noise_multiplier));
-        Self {
+        let injector = FaultInjector::new(config.faults.clone(), clients.len());
+        Ok(Self {
             clients,
             comm: CommStats::default(),
             config,
@@ -103,9 +220,11 @@ impl FedSim {
             layer_spans,
             trust,
             accountant,
+            injector,
+            telemetry: RoundTelemetry::default(),
             rng,
             round: 0,
-        }
+        })
     }
 
     /// Runs all configured rounds; returns per-round reports.
@@ -113,95 +232,307 @@ impl FedSim {
         (0..self.config.rounds).map(|_| self.run_round()).collect()
     }
 
-    /// One federated round: local training then aggregation.
+    /// One federated round: local training, fault realization, validation,
+    /// then aggregation over the surviving subset.
     pub fn run_round(&mut self) -> RoundReport {
+        let n = self.clients.len();
+        if n == 0 {
+            // Unreachable through the constructors; kept as a hard guard so
+            // an empty federation can never emit NaN (0.0 / 0) reports.
+            self.round += 1;
+            return RoundReport {
+                round: self.round,
+                mean_loss: 0.0,
+                cumulative_comm: self.comm,
+                faults: RoundTelemetry::default(),
+            };
+        }
+        let fault_active = self.injector.plan().is_active();
+        let retried_before = self.comm.retried_messages;
+        let round_faults = if fault_active {
+            self.injector.draw_round(self.round)
+        } else {
+            RoundFaults::clean(n)
+        };
+
+        // Local training on every online client (stragglers train too —
+        // they are slow, not dead).
         let local_cfg = ContrastiveConfig {
             seed: self.config.local.seed ^ (self.round as u64) << 17,
             ..self.config.local.clone()
         };
         let mut total_loss = 0.0;
-        for c in &mut self.clients {
-            total_loss += c.local_train(&local_cfg);
+        let mut trained = 0usize;
+        for (i, c) in self.clients.iter_mut().enumerate() {
+            if round_faults.participation[i].trains() {
+                total_loss += c.local_train(&local_cfg);
+                trained += 1;
+            }
         }
-        let mean_loss = total_loss / self.clients.len() as f64;
+        let mean_loss = if trained == 0 {
+            0.0
+        } else {
+            total_loss / trained as f64
+        };
 
         // §VI extensions: privatize what the server will observe, then score
         // client trust from the (privatized) update histories.
         if let Some(dp) = self.config.dp {
-            for c in &mut self.clients {
-                c.privatize_last_update(&dp, &mut self.rng);
+            for (i, c) in self.clients.iter_mut().enumerate() {
+                if round_faults.participation[i].trains() {
+                    c.privatize_last_update(&dp, &mut self.rng);
+                }
             }
             if let Some(acc) = &mut self.accountant {
                 acc.record_release();
             }
         }
+
+        // Server-side realization of the round: who delivered what.
+        let state = self.receive_updates(round_faults);
+
         if self.config.sybil_defense {
-            let histories: Vec<Vec<f64>> = self
-                .clients
-                .iter()
-                .map(|c| {
-                    // Cumulative update direction over the retained history.
-                    let mut acc: Vec<f64> = Vec::new();
-                    for h in &c.update_history {
-                        if acc.is_empty() {
-                            acc = h.clone();
-                        } else {
-                            for (a, v) in acc.iter_mut().zip(h) {
-                                *a += v;
-                            }
-                        }
-                    }
-                    acc
-                })
-                .collect();
-            self.trust = crate::sybil::foolsgold_weights(&histories);
+            self.score_trust(&state);
         }
 
+        let contributing: Vec<usize> = (0..n).filter(|&c| state.contributors[c]).collect();
         match self.config.strategy.clone() {
             Strategy::LocalOnly => {}
-            Strategy::FedAvg => self.aggregate_full(&[(0..self.clients.len()).collect()]),
+            Strategy::FedAvg => self.aggregate_full(&[contributing], &state),
             Strategy::Fmtl { eps1, eps2 } => {
                 self.refine_clusters(eps1, eps2, false);
-                let clusters = self.clusters.clone();
-                self.aggregate_full(&clusters);
+                let clusters = self.surviving_clusters(&state);
+                self.aggregate_full(&clusters, &state);
             }
             Strategy::GcflPlus { eps1, eps2 } => {
                 self.refine_clusters(eps1, eps2, true);
-                let clusters = self.clusters.clone();
-                self.aggregate_full(&clusters);
+                let clusters = self.surviving_clusters(&state);
+                self.aggregate_full(&clusters, &state);
             }
             Strategy::FexIot { eps1, eps2 } => {
-                let all: Vec<usize> = (0..self.clients.len()).collect();
-                self.recursive_layerwise(0, &all, eps1, eps2);
+                self.recursive_layerwise(0, &contributing, eps1, eps2, &state);
             }
         }
 
+        self.telemetry.clients = n;
+        self.telemetry.dropped =
+            n - self.telemetry.participants - self.telemetry.quarantined;
+        self.telemetry.retried_messages = self.comm.retried_messages - retried_before;
+        let report_faults = self.telemetry;
+        self.telemetry = RoundTelemetry::default();
         self.round += 1;
         RoundReport {
             round: self.round,
             mean_loss,
             cumulative_comm: self.comm,
+            faults: report_faults,
+        }
+    }
+
+    /// Turns the round's fault realization into the server's view: which
+    /// updates arrived, which were corrupted in flight, which survive
+    /// validation, and at what staleness weight. Also prices the traffic of
+    /// uploads that never made it into aggregation (lost or quarantined).
+    fn receive_updates(&mut self, round_faults: RoundFaults) -> RoundState {
+        let n = self.clients.len();
+        let mut state = RoundState::clean(n);
+        state.faults = round_faults;
+        // LocalOnly has no server: nobody uploads, so nothing can be lost,
+        // corrupted, or quarantined. Participants are whoever trained.
+        if matches!(self.config.strategy, Strategy::LocalOnly) {
+            for c in 0..n {
+                state.contributors[c] = state.faults.participation[c].trains();
+            }
+            self.telemetry.participants = state.contributors.iter().filter(|&&x| x).count();
+            return state;
+        }
+        let plan = self.injector.plan().clone();
+
+        // 1. Staleness-bounded participation: on-time clients are full
+        //    weight, stragglers within the bound are decayed, later ones
+        //    contribute nothing this round.
+        for c in 0..n {
+            match state.faults.participation[c] {
+                Participation::Active => {}
+                Participation::Straggler { delay } if delay <= plan.staleness_bound => {
+                    state.stale_weight[c] = plan.staleness_decay.powi(delay as i32);
+                    self.telemetry.stale_accepted += 1;
+                }
+                _ => state.contributors[c] = false,
+            }
+        }
+
+        // 2. Upload delivery with bounded retry. A lost upload still burned
+        //    bandwidth on every attempt; price it at full-model cost (an
+        //    upper bound for the layer-cadence strategies) and drop the
+        //    client from the round.
+        for c in 0..n {
+            if !state.contributors[c] {
+                continue;
+            }
+            if state.faults.up_attempts[c].is_none() {
+                let bytes = param_bytes(self.clients[c].encoder.params());
+                self.comm
+                    .record_upload_attempts(bytes, 1 + plan.max_retries);
+                self.telemetry.backoff_ticks += backoff_ticks_spent(1 + plan.max_retries);
+                self.telemetry.lost_messages += 1;
+                state.contributors[c] = false;
+            }
+        }
+
+        // 3. In-flight corruption + validation. NaN/Inf is always
+        //    quarantined; finite-but-huge updates are caught by the norm
+        //    guard against a robust reference norm — before any of it can
+        //    reach `param_weighted_average` or FoolsGold.
+        if self.injector.plan().corrupt > 0.0 {
+            for c in 0..n {
+                if state.contributors[c] && state.faults.corrupt[c] {
+                    state.observed[c] =
+                        Some(self.injector.corrupt_params(self.clients[c].encoder.params()));
+                }
+            }
+            let mut quarantine = vec![false; n];
+            for (c, q) in quarantine.iter_mut().enumerate() {
+                if state.contributors[c]
+                    && !param_is_finite(state.observed_params(&self.clients, c))
+                {
+                    *q = true;
+                }
+            }
+            let mut norms: Vec<f64> = (0..n)
+                .filter(|&c| state.contributors[c] && !quarantine[c])
+                .map(|c| param_norm(state.observed_params(&self.clients, c)))
+                .collect();
+            norms.sort_by(|a, b| a.total_cmp(b));
+            if !norms.is_empty() {
+                // Lower quartile, not median: client models all descend from
+                // the same template so clean norms are tightly grouped, and
+                // the guard then survives rounds where corrupted uploads are
+                // the majority (breakdown point 75% instead of 50%).
+                let reference = norms[norms.len() / 4];
+                if reference > 0.0 {
+                    for (c, q) in quarantine.iter_mut().enumerate() {
+                        if state.contributors[c]
+                            && !*q
+                            && param_norm(state.observed_params(&self.clients, c))
+                                > plan.norm_guard * reference
+                        {
+                            *q = true;
+                        }
+                    }
+                }
+            }
+            for (c, &quarantined) in quarantine.iter().enumerate() {
+                if quarantined {
+                    // The garbage bytes were delivered — price them.
+                    let bytes = param_bytes(self.clients[c].encoder.params());
+                    self.comm
+                        .record_upload_attempts(bytes, state.up_attempts(c));
+                    self.telemetry.backoff_ticks += backoff_ticks_spent(state.up_attempts(c));
+                    state.contributors[c] = false;
+                    state.observed[c] = None;
+                    self.telemetry.quarantined += 1;
+                }
+            }
+        }
+
+        self.telemetry.participants = state.contributors.iter().filter(|&&x| x).count();
+        state
+    }
+
+    /// FoolsGold trust over cumulative update directions. Quarantined
+    /// clients' newest (corrupt) update is excluded so garbage cannot poison
+    /// the similarity scores.
+    fn score_trust(&mut self, state: &RoundState) {
+        let quarantined_now = |c: usize| {
+            state.faults.participation[c].trains()
+                && state.faults.corrupt[c]
+                && !state.contributors[c]
+        };
+        let histories: Vec<Vec<f64>> = self
+            .clients
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let keep = if quarantined_now(i) {
+                    c.update_history.len().saturating_sub(1)
+                } else {
+                    c.update_history.len()
+                };
+                // Cumulative update direction over the retained history.
+                let mut acc: Vec<f64> = Vec::new();
+                for h in c.update_history.iter().take(keep) {
+                    if acc.is_empty() {
+                        acc = h.clone();
+                    } else {
+                        for (a, v) in acc.iter_mut().zip(h) {
+                            *a += v;
+                        }
+                    }
+                }
+                acc
+            })
+            .collect();
+        self.trust = crate::sybil::foolsgold_weights(&histories);
+    }
+
+    /// FMTL/GCFL+ clusters restricted to this round's contributors.
+    fn surviving_clusters(&self, state: &RoundState) -> Vec<Vec<usize>> {
+        self.clusters
+            .iter()
+            .map(|cluster| {
+                cluster
+                    .iter()
+                    .copied()
+                    .filter(|&c| state.contributors[c])
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Prices one upload from contributor `c`, including any retries.
+    fn price_upload(&mut self, c: usize, bytes: usize, state: &RoundState) {
+        let attempts = state.up_attempts(c);
+        self.comm.record_upload_attempts(bytes, attempts);
+        self.telemetry.backoff_ticks += backoff_ticks_spent(attempts);
+    }
+
+    /// Prices one download to client `c`; returns false when the message is
+    /// lost even after every retry (the client keeps its local model).
+    fn deliver_download(&mut self, c: usize, bytes: usize, state: &RoundState) -> bool {
+        match state.faults.down_attempts[c] {
+            Some(attempts) => {
+                self.comm.record_download_attempts(bytes, attempts);
+                self.telemetry.backoff_ticks += backoff_ticks_spent(attempts);
+                true
+            }
+            None => {
+                let attempts = 1 + self.injector.plan().max_retries;
+                self.comm.record_download_attempts(bytes, attempts);
+                self.telemetry.backoff_ticks += backoff_ticks_spent(attempts);
+                self.telemetry.lost_messages += 1;
+                false
+            }
         }
     }
 
     /// Full-model aggregation within each cluster (FedAvg / FMTL / GCFL+).
-    /// Every member uploads its whole model; members of clusters with at
-    /// least two clients download the cluster average.
-    fn aggregate_full(&mut self, clusters: &[Vec<usize>]) {
+    /// Every surviving member uploads its whole model; members of clusters
+    /// with at least two contributors download the cluster average.
+    fn aggregate_full(&mut self, clusters: &[Vec<usize>], state: &RoundState) {
         for cluster in clusters {
             for &c in cluster {
-                self.comm.record_upload(fexiot_tensor::optim::param_bytes(
-                    self.clients[c].encoder.params(),
-                ));
+                let bytes = param_bytes(self.clients[c].encoder.params());
+                self.price_upload(c, bytes, state);
             }
             if cluster.len() < 2 {
                 continue; // Aggregating one model is the identity: no download.
             }
             let sets: Vec<&ParamVec> = cluster
                 .iter()
-                .map(|&c| self.clients[c].encoder.params())
+                .map(|&c| state.observed_params(&self.clients, c))
                 .collect();
-            let weights = self.aggregation_weights(cluster);
+            let weights = self.effective_weights(cluster, state);
             let avg = if self.config.secure_aggregation {
                 crate::secure_agg::secure_weighted_average(
                     &sets,
@@ -211,10 +542,11 @@ impl FedSim {
             } else {
                 param_weighted_average(&sets, &weights)
             };
+            let bytes = param_bytes(&avg);
             for &c in cluster {
-                self.comm
-                    .record_download(fexiot_tensor::optim::param_bytes(&avg));
-                self.clients[c].install(avg.clone());
+                if self.deliver_download(c, bytes, state) {
+                    self.clients[c].install(avg.clone());
+                }
             }
         }
     }
@@ -306,14 +638,21 @@ impl FedSim {
     /// upper layers are more client-specific, so averaging them every round
     /// buys little, and skipping them is where FexIoT's ~40% communication
     /// saving over whole-model strategies comes from (Fig. 7).
-    fn recursive_layerwise(&mut self, layer: usize, subset: &[usize], eps1: f64, eps2: f64) {
+    fn recursive_layerwise(
+        &mut self,
+        layer: usize,
+        subset: &[usize],
+        eps1: f64,
+        eps2: f64,
+        state: &RoundState,
+    ) {
         if layer >= self.layer_spans.len() || subset.len() < 2 {
             return;
         }
         if self.config.layer_cadence && !self.round.is_multiple_of(layer + 1) {
             // This layer is off-cadence this round: no upload, no aggregation,
             // no split decision; continue with the same cluster below.
-            self.recursive_layerwise(layer + 1, subset, eps1, eps2);
+            self.recursive_layerwise(layer + 1, subset, eps1, eps2, state);
             return;
         }
         let (offset, len) = self.layer_spans[layer];
@@ -327,7 +666,7 @@ impl FedSim {
         // Upload layer l.
         for &c in subset {
             let bytes = layer_bytes(&self.clients[c]);
-            self.comm.record_upload(bytes);
+            self.price_upload(c, bytes, state);
         }
         // Layer-l deltas for the split criteria.
         let layer_deltas: Vec<Vec<f64>> = subset
@@ -353,7 +692,7 @@ impl FedSim {
                 .iter()
                 .map(|&c| {
                     let mut flat = Vec::new();
-                    for m in &self.clients[c].encoder.params()[offset..offset + len] {
+                    for m in &state.observed_params(&self.clients, c)[offset..offset + len] {
                         flat.extend_from_slice(m.as_slice());
                     }
                     flat
@@ -362,28 +701,28 @@ impl FedSim {
             let (a, b) = binary_cosine_split(&weights_flat, &mut self.rng);
             let sub_a: Vec<usize> = a.into_iter().map(|i| subset[i]).collect();
             let sub_b: Vec<usize> = b.into_iter().map(|i| subset[i]).collect();
-            self.aggregate_layer(layer, &sub_a);
-            self.aggregate_layer(layer, &sub_b);
-            self.recursive_layerwise(layer + 1, &sub_a, eps1, eps2);
-            self.recursive_layerwise(layer + 1, &sub_b, eps1, eps2);
+            self.aggregate_layer(layer, &sub_a, state);
+            self.aggregate_layer(layer, &sub_b, state);
+            self.recursive_layerwise(layer + 1, &sub_a, eps1, eps2, state);
+            self.recursive_layerwise(layer + 1, &sub_b, eps1, eps2, state);
         } else {
-            self.aggregate_layer(layer, subset);
-            self.recursive_layerwise(layer + 1, subset, eps1, eps2);
+            self.aggregate_layer(layer, subset, state);
+            self.recursive_layerwise(layer + 1, subset, eps1, eps2, state);
         }
     }
 
     /// Weighted average of one layer within a cluster, installed to members.
-    fn aggregate_layer(&mut self, layer: usize, subset: &[usize]) {
+    fn aggregate_layer(&mut self, layer: usize, subset: &[usize], state: &RoundState) {
         if subset.len() < 2 {
             return;
         }
         let (offset, len) = self.layer_spans[layer];
         let sets: Vec<ParamVec> = subset
             .iter()
-            .map(|&c| self.clients[c].encoder.params()[offset..offset + len].to_vec())
+            .map(|&c| state.observed_params(&self.clients, c)[offset..offset + len].to_vec())
             .collect();
         let refs: Vec<&ParamVec> = sets.iter().collect();
-        let weights = self.aggregation_weights(subset);
+        let weights = self.effective_weights(subset, state);
         let avg = if self.config.secure_aggregation {
             crate::secure_agg::secure_weighted_average(
                 &refs,
@@ -395,25 +734,43 @@ impl FedSim {
         };
         let bytes: usize = avg.iter().map(Matrix::len).sum::<usize>() * std::mem::size_of::<f64>();
         for &c in subset {
-            self.comm.record_download(bytes);
-            self.clients[c].install_layer(offset, &avg);
+            if self.deliver_download(c, bytes, state) {
+                self.clients[c].install_layer(offset, &avg);
+            }
         }
     }
 
+    /// Sample-count weights scaled by Sybil-defense trust, then by staleness
+    /// decay. `param_weighted_average` renormalizes over the subset, so
+    /// partial participation automatically re-weights the survivors.
+    fn effective_weights(&self, subset: &[usize], state: &RoundState) -> Vec<f64> {
+        let mut weights = self.aggregation_weights(subset);
+        for (w, &c) in weights.iter_mut().zip(subset) {
+            *w *= state.stale_weight[c];
+        }
+        weights
+    }
+
     /// Sample-count weights scaled by Sybil-defense trust. Falls back to
-    /// plain sample counts if the defense zeroed everything out.
+    /// plain sample counts if the defense zeroed everything out, and to
+    /// uniform weights if the sample counts themselves are all zero (the
+    /// weighted average would otherwise divide by zero).
     fn aggregation_weights(&self, subset: &[usize]) -> Vec<f64> {
         let weighted: Vec<f64> = subset
             .iter()
             .map(|&c| self.clients[c].sample_count() as f64 * self.trust[c])
             .collect();
         if weighted.iter().sum::<f64>() > 0.0 {
-            weighted
+            return weighted;
+        }
+        let counts: Vec<f64> = subset
+            .iter()
+            .map(|&c| self.clients[c].sample_count() as f64)
+            .collect();
+        if counts.iter().sum::<f64>() > 0.0 {
+            counts
         } else {
-            subset
-                .iter()
-                .map(|&c| self.clients[c].sample_count() as f64)
-                .collect()
+            vec![1.0; subset.len()]
         }
     }
 
@@ -425,6 +782,11 @@ impl FedSim {
     /// Per-client trust weights from the Sybil defense (all 1.0 when off).
     pub fn trust(&self) -> &[f64] {
         &self.trust
+    }
+
+    /// Rounds completed so far.
+    pub fn rounds_completed(&self) -> usize {
+        self.round
     }
 
     /// Cumulative `(epsilon, delta)`-DP guarantee spent so far, if DP is on.
@@ -458,11 +820,157 @@ impl FedSim {
             total / n as f64
         }
     }
+
+    /// Serializes the complete global state between rounds — client models,
+    /// deltas and histories, clusters, trust, traffic counters, both RNG
+    /// streams, and the crash ledger — so a crashed run can resume exactly
+    /// where it stopped.
+    pub fn checkpoint(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.write_str(CHECKPOINT_MAGIC);
+        w.write_usize(self.round);
+        w.write_usize(self.clients.len());
+        for c in &self.clients {
+            w.write_matrices(c.encoder.params());
+            match &c.last_delta {
+                Some(d) => {
+                    w.write_u8(1);
+                    w.write_matrices(d);
+                }
+                None => w.write_u8(0),
+            }
+            w.write_usize(c.update_history.len());
+            for h in &c.update_history {
+                w.write_f64_slice(h);
+            }
+        }
+        w.write_usize(self.clusters.len());
+        for cluster in &self.clusters {
+            w.write_usize(cluster.len());
+            for &i in cluster {
+                w.write_usize(i);
+            }
+        }
+        w.write_f64_slice(&self.trust);
+        w.write_usize(self.comm.uploaded_bytes);
+        w.write_usize(self.comm.downloaded_bytes);
+        w.write_usize(self.comm.upload_messages);
+        w.write_usize(self.comm.download_messages);
+        w.write_usize(self.comm.retried_messages);
+        w.write_usize(self.comm.retried_bytes);
+        for s in self.rng.state() {
+            w.write_u64(s);
+        }
+        let (inj_rng, down_until) = self.injector.state();
+        for s in inj_rng {
+            w.write_u64(s);
+        }
+        w.write_usize(down_until.len());
+        for d in down_until {
+            w.write_u64(d);
+        }
+        w.write_usize(self.accountant.as_ref().map_or(0, |a| a.releases()));
+        w.into_bytes()
+    }
+
+    /// Restores a [`FedSim::checkpoint`] into a freshly built federation
+    /// with the same clients and configuration. Continuing `run_round` after
+    /// a restore reproduces the original run bit-for-bit.
+    pub fn restore(&mut self, bytes: &[u8]) -> Result<(), CodecError> {
+        let mut r = ByteReader::new(bytes);
+        if r.read_str()? != CHECKPOINT_MAGIC {
+            return Err(CodecError::BadHeader);
+        }
+        let round = r.read_usize()?;
+        let n = r.read_usize()?;
+        if n != self.clients.len() {
+            return Err(CodecError::BadHeader);
+        }
+        for c in &mut self.clients {
+            let params = r.read_matrices()?;
+            let current = c.encoder.params();
+            if params.len() != current.len()
+                || params
+                    .iter()
+                    .zip(current)
+                    .any(|(a, b)| a.shape() != b.shape())
+            {
+                return Err(CodecError::BadHeader);
+            }
+            c.install(params);
+            c.last_delta = match r.read_u8()? {
+                1 => Some(r.read_matrices()?),
+                _ => None,
+            };
+            let hist_len = r.read_usize()?;
+            c.update_history = (0..hist_len)
+                .map(|_| r.read_f64_vec())
+                .collect::<Result<_, _>>()?;
+        }
+        let n_clusters = r.read_usize()?;
+        let mut clusters = Vec::with_capacity(n_clusters);
+        for _ in 0..n_clusters {
+            let len = r.read_usize()?;
+            let cluster: Vec<usize> = (0..len)
+                .map(|_| r.read_usize())
+                .collect::<Result<_, _>>()?;
+            if cluster.iter().any(|&i| i >= n) {
+                return Err(CodecError::BadHeader);
+            }
+            clusters.push(cluster);
+        }
+        let trust = r.read_f64_vec()?;
+        if trust.len() != n {
+            return Err(CodecError::BadHeader);
+        }
+        let comm = CommStats {
+            uploaded_bytes: r.read_usize()?,
+            downloaded_bytes: r.read_usize()?,
+            upload_messages: r.read_usize()?,
+            download_messages: r.read_usize()?,
+            retried_messages: r.read_usize()?,
+            retried_bytes: r.read_usize()?,
+        };
+        let rng_state = [r.read_u64()?, r.read_u64()?, r.read_u64()?, r.read_u64()?];
+        let inj_rng = [r.read_u64()?, r.read_u64()?, r.read_u64()?, r.read_u64()?];
+        let down_len = r.read_usize()?;
+        let down_until: Vec<u64> = (0..down_len)
+            .map(|_| r.read_u64())
+            .collect::<Result<_, _>>()?;
+        if down_until.len() != n {
+            return Err(CodecError::BadHeader);
+        }
+        let releases = r.read_usize()?;
+
+        self.round = round;
+        self.clusters = clusters;
+        self.trust = trust;
+        self.comm = comm;
+        self.rng = Rng::from_state(rng_state);
+        self.injector.restore_state(inj_rng, down_until);
+        if let (Some(acc), Some(dp)) = (&mut self.accountant, &self.config.dp) {
+            *acc = crate::dp::PrivacyAccountant::new(dp.noise_multiplier);
+            for _ in 0..releases {
+                acc.record_release();
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Magic + version prefix of checkpoint blobs.
+const CHECKPOINT_MAGIC: &str = "FEXFEDCK1";
+
+/// Ticks spent waiting in exponential backoff when a message needed
+/// `attempts` transmissions (the k-th retry waits `2^(k-1)` ticks).
+fn backoff_ticks_spent(attempts: usize) -> usize {
+    (1usize << attempts.saturating_sub(1)) - 1
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::Corruption;
     use fexiot_gnn::{Encoder, Gin};
     use fexiot_graph::{generate_dataset, DatasetConfig};
 
@@ -658,5 +1166,185 @@ mod tests {
             reports[0].cumulative_comm.total_bytes() <= reports[1].cumulative_comm.total_bytes()
         );
         assert_eq!(reports[1].round, 2);
+    }
+
+    #[test]
+    fn try_new_rejects_empty_federations() {
+        let config = FedConfig::default();
+        assert_eq!(
+            FedSim::try_new(Vec::new(), config).err(),
+            Some(FedError::NoClients)
+        );
+    }
+
+    #[test]
+    fn zero_weights_fall_back_to_uniform() {
+        let (mut sim, _) = make_sim(Strategy::FedAvg, 3, 12);
+        // Sybil defense zeroed every trust weight AND the clients report
+        // zero samples: both weight sources are dead, so the aggregator
+        // must fall back to uniform instead of dividing by zero.
+        sim.trust = vec![0.0; 3];
+        for c in &mut sim.clients {
+            c.data.graphs.clear();
+        }
+        let w = sim.aggregation_weights(&[0, 1, 2]);
+        assert_eq!(w, vec![1.0; 3]);
+        // Trust-only zeroing falls back to sample counts.
+        let (mut sim2, _) = make_sim(Strategy::FedAvg, 3, 12);
+        sim2.trust = vec![0.0; 3];
+        let w2 = sim2.aggregation_weights(&[0, 1, 2]);
+        assert!(w2.iter().all(|&x| x > 0.0), "{w2:?}");
+    }
+
+    #[test]
+    fn faultless_telemetry_counts_everyone_as_participant() {
+        let (mut sim, _) = make_sim(Strategy::FedAvg, 4, 13);
+        let reports = sim.run();
+        for r in &reports {
+            assert_eq!(r.faults.clients, 4);
+            assert_eq!(r.faults.participants, 4);
+            assert_eq!(r.faults.dropped, 0);
+            assert_eq!(r.faults.quarantined, 0);
+            assert_eq!(r.faults.retried_messages, 0);
+            assert_eq!(r.faults.lost_messages, 0);
+        }
+    }
+
+    #[test]
+    fn faulty_fexiot_run_survives_dropout_and_corruption() {
+        // Acceptance scenario: 30% dropout + corruption injection over a
+        // 10-round FexIoT run — no panics, no NaNs, telemetry populated.
+        let (mut sim, test) = make_sim(Strategy::fexiot_default(), 6, 21);
+        sim.config.rounds = 10;
+        sim.config.faults = FaultPlan::none()
+            .with_seed(21)
+            .with_dropout(0.3)
+            .with_corruption(0.2, Corruption::NonFinite);
+        sim.injector = FaultInjector::new(sim.config.faults.clone(), 6);
+        let reports = sim.run();
+        assert_eq!(reports.len(), 10);
+        let mut saw_degradation = false;
+        for r in &reports {
+            assert!(r.mean_loss.is_finite(), "round {}: NaN loss", r.round);
+            assert_eq!(
+                r.faults.participants + r.faults.dropped + r.faults.quarantined,
+                r.faults.clients,
+                "round {}: partition broken {:?}",
+                r.round,
+                r.faults
+            );
+            if r.faults.dropped > 0 || r.faults.quarantined > 0 {
+                saw_degradation = true;
+            }
+        }
+        assert!(saw_degradation, "faults were configured but never fired");
+        for c in &sim.clients {
+            assert!(
+                c.encoder.params().iter().all(Matrix::is_finite),
+                "corrupt update leaked into a model"
+            );
+        }
+        for m in sim.evaluate(&test) {
+            assert!(m.accuracy.is_finite());
+        }
+    }
+
+    #[test]
+    fn scaled_noise_is_quarantined_by_the_norm_guard() {
+        let (mut sim, _) = make_sim(Strategy::FedAvg, 5, 22);
+        sim.config.rounds = 3;
+        sim.config.faults = FaultPlan::none()
+            .with_seed(22)
+            .with_corruption(0.3, Corruption::ScaledNoise { factor: 1e6 });
+        sim.injector = FaultInjector::new(sim.config.faults.clone(), 5);
+        let reports = sim.run();
+        let quarantined: usize = reports.iter().map(|r| r.faults.quarantined).sum();
+        assert!(quarantined > 0, "norm guard never fired: {reports:?}");
+        for c in &sim.clients {
+            for m in c.encoder.params() {
+                assert!(
+                    m.as_slice().iter().all(|v| v.abs() < 1e5),
+                    "scaled-noise corruption leaked into a model"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lossy_links_price_retries_into_comm() {
+        let (mut sim, _) = make_sim(Strategy::FedAvg, 5, 23);
+        sim.config.rounds = 4;
+        sim.config.faults = FaultPlan::none().with_seed(23).with_msg_loss(0.4);
+        sim.injector = FaultInjector::new(sim.config.faults.clone(), 5);
+        let reports = sim.run();
+        let retried: usize = reports.iter().map(|r| r.faults.retried_messages).sum();
+        assert!(retried > 0, "40% loss over 4 rounds must retry something");
+        assert_eq!(sim.comm.retried_messages, retried);
+        assert!(sim.comm.retried_bytes > 0);
+        assert!(sim.comm.uploaded_bytes >= sim.comm.retried_bytes);
+    }
+
+    #[test]
+    fn stragglers_within_bound_are_accepted_with_decay() {
+        let (mut sim, _) = make_sim(Strategy::FedAvg, 5, 24);
+        sim.config.rounds = 4;
+        sim.config.faults = FaultPlan::none().with_seed(24).with_straggler(0.6);
+        sim.injector = FaultInjector::new(sim.config.faults.clone(), 5);
+        let reports = sim.run();
+        let stale: usize = reports.iter().map(|r| r.faults.stale_accepted).sum();
+        let dropped: usize = reports.iter().map(|r| r.faults.dropped).sum();
+        assert!(stale > 0, "60% stragglers must produce stale acceptances");
+        assert!(
+            dropped > 0,
+            "delays beyond the staleness bound must be rejected"
+        );
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_bit_identically() {
+        let make = || {
+            let (mut sim, _) = make_sim(Strategy::fexiot_default(), 4, 25);
+            sim.config.rounds = 5;
+            sim.config.sybil_defense = true;
+            sim.config.faults = FaultPlan::none()
+                .with_seed(25)
+                .with_dropout(0.25)
+                .with_msg_loss(0.2)
+                .with_crash(0.1, 2);
+            sim.injector = FaultInjector::new(sim.config.faults.clone(), 4);
+            sim
+        };
+        let mut original = make();
+        original.run_round();
+        original.run_round();
+        let blob = original.checkpoint();
+        let tail_a = [original.run_round(), original.run_round()];
+
+        let mut resumed = make();
+        resumed.restore(&blob).expect("restore");
+        assert_eq!(resumed.rounds_completed(), 2);
+        let tail_b = [resumed.run_round(), resumed.run_round()];
+
+        for (a, b) in tail_a.iter().zip(&tail_b) {
+            assert_eq!(a.round, b.round);
+            assert_eq!(a.mean_loss.to_bits(), b.mean_loss.to_bits());
+            assert_eq!(a.cumulative_comm, b.cumulative_comm);
+            assert_eq!(a.faults, b.faults);
+        }
+        for (ca, cb) in original.clients.iter().zip(&resumed.clients) {
+            for (ma, mb) in ca.encoder.params().iter().zip(cb.encoder.params()) {
+                assert_eq!(ma.max_abs_diff(mb), 0.0, "resumed weights diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_or_mismatched_blobs() {
+        let (mut sim, _) = make_sim(Strategy::FedAvg, 3, 26);
+        let blob = sim.checkpoint();
+        assert!(sim.restore(&blob[..blob.len() / 2]).is_err());
+        assert!(sim.restore(b"not a checkpoint").is_err());
+        let (mut other, _) = make_sim(Strategy::FedAvg, 4, 26);
+        assert!(other.restore(&blob).is_err(), "client count must match");
     }
 }

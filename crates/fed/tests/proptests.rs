@@ -6,9 +6,41 @@
 use fexiot_fed::dp::{clip_update, privatize_update, DpConfig};
 use fexiot_fed::secure_agg::secure_weighted_average;
 use fexiot_fed::sybil::foolsgold_weights;
+use fexiot_fed::{Client, Corruption, FaultPlan, FedConfig, FedSim, Strategy};
+use fexiot_gnn::{ContrastiveConfig, Encoder, Gin};
+use fexiot_graph::{generate_dataset, DatasetConfig};
 use fexiot_tensor::optim::{param_weighted_average, ParamVec};
 use fexiot_tensor::{Matrix, Rng};
 use proptest::prelude::*;
+
+/// A small federation (3 clients, tiny graphs) under the given fault plan.
+fn tiny_sim(seed: u64, rounds: usize, faults: FaultPlan) -> FedSim {
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut cfg = DatasetConfig::small_ifttt();
+    cfg.graph_count = 30;
+    let ds = generate_dataset(&cfg, &mut rng);
+    let splits = ds.dirichlet_split(3, 1.0, &mut rng);
+    let d = ds.graphs[0].nodes[0].features.len();
+    let template = Gin::new(d, &[8], 4, &mut rng);
+    let clients = splits
+        .into_iter()
+        .enumerate()
+        .map(|(i, data)| Client::new(i, Encoder::Gin(template.clone()), data))
+        .collect();
+    let config = FedConfig {
+        strategy: Strategy::fexiot_default(),
+        rounds,
+        local: ContrastiveConfig {
+            epochs: 1,
+            pairs_per_epoch: 4,
+            ..Default::default()
+        },
+        faults,
+        seed,
+        ..Default::default()
+    };
+    FedSim::new(clients, config)
+}
 
 fn random_params(rng: &mut Rng, layers: usize, max_dim: usize) -> ParamVec {
     (0..layers)
@@ -73,5 +105,70 @@ proptest! {
         let w = foolsgold_weights(&histories);
         prop_assert_eq!(w.len(), n);
         prop_assert!(w.iter().all(|&x| (0.0..=1.0).contains(&x) && x.is_finite()));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn retries_never_decrease_comm_totals(seed in 0u64..1000, loss in 0.0f64..0.6) {
+        let plan = FaultPlan::none().with_seed(seed).with_msg_loss(loss);
+        let mut sim = tiny_sim(seed, 3, plan);
+        let mut prev = sim.run_round().cumulative_comm;
+        for _ in 1..3 {
+            let cur = sim.run_round().cumulative_comm;
+            prop_assert!(cur.uploaded_bytes >= prev.uploaded_bytes);
+            prop_assert!(cur.downloaded_bytes >= prev.downloaded_bytes);
+            prop_assert!(cur.upload_messages >= prev.upload_messages);
+            prop_assert!(cur.download_messages >= prev.download_messages);
+            prop_assert!(cur.retried_messages >= prev.retried_messages);
+            prop_assert!(cur.retried_bytes >= prev.retried_bytes);
+            // Retries are included in the directional totals, never beyond.
+            prop_assert!(cur.retried_bytes <= cur.uploaded_bytes + cur.downloaded_bytes);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn telemetry_partitions_clients_each_round(
+        seed in 0u64..1000,
+        dropout in 0.0f64..0.5,
+        straggler in 0.0f64..0.5,
+        corrupt in 0.0f64..0.4,
+    ) {
+        let plan = FaultPlan::none()
+            .with_seed(seed)
+            .with_dropout(dropout)
+            .with_straggler(straggler)
+            .with_crash(0.1, 2)
+            .with_corruption(corrupt, Corruption::NonFinite);
+        let mut sim = tiny_sim(seed, 3, plan);
+        for r in sim.run() {
+            prop_assert_eq!(
+                r.faults.participants + r.faults.dropped + r.faults.quarantined,
+                r.faults.clients,
+                "round {}: {:?}", r.round, r.faults
+            );
+        }
+    }
+
+    #[test]
+    fn faulty_runs_never_produce_nan(seed in 0u64..1000, fault_level in 0.0f64..0.5) {
+        let plan = FaultPlan::none()
+            .with_seed(seed)
+            .with_dropout(fault_level)
+            .with_msg_loss(fault_level * 0.5)
+            .with_straggler(fault_level * 0.5)
+            .with_corruption(fault_level * 0.5, Corruption::NonFinite);
+        let mut sim = tiny_sim(seed, 3, plan);
+        for r in sim.run() {
+            prop_assert!(r.mean_loss.is_finite(), "round {} loss {}", r.round, r.mean_loss);
+        }
+        for c in &sim.clients {
+            for m in c.encoder.params() {
+                prop_assert!(m.is_finite(), "non-finite global params survived");
+            }
+        }
     }
 }

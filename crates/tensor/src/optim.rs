@@ -29,6 +29,24 @@ pub fn param_norm(params: &ParamVec) -> f64 {
         .sqrt()
 }
 
+/// True when every entry of every matrix is finite (no NaN/±Inf). The
+/// federated server runs this over each received update before it can reach
+/// [`param_weighted_average`] or the trust scorer.
+pub fn param_is_finite(params: &ParamVec) -> bool {
+    params.iter().all(Matrix::is_finite)
+}
+
+/// Indices of matrices containing a non-finite entry (diagnostics for
+/// quarantine logs).
+pub fn param_nonfinite_layers(params: &ParamVec) -> Vec<usize> {
+    params
+        .iter()
+        .enumerate()
+        .filter(|(_, m)| !m.is_finite())
+        .map(|(i, _)| i)
+        .collect()
+}
+
 /// Elementwise difference `a - b` of two aligned parameter vectors.
 pub fn param_sub(a: &ParamVec, b: &ParamVec) -> ParamVec {
     assert_eq!(a.len(), b.len(), "param_sub: length mismatch");

@@ -33,6 +33,17 @@ impl Rng {
         Rng::seed_from_u64(self.next_u64() ^ stream.wrapping_mul(0x9E3779B97F4A7C15))
     }
 
+    /// Snapshot of the internal state, for checkpointing mid-stream.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Rebuilds a generator from a [`Rng::state`] snapshot, continuing the
+    /// stream exactly where the snapshot was taken.
+    pub fn from_state(s: [u64; 4]) -> Self {
+        Self { s }
+    }
+
     /// Next raw 64-bit output.
     pub fn next_u64(&mut self) -> u64 {
         let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);

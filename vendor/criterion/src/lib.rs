@@ -40,7 +40,7 @@ impl Criterion {
         self
     }
 
-    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
@@ -50,7 +50,7 @@ impl Criterion {
             nanos: Vec::new(),
         };
         f(&mut bencher);
-        bencher.report(id);
+        bencher.report(id.as_ref());
         self
     }
 
@@ -74,12 +74,12 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        let full = format!("{}/{}", self.name, id);
-        self.criterion.bench_function(&full, f);
+        let full = format!("{}/{}", self.name, id.as_ref());
+        self.criterion.bench_function(full, f);
         self
     }
 
