@@ -1,10 +1,14 @@
 //! Robustness sweep: accuracy vs fault rate for FedAvg and FexIoT.
 //! `cargo run --release --bin robustness [--full]`
+//!
+//! Also writes an observability run report (per-cell spans, per-round
+//! telemetry counters) to `results/obs/robustness.json`.
 
 use fexiot_bench::{print_table, robustness, Scale};
 
 fn main() {
     let scale = Scale::from_env();
+    fexiot_obs::set_global_enabled(true);
     let points = robustness::run(scale);
     let rows: Vec<Vec<String>> = points
         .iter()
@@ -38,5 +42,10 @@ fn main() {
             "{strategy}: accuracy degradation from 0% to 50% dropout: {:+.3}",
             robustness::degradation(&points, strategy)
         );
+    }
+    let snap = fexiot_obs::global().snapshot();
+    match fexiot_obs::write_report(std::path::Path::new("results/obs"), "robustness", &snap) {
+        Ok(path) => println!("obs report written to {}", path.display()),
+        Err(e) => eprintln!("cannot write obs report: {e}"),
     }
 }

@@ -65,7 +65,12 @@ pub fn run(scale: Scale) -> Vec<RobustnessPoint> {
                 faults,
                 ..Default::default()
             };
+            let _cell_span =
+                fexiot_obs::span(&format!("bench.robustness[{}:{dropout}]", strategy.name()));
             let mut sim = build_federation(&train, &config);
+            if fexiot_obs::global_enabled() {
+                sim.attach_obs(std::sync::Arc::clone(fexiot_obs::global()));
+            }
             let reports = sim.run();
             let client_rounds: usize = reports.iter().map(|r| r.faults.clients).sum();
             let contributed: usize = reports.iter().map(|r| r.faults.participants).sum();

@@ -10,6 +10,10 @@
 //!                     [--checkpoint-dir DIR]         # federated run under faults
 //! ```
 //!
+//! Every subcommand also accepts `--obs-summary` (print the span tree and
+//! metric digests after the run) and `--obs-out DIR` (write a
+//! `fexiot-obs/v1` JSON run report under DIR); see DESIGN.md §Observability.
+//!
 //! Datasets are generated from the synthetic corpus (see DESIGN.md); models
 //! are checkpointed with the first-party codec, so `train` on one machine and
 //! `eval`/`explain` on another reproduce identical decisions.
@@ -37,15 +41,29 @@ impl Args {
         while i < argv.len() {
             let key = std::mem::take(&mut argv[i]);
             if let Some(name) = key.strip_prefix("--") {
-                let value = argv.get(i + 1).cloned().unwrap_or_default();
-                values.push((name.to_string(), value));
-                i += 2;
+                // A following `--token` (or nothing) means this flag is
+                // boolean, e.g. `--obs-summary`.
+                match argv.get(i + 1).filter(|v| !v.starts_with("--")) {
+                    Some(value) => {
+                        values.push((name.to_string(), value.clone()));
+                        i += 2;
+                    }
+                    None => {
+                        values.push((name.to_string(), String::new()));
+                        i += 1;
+                    }
+                }
             } else {
                 eprintln!("unexpected argument: {key}");
                 return None;
             }
         }
         Some(Args { values, command })
+    }
+
+    /// True when the flag was present at all (boolean flags).
+    fn has(&self, name: &str) -> bool {
+        self.values.iter().any(|(k, _)| k == name)
     }
 
     fn get(&self, name: &str) -> Option<&str> {
@@ -76,7 +94,7 @@ impl Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  fexiot-cli train    [--graphs N] [--seed S] [--encoder gin|gcn|magnn] --out MODEL\n  fexiot-cli eval     --model MODEL [--graphs N] [--seed S]\n  fexiot-cli detect   --model MODEL [--seed S]\n  fexiot-cli explain  --model MODEL [--seed S]\n  fexiot-cli federate [--clients N] [--rounds R] [--strategy fexiot|fedavg|fmtl|gcfl|local]\n                      [--graphs N] [--seed S] [--alpha A]\n                      [--dropout P] [--msg-loss P] [--straggler P] [--corrupt P]\n                      [--checkpoint-dir DIR]  (resumes from the newest checkpoint there)"
+        "usage:\n  fexiot-cli train    [--graphs N] [--seed S] [--encoder gin|gcn|magnn] --out MODEL\n  fexiot-cli eval     --model MODEL [--graphs N] [--seed S]\n  fexiot-cli detect   --model MODEL [--seed S]\n  fexiot-cli explain  --model MODEL [--seed S]\n  fexiot-cli federate [--clients N] [--rounds R] [--strategy fexiot|fedavg|fmtl|gcfl|local]\n                      [--graphs N] [--seed S] [--alpha A]\n                      [--dropout P] [--msg-loss P] [--straggler P] [--corrupt P]\n                      [--checkpoint-dir DIR]  (resumes from the newest checkpoint there)\n  any subcommand: [--obs-summary] [--obs-out DIR]  (observability export)"
     );
     ExitCode::from(2)
 }
@@ -102,7 +120,34 @@ fn main() -> ExitCode {
     let Some(args) = Args::parse() else {
         return usage();
     };
+    let obs_summary = args.has("obs-summary");
+    let obs_out = args.get("obs-out").map(str::to_string);
+    if obs_summary || obs_out.is_some() {
+        fexiot_obs::set_global_enabled(true);
+    }
 
+    let code = run(&args);
+
+    if obs_summary || obs_out.is_some() {
+        let snap = fexiot_obs::global().snapshot();
+        if obs_summary {
+            println!("{}", fexiot_obs::render_summary(&snap));
+        }
+        if let Some(dir) = obs_out {
+            let run_name = format!("cli-{}", args.command);
+            match fexiot_obs::write_report(std::path::Path::new(&dir), &run_name, &snap) {
+                Ok(path) => println!("obs report written to {}", path.display()),
+                Err(e) => {
+                    eprintln!("cannot write obs report under {dir}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    code
+}
+
+fn run(args: &Args) -> ExitCode {
     match args.command.as_str() {
         "train" => {
             let Some(out) = args.get("out") else {
@@ -119,7 +164,7 @@ fn main() -> ExitCode {
                 }
             };
             let hetero = encoder == EncoderKind::Magnn;
-            let ds = make_dataset(&args, 300, hetero);
+            let ds = make_dataset(args, 300, hetero);
             let mut rng = Rng::seed_from_u64(args.get_u64("seed", 42) ^ 0x5EED);
             let (train, test) = ds.train_test_split(0.8, &mut rng);
             println!(
@@ -142,14 +187,14 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "eval" => {
-            let model = match load_model(&args) {
+            let model = match load_model(args) {
                 Ok(m) => m,
                 Err(e) => {
                     eprintln!("{e}");
                     return ExitCode::FAILURE;
                 }
             };
-            let ds = make_dataset(&args, 120, false);
+            let ds = make_dataset(args, 120, false);
             println!("evaluating on {} fresh graphs", ds.len());
             println!("{}", model.evaluate(&ds));
             let drifting = model.filter_drifting(&ds);
@@ -161,14 +206,14 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "detect" => {
-            let model = match load_model(&args) {
+            let model = match load_model(args) {
                 Ok(m) => m,
                 Err(e) => {
                     eprintln!("{e}");
                     return ExitCode::FAILURE;
                 }
             };
-            let ds = make_dataset(&args, 20, false);
+            let ds = make_dataset(args, 20, false);
             for (i, g) in ds.graphs.iter().enumerate() {
                 let d = model.detect(g);
                 println!(
@@ -190,14 +235,14 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "explain" => {
-            let model = match load_model(&args) {
+            let model = match load_model(args) {
                 Ok(m) => m,
                 Err(e) => {
                     eprintln!("{e}");
                     return ExitCode::FAILURE;
                 }
             };
-            let ds = make_dataset(&args, 60, false);
+            let ds = make_dataset(args, 60, false);
             let Some(target) = ds
                 .graphs
                 .iter()
@@ -250,7 +295,7 @@ fn main() -> ExitCode {
                 .with_straggler(args.get_f64("straggler", 0.0))
                 .with_corruption(args.get_f64("corrupt", 0.0), Corruption::NonFinite);
 
-            let ds = make_dataset(&args, 240, false);
+            let ds = make_dataset(args, 240, false);
             let mut rng = Rng::seed_from_u64(seed ^ 0x5EED);
             let (train, test) = ds.train_test_split(0.8, &mut rng);
             println!(
@@ -265,6 +310,11 @@ fn main() -> ExitCode {
                 config.strategy.name(),
             );
             let mut sim = build_federation(&train, &config);
+            // Point the simulator's private registry at the global one so
+            // the exported report covers pipeline + rounds in one tree.
+            if fexiot_obs::global_enabled() {
+                sim.attach_obs(std::sync::Arc::clone(fexiot_obs::global()));
+            }
 
             // With --checkpoint-dir, each round is persisted and a rerun with
             // the same flags resumes from the newest checkpoint found there.

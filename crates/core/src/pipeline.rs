@@ -72,6 +72,7 @@ impl FexIot {
     /// Panics if the dataset is empty.
     pub fn train(dataset: &GraphDataset, config: FexIotConfig) -> Self {
         assert!(!dataset.is_empty(), "fexiot: empty training dataset");
+        let _span = fexiot_obs::span("train");
         let mut rng = Rng::seed_from_u64(config.seed);
         let labels: Vec<usize> = dataset
             .graphs
@@ -90,7 +91,10 @@ impl FexIot {
             config.embed_dim,
             &mut rng,
         );
-        train_contrastive(&mut encoder, &dataset.graphs, &classes, &config.contrastive);
+        {
+            let _s = fexiot_obs::span("train.contrastive");
+            train_contrastive(&mut encoder, &dataset.graphs, &classes, &config.contrastive);
+        }
 
         let x = head_features_all(&encoder, &dataset.graphs);
         let pos = labels.iter().filter(|&&l| l == 1).count();
@@ -101,16 +105,22 @@ impl FexIot {
         } else {
             Vec::new()
         };
-        let head = SgdClassifier::fit(
-            &x,
-            &labels,
-            SgdConfig {
-                class_weights,
-                seed: config.seed,
-                ..Default::default()
-            },
-        );
-        let drift = DriftDetector::fit(&x, &labels, config.drift_threshold);
+        let head = {
+            let _s = fexiot_obs::span("train.head");
+            SgdClassifier::fit(
+                &x,
+                &labels,
+                SgdConfig {
+                    class_weights,
+                    seed: config.seed,
+                    ..Default::default()
+                },
+            )
+        };
+        let drift = {
+            let _s = fexiot_obs::span("train.drift");
+            DriftDetector::fit(&x, &labels, config.drift_threshold)
+        };
         Self {
             config,
             scorer: GraphScorer::new(encoder, head),

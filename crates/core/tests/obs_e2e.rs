@@ -1,0 +1,98 @@
+//! End-to-end observability: a tiny federated run with the global registry
+//! enabled must export a well-formed run report whose span tree covers the
+//! data pipeline and the federated rounds, and whose non-timing fields are
+//! bit-identical across two same-seed runs.
+
+use fexiot::{build_federation, FederationConfig, FexIotConfig};
+use fexiot_graph::{generate_dataset, DatasetConfig};
+use fexiot_obs::{deterministic_json, validate_report, Json, Snapshot, Timing};
+use fexiot_tensor::Rng;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Serializes the tests in this binary: they all mutate the process-global
+/// registry.
+static GLOBAL_OBS: Mutex<()> = Mutex::new(());
+
+fn obs_lock() -> MutexGuard<'static, ()> {
+    GLOBAL_OBS.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+/// Generates a dataset, builds a 2-client federation, and runs one round
+/// with the global registry attached; returns the registry snapshot.
+fn tiny_run(seed: u64) -> Snapshot {
+    let reg = fexiot_obs::global();
+    reg.reset();
+    fexiot_obs::set_global_enabled(true);
+
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut cfg = DatasetConfig::small_ifttt();
+    cfg.graph_count = 40;
+    let ds = generate_dataset(&cfg, &mut rng);
+    let (train, _test) = ds.train_test_split(0.8, &mut rng);
+
+    let mut pipeline = FexIotConfig::default().with_seed(seed);
+    pipeline.contrastive.epochs = 1;
+    pipeline.contrastive.pairs_per_epoch = 8;
+    let config = FederationConfig {
+        n_clients: 2,
+        rounds: 1,
+        pipeline,
+        ..Default::default()
+    };
+    let mut sim = build_federation(&train, &config);
+    sim.attach_obs(Arc::clone(reg));
+    sim.run();
+
+    let snap = reg.snapshot();
+    fexiot_obs::set_global_enabled(false);
+    snap
+}
+
+#[test]
+fn report_covers_pipeline_and_round_tree() {
+    let _g = obs_lock();
+    let snap = tiny_run(11);
+
+    // Span tree roots: the data pipeline and the federated round, with
+    // per-client training spans nested under the round.
+    assert!(snap.find_span("pipeline").is_some(), "pipeline root missing");
+    let round = snap
+        .roots
+        .iter()
+        .find(|r| r.name == "round[0]")
+        .expect("round[0] root missing");
+    for c in 0..2 {
+        assert!(
+            round.children.iter().any(|s| s.name == format!("client[{c}]")),
+            "client[{c}] span missing under round[0]"
+        );
+    }
+    // RoundTelemetry counters folded into the same registry.
+    assert_eq!(snap.counters["fed.sim.participants"], 2);
+    assert!(snap.histograms.contains_key("fed.round.loss"));
+
+    // The exported JSON parses and conforms to fexiot-obs/v1.
+    let doc = fexiot_obs::report::to_json(&snap, "e2e", Timing::Include);
+    validate_report(&doc).expect("report validates");
+    let reparsed = Json::parse(&doc.to_string()).expect("emitted JSON parses");
+    assert!(reparsed.get("spans").is_some());
+
+    // write_report round-trips through the filesystem.
+    let dir = std::env::temp_dir().join(format!("fexiot-obs-e2e-{}", std::process::id()));
+    let path = fexiot_obs::write_report(&dir, "e2e", &snap).expect("write report");
+    let text = std::fs::read_to_string(&path).expect("read report back");
+    validate_report(&Json::parse(&text).expect("written report parses"))
+        .expect("written report validates");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn same_seed_runs_export_identical_nontiming_reports() {
+    let _g = obs_lock();
+    let a = tiny_run(12);
+    let b = tiny_run(12);
+    let da = deterministic_json(&a, "e2e");
+    let db = deterministic_json(&b, "e2e");
+    assert!(!da.contains("elapsed_us"), "timing leaked into Timing::Exclude");
+    assert_eq!(da, db, "same-seed obs reports differ in non-timing fields");
+}

@@ -76,6 +76,7 @@ pub fn explain(
     config: &SearchConfig,
 ) -> Explanation {
     assert!(graph.node_count() > 0, "explain: empty graph");
+    let _span = fexiot_obs::span("explain.search");
     let n = graph.node_count();
     let mut rng = Rng::seed_from_u64(config.seed);
     let mut evaluations = 0usize;
@@ -84,6 +85,7 @@ pub fn explain(
         evaluations += 1;
         match config.reward {
             RewardKind::KernelShap { samples } => {
+                fexiot_obs::counter_add("explain.search.shap_evals", 1);
                 shap_value(scorer, graph, nodes, &ShapConfig { samples }, rng)
             }
             RewardKind::MonteCarloShapley { samples } => {
@@ -127,7 +129,13 @@ pub fn explain(
             }
             // Beam: keep the B best by immediate reward.
             children.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-            children.truncate(config.beam_width.max(1));
+            fexiot_obs::counter_add("explain.search.expansions", children.len() as u64);
+            let kept = config.beam_width.max(1);
+            fexiot_obs::counter_add(
+                "explain.search.pruned",
+                children.len().saturating_sub(kept) as u64,
+            );
+            children.truncate(kept);
             // Record rewards, track the global best at output size.
             for (child, r) in &children {
                 let entry = stats.entry(child.clone()).or_insert((0.0, 0));
@@ -167,6 +175,7 @@ pub fn explain(
 
     let (mut nodes, score) = best.expect("at least one candidate");
     nodes.sort_unstable();
+    fexiot_obs::counter_add("explain.search.evals", evaluations as u64);
     Explanation {
         nodes,
         score,

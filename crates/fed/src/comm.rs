@@ -52,6 +52,40 @@ impl CommStats {
         self.retried_bytes += retries * bytes;
     }
 
+    /// Checks the invariants that hold by construction: retries are a subset
+    /// of messages, retry bytes are a subset of moved bytes, and bytes never
+    /// move without a message. Returns the first violated invariant; the
+    /// simulator debug-asserts this at every round end.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.retried_messages > self.upload_messages + self.download_messages {
+            return Err(format!(
+                "retried_messages {} exceeds total messages {}",
+                self.retried_messages,
+                self.upload_messages + self.download_messages
+            ));
+        }
+        if self.retried_bytes > self.uploaded_bytes + self.downloaded_bytes {
+            return Err(format!(
+                "retried_bytes {} exceeds total bytes {}",
+                self.retried_bytes,
+                self.uploaded_bytes + self.downloaded_bytes
+            ));
+        }
+        if self.upload_messages == 0 && self.uploaded_bytes != 0 {
+            return Err(format!(
+                "{} uploaded bytes without an upload message",
+                self.uploaded_bytes
+            ));
+        }
+        if self.download_messages == 0 && self.downloaded_bytes != 0 {
+            return Err(format!(
+                "{} downloaded bytes without a download message",
+                self.downloaded_bytes
+            ));
+        }
+        Ok(())
+    }
+
     /// Total bytes in both directions.
     pub fn total_bytes(&self) -> usize {
         self.uploaded_bytes + self.downloaded_bytes
@@ -90,6 +124,34 @@ mod tests {
         assert_eq!(c.downloaded_bytes, 40);
         assert_eq!(c.retried_messages, 2);
         assert_eq!(c.retried_bytes, 200);
+    }
+
+    #[test]
+    fn validate_accepts_recorded_traffic_and_rejects_forgeries() {
+        let mut c = CommStats::default();
+        assert!(c.validate().is_ok(), "empty stats are consistent");
+        c.record_upload_attempts(100, 3);
+        c.record_download_attempts(40, 2);
+        assert!(c.validate().is_ok(), "recorded traffic is consistent");
+
+        let forged = CommStats {
+            retried_messages: 10,
+            ..CommStats::default()
+        };
+        assert!(forged.validate().is_err(), "retries without messages");
+        let forged = CommStats {
+            uploaded_bytes: 64,
+            ..CommStats::default()
+        };
+        assert!(forged.validate().is_err(), "bytes without messages");
+        let forged = CommStats {
+            uploaded_bytes: 10,
+            upload_messages: 1,
+            retried_bytes: 100,
+            retried_messages: 1,
+            ..CommStats::default()
+        };
+        assert!(forged.validate().is_err(), "retry bytes exceed totals");
     }
 
     #[test]

@@ -18,6 +18,8 @@ use crate::strategy::Strategy;
 use fexiot_gnn::ContrastiveConfig;
 use fexiot_graph::GraphDataset;
 use fexiot_ml::{binary_cosine_split, Metrics};
+use fexiot_obs::Registry;
+use std::sync::Arc;
 use fexiot_tensor::codec::{ByteReader, ByteWriter, CodecError};
 use fexiot_tensor::matrix::Matrix;
 use fexiot_tensor::optim::{
@@ -174,11 +176,28 @@ pub struct FedSim {
     /// Fault-realization source; draws from its own RNG stream so fault
     /// randomness never perturbs training randomness.
     injector: FaultInjector,
-    /// Telemetry being accumulated for the in-flight round.
-    telemetry: RoundTelemetry,
+    /// Observability registry backing [`RoundTelemetry`]: degradation events
+    /// increment `fed.sim.*` counters here, and the round report reads the
+    /// per-round deltas back. Private and always-enabled by default so
+    /// concurrent simulations in one process never share counters;
+    /// [`FedSim::attach_obs`] substitutes a shared registry.
+    obs: Arc<Registry>,
     rng: Rng,
     round: usize,
 }
+
+/// Counters that back [`RoundTelemetry`]. A round report is the delta of
+/// these between round start and round end, so the reported values are
+/// bit-identical to the hand-rolled accumulators they replaced (locked by
+/// `tests/golden.rs`) while the registry keeps whole-run totals.
+const ROUND_COUNTERS: [&str; 6] = [
+    "fed.sim.participants",
+    "fed.sim.quarantined",
+    "fed.sim.stale_accepted",
+    "fed.sim.retried_messages",
+    "fed.sim.lost_messages",
+    "fed.sim.backoff_ticks",
+];
 
 impl FedSim {
     /// Builds a federation. All clients must share the encoder architecture.
@@ -221,10 +240,25 @@ impl FedSim {
             trust,
             accountant,
             injector,
-            telemetry: RoundTelemetry::default(),
+            obs: Arc::new(Registry::new()),
             rng,
             round: 0,
         })
+    }
+
+    /// Substitutes the simulator's private observability registry (for
+    /// example with the process-global one, so a CLI run exports a single
+    /// report covering pipeline + federation). The registry is force-enabled
+    /// because [`RoundTelemetry`] is computed from its counters — a disabled
+    /// registry would zero every fault report.
+    pub fn attach_obs(&mut self, reg: Arc<Registry>) {
+        reg.set_enabled(true);
+        self.obs = reg;
+    }
+
+    /// The observability registry this simulator records into.
+    pub fn obs(&self) -> &Arc<Registry> {
+        &self.obs
     }
 
     /// Runs all configured rounds; returns per-round reports.
@@ -247,6 +281,12 @@ impl FedSim {
                 faults: RoundTelemetry::default(),
             };
         }
+        let obs = Arc::clone(&self.obs);
+        let _round_span = obs.span(format!("round[{}]", self.round));
+        let base: Vec<u64> = ROUND_COUNTERS
+            .iter()
+            .map(|name| obs.counter_value(name))
+            .collect();
         let fault_active = self.injector.plan().is_active();
         let retried_before = self.comm.retried_messages;
         let round_faults = if fault_active {
@@ -265,8 +305,16 @@ impl FedSim {
         let mut trained = 0usize;
         for (i, c) in self.clients.iter_mut().enumerate() {
             if round_faults.participation[i].trains() {
+                let _s = obs.span(format!("client[{i}]"));
                 total_loss += c.local_train(&local_cfg);
                 trained += 1;
+                if let Some(d) = &c.last_delta {
+                    obs.hist_record(
+                        "fed.client.update_norm",
+                        fexiot_obs::buckets::NORM,
+                        param_norm(d),
+                    );
+                }
             }
         }
         let mean_loss = if trained == 0 {
@@ -274,6 +322,8 @@ impl FedSim {
         } else {
             total_loss / trained as f64
         };
+        obs.gauge_set("fed.sim.mean_loss", mean_loss);
+        obs.hist_record("fed.round.loss", fexiot_obs::buckets::LOSS, mean_loss);
 
         // §VI extensions: privatize what the server will observe, then score
         // client trust from the (privatized) update histories.
@@ -289,37 +339,62 @@ impl FedSim {
         }
 
         // Server-side realization of the round: who delivered what.
-        let state = self.receive_updates(round_faults);
+        let state = {
+            let _s = obs.span("fed.sim.receive");
+            self.receive_updates(round_faults)
+        };
 
         if self.config.sybil_defense {
             self.score_trust(&state);
         }
 
         let contributing: Vec<usize> = (0..n).filter(|&c| state.contributors[c]).collect();
-        match self.config.strategy.clone() {
-            Strategy::LocalOnly => {}
-            Strategy::FedAvg => self.aggregate_full(&[contributing], &state),
-            Strategy::Fmtl { eps1, eps2 } => {
-                self.refine_clusters(eps1, eps2, false);
-                let clusters = self.surviving_clusters(&state);
-                self.aggregate_full(&clusters, &state);
-            }
-            Strategy::GcflPlus { eps1, eps2 } => {
-                self.refine_clusters(eps1, eps2, true);
-                let clusters = self.surviving_clusters(&state);
-                self.aggregate_full(&clusters, &state);
-            }
-            Strategy::FexIot { eps1, eps2 } => {
-                self.recursive_layerwise(0, &contributing, eps1, eps2, &state);
+        {
+            let _s = obs.span("fed.sim.aggregate");
+            match self.config.strategy.clone() {
+                Strategy::LocalOnly => {}
+                Strategy::FedAvg => self.aggregate_full(&[contributing], &state),
+                Strategy::Fmtl { eps1, eps2 } => {
+                    self.refine_clusters(eps1, eps2, false);
+                    let clusters = self.surviving_clusters(&state);
+                    self.aggregate_full(&clusters, &state);
+                }
+                Strategy::GcflPlus { eps1, eps2 } => {
+                    self.refine_clusters(eps1, eps2, true);
+                    let clusters = self.surviving_clusters(&state);
+                    self.aggregate_full(&clusters, &state);
+                }
+                Strategy::FexIot { eps1, eps2 } => {
+                    self.recursive_layerwise(0, &contributing, eps1, eps2, &state);
+                }
             }
         }
 
-        self.telemetry.clients = n;
-        self.telemetry.dropped =
-            n - self.telemetry.participants - self.telemetry.quarantined;
-        self.telemetry.retried_messages = self.comm.retried_messages - retried_before;
-        let report_faults = self.telemetry;
-        self.telemetry = RoundTelemetry::default();
+        // Retries are counted by `CommStats` as messages move; fold this
+        // round's delta into the registry so the report below — and any
+        // exported obs run report — read from one source.
+        self.obs.counter_add(
+            "fed.sim.retried_messages",
+            (self.comm.retried_messages - retried_before) as u64,
+        );
+        debug_assert_eq!(self.comm.validate(), Ok(()), "comm stats invariant violated");
+
+        // The report's telemetry is read back from the registry as this
+        // round's counter deltas.
+        let delta =
+            |i: usize| (self.obs.counter_value(ROUND_COUNTERS[i]) - base[i]) as usize;
+        let participants = delta(0);
+        let quarantined = delta(1);
+        let report_faults = RoundTelemetry {
+            clients: n,
+            participants,
+            dropped: n - participants - quarantined,
+            quarantined,
+            stale_accepted: delta(2),
+            retried_messages: delta(3),
+            lost_messages: delta(4),
+            backoff_ticks: delta(5),
+        };
         self.round += 1;
         RoundReport {
             round: self.round,
@@ -343,7 +418,9 @@ impl FedSim {
             for c in 0..n {
                 state.contributors[c] = state.faults.participation[c].trains();
             }
-            self.telemetry.participants = state.contributors.iter().filter(|&&x| x).count();
+            let participants = state.contributors.iter().filter(|&&x| x).count();
+            self.obs
+                .counter_add("fed.sim.participants", participants as u64);
             return state;
         }
         let plan = self.injector.plan().clone();
@@ -356,7 +433,7 @@ impl FedSim {
                 Participation::Active => {}
                 Participation::Straggler { delay } if delay <= plan.staleness_bound => {
                     state.stale_weight[c] = plan.staleness_decay.powi(delay as i32);
-                    self.telemetry.stale_accepted += 1;
+                    self.obs.counter_add("fed.sim.stale_accepted", 1);
                 }
                 _ => state.contributors[c] = false,
             }
@@ -374,8 +451,11 @@ impl FedSim {
                 let bytes = param_bytes(self.clients[c].encoder.params());
                 self.comm
                     .record_upload_attempts(bytes, 1 + plan.max_retries);
-                self.telemetry.backoff_ticks += backoff_ticks_spent(1 + plan.max_retries);
-                self.telemetry.lost_messages += 1;
+                self.obs.counter_add(
+                    "fed.sim.backoff_ticks",
+                    backoff_ticks_spent(1 + plan.max_retries) as u64,
+                );
+                self.obs.counter_add("fed.sim.lost_messages", 1);
                 state.contributors[c] = false;
             }
         }
@@ -428,15 +508,20 @@ impl FedSim {
                     let bytes = param_bytes(self.clients[c].encoder.params());
                     self.comm
                         .record_upload_attempts(bytes, state.up_attempts(c));
-                    self.telemetry.backoff_ticks += backoff_ticks_spent(state.up_attempts(c));
+                    self.obs.counter_add(
+                        "fed.sim.backoff_ticks",
+                        backoff_ticks_spent(state.up_attempts(c)) as u64,
+                    );
                     state.contributors[c] = false;
                     state.observed[c] = None;
-                    self.telemetry.quarantined += 1;
+                    self.obs.counter_add("fed.sim.quarantined", 1);
                 }
             }
         }
 
-        self.telemetry.participants = state.contributors.iter().filter(|&&x| x).count();
+        let participants = state.contributors.iter().filter(|&&x| x).count();
+        self.obs
+            .counter_add("fed.sim.participants", participants as u64);
         state
     }
 
@@ -494,7 +579,8 @@ impl FedSim {
     fn price_upload(&mut self, c: usize, bytes: usize, state: &RoundState) {
         let attempts = state.up_attempts(c);
         self.comm.record_upload_attempts(bytes, attempts);
-        self.telemetry.backoff_ticks += backoff_ticks_spent(attempts);
+        self.obs
+            .counter_add("fed.sim.backoff_ticks", backoff_ticks_spent(attempts) as u64);
     }
 
     /// Prices one download to client `c`; returns false when the message is
@@ -503,14 +589,16 @@ impl FedSim {
         match state.faults.down_attempts[c] {
             Some(attempts) => {
                 self.comm.record_download_attempts(bytes, attempts);
-                self.telemetry.backoff_ticks += backoff_ticks_spent(attempts);
+                self.obs
+                    .counter_add("fed.sim.backoff_ticks", backoff_ticks_spent(attempts) as u64);
                 true
             }
             None => {
                 let attempts = 1 + self.injector.plan().max_retries;
                 self.comm.record_download_attempts(bytes, attempts);
-                self.telemetry.backoff_ticks += backoff_ticks_spent(attempts);
-                self.telemetry.lost_messages += 1;
+                self.obs
+                    .counter_add("fed.sim.backoff_ticks", backoff_ticks_spent(attempts) as u64);
+                self.obs.counter_add("fed.sim.lost_messages", 1);
                 false
             }
         }

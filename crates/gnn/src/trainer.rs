@@ -57,6 +57,7 @@ pub fn train_contrastive(
         labels.len(),
         "contrastive: label count mismatch"
     );
+    let _span = fexiot_obs::span("gnn.trainer.contrastive");
     let mut rng = Rng::seed_from_u64(config.seed);
     if graphs.len() < 2 {
         return 0.0;
@@ -122,6 +123,12 @@ pub fn train_contrastive(
             steps += 1;
         }
         last_loss = epoch_loss / steps.max(1) as f64;
+        fexiot_obs::hist_record(
+            "gnn.trainer.epoch_loss",
+            fexiot_obs::buckets::LOSS,
+            last_loss,
+        );
+        fexiot_obs::counter_add("gnn.trainer.pairs", steps as u64);
     }
     last_loss
 }
@@ -155,6 +162,20 @@ fn step(
         .zip(encoder.params())
         .map(|(&v, p)| grads.get(v, p))
         .collect();
+    // The norm reduction is a full pass over every gradient, so only pay
+    // for it while observability is on.
+    if fexiot_obs::global_enabled() {
+        let sq_sum: f64 = gs
+            .iter()
+            .flat_map(|m| m.as_slice().iter())
+            .map(|g| g * g)
+            .sum();
+        fexiot_obs::hist_record(
+            "gnn.trainer.grad_norm",
+            fexiot_obs::buckets::NORM,
+            sq_sum.sqrt(),
+        );
+    }
     adam.step(encoder.params_mut(), &gs);
     *epoch_loss += tape.value(loss)[(0, 0)];
 }

@@ -60,6 +60,7 @@ impl GraphDataset {
     /// Shuffled train/test split.
     pub fn train_test_split(&self, train_frac: f64, rng: &mut Rng) -> (GraphDataset, GraphDataset) {
         assert!((0.0..=1.0).contains(&train_frac), "train_frac out of range");
+        let _span = fexiot_obs::span("graph.dataset.split");
         let mut idx: Vec<usize> = (0..self.graphs.len()).collect();
         rng.shuffle(&mut idx);
         let cut = (self.graphs.len() as f64 * train_frac).round() as usize;
@@ -78,6 +79,7 @@ impl GraphDataset {
         rng: &mut Rng,
     ) -> Vec<GraphDataset> {
         assert!(n_clients > 0, "dirichlet_split: zero clients");
+        let _span = fexiot_obs::span("graph.dataset.dirichlet_split");
         let mut buckets: Vec<Vec<InteractionGraph>> = vec![Vec::new(); n_clients];
         // Group graph indices by class.
         let mut by_class: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
@@ -203,10 +205,22 @@ impl DatasetConfig {
 /// Generates a labeled dataset: random chained graphs plus injected
 /// vulnerability patterns in the configured proportion.
 pub fn generate_dataset(config: &DatasetConfig, rng: &mut Rng) -> GraphDataset {
+    // `pipeline` is the run-level root span for the data pipeline: corpus
+    // generation → NLP featurization/indexing → graph fusion (see DESIGN.md
+    // §Observability for the naming convention).
+    let _span = fexiot_obs::span("pipeline");
     let mut gen = CorpusGenerator::new();
-    let rules = gen.generate(&config.corpus, rng);
-    let index = CorpusIndex::build(rules);
+    let rules = {
+        let _s = fexiot_obs::span("pipeline.corpus");
+        gen.generate(&config.corpus, rng)
+    };
+    fexiot_obs::counter_add("graph.corpus.rules", rules.len() as u64);
+    let index = {
+        let _s = fexiot_obs::span("pipeline.featurize");
+        CorpusIndex::build(rules)
+    };
     let builder = GraphBuilder::new(config.features);
+    let _s = fexiot_obs::span("pipeline.fuse");
     generate_from_index(&builder, &index, &mut gen, config, rng)
 }
 
@@ -257,6 +271,7 @@ pub fn generate_from_index(
         graphs.push(builder.sample_graph(index, size, rng));
     }
     rng.shuffle(&mut graphs);
+    fexiot_obs::counter_add("graph.dataset.graphs", graphs.len() as u64);
     GraphDataset::new(graphs)
 }
 

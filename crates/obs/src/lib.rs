@@ -1,0 +1,118 @@
+//! # fexiot-obs
+//!
+//! First-party tracing and metrics for the FexIoT reproduction: hierarchical
+//! wall-clock [spans](Registry::span), monotonic counters, gauges, and
+//! fixed-bucket histograms, with three exporters — a schema-stable JSON run
+//! report ([`report::write_report`]), a human-readable summary tree
+//! ([`report::render_summary`]), and an in-memory [`Snapshot`] the test and
+//! bench crates assert against.
+//!
+//! The build environment is offline, so this replaces the `tracing` /
+//! `prometheus` crates with a small deterministic subsystem (same approach
+//! as `vendor/`): no dependencies, coarse-mutex registry, one relaxed atomic
+//! on the disabled path.
+//!
+//! ## Global vs. local registries
+//!
+//! Library instrumentation (the pipeline, GNN trainer, beam search) records
+//! into the **process-global registry**, which is *disabled by default* —
+//! existing runs and golden tests observe zero change until a CLI flag or
+//! test calls [`set_global_enabled`]. The federated simulator additionally
+//! owns a **local** always-enabled registry for its per-round accounting
+//! (so concurrent simulations in one process never share counters) and can
+//! be pointed at the global one with `FedSim::attach_obs`.
+//!
+//! ## Determinism rule
+//!
+//! Span `elapsed_us` values are the only wall-clock data in a registry.
+//! Exports taken with [`report::Timing::Exclude`] are bit-identical across
+//! two runs with the same seed; nothing in this crate feeds back into
+//! simulation state, so enabling observability never perturbs results.
+//!
+//! ## Naming convention
+//!
+//! Dotted `crate.module.op` names for operations (`gnn.trainer.epoch_loss`,
+//! `explain.search.expansions`), bare phase names for run-level roots
+//! (`pipeline`), and `[index]` suffixes for instances (`round[3]`,
+//! `client[0]`).
+
+pub mod json;
+pub mod registry;
+pub mod report;
+
+pub use json::Json;
+pub use registry::{Histogram, HistogramSnapshot, Registry, Snapshot, SpanGuard, SpanNode};
+pub use report::{deterministic_json, render_summary, validate_report, write_report, Timing};
+
+use std::sync::{Arc, LazyLock};
+
+static GLOBAL: LazyLock<Arc<Registry>> = LazyLock::new(|| Arc::new(Registry::with_enabled(false)));
+
+/// The process-global registry (disabled until [`set_global_enabled`]).
+pub fn global() -> &'static Arc<Registry> {
+    &GLOBAL
+}
+
+/// Enables/disables the global registry. Library instrumentation is a no-op
+/// while disabled (one relaxed atomic load per call site).
+pub fn set_global_enabled(on: bool) {
+    GLOBAL.set_enabled(on);
+}
+
+pub fn global_enabled() -> bool {
+    GLOBAL.is_enabled()
+}
+
+/// Opens a span on the global registry (no-op guard while disabled).
+pub fn span(name: &str) -> SpanGuard {
+    if !GLOBAL.is_enabled() {
+        return SpanGuard::noop();
+    }
+    GLOBAL.span(name)
+}
+
+/// Adds to a global counter (no-op while disabled).
+pub fn counter_add(name: &str, v: u64) {
+    GLOBAL.counter_add(name, v);
+}
+
+/// Sets a global gauge (no-op while disabled).
+pub fn gauge_set(name: &str, v: f64) {
+    GLOBAL.gauge_set(name, v);
+}
+
+/// Records into a global histogram (no-op while disabled). `edges` bind on
+/// the histogram's first use; see [`Registry::hist_record`].
+pub fn hist_record(name: &str, edges: &[f64], v: f64) {
+    GLOBAL.hist_record(name, edges, v);
+}
+
+/// Bucket-edge presets shared by instrumentation sites.
+pub mod buckets {
+    /// Loss-like magnitudes (contrastive losses live in roughly [0, 10]).
+    pub const LOSS: &[f64] = &[0.0, 0.05, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0];
+    /// Norm-like magnitudes spanning several decades.
+    pub const NORM: &[f64] = &[0.0, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0, 1e3, 1e4];
+    /// Small non-negative counts (retries, expansions per step).
+    pub const SMALL_COUNT: &[f64] = &[0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_global_records_nothing() {
+        // Must not flip the global flag: other tests in this binary rely on
+        // it staying off. The default-off path is the one exercised here.
+        assert!(!global_enabled());
+        counter_add("test.lib.counter", 3);
+        gauge_set("test.lib.gauge", 1.0);
+        hist_record("test.lib.hist", buckets::LOSS, 0.5);
+        let _s = span("test.lib.span");
+        let snap = global().snapshot();
+        assert!(!snap.counters.contains_key("test.lib.counter"));
+        assert!(!snap.gauges.contains_key("test.lib.gauge"));
+        assert!(!snap.histograms.contains_key("test.lib.hist"));
+    }
+}

@@ -1,0 +1,394 @@
+//! The observability registry: hierarchical wall-clock spans plus counters,
+//! gauges, and fixed-bucket histograms, behind one coarse mutex.
+//!
+//! Design constraints (see DESIGN.md §Observability):
+//!
+//! * **Cheap when off.** Every recording entry point first reads one relaxed
+//!   atomic; a disabled registry does no allocation, no formatting, and no
+//!   locking.
+//! * **Unwind safe.** Spans are closed by [`SpanGuard`]'s `Drop`, so a
+//!   panicking scope still records its span, and the inner mutex is treated
+//!   as poison-tolerant.
+//! * **Deterministic data, nondeterministic time.** Only span `elapsed_us`
+//!   values depend on the wall clock. Counters, gauges, histograms, span
+//!   names, and tree shape are pure functions of the seeded workload, which
+//!   is what lets run reports be diffed across runs (timing excluded).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::thread::ThreadId;
+use std::time::Instant;
+
+/// Spans retained per registry before new ones are dropped (a backstop for
+/// pathological instrumentation loops, far above any real run).
+const MAX_SPANS: usize = 200_000;
+
+/// One recorded span instance.
+struct SpanRec {
+    name: String,
+    parent: Option<usize>,
+    start: Instant,
+    /// Microseconds; `None` while the span is still open.
+    elapsed_us: Option<u64>,
+}
+
+/// A fixed-bucket histogram over finite `f64` samples.
+///
+/// `edges` are the bucket boundaries: a sample `v` lands in interior bucket
+/// `i` when `edges[i] <= v < edges[i + 1]`, below `edges[0]` in the
+/// underflow bucket, and at or above the last edge in the overflow bucket.
+/// Non-finite samples (NaN, ±∞) are rejected and only counted.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    edges: Vec<f64>,
+    counts: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    rejected: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram. Edges must be at least two strictly increasing
+    /// finite values; returns `None` otherwise.
+    pub fn new(edges: &[f64]) -> Option<Self> {
+        if edges.len() < 2
+            || edges.iter().any(|e| !e.is_finite())
+            || edges.windows(2).any(|w| w[0] >= w[1])
+        {
+            return None;
+        }
+        Some(Self {
+            edges: edges.to_vec(),
+            counts: vec![0; edges.len() - 1],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            rejected: 0,
+        })
+    }
+
+    /// Records one sample; non-finite values are rejected (counted only).
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            self.rejected += 1;
+            return;
+        }
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        if v < self.edges[0] {
+            self.underflow += 1;
+        } else if v >= *self.edges.last().expect("edges non-empty") {
+            self.overflow += 1;
+        } else {
+            // Edges are sorted; partition_point returns the first edge > v.
+            let i = self.edges.partition_point(|&e| e <= v) - 1;
+            self.counts[i] += 1;
+        }
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            edges: self.edges.clone(),
+            counts: self.counts.clone(),
+            underflow: self.underflow,
+            overflow: self.overflow,
+            count: self.count,
+            sum: self.sum,
+            min: (self.count > 0).then_some(self.min),
+            max: (self.count > 0).then_some(self.max),
+            rejected: self.rejected,
+        }
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    pub edges: Vec<f64>,
+    /// Interior bucket counts (`edges.len() - 1` entries).
+    pub counts: Vec<u64>,
+    pub underflow: u64,
+    pub overflow: u64,
+    /// Accepted (finite) samples, including under/overflow.
+    pub count: u64,
+    pub sum: f64,
+    pub min: Option<f64>,
+    pub max: Option<f64>,
+    /// Non-finite samples rejected.
+    pub rejected: u64,
+}
+
+impl HistogramSnapshot {
+    /// Mean of accepted samples (`None` when empty).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+}
+
+/// One node of the reconstructed span tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanNode {
+    pub name: String,
+    /// Wall-clock microseconds (elapsed-so-far for spans still open at
+    /// snapshot time). Excluded from deterministic exports.
+    pub elapsed_us: u64,
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Total number of nodes in this subtree (self included).
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(SpanNode::size).sum::<usize>()
+    }
+}
+
+/// Point-in-time copy of everything a registry holds. Maps are ordered so
+/// exports are schema-stable and diffable.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    pub roots: Vec<SpanNode>,
+    pub counters: std::collections::BTreeMap<String, u64>,
+    pub gauges: std::collections::BTreeMap<String, f64>,
+    pub histograms: std::collections::BTreeMap<String, HistogramSnapshot>,
+    /// Spans discarded after the retention cap was hit.
+    pub dropped_spans: u64,
+}
+
+impl Snapshot {
+    /// Finds the first span node with this exact name, anywhere in the tree.
+    pub fn find_span(&self, name: &str) -> Option<&SpanNode> {
+        fn walk<'a>(nodes: &'a [SpanNode], name: &str) -> Option<&'a SpanNode> {
+            for n in nodes {
+                if n.name == name {
+                    return Some(n);
+                }
+                if let Some(hit) = walk(&n.children, name) {
+                    return Some(hit);
+                }
+            }
+            None
+        }
+        walk(&self.roots, name)
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    spans: Vec<SpanRec>,
+    /// Per-thread stack of open span indices (hierarchy = call nesting).
+    open: HashMap<ThreadId, Vec<usize>>,
+    counters: std::collections::BTreeMap<String, u64>,
+    gauges: std::collections::BTreeMap<String, f64>,
+    histograms: std::collections::BTreeMap<String, Histogram>,
+    dropped_spans: u64,
+}
+
+/// A thread-safe span/metric registry. The process-global instance lives in
+/// [`crate::global`] (disabled until a run opts in); simulations own local,
+/// always-enabled instances so concurrent runs never share counters.
+pub struct Registry {
+    enabled: AtomicBool,
+    inner: Mutex<Inner>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An enabled registry (local use: simulators, tests).
+    pub fn new() -> Self {
+        Self::with_enabled(true)
+    }
+
+    /// A registry with an explicit initial enable state.
+    pub fn with_enabled(enabled: bool) -> Self {
+        Self {
+            enabled: AtomicBool::new(enabled),
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Clears every span and metric (the enable flag is left as-is).
+    pub fn reset(&self) {
+        *self.lock() = Inner::default();
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner> {
+        // Poison-tolerant: a panic inside an instrumented scope must not
+        // take observability down with it.
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Opens a span; it closes (records its duration) when the returned
+    /// guard drops — including during a panic unwind. Parentage follows the
+    /// per-thread nesting of currently open spans on this registry.
+    pub fn span<S: Into<String>>(self: &Arc<Self>, name: S) -> SpanGuard {
+        if !self.is_enabled() {
+            return SpanGuard { reg: None, idx: 0 };
+        }
+        let start = Instant::now();
+        let mut inner = self.lock();
+        if inner.spans.len() >= MAX_SPANS {
+            inner.dropped_spans += 1;
+            return SpanGuard { reg: None, idx: 0 };
+        }
+        let tid = std::thread::current().id();
+        let stack = inner.open.entry(tid).or_default();
+        let parent = stack.last().copied();
+        let idx = inner.spans.len();
+        inner.spans.push(SpanRec {
+            name: name.into(),
+            parent,
+            start,
+            elapsed_us: None,
+        });
+        inner.open.entry(tid).or_default().push(idx);
+        SpanGuard {
+            reg: Some(Arc::clone(self)),
+            idx,
+        }
+    }
+
+    fn close_span(&self, idx: usize) {
+        let mut inner = self.lock();
+        let elapsed = inner.spans[idx].start.elapsed();
+        inner.spans[idx].elapsed_us = Some(elapsed.as_micros().min(u64::MAX as u128) as u64);
+        let tid = std::thread::current().id();
+        if let Some(stack) = inner.open.get_mut(&tid) {
+            // Guards can be dropped out of order; remove wherever it sits.
+            if let Some(pos) = stack.iter().rposition(|&i| i == idx) {
+                stack.remove(pos);
+            }
+        }
+    }
+
+    /// Adds to a monotonic counter (created on first use).
+    pub fn counter_add(&self, name: &str, v: u64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        match inner.counters.get_mut(name) {
+            Some(c) => *c += v,
+            None => {
+                inner.counters.insert(name.to_string(), v);
+            }
+        }
+    }
+
+    /// Current counter value (0 if never recorded).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.lock().counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets a gauge (last write wins).
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.lock().gauges.insert(name.to_string(), v);
+    }
+
+    /// Records one sample into a fixed-bucket histogram; the bucket `edges`
+    /// are bound on first use (later calls may pass the same or any edges —
+    /// only the first registration counts). Invalid edges on first use drop
+    /// the sample.
+    pub fn hist_record(&self, name: &str, edges: &[f64], v: f64) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        if let Some(h) = inner.histograms.get_mut(name) {
+            h.record(v);
+            return;
+        }
+        if let Some(mut h) = Histogram::new(edges) {
+            h.record(v);
+            inner.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    /// A point-in-time copy of everything recorded so far. Spans still open
+    /// report their elapsed-so-far.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.lock();
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); inner.spans.len()];
+        let mut root_idx = Vec::new();
+        for (i, s) in inner.spans.iter().enumerate() {
+            match s.parent {
+                Some(p) => children[p].push(i),
+                None => root_idx.push(i),
+            }
+        }
+        fn build(idx: usize, spans: &[SpanRec], children: &[Vec<usize>]) -> SpanNode {
+            let s = &spans[idx];
+            SpanNode {
+                name: s.name.clone(),
+                elapsed_us: s.elapsed_us.unwrap_or_else(|| {
+                    s.start.elapsed().as_micros().min(u64::MAX as u128) as u64
+                }),
+                children: children[idx]
+                    .iter()
+                    .map(|&c| build(c, spans, children))
+                    .collect(),
+            }
+        }
+        Snapshot {
+            roots: root_idx
+                .iter()
+                .map(|&i| build(i, &inner.spans, &children))
+                .collect(),
+            counters: inner.counters.clone(),
+            gauges: inner.gauges.clone(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+            dropped_spans: inner.dropped_spans,
+        }
+    }
+}
+
+/// RAII guard returned by [`Registry::span`]; records the span's duration on
+/// drop. A guard from a disabled registry is a no-op.
+pub struct SpanGuard {
+    reg: Option<Arc<Registry>>,
+    idx: usize,
+}
+
+impl SpanGuard {
+    /// A guard that records nothing (disabled path).
+    pub fn noop() -> Self {
+        Self { reg: None, idx: 0 }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(reg) = self.reg.take() {
+            reg.close_span(self.idx);
+        }
+    }
+}

@@ -2,12 +2,35 @@
 //! pipeline, evaluate detection quality, and explain one detection.
 //!
 //! Run with: `cargo run --release --example quickstart`
+//!
+//! Pass `--obs-out DIR` to also write a `fexiot-obs/v1` observability run
+//! report (span timings + metrics) under DIR.
 
 use fexiot::{FexIot, FexIotConfig};
 use fexiot_graph::{generate_dataset, DatasetConfig};
 use fexiot_tensor::Rng;
 
 fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let obs_out = argv
+        .iter()
+        .position(|a| a == "--obs-out")
+        .and_then(|i| argv.get(i + 1).cloned());
+    if obs_out.is_some() {
+        fexiot_obs::set_global_enabled(true);
+    }
+
+    demo();
+
+    if let Some(dir) = obs_out {
+        let snap = fexiot_obs::global().snapshot();
+        let path = fexiot_obs::write_report(std::path::Path::new(&dir), "quickstart", &snap)
+            .expect("write obs report");
+        println!("\nobs report written to {}", path.display());
+    }
+}
+
+fn demo() {
     let mut rng = Rng::seed_from_u64(42);
 
     // 1. Build a homogeneous (IFTTT-style) dataset of interaction graphs.
