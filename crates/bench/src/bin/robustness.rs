@@ -21,6 +21,7 @@ fn main() {
                 format!("{:.0}%", p.participation * 100.0),
                 format!("{}", p.quarantined),
                 format!("{:.2}", p.total_mb),
+                format!("{}", p.critical_ticks),
             ]
         })
         .collect();
@@ -34,6 +35,7 @@ fn main() {
             "Participation",
             "Quarantined",
             "Comm (MB)",
+            "Crit. ticks",
         ],
         &rows,
     );

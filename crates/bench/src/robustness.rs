@@ -22,6 +22,9 @@ pub struct RobustnessPoint {
     pub participation: f64,
     /// Total quarantined updates over the run.
     pub quarantined: usize,
+    /// Simulated ticks summed over the run's per-round critical path —
+    /// the fault cost the slowest client chain added to each round.
+    pub critical_ticks: u64,
 }
 
 /// Dropout rates swept (per client, per round).
@@ -75,6 +78,7 @@ pub fn run(scale: Scale) -> Vec<RobustnessPoint> {
             let client_rounds: usize = reports.iter().map(|r| r.faults.clients).sum();
             let contributed: usize = reports.iter().map(|r| r.faults.participants).sum();
             let quarantined: usize = reports.iter().map(|r| r.faults.quarantined).sum();
+            let critical_ticks = sim.critical_path().iter().map(|e| e.total_ticks).sum();
             let mean = Metrics::mean(&sim.evaluate(&test));
             points.push(RobustnessPoint {
                 strategy: strategy.name(),
@@ -84,6 +88,7 @@ pub fn run(scale: Scale) -> Vec<RobustnessPoint> {
                 total_mb: sim.comm.total_mb(),
                 participation: contributed as f64 / client_rounds.max(1) as f64,
                 quarantined,
+                critical_ticks,
             });
         }
     }
@@ -121,6 +126,7 @@ mod tests {
             if p.dropout == 0.0 {
                 assert!((p.participation - 1.0).abs() < 1e-12, "{p:?}");
                 assert_eq!(p.quarantined, 0, "{p:?}");
+                assert_eq!(p.critical_ticks, 0, "fault-free path must be idle: {p:?}");
             } else {
                 assert!(p.participation < 1.0, "faults never fired: {p:?}");
             }

@@ -11,8 +11,11 @@
 //! ```
 //!
 //! Every subcommand also accepts `--obs-summary` (print the span tree and
-//! metric digests after the run) and `--obs-out DIR` (write a
-//! `fexiot-obs/v1` JSON run report under DIR); see DESIGN.md §Observability.
+//! metric digests after the run), `--obs-out DIR` (write a `fexiot-obs/v1`
+//! JSON run report under DIR), and `--obs-stream FILE` (stream
+//! `fexiot-obs-events/v1` JSONL events live to FILE;
+//! `--obs-stream-timing exclude` drops wall-clock fields so same-seed
+//! streams are byte-identical); see DESIGN.md §Observability.
 //!
 //! Datasets are generated from the synthetic corpus (see DESIGN.md); models
 //! are checkpointed with the first-party codec, so `train` on one machine and
@@ -31,12 +34,22 @@ struct Args {
     command: String,
 }
 
+/// The observability flags every subcommand accepts. Anything else spelled
+/// `--obs-*` is almost certainly a typo; [`Args::check_obs_flags`] rejects it
+/// instead of silently ignoring it.
+const OBS_FLAGS: &[&str] = &["obs-summary", "obs-out", "obs-stream", "obs-stream-timing"];
+
 impl Args {
     fn parse() -> Option<Args> {
         let mut argv = std::env::args().skip(1);
         let command = argv.next()?;
+        Self::parse_from(command, argv.collect())
+    }
+
+    /// Parses a flag list (everything after the subcommand). Split out from
+    /// [`Args::parse`] so tests can drive the parser without a process.
+    fn parse_from(command: String, mut argv: Vec<String>) -> Option<Args> {
         let mut values = Vec::new();
-        let mut argv: Vec<String> = argv.collect();
         let mut i = 0;
         while i < argv.len() {
             let key = std::mem::take(&mut argv[i]);
@@ -90,11 +103,37 @@ impl Args {
             .and_then(|v| v.parse().ok())
             .unwrap_or(default)
     }
+
+    /// Rejects misspelled observability flags: `--obs-*` names outside
+    /// [`OBS_FLAGS`] and bad `--obs-stream-timing` modes. The rest of the
+    /// flag namespace stays permissive (subcommands ignore what they don't
+    /// know), but a typo like `--obs-steam` silently dropping the event
+    /// stream would defeat the point of asking for one.
+    fn check_obs_flags(&self) -> Result<(), String> {
+        for (key, _) in &self.values {
+            if key.starts_with("obs-") && !OBS_FLAGS.contains(&key.as_str()) {
+                return Err(format!(
+                    "unknown observability flag --{key}; known flags: {}",
+                    OBS_FLAGS
+                        .iter()
+                        .map(|f| format!("--{f}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+        }
+        match self.get("obs-stream-timing") {
+            None | Some("include") | Some("exclude") => Ok(()),
+            Some(other) => Err(format!(
+                "--obs-stream-timing must be 'include' or 'exclude', got {other:?}"
+            )),
+        }
+    }
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  fexiot-cli train    [--graphs N] [--seed S] [--encoder gin|gcn|magnn] --out MODEL\n  fexiot-cli eval     --model MODEL [--graphs N] [--seed S]\n  fexiot-cli detect   --model MODEL [--seed S]\n  fexiot-cli explain  --model MODEL [--seed S]\n  fexiot-cli federate [--clients N] [--rounds R] [--strategy fexiot|fedavg|fmtl|gcfl|local]\n                      [--graphs N] [--seed S] [--alpha A]\n                      [--dropout P] [--msg-loss P] [--straggler P] [--corrupt P]\n                      [--checkpoint-dir DIR]  (resumes from the newest checkpoint there)\n  any subcommand: [--obs-summary] [--obs-out DIR]  (observability export)"
+        "usage:\n  fexiot-cli train    [--graphs N] [--seed S] [--encoder gin|gcn|magnn] --out MODEL\n  fexiot-cli eval     --model MODEL [--graphs N] [--seed S]\n  fexiot-cli detect   --model MODEL [--seed S]\n  fexiot-cli explain  --model MODEL [--seed S]\n  fexiot-cli federate [--clients N] [--rounds R] [--strategy fexiot|fedavg|fmtl|gcfl|local]\n                      [--graphs N] [--seed S] [--alpha A]\n                      [--dropout P] [--msg-loss P] [--straggler P] [--corrupt P]\n                      [--checkpoint-dir DIR]  (resumes from the newest checkpoint there)\n  any subcommand: [--obs-summary] [--obs-out DIR]\n                  [--obs-stream FILE] [--obs-stream-timing include|exclude]  (observability export)"
     );
     ExitCode::from(2)
 }
@@ -120,22 +159,52 @@ fn main() -> ExitCode {
     let Some(args) = Args::parse() else {
         return usage();
     };
+    if let Err(e) = args.check_obs_flags() {
+        eprintln!("{e}");
+        return usage();
+    }
     let obs_summary = args.has("obs-summary");
     let obs_out = args.get("obs-out").map(str::to_string);
-    if obs_summary || obs_out.is_some() {
+    let obs_stream = args.get("obs-stream").map(str::to_string);
+    if obs_summary || obs_out.is_some() || obs_stream.is_some() {
         fexiot_obs::set_global_enabled(true);
     }
+    let run_name = format!("cli-{}", args.command);
+    if let Some(path) = &obs_stream {
+        // `exclude` drops every wall-clock field from the stream, making
+        // same-seed streams byte-identical (the determinism CI gate).
+        let include_timing = args.get("obs-stream-timing").unwrap_or("include") == "include";
+        if let Err(e) =
+            fexiot_obs::stream_global_to_file(std::path::Path::new(path), &run_name, include_timing)
+        {
+            eprintln!("cannot open obs stream {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
 
-    let code = run(&args);
+    // Federate fills this with its per-round critical path so the summary
+    // and the exported report carry the straggler/backoff attribution.
+    let mut critical_path: Option<Vec<fexiot_obs::CriticalPathEntry>> = None;
+    let code = run(&args, &mut critical_path);
 
+    if obs_stream.is_some() {
+        fexiot_obs::close_global_stream();
+    }
     if obs_summary || obs_out.is_some() {
         let snap = fexiot_obs::global().snapshot();
         if obs_summary {
-            println!("{}", fexiot_obs::render_summary(&snap));
+            println!(
+                "{}",
+                fexiot_obs::render_summary_with(&snap, critical_path.as_deref())
+            );
         }
         if let Some(dir) = obs_out {
-            let run_name = format!("cli-{}", args.command);
-            match fexiot_obs::write_report(std::path::Path::new(&dir), &run_name, &snap) {
+            match fexiot_obs::write_report_full(
+                std::path::Path::new(&dir),
+                &run_name,
+                &snap,
+                critical_path.as_deref(),
+            ) {
                 Ok(path) => println!("obs report written to {}", path.display()),
                 Err(e) => {
                     eprintln!("cannot write obs report under {dir}: {e}");
@@ -147,7 +216,7 @@ fn main() -> ExitCode {
     code
 }
 
-fn run(args: &Args) -> ExitCode {
+fn run(args: &Args, critical_path: &mut Option<Vec<fexiot_obs::CriticalPathEntry>>) -> ExitCode {
     match args.command.as_str() {
         "train" => {
             let Some(out) = args.get("out") else {
@@ -366,6 +435,7 @@ fn run(args: &Args) -> ExitCode {
             }
             let metrics = sim.evaluate(&test);
             println!("held-out (mean over clients): {}", Metrics::mean(&metrics));
+            *critical_path = Some(sim.critical_path());
             ExitCode::SUCCESS
         }
         _ => usage(),
@@ -383,4 +453,64 @@ fn newest_checkpoint(dir: &str) -> Option<String> {
         .collect();
     rounds.sort();
     rounds.pop().map(|n| format!("{dir}/{n}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(flags: &[&str]) -> Args {
+        Args::parse_from("train".into(), flags.iter().map(|s| s.to_string()).collect())
+            .expect("flags should parse")
+    }
+
+    #[test]
+    fn parses_valued_and_boolean_flags() {
+        let args = parse(&["--graphs", "120", "--obs-summary", "--seed", "7"]);
+        assert_eq!(args.get_usize("graphs", 0), 120);
+        assert_eq!(args.get_u64("seed", 0), 7);
+        assert!(args.has("obs-summary"));
+        assert!(!args.has("obs-out"));
+        assert_eq!(args.get("obs-summary"), Some(""));
+    }
+
+    #[test]
+    fn rejects_positional_arguments() {
+        let parsed = Args::parse_from("train".into(), vec!["stray".into()]);
+        assert!(parsed.is_none());
+    }
+
+    #[test]
+    fn known_obs_flags_pass_validation() {
+        let args = parse(&[
+            "--obs-summary",
+            "--obs-out",
+            "results/obs",
+            "--obs-stream",
+            "events.jsonl",
+            "--obs-stream-timing",
+            "exclude",
+        ]);
+        assert_eq!(args.check_obs_flags(), Ok(()));
+    }
+
+    #[test]
+    fn unknown_obs_flag_is_rejected_with_the_known_list() {
+        let args = parse(&["--obs-steam", "events.jsonl"]);
+        let err = args.check_obs_flags().unwrap_err();
+        assert!(err.contains("--obs-steam"), "names the offender: {err}");
+        for known in OBS_FLAGS {
+            assert!(err.contains(known), "lists --{known}: {err}");
+        }
+    }
+
+    #[test]
+    fn bad_stream_timing_mode_is_rejected() {
+        let args = parse(&["--obs-stream-timing", "sometimes"]);
+        let err = args.check_obs_flags().unwrap_err();
+        assert!(err.contains("sometimes"));
+        // Non-obs flags stay permissive; only the obs namespace is strict.
+        let args = parse(&["--definitely-not-a-flag", "x"]);
+        assert_eq!(args.check_obs_flags(), Ok(()));
+    }
 }

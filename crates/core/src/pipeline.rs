@@ -91,6 +91,9 @@ impl FexIot {
             config.embed_dim,
             &mut rng,
         );
+        // Boundary markers segment the live event stream into phases even
+        // when a consumer tails it mid-span (span_close arrives much later).
+        fexiot_obs::mark("train.contrastive");
         {
             let _s = fexiot_obs::span("train.contrastive");
             train_contrastive(&mut encoder, &dataset.graphs, &classes, &config.contrastive);
@@ -105,6 +108,7 @@ impl FexIot {
         } else {
             Vec::new()
         };
+        fexiot_obs::mark("train.head");
         let head = {
             let _s = fexiot_obs::span("train.head");
             SgdClassifier::fit(
@@ -117,6 +121,7 @@ impl FexIot {
                 },
             )
         };
+        fexiot_obs::mark("train.drift");
         let drift = {
             let _s = fexiot_obs::span("train.drift");
             DriftDetector::fit(&x, &labels, config.drift_threshold)

@@ -96,3 +96,126 @@ fn same_seed_runs_export_identical_nontiming_reports() {
     assert!(!da.contains("elapsed_us"), "timing leaked into Timing::Exclude");
     assert_eq!(da, db, "same-seed obs reports differ in non-timing fields");
 }
+
+/// A `Write` sink the test can read back after the registry consumed it.
+#[derive(Clone)]
+struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+impl std::io::Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// [`tiny_run`] with a timing-excluded JSONL event stream attached; returns
+/// the raw bytes the stream produced.
+fn tiny_run_streamed(seed: u64) -> Vec<u8> {
+    let reg = fexiot_obs::global();
+    reg.reset();
+    fexiot_obs::set_global_enabled(true);
+    let buf = SharedBuf(Arc::new(Mutex::new(Vec::new())));
+    reg.set_stream(Box::new(buf.clone()), "e2e-stream", false);
+
+    let mut rng = Rng::seed_from_u64(seed);
+    let mut cfg = DatasetConfig::small_ifttt();
+    cfg.graph_count = 40;
+    let ds = generate_dataset(&cfg, &mut rng);
+    let (train, _test) = ds.train_test_split(0.8, &mut rng);
+    let mut pipeline = FexIotConfig::default().with_seed(seed);
+    pipeline.contrastive.epochs = 1;
+    pipeline.contrastive.pairs_per_epoch = 8;
+    let config = FederationConfig {
+        n_clients: 2,
+        rounds: 1,
+        pipeline,
+        ..Default::default()
+    };
+    let mut sim = build_federation(&train, &config);
+    sim.attach_obs(Arc::clone(reg));
+    sim.run();
+
+    drop(reg.take_stream());
+    fexiot_obs::set_global_enabled(false);
+    let out = buf.0.lock().unwrap().clone();
+    out
+}
+
+#[test]
+fn same_seed_event_streams_are_byte_identical_and_parse() {
+    let _g = obs_lock();
+    let a = tiny_run_streamed(13);
+    let b = tiny_run_streamed(13);
+    assert!(!a.is_empty(), "stream produced no events");
+    assert_eq!(a, b, "same-seed timing-excluded streams differ");
+
+    let text = String::from_utf8(a).expect("stream is UTF-8");
+    assert!(
+        !text.contains("elapsed_us") && !text.contains("step_us"),
+        "wall-clock data leaked into a timing-excluded stream"
+    );
+    let (run, events) = fexiot_obs::stream::parse_stream(&text).expect("stream parses");
+    assert_eq!(run, "e2e-stream");
+    // The stream must cover the whole pipeline: spans, counters, and the
+    // round-boundary marker all show up as live events.
+    let names: Vec<&str> = events.iter().map(|e| e.event.name()).collect();
+    assert!(names.contains(&"pipeline"), "pipeline span not streamed");
+    assert!(names.contains(&"round[0]"), "round marker not streamed");
+    assert!(
+        names.contains(&"fed.sim.participants"),
+        "participant counter not streamed"
+    );
+}
+
+#[test]
+fn federated_report_carries_the_critical_path() {
+    let _g = obs_lock();
+    let reg = fexiot_obs::global();
+    reg.reset();
+    fexiot_obs::set_global_enabled(true);
+
+    let mut rng = Rng::seed_from_u64(14);
+    let mut cfg = DatasetConfig::small_ifttt();
+    cfg.graph_count = 40;
+    let ds = generate_dataset(&cfg, &mut rng);
+    let (train, _test) = ds.train_test_split(0.8, &mut rng);
+    let mut pipeline = FexIotConfig::default().with_seed(14);
+    pipeline.contrastive.epochs = 1;
+    pipeline.contrastive.pairs_per_epoch = 8;
+    let mut config = FederationConfig {
+        n_clients: 3,
+        rounds: 2,
+        pipeline,
+        ..Default::default()
+    };
+    config.faults = config.faults.with_seed(7).with_straggler(0.9);
+    let mut sim = build_federation(&train, &config);
+    sim.attach_obs(Arc::clone(reg));
+    sim.run();
+    let path = sim.critical_path();
+    let snap = reg.snapshot();
+    fexiot_obs::set_global_enabled(false);
+
+    assert_eq!(path.len(), 2);
+    assert!(
+        path.iter().any(|e| e.cause == "straggler"),
+        "a 0.9 straggler rate must land on the critical path"
+    );
+
+    let doc = fexiot_obs::report::to_json_full(&snap, "e2e-cp", Timing::Include, Some(&path));
+    validate_report(&doc).expect("report with critical_path validates");
+    let reparsed = Json::parse(&doc.to_string()).expect("emitted JSON parses");
+    let cp = reparsed
+        .get("critical_path")
+        .and_then(Json::as_arr)
+        .expect("critical_path array present");
+    assert_eq!(cp.len(), 2);
+
+    // The rendered summary names the slowest client.
+    let text = fexiot_obs::render_summary_with(&snap, Some(&path));
+    assert!(text.contains("critical path"), "summary lacks the path:\n{text}");
+    assert!(text.contains("straggler"), "summary lacks the cause:\n{text}");
+}

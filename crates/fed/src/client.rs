@@ -66,6 +66,37 @@ impl Client {
         loss
     }
 
+    /// [`Client::local_train`] with client-side instrumentation recorded on
+    /// `obs` (in the simulator this is the client's own child registry, later
+    /// merged into the round trace): a `fed.client.local_train` span, the
+    /// wall-clock `fed.client.step_us` histogram (timing data by the `_us`
+    /// naming convention, so deterministic exports drop it), and the
+    /// deterministic `fed.client.update_norm` histogram.
+    pub fn local_train_traced(
+        &mut self,
+        config: &ContrastiveConfig,
+        obs: &std::sync::Arc<fexiot_obs::Registry>,
+    ) -> f64 {
+        let started = std::time::Instant::now();
+        let loss = {
+            let _s = obs.span("fed.client.local_train");
+            self.local_train(config)
+        };
+        obs.hist_record(
+            "fed.client.step_us",
+            fexiot_obs::buckets::TIME_US,
+            started.elapsed().as_micros().min(u64::MAX as u128) as f64,
+        );
+        if let Some(d) = &self.last_delta {
+            obs.hist_record(
+                "fed.client.update_norm",
+                fexiot_obs::buckets::NORM,
+                fexiot_tensor::optim::param_norm(d),
+            );
+        }
+        loss
+    }
+
     /// Privatizes the last recorded update in place (paper §VI, differential
     /// privacy): the model the server will read becomes
     /// `W_before + clip_and_noise(ΔW)`. The recorded delta and the update

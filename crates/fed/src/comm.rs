@@ -86,6 +86,23 @@ impl CommStats {
         Ok(())
     }
 
+    /// The traffic recorded since `earlier`, which must be a snapshot of
+    /// this accumulator taken at some previous point (counters only grow, so
+    /// the difference is well-defined; saturating keeps a misuse from
+    /// panicking in release builds).
+    pub fn delta_since(&self, earlier: &CommStats) -> CommStats {
+        CommStats {
+            uploaded_bytes: self.uploaded_bytes.saturating_sub(earlier.uploaded_bytes),
+            downloaded_bytes: self.downloaded_bytes.saturating_sub(earlier.downloaded_bytes),
+            upload_messages: self.upload_messages.saturating_sub(earlier.upload_messages),
+            download_messages: self
+                .download_messages
+                .saturating_sub(earlier.download_messages),
+            retried_messages: self.retried_messages.saturating_sub(earlier.retried_messages),
+            retried_bytes: self.retried_bytes.saturating_sub(earlier.retried_bytes),
+        }
+    }
+
     /// Total bytes in both directions.
     pub fn total_bytes(&self) -> usize {
         self.uploaded_bytes + self.downloaded_bytes

@@ -12,6 +12,20 @@
 use fexiot_tensor::optim::ParamVec;
 use fexiot_tensor::rng::Rng;
 
+/// Ticks spent waiting in exponential backoff when a message needed
+/// `attempts` transmissions: the k-th retry waits `2^(k-1)` ticks, so
+/// delivery on attempt `a` cost `2^(a-1) - 1` ticks in total.
+pub fn backoff_ticks_for(attempts: usize) -> usize {
+    (1usize << attempts.saturating_sub(1)) - 1
+}
+
+/// Rounds of delay the server actually waits out for a straggler: the full
+/// delay when it is within the staleness bound, otherwise the bound (the
+/// server stops waiting there and drops the update as too stale).
+pub fn straggler_wait(delay: usize, staleness_bound: usize) -> usize {
+    delay.min(staleness_bound)
+}
+
 /// How a corrupted upload is damaged before the server sees it.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Corruption {
@@ -178,10 +192,8 @@ impl RoundFaults {
     /// `2^(k-1)` ticks, so a message delivered on attempt `a` waited
     /// `2^(a-1) - 1` ticks; a lost message waited the full budget.
     pub fn backoff_ticks(&self, max_retries: usize) -> usize {
-        let spent = |att: &Option<usize>| -> usize {
-            let attempts = att.unwrap_or(max_retries + 1);
-            (1usize << (attempts - 1)) - 1
-        };
+        let spent =
+            |att: &Option<usize>| backoff_ticks_for(att.unwrap_or(max_retries + 1));
         self.up_attempts.iter().map(spent).sum::<usize>()
             + self.down_attempts.iter().map(spent).sum::<usize>()
     }

@@ -13,12 +13,14 @@
 
 use crate::client::Client;
 use crate::comm::CommStats;
-use crate::faults::{FaultInjector, FaultPlan, Participation, RoundFaults};
+use crate::faults::{
+    backoff_ticks_for, straggler_wait, FaultInjector, FaultPlan, Participation, RoundFaults,
+};
 use crate::strategy::Strategy;
 use fexiot_gnn::ContrastiveConfig;
 use fexiot_graph::GraphDataset;
 use fexiot_ml::{binary_cosine_split, Metrics};
-use fexiot_obs::Registry;
+use fexiot_obs::{ClientRoundCost, CriticalPathEntry, Registry, RoundCost};
 use std::sync::Arc;
 use fexiot_tensor::codec::{ByteReader, ByteWriter, CodecError};
 use fexiot_tensor::matrix::Matrix;
@@ -182,6 +184,17 @@ pub struct FedSim {
     /// concurrent simulations in one process never share counters;
     /// [`FedSim::attach_obs`] substitutes a shared registry.
     obs: Arc<Registry>,
+    /// One child registry per client: client-side instrumentation (the
+    /// `fed.client.*` span and histograms) records here in isolation, and
+    /// each client's snapshot is merged into the main registry right after
+    /// its training — federated trace merging. Reset after every merge.
+    client_obs: Vec<Arc<Registry>>,
+    /// Per-client simulated-tick cost attribution for the round in flight.
+    /// Pure obs data: integer bookkeeping on the side, never fed back into
+    /// training or RNG state, and not checkpointed.
+    cost_acc: Vec<ClientRoundCost>,
+    /// Completed rounds' cost attribution, input to [`FedSim::critical_path`].
+    round_costs: Vec<RoundCost>,
     rng: Rng,
     round: usize,
 }
@@ -231,6 +244,7 @@ impl FedSim {
             .as_ref()
             .map(|dp| crate::dp::PrivacyAccountant::new(dp.noise_multiplier));
         let injector = FaultInjector::new(config.faults.clone(), clients.len());
+        let client_obs = (0..clients.len()).map(|_| Arc::new(Registry::new())).collect();
         Ok(Self {
             clients,
             comm: CommStats::default(),
@@ -241,6 +255,9 @@ impl FedSim {
             accountant,
             injector,
             obs: Arc::new(Registry::new()),
+            client_obs,
+            cost_acc: Vec::new(),
+            round_costs: Vec::new(),
             rng,
             round: 0,
         })
@@ -282,39 +299,45 @@ impl FedSim {
             };
         }
         let obs = Arc::clone(&self.obs);
+        obs.mark(&format!("round[{}]", self.round));
         let _round_span = obs.span(format!("round[{}]", self.round));
         let base: Vec<u64> = ROUND_COUNTERS
             .iter()
             .map(|name| obs.counter_value(name))
             .collect();
         let fault_active = self.injector.plan().is_active();
-        let retried_before = self.comm.retried_messages;
+        let comm_before = self.comm;
         let round_faults = if fault_active {
             self.injector.draw_round(self.round)
         } else {
             RoundFaults::clean(n)
         };
+        self.cost_acc = (0..n)
+            .map(|client| ClientRoundCost {
+                client,
+                ..Default::default()
+            })
+            .collect();
 
         // Local training on every online client (stragglers train too —
-        // they are slow, not dead).
+        // they are slow, not dead). Client-side instrumentation goes to the
+        // client's child registry, merged into the main trace under the
+        // still-open `client[i]` span as soon as the client finishes.
         let local_cfg = ContrastiveConfig {
             seed: self.config.local.seed ^ (self.round as u64) << 17,
             ..self.config.local.clone()
         };
         let mut total_loss = 0.0;
         let mut trained = 0usize;
-        for (i, c) in self.clients.iter_mut().enumerate() {
+        for i in 0..n {
             if round_faults.participation[i].trains() {
                 let _s = obs.span(format!("client[{i}]"));
-                total_loss += c.local_train(&local_cfg);
+                let creg = Arc::clone(&self.client_obs[i]);
+                total_loss += self.clients[i].local_train_traced(&local_cfg, &creg);
                 trained += 1;
-                if let Some(d) = &c.last_delta {
-                    obs.hist_record(
-                        "fed.client.update_norm",
-                        fexiot_obs::buckets::NORM,
-                        param_norm(d),
-                    );
-                }
+                self.cost_acc[i].trained = true;
+                obs.absorb(&creg.snapshot());
+                creg.reset();
             }
         }
         let mean_loss = if trained == 0 {
@@ -370,12 +393,16 @@ impl FedSim {
             }
         }
 
+        for (c, &contributed) in state.contributors.iter().enumerate() {
+            self.cost_acc[c].contributed = contributed;
+        }
+
         // Retries are counted by `CommStats` as messages move; fold this
         // round's delta into the registry so the report below — and any
         // exported obs run report — read from one source.
         self.obs.counter_add(
             "fed.sim.retried_messages",
-            (self.comm.retried_messages - retried_before) as u64,
+            self.comm.delta_since(&comm_before).retried_messages as u64,
         );
         debug_assert_eq!(self.comm.validate(), Ok(()), "comm stats invariant violated");
 
@@ -395,6 +422,10 @@ impl FedSim {
             lost_messages: delta(4),
             backoff_ticks: delta(5),
         };
+        self.round_costs.push(RoundCost {
+            round: self.round,
+            costs: std::mem::take(&mut self.cost_acc),
+        });
         self.round += 1;
         RoundReport {
             round: self.round,
@@ -427,13 +458,21 @@ impl FedSim {
 
         // 1. Staleness-bounded participation: on-time clients are full
         //    weight, stragglers within the bound are decayed, later ones
-        //    contribute nothing this round.
+        //    contribute nothing this round. The server waits a straggler out
+        //    up to the staleness bound either way — that wait is the round's
+        //    dominant simulated-tick cost for critical-path attribution.
         for c in 0..n {
             match state.faults.participation[c] {
                 Participation::Active => {}
-                Participation::Straggler { delay } if delay <= plan.staleness_bound => {
-                    state.stale_weight[c] = plan.staleness_decay.powi(delay as i32);
-                    self.obs.counter_add("fed.sim.stale_accepted", 1);
+                Participation::Straggler { delay } => {
+                    self.cost_acc[c].straggler_ticks =
+                        straggler_wait(delay, plan.staleness_bound) as u64;
+                    if delay <= plan.staleness_bound {
+                        state.stale_weight[c] = plan.staleness_decay.powi(delay as i32);
+                        self.obs.counter_add("fed.sim.stale_accepted", 1);
+                    } else {
+                        state.contributors[c] = false;
+                    }
                 }
                 _ => state.contributors[c] = false,
             }
@@ -449,13 +488,11 @@ impl FedSim {
             }
             if state.faults.up_attempts[c].is_none() {
                 let bytes = param_bytes(self.clients[c].encoder.params());
-                self.comm
-                    .record_upload_attempts(bytes, 1 + plan.max_retries);
-                self.obs.counter_add(
-                    "fed.sim.backoff_ticks",
-                    backoff_ticks_spent(1 + plan.max_retries) as u64,
-                );
+                let attempts = 1 + plan.max_retries;
+                self.comm.record_upload_attempts(bytes, attempts);
+                self.charge_backoff(c, attempts);
                 self.obs.counter_add("fed.sim.lost_messages", 1);
+                self.cost_acc[c].lost_upload = true;
                 state.contributors[c] = false;
             }
         }
@@ -506,12 +543,10 @@ impl FedSim {
                 if quarantined {
                     // The garbage bytes were delivered — price them.
                     let bytes = param_bytes(self.clients[c].encoder.params());
-                    self.comm
-                        .record_upload_attempts(bytes, state.up_attempts(c));
-                    self.obs.counter_add(
-                        "fed.sim.backoff_ticks",
-                        backoff_ticks_spent(state.up_attempts(c)) as u64,
-                    );
+                    let attempts = state.up_attempts(c);
+                    self.comm.record_upload_attempts(bytes, attempts);
+                    self.charge_backoff(c, attempts);
+                    self.cost_acc[c].quarantined = true;
                     state.contributors[c] = false;
                     state.observed[c] = None;
                     self.obs.counter_add("fed.sim.quarantined", 1);
@@ -575,12 +610,21 @@ impl FedSim {
             .collect()
     }
 
+    /// Books the backoff ticks of one `attempts`-transmission message: into
+    /// the round counter (telemetry) and onto client `c`'s cost ledger
+    /// (critical-path attribution).
+    fn charge_backoff(&mut self, c: usize, attempts: usize) {
+        let ticks = backoff_ticks_for(attempts) as u64;
+        self.obs.counter_add("fed.sim.backoff_ticks", ticks);
+        self.cost_acc[c].backoff_ticks += ticks;
+        self.cost_acc[c].retries += attempts.saturating_sub(1) as u64;
+    }
+
     /// Prices one upload from contributor `c`, including any retries.
     fn price_upload(&mut self, c: usize, bytes: usize, state: &RoundState) {
         let attempts = state.up_attempts(c);
         self.comm.record_upload_attempts(bytes, attempts);
-        self.obs
-            .counter_add("fed.sim.backoff_ticks", backoff_ticks_spent(attempts) as u64);
+        self.charge_backoff(c, attempts);
     }
 
     /// Prices one download to client `c`; returns false when the message is
@@ -589,15 +633,13 @@ impl FedSim {
         match state.faults.down_attempts[c] {
             Some(attempts) => {
                 self.comm.record_download_attempts(bytes, attempts);
-                self.obs
-                    .counter_add("fed.sim.backoff_ticks", backoff_ticks_spent(attempts) as u64);
+                self.charge_backoff(c, attempts);
                 true
             }
             None => {
                 let attempts = 1 + self.injector.plan().max_retries;
                 self.comm.record_download_attempts(bytes, attempts);
-                self.obs
-                    .counter_add("fed.sim.backoff_ticks", backoff_ticks_spent(attempts) as u64);
+                self.charge_backoff(c, attempts);
                 self.obs.counter_add("fed.sim.lost_messages", 1);
                 false
             }
@@ -862,6 +904,20 @@ impl FedSim {
         }
     }
 
+    /// Per-round per-client simulated-tick cost attribution recorded so far
+    /// (not checkpointed: a restored simulator starts with an empty ledger
+    /// and accumulates costs for the rounds it actually runs).
+    pub fn round_costs(&self) -> &[RoundCost] {
+        &self.round_costs
+    }
+
+    /// The per-round critical path — each round's slowest client chain, with
+    /// the simulated ticks attributed to straggler waiting vs retry backoff.
+    /// A pure function of the seeded [`FaultPlan`]: same seed, same path.
+    pub fn critical_path(&self) -> Vec<CriticalPathEntry> {
+        fexiot_obs::critical_path(&self.round_costs)
+    }
+
     /// Current FMTL/GCFL+ cluster assignment (for diagnostics).
     pub fn clusters(&self) -> &[Vec<usize>] {
         &self.clusters
@@ -1048,12 +1104,6 @@ impl FedSim {
 
 /// Magic + version prefix of checkpoint blobs.
 const CHECKPOINT_MAGIC: &str = "FEXFEDCK1";
-
-/// Ticks spent waiting in exponential backoff when a message needed
-/// `attempts` transmissions (the k-th retry waits `2^(k-1)` ticks).
-fn backoff_ticks_spent(attempts: usize) -> usize {
-    (1usize << attempts.saturating_sub(1)) - 1
-}
 
 #[cfg(test)]
 mod tests {

@@ -1,50 +1,32 @@
 //! `obs-schema-check <dir-or-file>...` — validates that emitted obs run
 //! reports parse and conform to the `fexiot-obs/v1` schema. Used by CI to
 //! fail the build when an instrumentation change breaks the report format.
+//!
+//! Directory arguments expand to every `*.json` directly inside them; every
+//! file is checked (reporting ALL failures, not just the first) and the
+//! offending path leads each failure line. Exit codes: 0 all good, 1 any
+//! report failed, 2 usage error.
 
-use fexiot_obs::{validate_report, Json};
-use std::path::{Path, PathBuf};
+use fexiot_obs::report::{check_report_file, collect_report_paths};
+use std::path::PathBuf;
 use std::process::ExitCode;
 
-fn check_file(path: &Path) -> Result<(), String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path:?}: {e}"))?;
-    let doc = Json::parse(&text).map_err(|e| format!("{path:?}: {e}"))?;
-    validate_report(&doc).map_err(|e| format!("{path:?}: {e}"))
-}
-
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args: Vec<PathBuf> = std::env::args().skip(1).map(PathBuf::from).collect();
     if args.is_empty() {
         eprintln!("usage: obs-schema-check <report.json | dir>...");
         return ExitCode::from(2);
     }
-    let mut files: Vec<PathBuf> = Vec::new();
-    for arg in &args {
-        let path = PathBuf::from(arg);
-        if path.is_dir() {
-            let Ok(entries) = std::fs::read_dir(&path) else {
-                eprintln!("cannot list {path:?}");
-                return ExitCode::FAILURE;
-            };
-            let mut found: Vec<PathBuf> = entries
-                .filter_map(|e| e.ok())
-                .map(|e| e.path())
-                .filter(|p| p.extension().is_some_and(|x| x == "json"))
-                .collect();
-            found.sort();
-            files.extend(found);
-        } else {
-            files.push(path);
+    let files = match collect_report_paths(&args) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("obs-schema-check: {e}");
+            return ExitCode::FAILURE;
         }
-    }
-    if files.is_empty() {
-        eprintln!("obs-schema-check: no .json reports found under {args:?}");
-        return ExitCode::FAILURE;
-    }
+    };
     let mut failed = false;
     for f in &files {
-        match check_file(f) {
+        match check_report_file(f) {
             Ok(()) => println!("ok: {}", f.display()),
             Err(e) => {
                 eprintln!("FAIL: {e}");

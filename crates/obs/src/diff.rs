@@ -1,0 +1,459 @@
+//! Comparison of two `fexiot-obs/v1` run reports: the engine behind the
+//! `obs-diff` binary and the CI regression gate.
+//!
+//! Severity model follows the determinism rule: everything except wall-clock
+//! data is a pure function of the seeded workload, so **any** drift in
+//! counters, gauges, non-timing histograms, span structure, or the critical
+//! path is *breaking*. Span `elapsed_us` and `*_us` histograms are noisy by
+//! nature, so regressions there are *advisory* by default and only fail the
+//! diff beyond the configured tolerance with `strict_timing`.
+
+use crate::json::Json;
+use crate::registry::is_timing_name;
+
+/// Schema tag of the machine-readable verdict document.
+pub const DIFF_SCHEMA: &str = "fexiot-obs-diff/v1";
+
+/// How bad one finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Deterministic data drifted — the run changed behaviour.
+    Breaking,
+    /// Wall-clock data regressed beyond tolerance — worth a look.
+    Advisory,
+}
+
+/// One observed difference between the two reports.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Finding {
+    pub severity: Severity,
+    /// What kind of data drifted: `counter`, `gauge`, `histogram`, `span`,
+    /// `timing`, `critical_path`, or `report`.
+    pub kind: &'static str,
+    /// Dotted location, e.g. `counters.fed.sim.participants`.
+    pub path: String,
+    pub message: String,
+}
+
+/// Diff tuning knobs.
+#[derive(Debug, Clone)]
+pub struct DiffConfig {
+    /// Fractional slowdown tolerated before a timing finding is raised
+    /// (0.25 = current may be up to 25% slower than baseline).
+    pub timing_tolerance: f64,
+    /// Spans faster than this in the baseline are never timing-flagged
+    /// (sub-millisecond spans are pure noise).
+    pub timing_floor_us: u64,
+    /// Promote timing findings to breaking (local perf gating; CI keeps
+    /// them advisory because shared runners are noisy).
+    pub strict_timing: bool,
+}
+
+impl Default for DiffConfig {
+    fn default() -> Self {
+        Self {
+            timing_tolerance: 0.25,
+            timing_floor_us: 1000,
+            strict_timing: false,
+        }
+    }
+}
+
+/// Findings cap — a badly divergent pair of reports should produce a
+/// readable verdict, not thousands of lines.
+const MAX_FINDINGS: usize = 100;
+
+/// The diff verdict: all findings plus pass/fail.
+#[derive(Debug, Clone, Default)]
+pub struct DiffReport {
+    pub findings: Vec<Finding>,
+    /// Findings discarded after [`MAX_FINDINGS`].
+    pub truncated: usize,
+}
+
+impl DiffReport {
+    fn push(&mut self, severity: Severity, kind: &'static str, path: String, message: String) {
+        if self.findings.len() >= MAX_FINDINGS {
+            self.truncated += 1;
+            return;
+        }
+        self.findings.push(Finding {
+            severity,
+            kind,
+            path,
+            message,
+        });
+    }
+
+    pub fn breaking(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Breaking)
+            .count()
+    }
+
+    pub fn advisory(&self) -> usize {
+        self.findings.len() - self.breaking()
+    }
+
+    /// True when nothing breaking was found (advisory findings never fail).
+    pub fn passed(&self) -> bool {
+        self.breaking() == 0
+    }
+
+    /// The machine-readable verdict document (`fexiot-obs-diff/v1`).
+    pub fn to_json(&self, baseline: &str, current: &str) -> Json {
+        Json::Obj(vec![
+            ("schema".into(), Json::Str(DIFF_SCHEMA.into())),
+            ("baseline".into(), Json::Str(baseline.into())),
+            ("current".into(), Json::Str(current.into())),
+            (
+                "verdict".into(),
+                Json::Str(if self.passed() { "pass" } else { "fail" }.into()),
+            ),
+            ("breaking".into(), Json::UInt(self.breaking() as u64)),
+            ("advisory".into(), Json::UInt(self.advisory() as u64)),
+            ("truncated".into(), Json::UInt(self.truncated as u64)),
+            (
+                "findings".into(),
+                Json::Arr(
+                    self.findings
+                        .iter()
+                        .map(|f| {
+                            Json::Obj(vec![
+                                (
+                                    "severity".into(),
+                                    Json::Str(
+                                        match f.severity {
+                                            Severity::Breaking => "breaking",
+                                            Severity::Advisory => "advisory",
+                                        }
+                                        .into(),
+                                    ),
+                                ),
+                                ("kind".into(), Json::Str(f.kind.into())),
+                                ("path".into(), Json::Str(f.path.clone())),
+                                ("message".into(), Json::Str(f.message.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Human-readable rendering, one finding per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let tag = match f.severity {
+                Severity::Breaking => "BREAKING",
+                Severity::Advisory => "advisory",
+            };
+            out.push_str(&format!("{tag:9} {:13} {}: {}\n", f.kind, f.path, f.message));
+        }
+        if self.truncated > 0 {
+            out.push_str(&format!("… {} more findings truncated\n", self.truncated));
+        }
+        out.push_str(&format!(
+            "verdict: {} ({} breaking, {} advisory)\n",
+            if self.passed() { "PASS" } else { "FAIL" },
+            self.breaking(),
+            self.advisory()
+        ));
+        out
+    }
+}
+
+fn num(j: &Json) -> Option<f64> {
+    match j {
+        Json::UInt(v) => Some(*v as f64),
+        Json::Num(v) => Some(*v),
+        _ => None,
+    }
+}
+
+fn obj_members(doc: &Json, key: &str) -> Vec<(String, Json)> {
+    match doc.get(key) {
+        Some(Json::Obj(members)) => members.clone(),
+        _ => Vec::new(),
+    }
+}
+
+/// Walks both maps' key unions in sorted order, invoking `on_pair` with the
+/// values (`None` = absent on that side).
+fn union_keys<'a>(
+    a: &'a [(String, Json)],
+    b: &'a [(String, Json)],
+    mut on_pair: impl FnMut(&str, Option<&'a Json>, Option<&'a Json>),
+) {
+    let mut keys: Vec<&str> = a.iter().chain(b.iter()).map(|(k, _)| k.as_str()).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    let find = |m: &'a [(String, Json)], k: &str| m.iter().find(|(mk, _)| mk == k).map(|(_, v)| v);
+    for k in keys {
+        on_pair(k, find(a, k), find(b, k));
+    }
+}
+
+/// Compares two validated `fexiot-obs/v1` reports.
+pub fn diff_reports(baseline: &Json, current: &Json, cfg: &DiffConfig) -> DiffReport {
+    let mut out = DiffReport::default();
+    let timing_sev = if cfg.strict_timing {
+        Severity::Breaking
+    } else {
+        Severity::Advisory
+    };
+
+    let run = |doc: &Json| {
+        doc.get("run")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string()
+    };
+    if run(baseline) != run(current) {
+        out.push(
+            Severity::Advisory,
+            "report",
+            "run".into(),
+            format!("run name changed: {:?} -> {:?}", run(baseline), run(current)),
+        );
+    }
+
+    // Counters and gauges: deterministic scalars, exact match required.
+    for (section, kind) in [("counters", "counter"), ("gauges", "gauge")] {
+        let a = obj_members(baseline, section);
+        let b = obj_members(current, section);
+        union_keys(&a, &b, |k, va, vb| match (va, vb) {
+            (Some(va), Some(vb)) => {
+                if num(va) != num(vb) {
+                    out.push(
+                        Severity::Breaking,
+                        kind,
+                        format!("{section}.{k}"),
+                        format!("{} -> {}", va, vb),
+                    );
+                }
+            }
+            (Some(va), None) => out.push(
+                Severity::Breaking,
+                kind,
+                format!("{section}.{k}"),
+                format!("disappeared (was {})", va),
+            ),
+            (None, Some(vb)) => out.push(
+                Severity::Breaking,
+                kind,
+                format!("{section}.{k}"),
+                format!("appeared (now {})", vb),
+            ),
+            (None, None) => unreachable!("key came from the union"),
+        });
+    }
+
+    // Histograms: deterministic distributions unless the name marks them as
+    // wall-clock data, in which case only mean drift beyond tolerance is
+    // reported (at timing severity).
+    let a = obj_members(baseline, "histograms");
+    let b = obj_members(current, "histograms");
+    union_keys(&a, &b, |k, va, vb| {
+        let path = format!("histograms.{k}");
+        match (va, vb) {
+            (Some(va), Some(vb)) => {
+                if is_timing_name(k) {
+                    let mean = |h: &Json| -> Option<f64> {
+                        let sum = h.get("sum").and_then(num)?;
+                        let count = h.get("count").and_then(Json::as_u64)?;
+                        (count > 0).then(|| sum / count as f64)
+                    };
+                    if let (Some(ma), Some(mb)) = (mean(va), mean(vb)) {
+                        if ma > 0.0 && mb > ma * (1.0 + cfg.timing_tolerance) {
+                            out.push(
+                                timing_sev,
+                                "timing",
+                                path,
+                                format!(
+                                    "mean {:.1}us -> {:.1}us (+{:.0}%, tolerance {:.0}%)",
+                                    ma,
+                                    mb,
+                                    (mb / ma - 1.0) * 100.0,
+                                    cfg.timing_tolerance * 100.0
+                                ),
+                            );
+                        }
+                    }
+                } else {
+                    // Everything but f64 `sum`/`min`/`max` must match exactly;
+                    // the float fields are deterministic too, so exact is right.
+                    if va != vb {
+                        let field = |h: &Json, f: &str| {
+                            h.get(f).map(Json::to_string).unwrap_or_default()
+                        };
+                        let detail = ["count", "counts", "sum"]
+                            .iter()
+                            .find(|f| field(va, f) != field(vb, f))
+                            .map(|f| format!("{f}: {} -> {}", field(va, f), field(vb, f)))
+                            .unwrap_or_else(|| "distribution changed".into());
+                        out.push(Severity::Breaking, "histogram", path, detail);
+                    }
+                }
+            }
+            (Some(_), None) => {
+                let sev = if is_timing_name(k) { timing_sev } else { Severity::Breaking };
+                out.push(sev, "histogram", path, "disappeared".into());
+            }
+            (None, Some(_)) => {
+                let sev = if is_timing_name(k) { timing_sev } else { Severity::Breaking };
+                out.push(sev, "histogram", path, "appeared".into());
+            }
+            (None, None) => unreachable!("key came from the union"),
+        }
+    });
+
+    // Span trees: names and shape are deterministic; elapsed_us is advisory.
+    let empty = Vec::new();
+    let spans_a = baseline.get("spans").and_then(Json::as_arr).unwrap_or(&empty);
+    let spans_b = current.get("spans").and_then(Json::as_arr).unwrap_or(&empty);
+    diff_span_lists(spans_a, spans_b, "spans", cfg, timing_sev, &mut out);
+
+    // Critical path: a pure function of the seeded fault plan.
+    match (baseline.get("critical_path"), current.get("critical_path")) {
+        (None, None) => {}
+        (Some(a), Some(b)) => {
+            if a != b {
+                out.push(
+                    Severity::Breaking,
+                    "critical_path",
+                    "critical_path".into(),
+                    "per-round critical path changed".into(),
+                );
+            }
+        }
+        (a, _) => out.push(
+            Severity::Breaking,
+            "critical_path",
+            "critical_path".into(),
+            if a.is_some() { "disappeared" } else { "appeared" }.to_string(),
+        ),
+    }
+
+    out
+}
+
+fn span_name(node: &Json) -> &str {
+    node.get("name").and_then(Json::as_str).unwrap_or("?")
+}
+
+fn diff_span_lists(
+    a: &[Json],
+    b: &[Json],
+    path: &str,
+    cfg: &DiffConfig,
+    timing_sev: Severity,
+    out: &mut DiffReport,
+) {
+    if a.len() != b.len() {
+        out.push(
+            Severity::Breaking,
+            "span",
+            path.to_string(),
+            format!("{} children -> {}", a.len(), b.len()),
+        );
+        return;
+    }
+    for (i, (na, nb)) in a.iter().zip(b).enumerate() {
+        let here = format!("{path}[{i}].{}", span_name(na));
+        if span_name(na) != span_name(nb) {
+            out.push(
+                Severity::Breaking,
+                "span",
+                here,
+                format!("name {:?} -> {:?}", span_name(na), span_name(nb)),
+            );
+            continue;
+        }
+        let elapsed = |n: &Json| n.get("elapsed_us").and_then(Json::as_u64);
+        if let (Some(ea), Some(eb)) = (elapsed(na), elapsed(nb)) {
+            if ea >= cfg.timing_floor_us
+                && eb as f64 > ea as f64 * (1.0 + cfg.timing_tolerance)
+            {
+                out.push(
+                    timing_sev,
+                    "timing",
+                    here.clone(),
+                    format!(
+                        "{}us -> {}us (+{:.0}%, tolerance {:.0}%)",
+                        ea,
+                        eb,
+                        (eb as f64 / ea as f64 - 1.0) * 100.0,
+                        cfg.timing_tolerance * 100.0
+                    ),
+                );
+            }
+        }
+        fn kids(n: &Json) -> &[Json] {
+            n.get("children").and_then(Json::as_arr).unwrap_or(&[])
+        }
+        diff_span_lists(kids(na), kids(nb), &here, cfg, timing_sev, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(counter: u64, elapsed: u64) -> Json {
+        Json::parse(&format!(
+            r#"{{"schema":"fexiot-obs/v1","run":"t","spans":[{{"name":"root","elapsed_us":{elapsed},"children":[]}}],"counters":{{"a.b":{counter}}},"gauges":{{}},"histograms":{{}},"dropped_spans":0}}"#
+        ))
+        .expect("valid report")
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let d = diff_reports(&report(3, 100), &report(3, 100), &DiffConfig::default());
+        assert!(d.passed(), "{}", d.render());
+        assert!(d.findings.is_empty());
+    }
+
+    #[test]
+    fn counter_drift_is_breaking() {
+        let d = diff_reports(&report(3, 100), &report(4, 100), &DiffConfig::default());
+        assert!(!d.passed());
+        assert_eq!(d.findings[0].kind, "counter");
+        assert!(d.render().contains("counters.a.b"));
+    }
+
+    #[test]
+    fn timing_regression_is_advisory_unless_strict() {
+        let base = report(3, 10_000);
+        let slow = report(3, 20_000);
+        let lax = diff_reports(&base, &slow, &DiffConfig::default());
+        assert!(lax.passed());
+        assert_eq!(lax.advisory(), 1);
+        let strict = diff_reports(
+            &base,
+            &slow,
+            &DiffConfig {
+                strict_timing: true,
+                ..DiffConfig::default()
+            },
+        );
+        assert!(!strict.passed());
+    }
+
+    #[test]
+    fn sub_floor_spans_never_flag_timing() {
+        let d = diff_reports(&report(3, 100), &report(3, 900), &DiffConfig::default());
+        assert!(d.findings.is_empty(), "{}", d.render());
+    }
+
+    #[test]
+    fn verdict_json_is_machine_readable() {
+        let d = diff_reports(&report(3, 100), &report(4, 100), &DiffConfig::default());
+        let doc = d.to_json("base.json", "cur.json");
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(DIFF_SCHEMA));
+        assert_eq!(doc.get("verdict").and_then(Json::as_str), Some("fail"));
+        assert_eq!(doc.get("breaking").and_then(Json::as_u64), Some(1));
+    }
+}

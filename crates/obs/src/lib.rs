@@ -36,13 +36,23 @@
 //! (`pipeline`), and `[index]` suffixes for instances (`round[3]`,
 //! `client[0]`).
 
+pub mod diff;
 pub mod json;
 pub mod registry;
 pub mod report;
+pub mod stream;
+pub mod trace;
 
 pub use json::Json;
-pub use registry::{Histogram, HistogramSnapshot, Registry, Snapshot, SpanGuard, SpanNode};
-pub use report::{deterministic_json, render_summary, validate_report, write_report, Timing};
+pub use registry::{
+    is_timing_name, Event, EventRecord, Histogram, HistogramSnapshot, Registry, Snapshot,
+    SpanGuard, SpanNode, FLIGHT_RECORDER_CAP, TIMING_SUFFIX,
+};
+pub use report::{
+    check_report_file, collect_report_paths, deterministic_json, render_summary,
+    render_summary_with, validate_report, write_report, write_report_full, Timing,
+};
+pub use trace::{critical_path, ClientRoundCost, CriticalPathEntry, RoundCost};
 
 use std::sync::{Arc, LazyLock};
 
@@ -87,6 +97,28 @@ pub fn hist_record(name: &str, edges: &[f64], v: f64) {
     GLOBAL.hist_record(name, edges, v);
 }
 
+/// Emits a boundary marker on the global registry (no-op while disabled).
+pub fn mark(name: &str) {
+    GLOBAL.mark(name);
+}
+
+/// Attaches a JSONL event stream on the global registry, writing to `path`
+/// (truncated). See [`Registry::set_stream`] for the timing-mode semantics.
+pub fn stream_global_to_file(
+    path: &std::path::Path,
+    run: &str,
+    include_timing: bool,
+) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    GLOBAL.set_stream(Box::new(std::io::BufWriter::new(file)), run, include_timing);
+    Ok(())
+}
+
+/// Detaches and flushes the global registry's event stream, if any.
+pub fn close_global_stream() {
+    drop(GLOBAL.take_stream());
+}
+
 /// Bucket-edge presets shared by instrumentation sites.
 pub mod buckets {
     /// Loss-like magnitudes (contrastive losses live in roughly [0, 10]).
@@ -95,6 +127,10 @@ pub mod buckets {
     pub const NORM: &[f64] = &[0.0, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0, 1e3, 1e4];
     /// Small non-negative counts (retries, expansions per step).
     pub const SMALL_COUNT: &[f64] = &[0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+    /// Wall-clock durations in microseconds (log-spaced 100 µs .. 10 s).
+    /// Histograms over these edges must use a `*_us` name so exports treat
+    /// them as timing data (see [`crate::is_timing_name`]).
+    pub const TIME_US: &[f64] = &[1e2, 3e2, 1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7];
 }
 
 #[cfg(test)]

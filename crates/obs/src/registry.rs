@@ -14,7 +14,8 @@
 //!   names, and tree shape are pure functions of the seeded workload, which
 //!   is what lets run reports be diffed across runs (timing excluded).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
+use std::io::Write;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::ThreadId;
@@ -23,6 +24,76 @@ use std::time::Instant;
 /// Spans retained per registry before new ones are dropped (a backstop for
 /// pathological instrumentation loops, far above any real run).
 const MAX_SPANS: usize = 200_000;
+
+/// Default capacity of the in-memory flight recorder (recent events kept for
+/// post-mortem inspection when streaming is on).
+pub const FLIGHT_RECORDER_CAP: usize = 4096;
+
+/// One observability event, emitted as it happens (streaming) and retained
+/// in the bounded flight recorder. Span events carry the span's registry
+/// index as a stable `id` so open/close pairs can be matched in the stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A span opened (`parent` = id of the enclosing open span, if any).
+    SpanOpen {
+        id: u64,
+        parent: Option<u64>,
+        name: String,
+    },
+    /// A span closed. `elapsed_us` always holds the wall-clock duration
+    /// here; the JSONL writer strips it in timing-excluded mode.
+    SpanClose {
+        id: u64,
+        name: String,
+        elapsed_us: u64,
+    },
+    /// A counter was incremented by `delta`, reaching `total`.
+    Counter { name: String, delta: u64, total: u64 },
+    /// A gauge was set.
+    Gauge { name: String, value: f64 },
+    /// One histogram sample was recorded.
+    Hist { name: String, value: f64 },
+    /// A free-form boundary marker (e.g. `round[3]` at round start).
+    Mark { name: String },
+}
+
+impl Event {
+    /// The metric/span name this event is about.
+    pub fn name(&self) -> &str {
+        match self {
+            Event::SpanOpen { name, .. }
+            | Event::SpanClose { name, .. }
+            | Event::Counter { name, .. }
+            | Event::Gauge { name, .. }
+            | Event::Hist { name, .. }
+            | Event::Mark { name } => name,
+        }
+    }
+}
+
+/// An [`Event`] stamped with its per-registry sequence number (strictly
+/// increasing, so a parsed stream can be checked for gaps/reordering).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    pub seq: u64,
+    pub event: Event,
+}
+
+/// Histogram names ending in this suffix hold wall-clock data; they are
+/// excluded from deterministic exports and from timing-excluded streams,
+/// and `obs-diff` treats their drift as advisory.
+pub const TIMING_SUFFIX: &str = "_us";
+
+/// True when a metric name designates wall-clock (nondeterministic) data.
+pub fn is_timing_name(name: &str) -> bool {
+    name.ends_with(TIMING_SUFFIX)
+}
+
+/// Live streaming state: a JSONL sink plus the timing mode.
+struct StreamState {
+    sink: Box<dyn Write + Send>,
+    include_timing: bool,
+}
 
 /// One recorded span instance.
 struct SpanRec {
@@ -94,6 +165,48 @@ impl Histogram {
             let i = self.edges.partition_point(|&e| e <= v) - 1;
             self.counts[i] += 1;
         }
+    }
+
+    /// Folds another histogram's snapshot into this one. Merging is
+    /// commutative and associative on every integer field (counts, under/
+    /// overflow, rejected) and on min/max; `sum` is associative up to f64
+    /// rounding. Returns `false` (and merges nothing) when the bucket edges
+    /// differ — histograms with different shapes cannot be combined.
+    pub fn merge(&mut self, other: &HistogramSnapshot) -> bool {
+        if self.edges != other.edges {
+            return false;
+        }
+        for (c, o) in self.counts.iter_mut().zip(&other.counts) {
+            *c += o;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.rejected += other.rejected;
+        if let Some(m) = other.min {
+            self.min = self.min.min(m);
+        }
+        if let Some(m) = other.max {
+            self.max = self.max.max(m);
+        }
+        true
+    }
+
+    /// Rebuilds a histogram from a snapshot (for merging into a registry
+    /// that has not seen this metric yet). `None` when the snapshot's edges
+    /// are malformed.
+    pub fn from_snapshot(snap: &HistogramSnapshot) -> Option<Self> {
+        let mut h = Histogram::new(&snap.edges)?;
+        h.counts.clone_from(&snap.counts);
+        h.underflow = snap.underflow;
+        h.overflow = snap.overflow;
+        h.count = snap.count;
+        h.sum = snap.sum;
+        h.min = snap.min.unwrap_or(f64::INFINITY);
+        h.max = snap.max.unwrap_or(f64::NEG_INFINITY);
+        h.rejected = snap.rejected;
+        Some(h)
     }
 
     pub fn snapshot(&self) -> HistogramSnapshot {
@@ -191,6 +304,54 @@ struct Inner {
     gauges: std::collections::BTreeMap<String, f64>,
     histograms: std::collections::BTreeMap<String, Histogram>,
     dropped_spans: u64,
+    /// Next event sequence number (monotonic per registry, reset by `reset`).
+    next_seq: u64,
+    /// Bounded flight recorder of recent events: `(capacity, buffer)`.
+    /// `None` = off, no overhead.
+    recorder: Option<(usize, VecDeque<EventRecord>)>,
+    /// Live JSONL event sink (`None` = no streaming).
+    stream: Option<StreamState>,
+}
+
+impl Inner {
+    /// True when events need to be materialized at all.
+    fn events_on(&self) -> bool {
+        self.recorder.is_some() || self.stream.is_some()
+    }
+
+    /// Stamps, records, and streams one event. Must be called under the
+    /// registry lock; a sink write failure silently stops the stream (the
+    /// recorder keeps working) — observability must never fail the run.
+    fn emit(&mut self, event: Event) {
+        if !self.events_on() {
+            return;
+        }
+        let rec = EventRecord {
+            seq: self.next_seq,
+            event,
+        };
+        self.next_seq += 1;
+        if let Some(state) = &mut self.stream {
+            let line = crate::stream::event_to_line(&rec, state.include_timing);
+            let dead = match line {
+                Some(text) => {
+                    state.sink.write_all(text.as_bytes()).is_err()
+                        || state.sink.write_all(b"\n").is_err()
+                        || state.sink.flush().is_err()
+                }
+                None => false,
+            };
+            if dead {
+                self.stream = None;
+            }
+        }
+        if let Some((cap, buf)) = &mut self.recorder {
+            while buf.len() >= *cap {
+                buf.pop_front();
+            }
+            buf.push_back(rec);
+        }
+    }
 }
 
 /// A thread-safe span/metric registry. The process-global instance lives in
@@ -229,9 +390,17 @@ impl Registry {
         self.enabled.store(on, Ordering::Relaxed);
     }
 
-    /// Clears every span and metric (the enable flag is left as-is).
+    /// Clears every span, metric, and recorded event, and resets the event
+    /// sequence to zero. The enable flag and any attached stream sink or
+    /// flight recorder survive (with the recorder emptied), so a long-lived
+    /// registry can be reused across runs without re-wiring exporters.
     pub fn reset(&self) {
-        *self.lock() = Inner::default();
+        let mut inner = self.lock();
+        let stream = inner.stream.take();
+        let recorder_cap = inner.recorder.as_ref().map(|(cap, _)| *cap);
+        *inner = Inner::default();
+        inner.stream = stream;
+        inner.recorder = recorder_cap.map(|cap| (cap, VecDeque::new()));
     }
 
     fn lock(&self) -> MutexGuard<'_, Inner> {
@@ -257,8 +426,16 @@ impl Registry {
         let stack = inner.open.entry(tid).or_default();
         let parent = stack.last().copied();
         let idx = inner.spans.len();
+        let name: String = name.into();
+        if inner.events_on() {
+            inner.emit(Event::SpanOpen {
+                id: idx as u64,
+                parent: parent.map(|p| p as u64),
+                name: name.clone(),
+            });
+        }
         inner.spans.push(SpanRec {
-            name: name.into(),
+            name,
             parent,
             start,
             elapsed_us: None,
@@ -273,13 +450,22 @@ impl Registry {
     fn close_span(&self, idx: usize) {
         let mut inner = self.lock();
         let elapsed = inner.spans[idx].start.elapsed();
-        inner.spans[idx].elapsed_us = Some(elapsed.as_micros().min(u64::MAX as u128) as u64);
+        let elapsed_us = elapsed.as_micros().min(u64::MAX as u128) as u64;
+        inner.spans[idx].elapsed_us = Some(elapsed_us);
         let tid = std::thread::current().id();
         if let Some(stack) = inner.open.get_mut(&tid) {
             // Guards can be dropped out of order; remove wherever it sits.
             if let Some(pos) = stack.iter().rposition(|&i| i == idx) {
                 stack.remove(pos);
             }
+        }
+        if inner.events_on() {
+            let name = inner.spans[idx].name.clone();
+            inner.emit(Event::SpanClose {
+                id: idx as u64,
+                name,
+                elapsed_us,
+            });
         }
     }
 
@@ -289,11 +475,22 @@ impl Registry {
             return;
         }
         let mut inner = self.lock();
-        match inner.counters.get_mut(name) {
-            Some(c) => *c += v,
+        let total = match inner.counters.get_mut(name) {
+            Some(c) => {
+                *c += v;
+                *c
+            }
             None => {
                 inner.counters.insert(name.to_string(), v);
+                v
             }
+        };
+        if inner.events_on() {
+            inner.emit(Event::Counter {
+                name: name.to_string(),
+                delta: v,
+                total,
+            });
         }
     }
 
@@ -307,7 +504,14 @@ impl Registry {
         if !self.is_enabled() {
             return;
         }
-        self.lock().gauges.insert(name.to_string(), v);
+        let mut inner = self.lock();
+        inner.gauges.insert(name.to_string(), v);
+        if inner.events_on() {
+            inner.emit(Event::Gauge {
+                name: name.to_string(),
+                value: v,
+            });
+        }
     }
 
     /// Records one sample into a fixed-bucket histogram; the bucket `edges`
@@ -319,14 +523,175 @@ impl Registry {
             return;
         }
         let mut inner = self.lock();
-        if let Some(h) = inner.histograms.get_mut(name) {
+        let recorded = if let Some(h) = inner.histograms.get_mut(name) {
             h.record(v);
-            return;
-        }
-        if let Some(mut h) = Histogram::new(edges) {
+            true
+        } else if let Some(mut h) = Histogram::new(edges) {
             h.record(v);
             inner.histograms.insert(name.to_string(), h);
+            true
+        } else {
+            false
+        };
+        if recorded && inner.events_on() {
+            inner.emit(Event::Hist {
+                name: name.to_string(),
+                value: v,
+            });
         }
+    }
+
+    /// Emits a boundary marker event (e.g. `round[3]` at round start). Marks
+    /// only exist in the event stream / flight recorder; they do not change
+    /// any metric.
+    pub fn mark(&self, name: &str) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut inner = self.lock();
+        if inner.events_on() {
+            inner.emit(Event::Mark {
+                name: name.to_string(),
+            });
+        }
+    }
+
+    /// Attaches a JSONL event sink: a header line naming `run` is written
+    /// immediately, every subsequent event becomes one line (schema
+    /// `fexiot-obs-events/v1`), and the flight recorder is turned on. With
+    /// `include_timing == false`, span-close lines omit `elapsed_us` and
+    /// samples for `*_us` histograms are suppressed, so the stream is
+    /// bit-identical across same-seed runs. A failing sink is dropped.
+    pub fn set_stream(&self, mut sink: Box<dyn Write + Send>, run: &str, include_timing: bool) {
+        let header = crate::stream::header_line(run);
+        let ok = sink.write_all(header.as_bytes()).is_ok()
+            && sink.write_all(b"\n").is_ok()
+            && sink.flush().is_ok();
+        let mut inner = self.lock();
+        inner.stream = ok.then_some(StreamState {
+            sink,
+            include_timing,
+        });
+        if inner.recorder.is_none() {
+            inner.recorder = Some((FLIGHT_RECORDER_CAP, VecDeque::new()));
+        }
+    }
+
+    /// Detaches the event sink (flushing it) and returns it, if one was set.
+    pub fn take_stream(&self) -> Option<Box<dyn Write + Send>> {
+        let mut inner = self.lock();
+        inner.stream.take().map(|mut s| {
+            let _ = s.sink.flush();
+            s.sink
+        })
+    }
+
+    /// Turns the bounded in-memory flight recorder on (keeping the newest
+    /// `capacity` events) or off (`capacity == 0`).
+    pub fn set_flight_recorder(&self, capacity: usize) {
+        let mut inner = self.lock();
+        inner.recorder = (capacity > 0).then(|| (capacity, VecDeque::new()));
+    }
+
+    /// The newest events retained by the flight recorder (oldest first).
+    pub fn recent_events(&self) -> Vec<EventRecord> {
+        self.lock()
+            .recorder
+            .as_ref()
+            .map(|(_, buf)| buf.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Folds another histogram snapshot into the named histogram (created
+    /// from the snapshot on first use). Returns `false` when the edges of an
+    /// existing histogram differ (nothing is merged). No per-sample events
+    /// are emitted — a merge is bulk data, not a recording site.
+    pub fn hist_merge(&self, name: &str, snap: &HistogramSnapshot) -> bool {
+        if !self.is_enabled() {
+            return false;
+        }
+        let mut inner = self.lock();
+        if let Some(h) = inner.histograms.get_mut(name) {
+            return h.merge(snap);
+        }
+        match Histogram::from_snapshot(snap) {
+            Some(h) => {
+                inner.histograms.insert(name.to_string(), h);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Merges a complete [`Snapshot`] from another registry (e.g. a per-
+    /// client child registry in the federated simulator) into this one:
+    ///
+    /// * span roots are attached under the calling thread's innermost open
+    ///   span (or become new roots), preserving their recorded durations;
+    /// * counters accumulate, gauges overwrite, histograms merge
+    ///   ([`Histogram::merge`]; snapshots with mismatched edges are skipped
+    ///   and counted in the returned value);
+    /// * span open/close events are emitted in tree order so an attached
+    ///   stream sees the merged trace.
+    ///
+    /// Returns the number of histograms that could NOT be merged.
+    pub fn absorb(&self, snap: &Snapshot) -> usize {
+        if !self.is_enabled() {
+            return 0;
+        }
+        let mut inner = self.lock();
+        let tid = std::thread::current().id();
+        let attach_under = inner.open.get(&tid).and_then(|s| s.last().copied());
+        for root in &snap.roots {
+            absorb_span(&mut inner, root, attach_under);
+        }
+        inner.dropped_spans += snap.dropped_spans;
+        for (name, &v) in &snap.counters {
+            let total = match inner.counters.get_mut(name) {
+                Some(c) => {
+                    *c += v;
+                    *c
+                }
+                None => {
+                    inner.counters.insert(name.clone(), v);
+                    v
+                }
+            };
+            if inner.events_on() {
+                inner.emit(Event::Counter {
+                    name: name.clone(),
+                    delta: v,
+                    total,
+                });
+            }
+        }
+        for (name, &v) in &snap.gauges {
+            inner.gauges.insert(name.clone(), v);
+            if inner.events_on() {
+                inner.emit(Event::Gauge {
+                    name: name.clone(),
+                    value: v,
+                });
+            }
+        }
+        let mut unmerged = 0usize;
+        for (name, h) in &snap.histograms {
+            let ok = if let Some(existing) = inner.histograms.get_mut(name) {
+                existing.merge(h)
+            } else {
+                match Histogram::from_snapshot(h) {
+                    Some(built) => {
+                        inner.histograms.insert(name.clone(), built);
+                        true
+                    }
+                    None => false,
+                }
+            };
+            if !ok {
+                unmerged += 1;
+            }
+        }
+        unmerged
     }
 
     /// A point-in-time copy of everything recorded so far. Spans still open
@@ -368,6 +733,40 @@ impl Registry {
                 .collect(),
             dropped_spans: inner.dropped_spans,
         }
+    }
+}
+
+/// Inserts one snapshot span subtree as synthetic span records (depth-first,
+/// durations preserved), emitting open/close events so an attached stream
+/// sees the merged trace. Respects the span retention cap.
+fn absorb_span(inner: &mut Inner, node: &SpanNode, parent: Option<usize>) {
+    if inner.spans.len() >= MAX_SPANS {
+        inner.dropped_spans += node.size() as u64;
+        return;
+    }
+    let idx = inner.spans.len();
+    inner.spans.push(SpanRec {
+        name: node.name.clone(),
+        parent,
+        start: Instant::now(),
+        elapsed_us: Some(node.elapsed_us),
+    });
+    if inner.events_on() {
+        inner.emit(Event::SpanOpen {
+            id: idx as u64,
+            parent: parent.map(|p| p as u64),
+            name: node.name.clone(),
+        });
+    }
+    for child in &node.children {
+        absorb_span(inner, child, Some(idx));
+    }
+    if inner.events_on() {
+        inner.emit(Event::SpanClose {
+            id: idx as u64,
+            name: node.name.clone(),
+            elapsed_us: node.elapsed_us,
+        });
     }
 }
 

@@ -3,7 +3,8 @@
 //! serialization for golden-style diffing.
 
 use crate::json::Json;
-use crate::registry::{HistogramSnapshot, Snapshot, SpanNode};
+use crate::registry::{is_timing_name, HistogramSnapshot, Snapshot, SpanNode};
+use crate::trace::{critical_path_to_json, render_critical_path, CriticalPathEntry};
 use std::io;
 use std::path::{Path, PathBuf};
 
@@ -62,7 +63,20 @@ fn hist_to_json(h: &HistogramSnapshot) -> Json {
 /// are byte-identical; with [`Timing::Exclude`] the text is additionally
 /// identical across same-seed runs.
 pub fn to_json(snap: &Snapshot, run: &str, timing: Timing) -> Json {
-    Json::Obj(vec![
+    to_json_full(snap, run, timing, None)
+}
+
+/// [`to_json`] plus an optional `critical_path` section (federated runs).
+/// With [`Timing::Exclude`], histograms whose names mark them as wall-clock
+/// data (`*_us`, see [`crate::is_timing_name`]) are omitted too — they are
+/// the histogram-shaped analogue of span `elapsed_us`.
+pub fn to_json_full(
+    snap: &Snapshot,
+    run: &str,
+    timing: Timing,
+    critical_path: Option<&[CriticalPathEntry]>,
+) -> Json {
+    let mut members = vec![
         ("schema".to_string(), Json::Str(SCHEMA.to_string())),
         ("run".to_string(), Json::Str(run.to_string())),
         (
@@ -92,12 +106,17 @@ pub fn to_json(snap: &Snapshot, run: &str, timing: Timing) -> Json {
             Json::Obj(
                 snap.histograms
                     .iter()
+                    .filter(|(k, _)| timing == Timing::Include || !is_timing_name(k))
                     .map(|(k, h)| (k.clone(), hist_to_json(h)))
                     .collect(),
             ),
         ),
         ("dropped_spans".to_string(), Json::UInt(snap.dropped_spans)),
-    ])
+    ];
+    if let Some(path) = critical_path {
+        members.push(("critical_path".to_string(), critical_path_to_json(path)));
+    }
+    Json::Obj(members)
 }
 
 /// The deterministic (timing-free) serialization of a snapshot: bit-identical
@@ -109,9 +128,22 @@ pub fn deterministic_json(snap: &Snapshot, run: &str) -> String {
 /// Writes the run report to `<dir>/<run>.json` (directories created as
 /// needed); returns the path written.
 pub fn write_report(dir: &Path, run: &str, snap: &Snapshot) -> io::Result<PathBuf> {
+    write_report_full(dir, run, snap, None)
+}
+
+/// [`write_report`] plus an optional `critical_path` section.
+pub fn write_report_full(
+    dir: &Path,
+    run: &str,
+    snap: &Snapshot,
+    critical_path: Option<&[CriticalPathEntry]>,
+) -> io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{run}.json"));
-    std::fs::write(&path, to_json(snap, run, Timing::Include).to_string())?;
+    std::fs::write(
+        &path,
+        to_json_full(snap, run, Timing::Include, critical_path).to_string(),
+    )?;
     Ok(path)
 }
 
@@ -204,12 +236,85 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
     doc.get("dropped_spans")
         .and_then(Json::as_u64)
         .ok_or("missing integer field 'dropped_spans'")?;
+    if let Some(path) = doc.get("critical_path") {
+        let entries = path
+            .as_arr()
+            .ok_or("'critical_path' is not an array")?;
+        for (i, e) in entries.iter().enumerate() {
+            for field in ["round", "total_ticks", "straggler_ticks", "backoff_ticks", "retries"] {
+                if e.get(field).and_then(Json::as_u64).is_none() {
+                    return Err(format!("critical_path[{i}] missing integer '{field}'"));
+                }
+            }
+            match e.get("client") {
+                Some(Json::Null) => {}
+                Some(c) if c.as_u64().is_some() => {}
+                _ => {
+                    return Err(format!(
+                        "critical_path[{i}]: 'client' must be null or an unsigned integer"
+                    ))
+                }
+            }
+            e.get("cause")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("critical_path[{i}] missing string 'cause'"))?;
+        }
+    }
     Ok(())
+}
+
+/// Validates one report file on disk (parse + [`validate_report`]), tagging
+/// errors with the path.
+pub fn check_report_file(path: &Path) -> Result<(), String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    validate_report(&doc).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Expands schema-check arguments into report files: a file argument is kept
+/// as-is, a directory contributes every `*.json` directly inside it (sorted,
+/// so output order is stable). Errors on unreadable paths or a directory
+/// containing no reports.
+pub fn collect_report_paths(args: &[PathBuf]) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    for arg in args {
+        let meta =
+            std::fs::metadata(arg).map_err(|e| format!("{}: {e}", arg.display()))?;
+        if !meta.is_dir() {
+            out.push(arg.clone());
+            continue;
+        }
+        let mut found = Vec::new();
+        let entries =
+            std::fs::read_dir(arg).map_err(|e| format!("{}: {e}", arg.display()))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| format!("{}: {e}", arg.display()))?;
+            let path = entry.path();
+            if path.is_file() && path.extension().is_some_and(|e| e == "json") {
+                found.push(path);
+            }
+        }
+        if found.is_empty() {
+            return Err(format!("{}: directory contains no *.json reports", arg.display()));
+        }
+        found.sort();
+        out.append(&mut found);
+    }
+    Ok(out)
 }
 
 /// Renders the human-readable summary: the span tree with wall-clock
 /// timings, then counters, gauges, and histogram digests.
 pub fn render_summary(snap: &Snapshot) -> String {
+    render_summary_with(snap, None)
+}
+
+/// [`render_summary`] plus the per-round critical path (federated runs).
+pub fn render_summary_with(
+    snap: &Snapshot,
+    critical_path: Option<&[CriticalPathEntry]>,
+) -> String {
     let mut out = String::new();
     out.push_str("── obs summary ──\n");
     if snap.roots.is_empty() {
@@ -249,6 +354,11 @@ pub fn render_summary(snap: &Snapshot) -> String {
                 "  {k}: n={}  {stats}  (under {} / over {} / rejected {})\n",
                 h.count, h.underflow, h.overflow, h.rejected
             ));
+        }
+    }
+    if let Some(path) = critical_path {
+        if !path.is_empty() {
+            out.push_str(&render_critical_path(path));
         }
     }
     out

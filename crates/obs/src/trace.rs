@@ -1,0 +1,197 @@
+//! Per-round cost attribution and critical-path analysis for federated runs.
+//!
+//! The simulator has no real network, so the "time" attributed here is
+//! **deterministic simulated ticks**, not wall-clock: straggler rounds of
+//! delay (bounded by the staleness window) plus exponential-backoff ticks
+//! spent on lossy-link retries. That keeps the critical path a pure function
+//! of the seeded `FaultPlan` — same seed, same path — which is what lets the
+//! e2e tests assert "round 3's slowest chain is the scripted straggler".
+
+use crate::json::Json;
+
+/// Simulated-tick cost one client accrued in one round.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClientRoundCost {
+    pub client: usize,
+    /// The client ran local training this round.
+    pub trained: bool,
+    /// The client's update made it into the aggregate.
+    pub contributed: bool,
+    /// The update was quarantined (corruption / norm guard).
+    pub quarantined: bool,
+    /// The upload exhausted retries and was lost.
+    pub lost_upload: bool,
+    /// Rounds of straggler delay the server waited out (staleness-bounded).
+    pub straggler_ticks: u64,
+    /// Exponential-backoff ticks spent re-sending on lossy links.
+    pub backoff_ticks: u64,
+    /// Retransmissions beyond the first attempt (uploads + downloads).
+    pub retries: u64,
+}
+
+impl ClientRoundCost {
+    /// Total simulated ticks attributed to this client this round.
+    pub fn total_ticks(&self) -> u64 {
+        self.straggler_ticks + self.backoff_ticks
+    }
+}
+
+/// All per-client costs for one federated round.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RoundCost {
+    pub round: usize,
+    pub costs: Vec<ClientRoundCost>,
+}
+
+/// One critical-path entry: the slowest client chain of one round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPathEntry {
+    pub round: usize,
+    /// `None` when no client accrued any cost (an all-clear round).
+    pub client: Option<usize>,
+    pub total_ticks: u64,
+    pub straggler_ticks: u64,
+    pub backoff_ticks: u64,
+    pub retries: u64,
+    /// Dominant cost source: `straggler`, `backoff`, or `idle`.
+    pub cause: &'static str,
+}
+
+/// Computes the per-round critical path: for each round, the client with the
+/// highest simulated-tick cost (ties broken by lowest client id, so the
+/// result is deterministic). Rounds where nobody accrued cost produce an
+/// `idle` entry with `client: None`.
+pub fn critical_path(rounds: &[RoundCost]) -> Vec<CriticalPathEntry> {
+    rounds
+        .iter()
+        .map(|round| {
+            let slowest = round
+                .costs
+                .iter()
+                .filter(|c| c.total_ticks() > 0)
+                // Highest cost wins; ties resolve to the lowest client id
+                // regardless of the order costs were recorded in.
+                .min_by_key(|c| (std::cmp::Reverse(c.total_ticks()), c.client));
+            match slowest {
+                Some(c) => CriticalPathEntry {
+                    round: round.round,
+                    client: Some(c.client),
+                    total_ticks: c.total_ticks(),
+                    straggler_ticks: c.straggler_ticks,
+                    backoff_ticks: c.backoff_ticks,
+                    retries: c.retries,
+                    cause: if c.straggler_ticks >= c.backoff_ticks {
+                        "straggler"
+                    } else {
+                        "backoff"
+                    },
+                },
+                None => CriticalPathEntry {
+                    round: round.round,
+                    client: None,
+                    total_ticks: 0,
+                    straggler_ticks: 0,
+                    backoff_ticks: 0,
+                    retries: 0,
+                    cause: "idle",
+                },
+            }
+        })
+        .collect()
+}
+
+/// Serializes a critical path as the report's `critical_path` array.
+pub fn critical_path_to_json(path: &[CriticalPathEntry]) -> Json {
+    Json::Arr(
+        path.iter()
+            .map(|e| {
+                Json::Obj(vec![
+                    ("round".into(), Json::UInt(e.round as u64)),
+                    (
+                        "client".into(),
+                        e.client.map(|c| Json::UInt(c as u64)).unwrap_or(Json::Null),
+                    ),
+                    ("total_ticks".into(), Json::UInt(e.total_ticks)),
+                    ("straggler_ticks".into(), Json::UInt(e.straggler_ticks)),
+                    ("backoff_ticks".into(), Json::UInt(e.backoff_ticks)),
+                    ("retries".into(), Json::UInt(e.retries)),
+                    ("cause".into(), Json::Str(e.cause.into())),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// One human-readable line per round, for the summary tree.
+pub fn render_critical_path(path: &[CriticalPathEntry]) -> String {
+    let mut out = String::from("critical path (simulated ticks)\n");
+    for e in path {
+        let line = match e.client {
+            Some(c) => format!(
+                "  round[{}]  client[{}]  {} ticks (straggler {}, backoff {}, retries {}) <- {}\n",
+                e.round, c, e.total_ticks, e.straggler_ticks, e.backoff_ticks, e.retries, e.cause
+            ),
+            None => format!("  round[{}]  idle (no client accrued cost)\n", e.round),
+        };
+        out.push_str(&line);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost(client: usize, straggler: u64, backoff: u64) -> ClientRoundCost {
+        ClientRoundCost {
+            client,
+            trained: true,
+            contributed: true,
+            straggler_ticks: straggler,
+            backoff_ticks: backoff,
+            retries: backoff.min(3),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn picks_the_slowest_client_per_round() {
+        let rounds = vec![
+            RoundCost {
+                round: 0,
+                costs: vec![cost(0, 0, 1), cost(1, 2, 1), cost(2, 0, 0)],
+            },
+            RoundCost {
+                round: 1,
+                costs: vec![cost(0, 0, 0), cost(1, 0, 0)],
+            },
+        ];
+        let path = critical_path(&rounds);
+        assert_eq!(path.len(), 2);
+        assert_eq!(path[0].client, Some(1));
+        assert_eq!(path[0].total_ticks, 3);
+        assert_eq!(path[0].cause, "straggler");
+        assert_eq!(path[1].client, None);
+        assert_eq!(path[1].cause, "idle");
+    }
+
+    #[test]
+    fn ties_break_to_the_lowest_client_id() {
+        let rounds = vec![RoundCost {
+            round: 7,
+            costs: vec![cost(2, 1, 1), cost(0, 2, 0), cost(1, 0, 2)],
+        }];
+        let path = critical_path(&rounds);
+        assert_eq!(path[0].client, Some(0));
+        assert_eq!(path[0].round, 7);
+    }
+
+    #[test]
+    fn backoff_dominant_cost_is_labelled_backoff() {
+        let rounds = vec![RoundCost {
+            round: 0,
+            costs: vec![cost(0, 1, 4)],
+        }];
+        assert_eq!(critical_path(&rounds)[0].cause, "backoff");
+    }
+}

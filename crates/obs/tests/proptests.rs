@@ -1,0 +1,137 @@
+//! Property tests for the observability layer: the JSONL event codec must
+//! round-trip arbitrary events exactly, and histogram merging must be
+//! associative and commutative (the federated trace merge relies on both —
+//! per-client snapshots land in arbitrary grouping as rounds interleave).
+
+use fexiot_obs::stream::{event_to_line, header_line, parse_line, parse_stream};
+use fexiot_obs::{Event, EventRecord, Histogram};
+use proptest::prelude::*;
+
+/// Builds an event from a generated discriminant and payload. Names cycle
+/// through representative shapes, including `[index]` instances and a
+/// timing (`_us`) histogram.
+fn make_event(kind: u8, id: u64, value_bits: u32, name_sel: u8) -> Event {
+    let name = match name_sel % 5 {
+        0 => "fed.sim.participants".to_string(),
+        1 => format!("round[{}]", id % 10),
+        2 => format!("client[{}]", id % 7),
+        3 => "gnn.trainer.epoch_loss".to_string(),
+        _ => "fed.client.step_us".to_string(),
+    };
+    // Dyadic rational: exact in f64 and through shortest-round-trip Display.
+    let value = f64::from(value_bits) / 256.0;
+    match kind % 6 {
+        0 => Event::SpanOpen {
+            id,
+            parent: id.is_multiple_of(3).then_some(id / 2),
+            name,
+        },
+        1 => Event::SpanClose {
+            id,
+            name,
+            elapsed_us: u64::from(value_bits),
+        },
+        2 => Event::Counter {
+            name,
+            delta: u64::from(value_bits),
+            total: id.saturating_add(u64::from(value_bits)),
+        },
+        3 => Event::Gauge { name, value },
+        4 => Event::Hist { name, value },
+        _ => Event::Mark { name },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn event_lines_round_trip_exactly(
+        kind in 0u8..6,
+        id in 0u64..1_000_000,
+        value_bits in 0u32..u32::MAX,
+        name_sel in 0u8..5,
+        seq in 0u64..1_000_000,
+    ) {
+        let rec = EventRecord { seq, event: make_event(kind, id, value_bits, name_sel) };
+        let line = event_to_line(&rec, true).expect("timing-included mode serializes everything");
+        let parsed = parse_line(&line, 1).expect("emitted line parses");
+        prop_assert_eq!(&parsed, &rec);
+        // A second serialization is byte-identical (canonical form).
+        prop_assert_eq!(event_to_line(&parsed, true).unwrap(), line);
+    }
+
+    #[test]
+    fn streams_of_events_round_trip_in_order(
+        seed in 0u64..10_000,
+        n in 1usize..40,
+    ) {
+        let mut text = header_line("prop");
+        text.push('\n');
+        let mut records = Vec::new();
+        for i in 0..n {
+            let x = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(i as u64);
+            let event = make_event((x % 6) as u8, x % 4096, (x >> 13) as u32, (x % 5) as u8);
+            let rec = EventRecord { seq: i as u64, event };
+            if let Some(line) = event_to_line(&rec, true) {
+                text.push_str(&line);
+                text.push('\n');
+                records.push(rec);
+            }
+        }
+        let (run, parsed) = parse_stream(&text).expect("assembled stream parses");
+        prop_assert_eq!(run, "prop");
+        prop_assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn histogram_merge_is_associative_and_commutative(
+        seed in 0u64..10_000,
+        na in 0usize..30,
+        nb in 0usize..30,
+        nc in 0usize..30,
+    ) {
+        let edges = &[0.0, 1.0, 4.0, 16.0, 64.0];
+        // Dyadic samples keep every sum exact, so snapshot equality is
+        // legitimate bitwise equality, not approximate.
+        let fill = |count: usize, salt: u64| {
+            let mut h = Histogram::new(edges).unwrap();
+            for i in 0..count {
+                let x = seed.wrapping_mul(31).wrapping_add(salt).wrapping_add(i as u64);
+                h.record((x % 1024) as f64 / 8.0);
+            }
+            h
+        };
+        let (a, b, c) = (fill(na, 1), fill(nb, 2), fill(nc, 3));
+
+        // (a + b) + c
+        let mut left = Histogram::from_snapshot(&a.snapshot()).unwrap();
+        prop_assert!(left.merge(&b.snapshot()));
+        prop_assert!(left.merge(&c.snapshot()));
+        // a + (b + c)
+        let mut bc = Histogram::from_snapshot(&b.snapshot()).unwrap();
+        prop_assert!(bc.merge(&c.snapshot()));
+        let mut right = Histogram::from_snapshot(&a.snapshot()).unwrap();
+        prop_assert!(right.merge(&bc.snapshot()));
+        prop_assert_eq!(left.snapshot(), right.snapshot());
+
+        // a + b == b + a
+        let mut ab = Histogram::from_snapshot(&a.snapshot()).unwrap();
+        prop_assert!(ab.merge(&b.snapshot()));
+        let mut ba = Histogram::from_snapshot(&b.snapshot()).unwrap();
+        prop_assert!(ba.merge(&a.snapshot()));
+        prop_assert_eq!(ab.snapshot(), ba.snapshot());
+
+        // Merge totals are conserved.
+        prop_assert_eq!(left.snapshot().count, (na + nb + nc) as u64);
+    }
+
+    #[test]
+    fn mismatched_edges_never_merge(seed in 0u64..1000) {
+        let mut a = Histogram::new(&[0.0, 1.0, 2.0]).unwrap();
+        let b = Histogram::new(&[0.0, (seed % 100 + 3) as f64]).unwrap();
+        let before = a.snapshot();
+        prop_assert!(!a.merge(&b.snapshot()));
+        prop_assert_eq!(a.snapshot(), before, "failed merge must not mutate");
+    }
+}
