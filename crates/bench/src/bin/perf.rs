@@ -1,0 +1,138 @@
+//! `perf`: continuous benchmark harness. Runs the four end-to-end workloads
+//! (featurize, gnn_epoch, fed_round, explain), writes one `fexiot-bench/v1`
+//! JSON document plus flamegraph-compatible collapsed stacks per workload,
+//! and prints a summary table.
+//!
+//! ```text
+//! perf [--reps N] [--seed S] [--out-dir DIR] [--refresh-baselines] [--full]
+//! ```
+//!
+//! `BENCH_<workload>.json` / `BENCH_<workload>.flame` land in `--out-dir`
+//! (default: the current directory). `--refresh-baselines` also rewrites the
+//! committed baselines under `results/bench/`, which CI diffs against with
+//! `obs-diff`. Build with `--features track-alloc` to fill the `alloc`
+//! section with real counters.
+
+use fexiot_bench::perf::{self, timing_summary, PerfConfig};
+use fexiot_bench::{print_table, Scale};
+use std::path::{Path, PathBuf};
+
+const USAGE: &str =
+    "usage: perf [--reps N] [--seed S] [--out-dir DIR] [--refresh-baselines] [--full]";
+
+fn usage() -> ! {
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut reps = 5usize;
+    let mut seed = 42u64;
+    let mut out_dir = PathBuf::from(".");
+    let mut refresh = false;
+    let mut boolean_tokens: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--reps" => {
+                i += 1;
+                reps = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--seed" => {
+                i += 1;
+                seed = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--out-dir" => {
+                i += 1;
+                out_dir = PathBuf::from(argv.get(i).unwrap_or_else(|| usage()));
+            }
+            "--refresh-baselines" => refresh = true,
+            // Collected separately so Scale::from_args only ever sees
+            // boolean tokens (value positions are consumed above).
+            "--full" => boolean_tokens.push("--full".to_string()),
+            _ => usage(),
+        }
+        i += 1;
+    }
+    if reps == 0 {
+        usage();
+    }
+    let cfg = PerfConfig {
+        scale: Scale::from_args(&boolean_tokens),
+        reps,
+        seed,
+    };
+
+    if let Err(e) = std::fs::create_dir_all(&out_dir) {
+        eprintln!("perf: cannot create {}: {e}", out_dir.display());
+        std::process::exit(1);
+    }
+
+    let mut rows = Vec::new();
+    for workload in perf::WORKLOADS {
+        eprintln!(
+            "perf: {workload} ({} scale, {} reps + warmup, seed {})",
+            cfg.scale.name(),
+            cfg.reps,
+            cfg.seed
+        );
+        let report = perf::run_workload(workload, &cfg).expect("known workload");
+        let doc = perf::to_json(&report, &cfg);
+        debug_assert!(fexiot_obs::diff::validate_bench_report(&doc).is_ok());
+
+        write_or_die(&out_dir.join(format!("BENCH_{workload}.json")), &format!("{doc}\n"));
+        write_or_die(
+            &out_dir.join(format!("BENCH_{workload}.flame")),
+            &report.collapsed,
+        );
+        if refresh {
+            let base_dir = Path::new("results/bench");
+            if let Err(e) = std::fs::create_dir_all(base_dir) {
+                eprintln!("perf: cannot create {}: {e}", base_dir.display());
+                std::process::exit(1);
+            }
+            write_or_die(&base_dir.join(format!("{workload}.json")), &format!("{doc}\n"));
+        }
+
+        let t = timing_summary(&report.timings_us);
+        rows.push(vec![
+            workload.to_string(),
+            cfg.reps.to_string(),
+            t.p50.to_string(),
+            t.p90.to_string(),
+            if report.tracked {
+                report.alloc.allocs.to_string()
+            } else {
+                "-".to_string()
+            },
+            if report.tracked {
+                report.alloc.bytes.to_string()
+            } else {
+                "-".to_string()
+            },
+        ]);
+    }
+    print_table(
+        "fexiot-bench/v1",
+        &["workload", "reps", "p50_us", "p90_us", "allocs", "alloc_bytes"],
+        &rows,
+    );
+    println!("\nbench reports written to {}", out_dir.display());
+    if refresh {
+        println!("baselines refreshed under results/bench/");
+    }
+}
+
+fn write_or_die(path: &Path, content: &str) {
+    if let Err(e) = std::fs::write(path, content) {
+        eprintln!("perf: cannot write {}: {e}", path.display());
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,389 @@
+//! Continuous benchmark harness: four end-to-end workloads timed with
+//! wall-clock percentiles and allocation counters, exported as
+//! schema-stable `fexiot-bench/v1` JSON (see `fexiot_obs::diff`).
+//!
+//! The split between deterministic and wall-clock fields mirrors the obs
+//! report contract: `items` (counter deltas of the final timed rep) and
+//! `alloc` (when tracked) must be bit-identical across same-seed runs, so
+//! `obs-diff` treats their drift as breaking; `timing_us` is advisory
+//! unless `--strict-timing`.
+
+use crate::scale::Scale;
+use fexiot::{build_federation, FederationConfig, FexIot, FexIotConfig};
+use fexiot_explain::{explain, fexiot_config};
+use fexiot_fed::FaultPlan;
+use fexiot_graph::{generate_dataset, DatasetConfig};
+use fexiot_obs::alloc::{self, AllocStats};
+use fexiot_obs::registry::{Snapshot, SpanNode};
+use fexiot_obs::Json;
+use fexiot_tensor::Rng;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Workload names, in run order. `featurize` is the corpus→featurize→fuse
+/// graph pipeline, `gnn_epoch` one contrastive training epoch, `fed_round`
+/// one federated round under fault injection, `explain` one beam-search
+/// explanation of a detection.
+pub const WORKLOADS: &[&str] = &["featurize", "gnn_epoch", "fed_round", "explain"];
+
+/// Harness configuration. One unrecorded warmup rep always runs before the
+/// `reps` timed ones.
+#[derive(Debug, Clone, Copy)]
+pub struct PerfConfig {
+    pub scale: Scale,
+    pub reps: usize,
+    pub seed: u64,
+}
+
+impl Default for PerfConfig {
+    fn default() -> Self {
+        Self {
+            scale: Scale::Small,
+            reps: 5,
+            seed: 42,
+        }
+    }
+}
+
+/// Everything measured for one workload.
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    pub workload: &'static str,
+    /// Deterministic obs counters of the final timed rep (allocation
+    /// attribution counters excluded — those move between builds).
+    pub items: Vec<(String, u64)>,
+    /// Whether the `track-alloc` feature compiled the tracking allocator in.
+    pub tracked: bool,
+    /// Allocation delta of the final timed rep (all zero when untracked).
+    pub alloc: AllocStats,
+    /// Wall-clock microseconds per timed rep, in run order.
+    pub timings_us: Vec<u64>,
+    /// Flamegraph-compatible collapsed stacks of the final timed rep.
+    pub collapsed: String,
+}
+
+/// Nearest-rank percentile summary of per-rep wall-clock times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimingSummary {
+    pub mean: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+    pub min: u64,
+    pub max: u64,
+    pub total: u64,
+}
+
+/// Computes the nearest-rank percentile summary. Panics on an empty slice.
+pub fn timing_summary(timings_us: &[u64]) -> TimingSummary {
+    assert!(!timings_us.is_empty(), "timing_summary: no reps");
+    let mut sorted = timings_us.to_vec();
+    sorted.sort_unstable();
+    let total: u64 = sorted.iter().sum();
+    let pct = |p: f64| {
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+        sorted[rank - 1]
+    };
+    TimingSummary {
+        mean: total / sorted.len() as u64,
+        p50: pct(50.0),
+        p90: pct(90.0),
+        p99: pct(99.0),
+        min: sorted[0],
+        max: *sorted.last().expect("non-empty"),
+        total,
+    }
+}
+
+/// Counters of the final rep that are deterministic across same-seed runs:
+/// everything except the tracking allocator's per-span attribution
+/// (`{span}_allocs` / `{span}_bytes`), which depends on the build rather
+/// than the workload inputs.
+pub fn deterministic_items(snap: &Snapshot) -> Vec<(String, u64)> {
+    fn walk(nodes: &[SpanNode], out: &mut std::collections::BTreeSet<String>) {
+        for n in nodes {
+            out.insert(n.name.clone());
+            walk(&n.children, out);
+        }
+    }
+    let mut span_names = std::collections::BTreeSet::new();
+    walk(&snap.roots, &mut span_names);
+    snap.counters
+        .iter()
+        .filter(|(name, _)| {
+            let attributed = |suffix: &str| {
+                name.strip_suffix(suffix)
+                    .is_some_and(|base| span_names.contains(base))
+            };
+            !attributed("_allocs") && !attributed("_bytes")
+        })
+        .map(|(k, v)| (k.clone(), *v))
+        .collect()
+}
+
+/// Runs `body` for one warmup plus `cfg.reps` timed reps against the global
+/// obs registry (reset before every rep, so the final snapshot covers
+/// exactly one rep). Allocation stats are sampled immediately around the
+/// body so registry snapshotting is not charged to the workload.
+fn run_reps(
+    workload: &'static str,
+    cfg: &PerfConfig,
+    mut body: impl FnMut(),
+) -> WorkloadReport {
+    let reg = fexiot_obs::global();
+    let was_enabled = reg.is_enabled();
+    reg.set_enabled(true);
+    let mut timings_us = Vec::with_capacity(cfg.reps);
+    let mut last = (AllocStats::default(), Snapshot::default());
+    for rep in 0..cfg.reps + 1 {
+        reg.reset();
+        let before = alloc::stats();
+        let started = Instant::now();
+        body();
+        let elapsed = started.elapsed();
+        let after = alloc::stats();
+        if rep == 0 {
+            continue; // warmup
+        }
+        timings_us.push(u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX));
+        last = (after.delta_since(&before), reg.snapshot());
+    }
+    reg.set_enabled(was_enabled);
+    let (alloc_delta, snap) = last;
+    WorkloadReport {
+        workload,
+        items: deterministic_items(&snap),
+        tracked: alloc::is_tracking(),
+        alloc: alloc_delta,
+        timings_us,
+        collapsed: fexiot_obs::collapsed_stacks(&snap),
+    }
+}
+
+fn featurize_report(cfg: &PerfConfig) -> WorkloadReport {
+    let graph_count = cfg.scale.pick(60, 600);
+    let seed = cfg.seed;
+    run_reps("featurize", cfg, move || {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut ds_cfg = DatasetConfig::small_ifttt();
+        ds_cfg.graph_count = graph_count;
+        black_box(generate_dataset(&ds_cfg, &mut rng));
+    })
+}
+
+fn gnn_epoch_report(cfg: &PerfConfig) -> WorkloadReport {
+    let mut rng = Rng::seed_from_u64(cfg.seed);
+    let mut ds_cfg = DatasetConfig::small_ifttt();
+    ds_cfg.graph_count = cfg.scale.pick(60, 300);
+    let ds = generate_dataset(&ds_cfg, &mut rng);
+    let labels = fexiot_gnn::binary_labels(&ds);
+    let feature_dim = ds.graphs[0].nodes[0].features.len();
+    let train_cfg = fexiot_gnn::ContrastiveConfig {
+        epochs: 1,
+        pairs_per_epoch: cfg.scale.pick(48, 256),
+        seed: cfg.seed,
+        ..Default::default()
+    };
+    let seed = cfg.seed;
+    let scale = cfg.scale;
+    run_reps("gnn_epoch", cfg, move || {
+        // A fresh encoder per rep keeps every rep's work identical.
+        let mut enc_rng = Rng::seed_from_u64(seed);
+        let mut encoder = fexiot_gnn::Encoder::Gin(fexiot_gnn::Gin::new(
+            feature_dim,
+            &[scale.pick(16, 32)],
+            scale.pick(8, 16),
+            &mut enc_rng,
+        ));
+        black_box(fexiot_gnn::train_contrastive(
+            &mut encoder,
+            &ds.graphs,
+            &labels,
+            &train_cfg,
+        ));
+    })
+}
+
+fn fed_round_report(cfg: &PerfConfig) -> WorkloadReport {
+    let mut rng = Rng::seed_from_u64(cfg.seed);
+    let mut ds_cfg = DatasetConfig::small_ifttt();
+    ds_cfg.graph_count = cfg.scale.pick(90, 600);
+    let ds = generate_dataset(&ds_cfg, &mut rng);
+    let mut pipeline = FexIotConfig::default().with_seed(cfg.seed);
+    pipeline.contrastive.epochs = 1;
+    pipeline.contrastive.pairs_per_epoch = cfg.scale.pick(16, 64);
+    let fed_cfg = FederationConfig {
+        n_clients: cfg.scale.pick(5, 20),
+        alpha: 1.0,
+        rounds: cfg.reps + 1,
+        pipeline,
+        faults: FaultPlan::none()
+            .with_seed(cfg.seed)
+            .with_dropout(0.2)
+            .with_straggler(0.2)
+            .with_msg_loss(0.1),
+        ..Default::default()
+    };
+    let mut sim = build_federation(&ds, &fed_cfg);
+    sim.attach_obs(fexiot_obs::global().clone());
+    // Reps are successive rounds of one simulation: round `r`'s work is a
+    // deterministic function of (seed, r), so the final rep's counters are
+    // stable for a fixed rep count.
+    run_reps("fed_round", cfg, move || {
+        black_box(sim.run_round());
+    })
+}
+
+fn explain_report(cfg: &PerfConfig) -> WorkloadReport {
+    let mut rng = Rng::seed_from_u64(cfg.seed);
+    let mut ds_cfg = DatasetConfig::small_ifttt();
+    ds_cfg.graph_count = cfg.scale.pick(120, 400);
+    let ds = generate_dataset(&ds_cfg, &mut rng);
+    let mut fx_cfg = FexIotConfig::default().with_seed(cfg.seed);
+    fx_cfg.contrastive.epochs = cfg.scale.pick(3, 8);
+    let model = FexIot::train(&ds, fx_cfg);
+    let target = ds
+        .graphs
+        .iter()
+        .find(|g| g.node_count() >= 5)
+        .cloned()
+        .expect("dataset has a 5+ node graph");
+    let search = fexiot_config(cfg.scale.pick(4, 10), 3, cfg.scale.pick(16, 48));
+    run_reps("explain", cfg, move || {
+        black_box(explain(model.scorer(), &target, &search));
+    })
+}
+
+/// Runs one named workload; `None` for an unknown name.
+pub fn run_workload(name: &str, cfg: &PerfConfig) -> Option<WorkloadReport> {
+    match name {
+        "featurize" => Some(featurize_report(cfg)),
+        "gnn_epoch" => Some(gnn_epoch_report(cfg)),
+        "fed_round" => Some(fed_round_report(cfg)),
+        "explain" => Some(explain_report(cfg)),
+        _ => None,
+    }
+}
+
+/// Runs every workload in [`WORKLOADS`] order.
+pub fn run_all(cfg: &PerfConfig) -> Vec<WorkloadReport> {
+    WORKLOADS
+        .iter()
+        .map(|w| run_workload(w, cfg).expect("known workload"))
+        .collect()
+}
+
+/// Renders one workload as a `fexiot-bench/v1` document (validated by
+/// `fexiot_obs::diff::validate_bench_report`).
+pub fn to_json(report: &WorkloadReport, cfg: &PerfConfig) -> Json {
+    let t = timing_summary(&report.timings_us);
+    let obj = |pairs: Vec<(&str, Json)>| {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    };
+    obj(vec![
+        ("schema", Json::Str(fexiot_obs::diff::BENCH_SCHEMA.to_string())),
+        ("workload", Json::Str(report.workload.to_string())),
+        ("scale", Json::Str(cfg.scale.name().to_string())),
+        ("reps", Json::UInt(cfg.reps as u64)),
+        ("seed", Json::UInt(cfg.seed)),
+        (
+            "items",
+            Json::Obj(
+                report
+                    .items
+                    .iter()
+                    .map(|(k, v)| (k.clone(), Json::UInt(*v)))
+                    .collect(),
+            ),
+        ),
+        (
+            "alloc",
+            obj(vec![
+                ("tracked", Json::Bool(report.tracked)),
+                ("allocs", Json::UInt(report.alloc.allocs)),
+                ("bytes", Json::UInt(report.alloc.bytes)),
+                ("peak_live_bytes", Json::UInt(report.alloc.peak_live_bytes)),
+            ]),
+        ),
+        (
+            "timing_us",
+            obj(vec![
+                ("mean", Json::UInt(t.mean)),
+                ("p50", Json::UInt(t.p50)),
+                ("p90", Json::UInt(t.p90)),
+                ("p99", Json::UInt(t.p99)),
+                ("min", Json::UInt(t.min)),
+                ("max", Json::UInt(t.max)),
+                ("total", Json::UInt(t.total)),
+            ]),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fexiot_obs::diff::validate_bench_report;
+
+    #[test]
+    fn timing_summary_uses_nearest_rank() {
+        let t = timing_summary(&[40, 10, 30, 20]);
+        assert_eq!(t.p50, 20);
+        assert_eq!(t.p90, 40);
+        assert_eq!(t.p99, 40);
+        assert_eq!(t.min, 10);
+        assert_eq!(t.max, 40);
+        assert_eq!(t.mean, 25);
+        assert_eq!(t.total, 100);
+        let single = timing_summary(&[7]);
+        assert_eq!(single.p50, 7);
+        assert_eq!(single.p99, 7);
+    }
+
+    #[test]
+    fn to_json_produces_a_valid_bench_document() {
+        let report = WorkloadReport {
+            workload: "featurize",
+            items: vec![("graph.corpus.rules".to_string(), 320)],
+            tracked: false,
+            alloc: AllocStats::default(),
+            timings_us: vec![120, 100, 140],
+            collapsed: String::new(),
+        };
+        let cfg = PerfConfig::default();
+        let doc = to_json(&report, &cfg);
+        validate_bench_report(&doc).expect("valid bench document");
+        // Round-trips through the parser unchanged.
+        let parsed = Json::parse(&doc.to_string()).expect("parse own output");
+        validate_bench_report(&parsed).expect("valid after round-trip");
+        assert_eq!(
+            parsed.get("items").and_then(|i| i.get("graph.corpus.rules")).and_then(Json::as_u64),
+            Some(320)
+        );
+    }
+
+    #[test]
+    fn deterministic_items_drop_alloc_attribution_counters() {
+        let mut snap = Snapshot {
+            roots: vec![SpanNode {
+                name: "pipeline.featurize".to_string(),
+                elapsed_us: 10,
+                children: Vec::new(),
+            }],
+            ..Default::default()
+        };
+        snap.counters.insert("pipeline.featurize_allocs".to_string(), 5);
+        snap.counters.insert("pipeline.featurize_bytes".to_string(), 640);
+        // A `_bytes` counter that is NOT span attribution survives.
+        snap.counters.insert("fed.comm.uploaded_bytes".to_string(), 9);
+        snap.counters.insert("graph.corpus.rules".to_string(), 40);
+        let items = deterministic_items(&snap);
+        assert_eq!(
+            items,
+            vec![
+                ("fed.comm.uploaded_bytes".to_string(), 9),
+                ("graph.corpus.rules".to_string(), 40),
+            ]
+        );
+    }
+}

@@ -10,12 +10,15 @@
 //!                     [--checkpoint-dir DIR]         # federated run under faults
 //! ```
 //!
-//! Every subcommand also accepts `--obs-summary` (print the span tree and
+//! Every subcommand also accepts the shared observability flags (parsed by
+//! [`fexiot_obs::cli::ObsCli`]): `--obs-summary` (print the span tree and
 //! metric digests after the run), `--obs-out DIR` (write a `fexiot-obs/v1`
-//! JSON run report under DIR), and `--obs-stream FILE` (stream
+//! JSON run report under DIR), `--obs-stream FILE` (stream
 //! `fexiot-obs-events/v1` JSONL events live to FILE;
 //! `--obs-stream-timing exclude` drops wall-clock fields so same-seed
-//! streams are byte-identical); see DESIGN.md §Observability.
+//! streams are byte-identical), and `--obs-flame FILE` (write
+//! flamegraph-compatible collapsed stacks, value = exclusive µs per span
+//! path); see DESIGN.md §Observability.
 //!
 //! Datasets are generated from the synthetic corpus (see DESIGN.md); models
 //! are checkpointed with the first-party codec, so `train` on one machine and
@@ -33,11 +36,6 @@ struct Args {
     values: Vec<(String, String)>,
     command: String,
 }
-
-/// The observability flags every subcommand accepts. Anything else spelled
-/// `--obs-*` is almost certainly a typo; [`Args::check_obs_flags`] rejects it
-/// instead of silently ignoring it.
-const OBS_FLAGS: &[&str] = &["obs-summary", "obs-out", "obs-stream", "obs-stream-timing"];
 
 impl Args {
     fn parse() -> Option<Args> {
@@ -74,11 +72,6 @@ impl Args {
         Some(Args { values, command })
     }
 
-    /// True when the flag was present at all (boolean flags).
-    fn has(&self, name: &str) -> bool {
-        self.values.iter().any(|(k, _)| k == name)
-    }
-
     fn get(&self, name: &str) -> Option<&str> {
         self.values
             .iter()
@@ -103,37 +96,11 @@ impl Args {
             .and_then(|v| v.parse().ok())
             .unwrap_or(default)
     }
-
-    /// Rejects misspelled observability flags: `--obs-*` names outside
-    /// [`OBS_FLAGS`] and bad `--obs-stream-timing` modes. The rest of the
-    /// flag namespace stays permissive (subcommands ignore what they don't
-    /// know), but a typo like `--obs-steam` silently dropping the event
-    /// stream would defeat the point of asking for one.
-    fn check_obs_flags(&self) -> Result<(), String> {
-        for (key, _) in &self.values {
-            if key.starts_with("obs-") && !OBS_FLAGS.contains(&key.as_str()) {
-                return Err(format!(
-                    "unknown observability flag --{key}; known flags: {}",
-                    OBS_FLAGS
-                        .iter()
-                        .map(|f| format!("--{f}"))
-                        .collect::<Vec<_>>()
-                        .join(", ")
-                ));
-            }
-        }
-        match self.get("obs-stream-timing") {
-            None | Some("include") | Some("exclude") => Ok(()),
-            Some(other) => Err(format!(
-                "--obs-stream-timing must be 'include' or 'exclude', got {other:?}"
-            )),
-        }
-    }
 }
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  fexiot-cli train    [--graphs N] [--seed S] [--encoder gin|gcn|magnn] --out MODEL\n  fexiot-cli eval     --model MODEL [--graphs N] [--seed S]\n  fexiot-cli detect   --model MODEL [--seed S]\n  fexiot-cli explain  --model MODEL [--seed S]\n  fexiot-cli federate [--clients N] [--rounds R] [--strategy fexiot|fedavg|fmtl|gcfl|local]\n                      [--graphs N] [--seed S] [--alpha A]\n                      [--dropout P] [--msg-loss P] [--straggler P] [--corrupt P]\n                      [--checkpoint-dir DIR]  (resumes from the newest checkpoint there)\n  any subcommand: [--obs-summary] [--obs-out DIR]\n                  [--obs-stream FILE] [--obs-stream-timing include|exclude]  (observability export)"
+        "usage:\n  fexiot-cli train    [--graphs N] [--seed S] [--encoder gin|gcn|magnn] --out MODEL\n  fexiot-cli eval     --model MODEL [--graphs N] [--seed S]\n  fexiot-cli detect   --model MODEL [--seed S]\n  fexiot-cli explain  --model MODEL [--seed S]\n  fexiot-cli federate [--clients N] [--rounds R] [--strategy fexiot|fedavg|fmtl|gcfl|local]\n                      [--graphs N] [--seed S] [--alpha A]\n                      [--dropout P] [--msg-loss P] [--straggler P] [--corrupt P]\n                      [--checkpoint-dir DIR]  (resumes from the newest checkpoint there)\n  any subcommand: [--obs-summary] [--obs-out DIR] [--obs-flame FILE]\n                  [--obs-stream FILE] [--obs-stream-timing include|exclude]  (observability export)"
     );
     ExitCode::from(2)
 }
@@ -159,27 +126,19 @@ fn main() -> ExitCode {
     let Some(args) = Args::parse() else {
         return usage();
     };
-    if let Err(e) = args.check_obs_flags() {
-        eprintln!("{e}");
-        return usage();
-    }
-    let obs_summary = args.has("obs-summary");
-    let obs_out = args.get("obs-out").map(str::to_string);
-    let obs_stream = args.get("obs-stream").map(str::to_string);
-    if obs_summary || obs_out.is_some() || obs_stream.is_some() {
-        fexiot_obs::set_global_enabled(true);
-    }
-    let run_name = format!("cli-{}", args.command);
-    if let Some(path) = &obs_stream {
-        // `exclude` drops every wall-clock field from the stream, making
-        // same-seed streams byte-identical (the determinism CI gate).
-        let include_timing = args.get("obs-stream-timing").unwrap_or("include") == "include";
-        if let Err(e) =
-            fexiot_obs::stream_global_to_file(std::path::Path::new(path), &run_name, include_timing)
-        {
-            eprintln!("cannot open obs stream {path}: {e}");
-            return ExitCode::FAILURE;
+    // The shared helper owns the `--obs-*` namespace: known-flag validation,
+    // stream/report/flame lifecycle (see fexiot_obs::cli).
+    let obs = match fexiot_obs::ObsCli::from_pairs(&args.values) {
+        Ok(obs) => obs,
+        Err(e) => {
+            eprintln!("{e}");
+            return usage();
         }
+    };
+    let run_name = format!("cli-{}", args.command);
+    if let Err(e) = obs.begin(&run_name) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
     }
 
     // Federate fills this with its per-round critical path so the summary
@@ -187,31 +146,9 @@ fn main() -> ExitCode {
     let mut critical_path: Option<Vec<fexiot_obs::CriticalPathEntry>> = None;
     let code = run(&args, &mut critical_path);
 
-    if obs_stream.is_some() {
-        fexiot_obs::close_global_stream();
-    }
-    if obs_summary || obs_out.is_some() {
-        let snap = fexiot_obs::global().snapshot();
-        if obs_summary {
-            println!(
-                "{}",
-                fexiot_obs::render_summary_with(&snap, critical_path.as_deref())
-            );
-        }
-        if let Some(dir) = obs_out {
-            match fexiot_obs::write_report_full(
-                std::path::Path::new(&dir),
-                &run_name,
-                &snap,
-                critical_path.as_deref(),
-            ) {
-                Ok(path) => println!("obs report written to {}", path.display()),
-                Err(e) => {
-                    eprintln!("cannot write obs report under {dir}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            }
-        }
+    if let Err(e) = obs.finish(&run_name, critical_path.as_deref()) {
+        eprintln!("{e}");
+        return ExitCode::FAILURE;
     }
     code
 }
@@ -469,9 +406,9 @@ mod tests {
         let args = parse(&["--graphs", "120", "--obs-summary", "--seed", "7"]);
         assert_eq!(args.get_usize("graphs", 0), 120);
         assert_eq!(args.get_u64("seed", 0), 7);
-        assert!(args.has("obs-summary"));
-        assert!(!args.has("obs-out"));
+        // Boolean flags parse as present-with-empty-value.
         assert_eq!(args.get("obs-summary"), Some(""));
+        assert_eq!(args.get("obs-out"), None);
     }
 
     #[test]
@@ -490,16 +427,21 @@ mod tests {
             "events.jsonl",
             "--obs-stream-timing",
             "exclude",
+            "--obs-flame",
+            "run.flame",
         ]);
-        assert_eq!(args.check_obs_flags(), Ok(()));
+        let obs = fexiot_obs::ObsCli::from_pairs(&args.values).expect("all flags known");
+        assert!(obs.summary && obs.enabled());
+        assert!(!obs.include_stream_timing);
+        assert!(obs.flame.is_some());
     }
 
     #[test]
     fn unknown_obs_flag_is_rejected_with_the_known_list() {
         let args = parse(&["--obs-steam", "events.jsonl"]);
-        let err = args.check_obs_flags().unwrap_err();
+        let err = fexiot_obs::ObsCli::from_pairs(&args.values).unwrap_err();
         assert!(err.contains("--obs-steam"), "names the offender: {err}");
-        for known in OBS_FLAGS {
+        for known in fexiot_obs::cli::OBS_FLAGS {
             assert!(err.contains(known), "lists --{known}: {err}");
         }
     }
@@ -507,10 +449,10 @@ mod tests {
     #[test]
     fn bad_stream_timing_mode_is_rejected() {
         let args = parse(&["--obs-stream-timing", "sometimes"]);
-        let err = args.check_obs_flags().unwrap_err();
+        let err = fexiot_obs::ObsCli::from_pairs(&args.values).unwrap_err();
         assert!(err.contains("sometimes"));
         // Non-obs flags stay permissive; only the obs namespace is strict.
         let args = parse(&["--definitely-not-a-flag", "x"]);
-        assert_eq!(args.check_obs_flags(), Ok(()));
+        assert!(fexiot_obs::ObsCli::from_pairs(&args.values).is_ok());
     }
 }

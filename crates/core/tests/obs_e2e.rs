@@ -219,3 +219,37 @@ fn federated_report_carries_the_critical_path() {
     assert!(text.contains("critical path"), "summary lacks the path:\n{text}");
     assert!(text.contains("straggler"), "summary lacks the cause:\n{text}");
 }
+
+#[test]
+fn collapsed_stacks_round_trip_against_report_span_paths() {
+    let _g = obs_lock();
+    let snap = tiny_run(15);
+
+    let collapsed = fexiot_obs::collapsed_stacks(&snap);
+    let stacks = fexiot_obs::profile::parse_collapsed(&collapsed).expect("collapsed output parses");
+    assert!(!stacks.is_empty(), "no collapsed stacks collected");
+
+    // Every stack path in the flame export must name a span path that the
+    // run report also carries — the two exports describe one tree.
+    let doc = fexiot_obs::report::to_json(&snap, "e2e-flame", Timing::Include);
+    let report_paths = fexiot_obs::profile::report_span_paths(&doc);
+    assert!(
+        report_paths.iter().any(|p| p == "pipeline;pipeline.featurize"),
+        "expected pipeline paths in the report, got {report_paths:?}"
+    );
+    for (path, _us) in &stacks {
+        assert!(
+            report_paths.contains(path),
+            "flame path {path:?} missing from the report span tree"
+        );
+    }
+    // And the flame export covers every report path, too (same tree, both
+    // directions).
+    let flame_paths: Vec<&String> = stacks.iter().map(|(p, _)| p).collect();
+    for p in &report_paths {
+        assert!(
+            flame_paths.contains(&p),
+            "report span path {p:?} missing from the flame export"
+        );
+    }
+}

@@ -399,10 +399,27 @@ impl FedSim {
 
         // Retries are counted by `CommStats` as messages move; fold this
         // round's delta into the registry so the report below — and any
-        // exported obs run report — read from one source.
-        self.obs.counter_add(
-            "fed.sim.retried_messages",
-            self.comm.delta_since(&comm_before).retried_messages as u64,
+        // exported obs run report — read from one source. The same fold
+        // surfaces the round's traffic as deterministic `fed.comm.*`
+        // counters (whole-run totals) and per-round gauges.
+        let comm_delta = self.comm.delta_since(&comm_before);
+        self.obs
+            .counter_add("fed.sim.retried_messages", comm_delta.retried_messages as u64);
+        self.obs
+            .counter_add("fed.comm.uploaded_bytes", comm_delta.uploaded_bytes as u64);
+        self.obs
+            .counter_add("fed.comm.downloaded_bytes", comm_delta.downloaded_bytes as u64);
+        self.obs
+            .counter_add("fed.comm.upload_messages", comm_delta.upload_messages as u64);
+        self.obs
+            .counter_add("fed.comm.download_messages", comm_delta.download_messages as u64);
+        self.obs.gauge_set(
+            "fed.comm.round_bytes",
+            (comm_delta.uploaded_bytes + comm_delta.downloaded_bytes) as f64,
+        );
+        self.obs.gauge_set(
+            "fed.comm.round_messages",
+            (comm_delta.upload_messages + comm_delta.download_messages) as f64,
         );
         debug_assert_eq!(self.comm.validate(), Ok(()), "comm stats invariant violated");
 

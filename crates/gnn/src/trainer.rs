@@ -58,6 +58,7 @@ pub fn train_contrastive(
         "contrastive: label count mismatch"
     );
     let _span = fexiot_obs::span("gnn.trainer.contrastive");
+    let started = fexiot_obs::global_enabled().then(std::time::Instant::now);
     let mut rng = Rng::seed_from_u64(config.seed);
     if graphs.len() < 2 {
         return 0.0;
@@ -74,6 +75,7 @@ pub fn train_contrastive(
 
     let mut adam = Adam::new(config.lr, encoder.params());
     let mut last_loss = 0.0;
+    let mut total_steps = 0usize;
     for _ in 0..config.epochs {
         let mut epoch_loss = 0.0;
         let mut steps = 0usize;
@@ -129,6 +131,19 @@ pub fn train_contrastive(
             last_loss,
         );
         fexiot_obs::counter_add("gnn.trainer.pairs", steps as u64);
+        total_steps += steps;
+    }
+    // Throughput gauge: each contrastive step forwards two graphs. The
+    // `_per_sec` suffix marks it as wall-clock data, kept out of
+    // deterministic exports.
+    if let Some(started) = started {
+        let secs = started.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            fexiot_obs::gauge_set(
+                "gnn.trainer.graphs_per_sec",
+                (2 * total_steps) as f64 / secs,
+            );
+        }
     }
     last_loss
 }

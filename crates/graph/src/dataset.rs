@@ -215,10 +215,25 @@ pub fn generate_dataset(config: &DatasetConfig, rng: &mut Rng) -> GraphDataset {
         gen.generate(&config.corpus, rng)
     };
     fexiot_obs::counter_add("graph.corpus.rules", rules.len() as u64);
+    let sentences = rules.len();
+    let featurize_started =
+        fexiot_obs::global_enabled().then(std::time::Instant::now);
     let index = {
         let _s = fexiot_obs::span("pipeline.featurize");
         CorpusIndex::build(rules)
     };
+    // Throughput gauge: each corpus rule is one NLP sentence to featurize.
+    // The `_per_sec` suffix marks it as wall-clock data, so it is dropped
+    // from deterministic exports (see fexiot_obs::is_timing_name).
+    if let Some(started) = featurize_started {
+        let secs = started.elapsed().as_secs_f64();
+        if secs > 0.0 {
+            fexiot_obs::gauge_set(
+                "pipeline.featurize.sentences_per_sec",
+                sentences as f64 / secs,
+            );
+        }
+    }
     let builder = GraphBuilder::new(config.features);
     let _s = fexiot_obs::span("pipeline.fuse");
     generate_from_index(&builder, &index, &mut gen, config, rng)

@@ -1,0 +1,245 @@
+//! Shared `--obs-*` command-line handling for every binary that exports the
+//! global registry (`fexiot-cli` subcommands, the quickstart example, bench
+//! bins). One place defines the known flags, the unknown-flag rejection, and
+//! the begin/finish lifecycle, so adding a flag (like `--obs-flame`) lands
+//! everywhere at once.
+//!
+//! The non-obs flag namespace stays permissive — callers keep their own
+//! parsers — but anything spelled `--obs-*` is validated here: a typo like
+//! `--obs-steam` silently dropping an event stream would defeat the point of
+//! asking for one.
+
+use crate::trace::CriticalPathEntry;
+use std::path::{Path, PathBuf};
+
+/// The observability flags every instrumented binary accepts (without the
+/// `--` prefix). Anything else spelled `--obs-*` is rejected with this list.
+pub const OBS_FLAGS: &[&str] = &[
+    "obs-summary",
+    "obs-out",
+    "obs-stream",
+    "obs-stream-timing",
+    "obs-flame",
+];
+
+/// Parsed observability options plus the begin/finish export lifecycle.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ObsCli {
+    /// `--obs-summary`: print the span tree and metric digests after the run.
+    pub summary: bool,
+    /// `--obs-out DIR`: write a `fexiot-obs/v1` report to `DIR/<run>.json`.
+    pub out: Option<PathBuf>,
+    /// `--obs-stream FILE`: stream `fexiot-obs-events/v1` JSONL live to FILE.
+    pub stream: Option<PathBuf>,
+    /// `--obs-stream-timing include|exclude` (default include): `exclude`
+    /// drops wall-clock fields so same-seed streams are byte-identical.
+    pub include_stream_timing: bool,
+    /// `--obs-flame FILE`: write collapsed stacks (flamegraph input, value =
+    /// exclusive µs per span path) to FILE after the run.
+    pub flame: Option<PathBuf>,
+}
+
+impl ObsCli {
+    /// Builds from pre-parsed `(flag, value)` pairs (flag names without the
+    /// `--` prefix; boolean flags carry an empty value). Non-obs pairs are
+    /// ignored; malformed obs flags are an `Err` with the known-flag list.
+    pub fn from_pairs(values: &[(String, String)]) -> Result<ObsCli, String> {
+        for (key, _) in values {
+            if key.starts_with("obs-") && !OBS_FLAGS.contains(&key.as_str()) {
+                return Err(format!(
+                    "unknown observability flag --{key}; known flags: {}",
+                    OBS_FLAGS
+                        .iter()
+                        .map(|f| format!("--{f}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+            }
+        }
+        let get = |name: &str| {
+            values
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v.as_str())
+        };
+        let path_flag = |name: &str| -> Result<Option<PathBuf>, String> {
+            match get(name) {
+                None => Ok(None),
+                Some("") => Err(format!("--{name} requires a value")),
+                Some(v) => Ok(Some(PathBuf::from(v))),
+            }
+        };
+        let include_stream_timing = match get("obs-stream-timing") {
+            None | Some("include") => true,
+            Some("exclude") => false,
+            Some(other) => {
+                return Err(format!(
+                    "--obs-stream-timing must be 'include' or 'exclude', got {other:?}"
+                ))
+            }
+        };
+        Ok(ObsCli {
+            summary: get("obs-summary").is_some(),
+            out: path_flag("obs-out")?,
+            stream: path_flag("obs-stream")?,
+            include_stream_timing,
+            flame: path_flag("obs-flame")?,
+        })
+    }
+
+    /// Builds straight from raw argv tokens (for binaries without a flag
+    /// parser, like the quickstart example). Only `--obs-*` tokens are
+    /// interpreted; a token's value is the following token unless that also
+    /// starts with `--`.
+    pub fn from_argv(argv: &[String]) -> Result<ObsCli, String> {
+        let mut pairs = Vec::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let Some(name) = argv[i].strip_prefix("--") else {
+                i += 1;
+                continue;
+            };
+            if !name.starts_with("obs-") {
+                i += 1;
+                continue;
+            }
+            match argv.get(i + 1).filter(|v| !v.starts_with("--")) {
+                Some(value) => {
+                    pairs.push((name.to_string(), value.clone()));
+                    i += 2;
+                }
+                None => {
+                    pairs.push((name.to_string(), String::new()));
+                    i += 1;
+                }
+            }
+        }
+        Self::from_pairs(&pairs)
+    }
+
+    /// True when any export was requested (and the global registry should be
+    /// enabled for the run).
+    pub fn enabled(&self) -> bool {
+        self.summary || self.out.is_some() || self.stream.is_some() || self.flame.is_some()
+    }
+
+    /// Enables the global registry and opens the event stream, as requested.
+    /// Call once before the instrumented work.
+    pub fn begin(&self, run: &str) -> Result<(), String> {
+        if !self.enabled() {
+            return Ok(());
+        }
+        crate::set_global_enabled(true);
+        if let Some(path) = &self.stream {
+            crate::stream_global_to_file(path, run, self.include_stream_timing)
+                .map_err(|e| format!("cannot open obs stream {}: {e}", path.display()))?;
+        }
+        Ok(())
+    }
+
+    /// Closes the stream and writes the requested exports (summary to
+    /// stdout, report, collapsed stacks). Call once after the instrumented
+    /// work; `critical_path` comes from federated runs.
+    pub fn finish(
+        &self,
+        run: &str,
+        critical_path: Option<&[CriticalPathEntry]>,
+    ) -> Result<(), String> {
+        if !self.enabled() {
+            return Ok(());
+        }
+        if self.stream.is_some() {
+            crate::close_global_stream();
+        }
+        let snap = crate::global().snapshot();
+        if self.summary {
+            println!("{}", crate::render_summary_with(&snap, critical_path));
+        }
+        if let Some(dir) = &self.out {
+            let path = crate::write_report_full(dir, run, &snap, critical_path)
+                .map_err(|e| format!("cannot write obs report under {}: {e}", dir.display()))?;
+            println!("obs report written to {}", path.display());
+        }
+        if let Some(file) = &self.flame {
+            let path = crate::profile::write_flame(Path::new(file), &snap)
+                .map_err(|e| format!("cannot write collapsed stacks to {}: {e}", file.display()))?;
+            println!("collapsed stacks written to {}", path.display());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(list: &[(&str, &str)]) -> Vec<(String, String)> {
+        list.iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn known_flags_parse_into_fields() {
+        let cli = ObsCli::from_pairs(&pairs(&[
+            ("obs-summary", ""),
+            ("obs-out", "results/obs"),
+            ("obs-stream", "events.jsonl"),
+            ("obs-stream-timing", "exclude"),
+            ("obs-flame", "run.flame"),
+            ("graphs", "100"),
+        ]))
+        .expect("all flags known");
+        assert!(cli.summary);
+        assert_eq!(cli.out.as_deref(), Some(Path::new("results/obs")));
+        assert_eq!(cli.stream.as_deref(), Some(Path::new("events.jsonl")));
+        assert!(!cli.include_stream_timing);
+        assert_eq!(cli.flame.as_deref(), Some(Path::new("run.flame")));
+        assert!(cli.enabled());
+    }
+
+    #[test]
+    fn unknown_obs_flag_is_rejected_with_the_known_list() {
+        let err = ObsCli::from_pairs(&pairs(&[("obs-steam", "x")])).unwrap_err();
+        assert!(err.contains("--obs-steam"), "names the offender: {err}");
+        for known in OBS_FLAGS {
+            assert!(err.contains(known), "lists --{known}: {err}");
+        }
+    }
+
+    #[test]
+    fn bad_stream_timing_mode_and_missing_values_are_rejected() {
+        let err = ObsCli::from_pairs(&pairs(&[("obs-stream-timing", "sometimes")])).unwrap_err();
+        assert!(err.contains("sometimes"));
+        let err = ObsCli::from_pairs(&pairs(&[("obs-flame", "")])).unwrap_err();
+        assert!(err.contains("--obs-flame"));
+        // Non-obs flags stay permissive; only the obs namespace is strict.
+        let cli = ObsCli::from_pairs(&pairs(&[("definitely-not-a-flag", "x")])).unwrap();
+        assert!(!cli.enabled());
+    }
+
+    #[test]
+    fn argv_scan_only_interprets_obs_tokens() {
+        let argv: Vec<String> = [
+            "positional",
+            "--graphs",
+            "100",
+            "--obs-flame",
+            "q.flame",
+            "--obs-summary",
+            "--obs-out",
+            "dir",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let cli = ObsCli::from_argv(&argv).expect("parses");
+        assert_eq!(cli.flame.as_deref(), Some(Path::new("q.flame")));
+        assert!(cli.summary);
+        assert_eq!(cli.out.as_deref(), Some(Path::new("dir")));
+        assert!(cli.include_stream_timing, "defaults to include");
+        // A boolean obs flag followed by another flag stays boolean.
+        let argv: Vec<String> = ["--obs-summary", "--graphs"].iter().map(|s| s.to_string()).collect();
+        assert!(ObsCli::from_argv(&argv).expect("parses").summary);
+    }
+}

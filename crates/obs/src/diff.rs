@@ -220,34 +220,52 @@ pub fn diff_reports(baseline: &Json, current: &Json, cfg: &DiffConfig) -> DiffRe
         );
     }
 
-    // Counters and gauges: deterministic scalars, exact match required.
+    // Counters and gauges: deterministic scalars, exact match required —
+    // except gauges whose names mark them as wall-clock rates (`*_per_sec`),
+    // which get the timing treatment: only a slowdown beyond tolerance is
+    // reported, at timing severity.
     for (section, kind) in [("counters", "counter"), ("gauges", "gauge")] {
         let a = obj_members(baseline, section);
         let b = obj_members(current, section);
-        union_keys(&a, &b, |k, va, vb| match (va, vb) {
-            (Some(va), Some(vb)) => {
-                if num(va) != num(vb) {
-                    out.push(
-                        Severity::Breaking,
-                        kind,
-                        format!("{section}.{k}"),
-                        format!("{} -> {}", va, vb),
-                    );
+        union_keys(&a, &b, |k, va, vb| {
+            let timing = section == "gauges" && is_timing_name(k);
+            let path = format!("{section}.{k}");
+            match (va, vb) {
+                (Some(va), Some(vb)) => {
+                    if timing {
+                        if let (Some(ra), Some(rb)) = (num(va), num(vb)) {
+                            // Rates: lower is worse.
+                            if ra > 0.0 && rb < ra / (1.0 + cfg.timing_tolerance) {
+                                out.push(
+                                    timing_sev,
+                                    "timing",
+                                    path,
+                                    format!(
+                                        "rate {ra:.1}/s -> {rb:.1}/s (-{:.0}%, tolerance {:.0}%)",
+                                        (1.0 - rb / ra) * 100.0,
+                                        cfg.timing_tolerance * 100.0
+                                    ),
+                                );
+                            }
+                        }
+                    } else if num(va) != num(vb) {
+                        out.push(Severity::Breaking, kind, path, format!("{} -> {}", va, vb));
+                    }
                 }
+                (Some(va), None) => out.push(
+                    if timing { timing_sev } else { Severity::Breaking },
+                    kind,
+                    path,
+                    format!("disappeared (was {})", va),
+                ),
+                (None, Some(vb)) => out.push(
+                    if timing { timing_sev } else { Severity::Breaking },
+                    kind,
+                    path,
+                    format!("appeared (now {})", vb),
+                ),
+                (None, None) => unreachable!("key came from the union"),
             }
-            (Some(va), None) => out.push(
-                Severity::Breaking,
-                kind,
-                format!("{section}.{k}"),
-                format!("disappeared (was {})", va),
-            ),
-            (None, Some(vb)) => out.push(
-                Severity::Breaking,
-                kind,
-                format!("{section}.{k}"),
-                format!("appeared (now {})", vb),
-            ),
-            (None, None) => unreachable!("key came from the union"),
         });
     }
 
@@ -398,6 +416,189 @@ fn diff_span_lists(
     }
 }
 
+/// Schema tag of the per-workload benchmark document emitted by the
+/// `fexiot-bench` perf harness (`crates/bench/src/perf.rs`).
+pub const BENCH_SCHEMA: &str = "fexiot-bench/v1";
+
+/// Timing percentile fields every `fexiot-bench/v1` document carries (all
+/// unsigned microseconds).
+pub const BENCH_TIMING_FIELDS: &[&str] = &["mean", "p50", "p90", "p99", "min", "max", "total"];
+
+/// Validates that a JSON document is a well-formed `fexiot-bench/v1`
+/// benchmark report. Returns a description of the first problem found.
+pub fn validate_bench_report(doc: &Json) -> Result<(), String> {
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing string field 'schema'")?;
+    if schema != BENCH_SCHEMA {
+        return Err(format!("unknown schema {schema:?} (expected {BENCH_SCHEMA:?})"));
+    }
+    for field in ["workload", "scale"] {
+        doc.get(field)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("missing string field '{field}'"))?;
+    }
+    for field in ["reps", "seed"] {
+        doc.get(field)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("missing integer field '{field}'"))?;
+    }
+    match doc.get("items") {
+        Some(Json::Obj(members)) => {
+            for (k, v) in members {
+                if v.as_u64().is_none() {
+                    return Err(format!("items[{k:?}] is not an unsigned integer"));
+                }
+            }
+        }
+        _ => return Err("missing object field 'items'".into()),
+    }
+    let alloc = doc.get("alloc").ok_or("missing object field 'alloc'")?;
+    match alloc.get("tracked") {
+        Some(Json::Bool(_)) => {}
+        _ => return Err("alloc.tracked must be a boolean".into()),
+    }
+    for field in ["allocs", "bytes", "peak_live_bytes"] {
+        if alloc.get(field).and_then(Json::as_u64).is_none() {
+            return Err(format!("alloc missing integer field '{field}'"));
+        }
+    }
+    let timing = doc
+        .get("timing_us")
+        .ok_or("missing object field 'timing_us'")?;
+    for field in BENCH_TIMING_FIELDS {
+        if timing.get(field).and_then(Json::as_u64).is_none() {
+            return Err(format!("timing_us missing integer field '{field}'"));
+        }
+    }
+    Ok(())
+}
+
+/// Compares two validated `fexiot-bench/v1` documents. Identity fields
+/// (workload, scale, reps, seed) and item counts are deterministic —
+/// drift is breaking. Allocation counters are breaking only when both runs
+/// tracked allocations (a tracked/untracked mismatch is advisory, since the
+/// untracked side holds zeros by construction). Timing percentiles get the
+/// usual wall-clock treatment: p50 slowdown beyond `timing_tolerance` above
+/// `timing_floor_us` at timing severity.
+pub fn diff_bench_reports(baseline: &Json, current: &Json, cfg: &DiffConfig) -> DiffReport {
+    let mut out = DiffReport::default();
+    let timing_sev = if cfg.strict_timing {
+        Severity::Breaking
+    } else {
+        Severity::Advisory
+    };
+
+    let str_field = |doc: &Json, f: &str| {
+        doc.get(f).and_then(Json::as_str).unwrap_or("?").to_string()
+    };
+    let uint_field = |doc: &Json, f: &str| doc.get(f).and_then(Json::as_u64).unwrap_or(0);
+    for field in ["workload", "scale"] {
+        let (a, b) = (str_field(baseline, field), str_field(current, field));
+        if a != b {
+            out.push(
+                Severity::Breaking,
+                "report",
+                field.into(),
+                format!("{a:?} -> {b:?} (comparing different benchmarks)"),
+            );
+        }
+    }
+    for field in ["reps", "seed"] {
+        let (a, b) = (uint_field(baseline, field), uint_field(current, field));
+        if a != b {
+            out.push(
+                Severity::Breaking,
+                "report",
+                field.into(),
+                format!("{a} -> {b} (runs are not comparable)"),
+            );
+        }
+    }
+
+    // Item counts are pure functions of (seed, scale): exact match.
+    let a = obj_members(baseline, "items");
+    let b = obj_members(current, "items");
+    union_keys(&a, &b, |k, va, vb| {
+        let path = format!("items.{k}");
+        match (va, vb) {
+            (Some(va), Some(vb)) => {
+                if num(va) != num(vb) {
+                    out.push(Severity::Breaking, "item", path, format!("{} -> {}", va, vb));
+                }
+            }
+            (Some(va), None) => out.push(
+                Severity::Breaking,
+                "item",
+                path,
+                format!("disappeared (was {})", va),
+            ),
+            (None, Some(vb)) => out.push(
+                Severity::Breaking,
+                "item",
+                path,
+                format!("appeared (now {})", vb),
+            ),
+            (None, None) => unreachable!("key came from the union"),
+        }
+    });
+
+    let tracked = |doc: &Json| matches!(
+        doc.get("alloc").and_then(|a| a.get("tracked")),
+        Some(Json::Bool(true))
+    );
+    match (tracked(baseline), tracked(current)) {
+        (true, true) => {
+            for field in ["allocs", "bytes", "peak_live_bytes"] {
+                let get = |doc: &Json| {
+                    doc.get("alloc").and_then(|a| a.get(field)).and_then(Json::as_u64)
+                };
+                let (a, b) = (get(baseline), get(current));
+                if a != b {
+                    out.push(
+                        Severity::Breaking,
+                        "alloc",
+                        format!("alloc.{field}"),
+                        format!(
+                            "{} -> {} (allocation drift is deterministic data)",
+                            a.unwrap_or(0),
+                            b.unwrap_or(0)
+                        ),
+                    );
+                }
+            }
+        }
+        (true, false) | (false, true) => out.push(
+            Severity::Advisory,
+            "alloc",
+            "alloc.tracked".into(),
+            "one run was built without `track-alloc`; allocation counters not compared".into(),
+        ),
+        (false, false) => {}
+    }
+
+    let p50 = |doc: &Json| {
+        doc.get("timing_us").and_then(|t| t.get("p50")).and_then(Json::as_u64)
+    };
+    if let (Some(ta), Some(tb)) = (p50(baseline), p50(current)) {
+        if ta >= cfg.timing_floor_us && tb as f64 > ta as f64 * (1.0 + cfg.timing_tolerance) {
+            out.push(
+                timing_sev,
+                "timing",
+                "timing_us.p50".into(),
+                format!(
+                    "{ta}us -> {tb}us (+{:.0}%, tolerance {:.0}%)",
+                    (tb as f64 / ta as f64 - 1.0) * 100.0,
+                    cfg.timing_tolerance * 100.0
+                ),
+            );
+        }
+    }
+
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -455,5 +656,101 @@ mod tests {
         assert_eq!(doc.get("schema").and_then(Json::as_str), Some(DIFF_SCHEMA));
         assert_eq!(doc.get("verdict").and_then(Json::as_str), Some("fail"));
         assert_eq!(doc.get("breaking").and_then(Json::as_u64), Some(1));
+    }
+
+    fn report_with_gauges(gauges: &str) -> Json {
+        Json::parse(&format!(
+            r#"{{"schema":"fexiot-obs/v1","run":"t","spans":[],"counters":{{}},"gauges":{gauges},"histograms":{{}},"dropped_spans":0}}"#
+        ))
+        .expect("valid report")
+    }
+
+    #[test]
+    fn rate_gauge_appearance_and_drift_are_advisory() {
+        let base = report_with_gauges("{}");
+        let cur = report_with_gauges(r#"{"pipeline.featurize.sentences_per_sec":120.5}"#);
+        let d = diff_reports(&base, &cur, &DiffConfig::default());
+        assert!(d.passed(), "{}", d.render());
+        assert_eq!(d.advisory(), 1);
+
+        // A >tolerance rate drop is flagged — but still advisory by default.
+        let fast = report_with_gauges(r#"{"x_per_sec":1000.0}"#);
+        let slow = report_with_gauges(r#"{"x_per_sec":100.0}"#);
+        let d = diff_reports(&fast, &slow, &DiffConfig::default());
+        assert!(d.passed());
+        assert_eq!(d.findings[0].kind, "timing");
+        // A rate *increase* is never a finding.
+        let d = diff_reports(&slow, &fast, &DiffConfig::default());
+        assert!(d.findings.is_empty(), "{}", d.render());
+    }
+
+    #[test]
+    fn deterministic_gauge_drift_stays_breaking() {
+        let a = report_with_gauges(r#"{"fed.sim.mean_loss":0.5}"#);
+        let b = report_with_gauges(r#"{"fed.sim.mean_loss":0.75}"#);
+        let d = diff_reports(&a, &b, &DiffConfig::default());
+        assert!(!d.passed());
+        assert_eq!(d.findings[0].kind, "gauge");
+    }
+
+    fn bench(seed: u64, graphs: u64, allocs: u64, tracked: bool, p50: u64) -> Json {
+        Json::parse(&format!(
+            r#"{{"schema":"fexiot-bench/v1","workload":"featurize","scale":"small","reps":5,"seed":{seed},"items":{{"graphs":{graphs}}},"alloc":{{"tracked":{tracked},"allocs":{allocs},"bytes":0,"peak_live_bytes":0}},"timing_us":{{"mean":{p50},"p50":{p50},"p90":{p50},"p99":{p50},"min":{p50},"max":{p50},"total":{p50}}}}}"#
+        ))
+        .expect("valid bench doc")
+    }
+
+    #[test]
+    fn bench_docs_validate_and_identical_pass() {
+        let doc = bench(42, 150, 0, false, 5000);
+        validate_bench_report(&doc).expect("well-formed");
+        let d = diff_bench_reports(&doc, &bench(42, 150, 0, false, 5000), &DiffConfig::default());
+        assert!(d.passed() && d.findings.is_empty(), "{}", d.render());
+        assert!(validate_bench_report(&report(1, 1)).is_err(), "obs schema must be rejected");
+    }
+
+    #[test]
+    fn bench_item_and_seed_drift_are_breaking() {
+        let d = diff_bench_reports(
+            &bench(42, 150, 0, false, 5000),
+            &bench(42, 151, 0, false, 5000),
+            &DiffConfig::default(),
+        );
+        assert!(!d.passed());
+        assert_eq!(d.findings[0].kind, "item");
+        let d = diff_bench_reports(
+            &bench(42, 150, 0, false, 5000),
+            &bench(43, 150, 0, false, 5000),
+            &DiffConfig::default(),
+        );
+        assert!(!d.passed());
+        assert_eq!(d.findings[0].kind, "report");
+    }
+
+    #[test]
+    fn bench_alloc_drift_breaking_only_when_both_tracked() {
+        let cfg = DiffConfig::default();
+        let d = diff_bench_reports(&bench(42, 150, 100, true, 5000), &bench(42, 150, 101, true, 5000), &cfg);
+        assert!(!d.passed());
+        assert_eq!(d.findings[0].kind, "alloc");
+        // Tracked vs untracked: advisory note, no breaking comparison.
+        let d = diff_bench_reports(&bench(42, 150, 100, true, 5000), &bench(42, 150, 0, false, 5000), &cfg);
+        assert!(d.passed(), "{}", d.render());
+        assert_eq!(d.advisory(), 1);
+    }
+
+    #[test]
+    fn bench_timing_drift_advisory_unless_strict() {
+        let base = bench(42, 150, 0, false, 10_000);
+        let slow = bench(42, 150, 0, false, 20_000);
+        let d = diff_bench_reports(&base, &slow, &DiffConfig::default());
+        assert!(d.passed());
+        assert_eq!(d.advisory(), 1);
+        let d = diff_bench_reports(
+            &base,
+            &slow,
+            &DiffConfig { strict_timing: true, ..DiffConfig::default() },
+        );
+        assert!(!d.passed());
     }
 }

@@ -24,10 +24,12 @@
 //!
 //! ## Determinism rule
 //!
-//! Span `elapsed_us` values are the only wall-clock data in a registry.
-//! Exports taken with [`report::Timing::Exclude`] are bit-identical across
-//! two runs with the same seed; nothing in this crate feeds back into
-//! simulation state, so enabling observability never perturbs results.
+//! Wall-clock data in a registry is exactly: span `elapsed_us`, `*_us`
+//! histograms, and `*_per_sec` gauges (see [`is_timing_name`]). Exports
+//! taken with [`report::Timing::Exclude`] drop all three and are
+//! bit-identical across two runs with the same seed; nothing in this crate
+//! feeds back into simulation state, so enabling observability never
+//! perturbs results.
 //!
 //! ## Naming convention
 //!
@@ -36,17 +38,23 @@
 //! (`pipeline`), and `[index]` suffixes for instances (`round[3]`,
 //! `client[0]`).
 
+pub mod alloc;
+pub mod cli;
 pub mod diff;
 pub mod json;
+pub mod profile;
 pub mod registry;
 pub mod report;
 pub mod stream;
 pub mod trace;
 
+pub use alloc::AllocStats;
+pub use cli::ObsCli;
 pub use json::Json;
+pub use profile::{collapsed_stacks, hot_spans, write_flame, SpanStat};
 pub use registry::{
     is_timing_name, Event, EventRecord, Histogram, HistogramSnapshot, Registry, Snapshot,
-    SpanGuard, SpanNode, FLIGHT_RECORDER_CAP, TIMING_SUFFIX,
+    SpanGuard, SpanNode, FLIGHT_RECORDER_CAP, RATE_SUFFIX, TIMING_SUFFIX,
 };
 pub use report::{
     check_report_file, collect_report_paths, deterministic_json, render_summary,

@@ -84,9 +84,16 @@ pub struct EventRecord {
 /// and `obs-diff` treats their drift as advisory.
 pub const TIMING_SUFFIX: &str = "_us";
 
-/// True when a metric name designates wall-clock (nondeterministic) data.
+/// Gauge names ending in this suffix hold wall-clock-derived throughput
+/// (items per second). Like `_us` data they are nondeterministic, so they
+/// get the same treatment: dropped from deterministic exports and
+/// timing-excluded streams, advisory in `obs-diff`.
+pub const RATE_SUFFIX: &str = "_per_sec";
+
+/// True when a metric name designates wall-clock (nondeterministic) data:
+/// `_us` durations and `_per_sec` throughput rates.
 pub fn is_timing_name(name: &str) -> bool {
-    name.ends_with(TIMING_SUFFIX)
+    name.ends_with(TIMING_SUFFIX) || name.ends_with(RATE_SUFFIX)
 }
 
 /// Live streaming state: a JSONL sink plus the timing mode.
@@ -102,6 +109,10 @@ struct SpanRec {
     start: Instant,
     /// Microseconds; `None` while the span is still open.
     elapsed_us: Option<u64>,
+    /// Process-wide allocator stats at span open; `Some` only when the
+    /// `track-alloc` feature is compiled in, so the default build carries no
+    /// per-span allocation data at all.
+    alloc_at_open: Option<crate::alloc::AllocStats>,
 }
 
 /// A fixed-bucket histogram over finite `f64` samples.
@@ -352,6 +363,66 @@ impl Inner {
             buf.push_back(rec);
         }
     }
+
+    /// Counter update + event emission; must be called under the lock.
+    fn counter_add_locked(&mut self, name: &str, v: u64) {
+        let total = match self.counters.get_mut(name) {
+            Some(c) => {
+                *c += v;
+                *c
+            }
+            None => {
+                self.counters.insert(name.to_string(), v);
+                v
+            }
+        };
+        if self.events_on() {
+            self.emit(Event::Counter {
+                name: name.to_string(),
+                delta: v,
+                total,
+            });
+        }
+    }
+
+    /// Attributes the allocator delta over a closing span's window to that
+    /// span's `*_allocs` / `*_bytes` counters and `*_peak_live_bytes` gauge
+    /// (gauge keeps the max across the span's instances). Only reachable
+    /// when the `track-alloc` feature captured stats at span open, so
+    /// default builds never grow these metrics.
+    fn attribute_alloc(
+        &mut self,
+        span_name: &str,
+        open: crate::alloc::AllocStats,
+        now: crate::alloc::AllocStats,
+    ) {
+        self.counter_add_locked(
+            &format!("{span_name}_allocs"),
+            now.allocs.saturating_sub(open.allocs),
+        );
+        self.counter_add_locked(
+            &format!("{span_name}_bytes"),
+            now.bytes.saturating_sub(open.bytes),
+        );
+        // Peak live bytes observed during the window: a new process-wide
+        // peak set while the span ran, else the live level is the best
+        // (lower-bound) estimate available without per-span accounting.
+        let window_peak = if now.peak_live_bytes > open.peak_live_bytes {
+            now.peak_live_bytes
+        } else {
+            open.live_bytes.max(now.live_bytes)
+        };
+        let key = format!("{span_name}_peak_live_bytes");
+        let prev = self.gauges.get(&key).copied().unwrap_or(0.0);
+        let value = (window_peak as f64).max(prev);
+        self.gauges.insert(key, value);
+        if self.events_on() {
+            self.emit(Event::Gauge {
+                name: format!("{span_name}_peak_live_bytes"),
+                value,
+            });
+        }
+    }
 }
 
 /// A thread-safe span/metric registry. The process-global instance lives in
@@ -417,6 +488,9 @@ impl Registry {
             return SpanGuard { reg: None, idx: 0 };
         }
         let start = Instant::now();
+        // Captured before taking the lock so the registry's own bookkeeping
+        // allocations are attributed to the enclosing span, not this one.
+        let alloc_at_open = crate::alloc::is_tracking().then(crate::alloc::stats);
         let mut inner = self.lock();
         if inner.spans.len() >= MAX_SPANS {
             inner.dropped_spans += 1;
@@ -439,6 +513,7 @@ impl Registry {
             parent,
             start,
             elapsed_us: None,
+            alloc_at_open,
         });
         inner.open.entry(tid).or_default().push(idx);
         SpanGuard {
@@ -448,6 +523,9 @@ impl Registry {
     }
 
     fn close_span(&self, idx: usize) {
+        // Captured before the lock for the same reason as in `span`: the
+        // close-side bookkeeping below belongs to the parent's window.
+        let alloc_now = crate::alloc::is_tracking().then(crate::alloc::stats);
         let mut inner = self.lock();
         let elapsed = inner.spans[idx].start.elapsed();
         let elapsed_us = elapsed.as_micros().min(u64::MAX as u128) as u64;
@@ -467,31 +545,27 @@ impl Registry {
                 elapsed_us,
             });
         }
+        if let (Some(now), Some(open)) = (alloc_now, inner.spans[idx].alloc_at_open) {
+            let name = inner.spans[idx].name.clone();
+            inner.attribute_alloc(&name, open, now);
+        }
     }
 
-    /// Adds to a monotonic counter (created on first use).
+    /// Adds to a monotonic counter (created on first use). Counters are
+    /// deterministic by contract, so timing-suffixed names are rejected in
+    /// debug builds (durations belong in `_us` histograms, rates in
+    /// `_per_sec` gauges).
     pub fn counter_add(&self, name: &str, v: u64) {
+        debug_assert!(
+            !is_timing_name(name),
+            "counter {name:?} uses a timing suffix (`{TIMING_SUFFIX}`/`{RATE_SUFFIX}`); \
+             counters must hold deterministic data"
+        );
         if !self.is_enabled() {
             return;
         }
         let mut inner = self.lock();
-        let total = match inner.counters.get_mut(name) {
-            Some(c) => {
-                *c += v;
-                *c
-            }
-            None => {
-                inner.counters.insert(name.to_string(), v);
-                v
-            }
-        };
-        if inner.events_on() {
-            inner.emit(Event::Counter {
-                name: name.to_string(),
-                delta: v,
-                total,
-            });
-        }
+        inner.counter_add_locked(name, v);
     }
 
     /// Current counter value (0 if never recorded).
@@ -499,8 +573,16 @@ impl Registry {
         self.lock().counters.get(name).copied().unwrap_or(0)
     }
 
-    /// Sets a gauge (last write wins).
+    /// Sets a gauge (last write wins). Durations must be `_us` histograms,
+    /// never gauges, so `_us`-suffixed gauge names are rejected in debug
+    /// builds; wall-clock-derived rates are allowed but must end in
+    /// `_per_sec` so exports can tell them apart from deterministic gauges.
     pub fn gauge_set(&self, name: &str, v: f64) {
+        debug_assert!(
+            !name.ends_with(TIMING_SUFFIX),
+            "gauge {name:?} ends in `{TIMING_SUFFIX}`; record durations into a `_us` histogram \
+             (rates use `{RATE_SUFFIX}`)"
+        );
         if !self.is_enabled() {
             return;
         }
@@ -518,7 +600,17 @@ impl Registry {
     /// are bound on first use (later calls may pass the same or any edges —
     /// only the first registration counts). Invalid edges on first use drop
     /// the sample.
+    ///
+    /// Histograms bucketed with [`crate::buckets::TIME_US`] hold wall-clock
+    /// microseconds and must be named `*_us` so deterministic exports can
+    /// filter them; debug builds enforce this. (The converse is not checked:
+    /// a `_us` histogram may use custom microsecond edges.)
     pub fn hist_record(&self, name: &str, edges: &[f64], v: f64) {
+        debug_assert!(
+            edges != crate::buckets::TIME_US || name.ends_with(TIMING_SUFFIX),
+            "histogram {name:?} uses the TIME_US wall-clock buckets but does not end in \
+             `{TIMING_SUFFIX}`; timing data must carry the timing suffix"
+        );
         if !self.is_enabled() {
             return;
         }
@@ -647,23 +739,7 @@ impl Registry {
         }
         inner.dropped_spans += snap.dropped_spans;
         for (name, &v) in &snap.counters {
-            let total = match inner.counters.get_mut(name) {
-                Some(c) => {
-                    *c += v;
-                    *c
-                }
-                None => {
-                    inner.counters.insert(name.clone(), v);
-                    v
-                }
-            };
-            if inner.events_on() {
-                inner.emit(Event::Counter {
-                    name: name.clone(),
-                    delta: v,
-                    total,
-                });
-            }
+            inner.counter_add_locked(name, v);
         }
         for (name, &v) in &snap.gauges {
             inner.gauges.insert(name.clone(), v);
@@ -750,6 +826,9 @@ fn absorb_span(inner: &mut Inner, node: &SpanNode, parent: Option<usize>) {
         parent,
         start: Instant::now(),
         elapsed_us: Some(node.elapsed_us),
+        // Absorbed spans already closed in their home registry; their
+        // allocations were attributed there.
+        alloc_at_open: None,
     });
     if inner.events_on() {
         inner.emit(Event::SpanOpen {

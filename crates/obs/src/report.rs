@@ -67,9 +67,10 @@ pub fn to_json(snap: &Snapshot, run: &str, timing: Timing) -> Json {
 }
 
 /// [`to_json`] plus an optional `critical_path` section (federated runs).
-/// With [`Timing::Exclude`], histograms whose names mark them as wall-clock
-/// data (`*_us`, see [`crate::is_timing_name`]) are omitted too — they are
-/// the histogram-shaped analogue of span `elapsed_us`.
+/// With [`Timing::Exclude`], histograms and gauges whose names mark them as
+/// wall-clock data (`*_us` durations, `*_per_sec` rates — see
+/// [`crate::is_timing_name`]) are omitted too — they are the metric-shaped
+/// analogue of span `elapsed_us`.
 pub fn to_json_full(
     snap: &Snapshot,
     run: &str,
@@ -97,6 +98,7 @@ pub fn to_json_full(
             Json::Obj(
                 snap.gauges
                     .iter()
+                    .filter(|(k, _)| timing == Timing::Include || !is_timing_name(k))
                     .map(|(k, &v)| (k.clone(), Json::Num(v)))
                     .collect(),
             ),

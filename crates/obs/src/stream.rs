@@ -4,9 +4,10 @@
 //! Layout: the first line is a header object
 //! `{"schema":"fexiot-obs-events/v1","run":NAME}`; every following line is
 //! one event object whose `"seq"` is strictly increasing. In timing-excluded
-//! mode span-close lines drop `elapsed_us` and samples for `*_us` histograms
-//! are suppressed entirely, so the stream is bit-identical across same-seed
-//! runs (the mirror of `Timing::Exclude` report exports).
+//! mode span-close lines drop `elapsed_us`, and samples for `*_us`
+//! histograms and writes to `*_per_sec` gauges are suppressed entirely, so
+//! the stream is bit-identical across same-seed runs (the mirror of
+//! `Timing::Exclude` report exports).
 
 use crate::json::Json;
 use crate::registry::{is_timing_name, Event, EventRecord};
@@ -24,8 +25,9 @@ pub fn header_line(run: &str) -> String {
 }
 
 /// Serializes one event record as a JSON value, or `None` when the event is
-/// suppressed in timing-excluded mode (samples of `*_us` histograms are
-/// wall-clock data and would break stream determinism).
+/// suppressed in timing-excluded mode (samples of `*_us` histograms and
+/// writes to `*_per_sec` gauges are wall-clock data and would break stream
+/// determinism).
 pub fn event_to_json(rec: &EventRecord, include_timing: bool) -> Option<Json> {
     let mut members = vec![("seq".to_string(), Json::UInt(rec.seq))];
     match &rec.event {
@@ -57,6 +59,9 @@ pub fn event_to_json(rec: &EventRecord, include_timing: bool) -> Option<Json> {
             members.push(("total".into(), Json::UInt(*total)));
         }
         Event::Gauge { name, value } => {
+            if !include_timing && is_timing_name(name) {
+                return None;
+            }
             members.push(("ev".into(), Json::Str("gauge".into())));
             members.push(("name".into(), Json::Str(name.clone())));
             members.push(("value".into(), Json::Num(*value)));

@@ -258,3 +258,64 @@ fn snapshot_deltas_support_round_accounting() {
     reg.reset();
     assert_eq!(reg.counter_value("fed.sim.lost_messages"), 0);
 }
+
+#[test]
+fn absorb_preserves_two_levels_of_nesting_and_merges_histograms() {
+    // A child registry records a grandchild-deep span tree plus metrics, as
+    // a federated client would.
+    let child = Arc::new(Registry::new());
+    {
+        let _w = child.span("client.work");
+        {
+            let _i = child.span("client.work.batch");
+            let _l = child.span("client.work.batch.step");
+            child.counter_add("client.steps", 4);
+        }
+        child.hist_record("client.step_us", buckets::TIME_US, 120.0);
+        child.hist_record("client.step_us", buckets::TIME_US, 450.0);
+    }
+    let child_snap = child.snapshot();
+
+    let parent = Arc::new(Registry::new());
+    parent.hist_record("client.step_us", buckets::TIME_US, 80.0);
+    {
+        let _round = parent.span("server.round");
+        assert_eq!(parent.absorb(&child_snap), 0);
+    }
+
+    let snap = parent.snapshot();
+    // The absorbed tree hangs under the span that was open during absorb,
+    // with the grandchild level intact; profile paths lock the ordering.
+    let paths: Vec<(String, u64)> = fexiot_obs::profile::profile(&snap)
+        .into_iter()
+        .map(|s| (s.path, s.count))
+        .collect();
+    assert_eq!(
+        paths,
+        vec![
+            ("server.round".to_string(), 1),
+            ("server.round;client.work".to_string(), 1),
+            ("server.round;client.work;client.work.batch".to_string(), 1),
+            (
+                "server.round;client.work;client.work.batch;client.work.batch.step".to_string(),
+                1
+            ),
+        ]
+    );
+    // Counters accumulate and histograms merge across the absorb.
+    assert_eq!(snap.counters["client.steps"], 4);
+    let h = &snap.histograms["client.step_us"];
+    assert_eq!(h.counts.iter().sum::<u64>() + h.underflow + h.overflow, 3);
+
+    // A second absorb of the same snapshot under a fresh round adds another
+    // instance of every path rather than collapsing them.
+    {
+        let _round = parent.span("server.round");
+        assert_eq!(parent.absorb(&child_snap), 0);
+    }
+    let again = fexiot_obs::profile::profile(&parent.snapshot());
+    for stat in &again {
+        assert_eq!(stat.count, 2, "path {} should have two instances", stat.path);
+    }
+    assert_eq!(parent.snapshot().counters["client.steps"], 8);
+}

@@ -3,11 +3,13 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 //!
-//! Pass `--obs-out DIR` to also write a `fexiot-obs/v1` observability run
-//! report (span timings + metrics) under DIR, and/or `--obs-stream FILE` to
-//! stream `fexiot-obs-events/v1` JSONL events live to FILE
-//! (`--obs-stream-timing exclude` drops wall-clock fields, making same-seed
-//! streams byte-identical).
+//! Accepts the shared observability flags (see `fexiot_obs::cli`):
+//! `--obs-out DIR` writes a `fexiot-obs/v1` run report (span timings +
+//! metrics) under DIR, `--obs-stream FILE` streams `fexiot-obs-events/v1`
+//! JSONL events live to FILE (`--obs-stream-timing exclude` drops wall-clock
+//! fields, making same-seed streams byte-identical), `--obs-flame FILE`
+//! writes flamegraph-compatible collapsed stacks, and `--obs-summary` prints
+//! the span tree after the run.
 
 use fexiot::{FexIot, FexIotConfig};
 use fexiot_graph::{generate_dataset, DatasetConfig};
@@ -15,34 +17,21 @@ use fexiot_tensor::Rng;
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let flag_value = |name: &str| {
-        argv.iter()
-            .position(|a| a == name)
-            .and_then(|i| argv.get(i + 1).cloned())
+    let obs = match fexiot_obs::ObsCli::from_argv(&argv) {
+        Ok(obs) => obs,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
     };
-    let obs_out = flag_value("--obs-out");
-    let obs_stream = flag_value("--obs-stream");
-    if obs_out.is_some() || obs_stream.is_some() {
-        fexiot_obs::set_global_enabled(true);
-    }
-    if let Some(path) = &obs_stream {
-        let include_timing =
-            flag_value("--obs-stream-timing").as_deref() != Some("exclude");
-        fexiot_obs::stream_global_to_file(std::path::Path::new(path), "quickstart", include_timing)
-            .expect("open obs stream");
-    }
+    obs.begin("quickstart").expect("set up observability");
 
     demo();
 
-    if obs_stream.is_some() {
-        fexiot_obs::close_global_stream();
+    if obs.enabled() {
+        println!();
     }
-    if let Some(dir) = obs_out {
-        let snap = fexiot_obs::global().snapshot();
-        let path = fexiot_obs::write_report(std::path::Path::new(&dir), "quickstart", &snap)
-            .expect("write obs report");
-        println!("\nobs report written to {}", path.display());
-    }
+    obs.finish("quickstart", None).expect("export observability");
 }
 
 fn demo() {
