@@ -4,7 +4,7 @@
 //! and prints a summary table.
 //!
 //! ```text
-//! perf [--reps N] [--seed S] [--out-dir DIR] [--refresh-baselines] [--full]
+//! perf [--reps N] [--seed S] [--threads T] [--out-dir DIR] [--refresh-baselines] [--full]
 //! ```
 //!
 //! `BENCH_<workload>.json` / `BENCH_<workload>.flame` land in `--out-dir`
@@ -18,7 +18,7 @@ use fexiot_bench::{print_table, Scale};
 use std::path::{Path, PathBuf};
 
 const USAGE: &str =
-    "usage: perf [--reps N] [--seed S] [--out-dir DIR] [--refresh-baselines] [--full]";
+    "usage: perf [--reps N] [--seed S] [--threads T] [--out-dir DIR] [--refresh-baselines] [--full]";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -49,6 +49,15 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage());
             }
+            "--threads" => {
+                i += 1;
+                let t: usize = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&t| t > 0)
+                    .unwrap_or_else(|| usage());
+                fexiot_par::set_threads(t);
+            }
             "--out-dir" => {
                 i += 1;
                 out_dir = PathBuf::from(argv.get(i).unwrap_or_else(|| usage()));
@@ -68,6 +77,9 @@ fn main() {
         scale: Scale::from_args(&boolean_tokens),
         reps,
         seed,
+        // Resolved after any `--threads` override: CLI flag, else
+        // FEXIOT_THREADS, else the machine's available parallelism.
+        threads: fexiot_par::pool().threads(),
     };
 
     if let Err(e) = std::fs::create_dir_all(&out_dir) {

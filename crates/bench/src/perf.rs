@@ -33,6 +33,10 @@ pub struct PerfConfig {
     pub scale: Scale,
     pub reps: usize,
     pub seed: u64,
+    /// Parallel execution width the workloads ran at. Part of the bench
+    /// identity: `obs-diff` refuses to compare reports with different
+    /// `threads` (wall-clock numbers at different widths are not comparable).
+    pub threads: usize,
 }
 
 impl Default for PerfConfig {
@@ -41,6 +45,7 @@ impl Default for PerfConfig {
             scale: Scale::Small,
             reps: 5,
             seed: 42,
+            threads: fexiot_par::pool().threads(),
         }
     }
 }
@@ -286,6 +291,7 @@ pub fn to_json(report: &WorkloadReport, cfg: &PerfConfig) -> Json {
         ("scale", Json::Str(cfg.scale.name().to_string())),
         ("reps", Json::UInt(cfg.reps as u64)),
         ("seed", Json::UInt(cfg.seed)),
+        ("threads", Json::UInt(cfg.threads as u64)),
         (
             "items",
             Json::Obj(

@@ -17,6 +17,7 @@ fn same_seed_runs_are_bit_identical_outside_timing() {
         scale: Scale::Small,
         reps: 1,
         seed: 7,
+        threads: 1,
     };
     let a = perf::run_workload("featurize", &cfg).expect("known workload");
     let b = perf::run_workload("featurize", &cfg).expect("known workload");

@@ -10,7 +10,10 @@
 //!                     [--checkpoint-dir DIR]         # federated run under faults
 //! ```
 //!
-//! Every subcommand also accepts the shared observability flags (parsed by
+//! Every subcommand accepts `--threads N` to pin the deterministic parallel
+//! execution width (default: `FEXIOT_THREADS`, else the machine's available
+//! parallelism; results are bit-identical at any width — see DESIGN.md
+//! §Execution model), plus the shared observability flags (parsed by
 //! [`fexiot_obs::cli::ObsCli`]): `--obs-summary` (print the span tree and
 //! metric digests after the run), `--obs-out DIR` (write a `fexiot-obs/v1`
 //! JSON run report under DIR), `--obs-stream FILE` (stream
@@ -100,7 +103,7 @@ impl Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  fexiot-cli train    [--graphs N] [--seed S] [--encoder gin|gcn|magnn] --out MODEL\n  fexiot-cli eval     --model MODEL [--graphs N] [--seed S]\n  fexiot-cli detect   --model MODEL [--seed S]\n  fexiot-cli explain  --model MODEL [--seed S]\n  fexiot-cli federate [--clients N] [--rounds R] [--strategy fexiot|fedavg|fmtl|gcfl|local]\n                      [--graphs N] [--seed S] [--alpha A]\n                      [--dropout P] [--msg-loss P] [--straggler P] [--corrupt P]\n                      [--checkpoint-dir DIR]  (resumes from the newest checkpoint there)\n  any subcommand: [--obs-summary] [--obs-out DIR] [--obs-flame FILE]\n                  [--obs-stream FILE] [--obs-stream-timing include|exclude]  (observability export)"
+        "usage:\n  fexiot-cli train    [--graphs N] [--seed S] [--encoder gin|gcn|magnn] --out MODEL\n  fexiot-cli eval     --model MODEL [--graphs N] [--seed S]\n  fexiot-cli detect   --model MODEL [--seed S]\n  fexiot-cli explain  --model MODEL [--seed S]\n  fexiot-cli federate [--clients N] [--rounds R] [--strategy fexiot|fedavg|fmtl|gcfl|local]\n                      [--graphs N] [--seed S] [--alpha A]\n                      [--dropout P] [--msg-loss P] [--straggler P] [--corrupt P]\n                      [--checkpoint-dir DIR]  (resumes from the newest checkpoint there)\n  any subcommand: [--threads N]  (parallel width; default FEXIOT_THREADS or all cores)\n                  [--obs-summary] [--obs-out DIR] [--obs-flame FILE]\n                  [--obs-stream FILE] [--obs-stream-timing include|exclude]  (observability export)"
     );
     ExitCode::from(2)
 }
@@ -126,6 +129,16 @@ fn main() -> ExitCode {
     let Some(args) = Args::parse() else {
         return usage();
     };
+    // `--threads N` pins the data-parallel width before any stage runs;
+    // without it the pool resolves FEXIOT_THREADS / available parallelism.
+    match args.get("threads").map(str::parse::<usize>) {
+        None => {}
+        Some(Ok(t)) if t > 0 => fexiot_par::set_threads(t),
+        Some(_) => {
+            eprintln!("--threads expects a positive integer");
+            return usage();
+        }
+    }
     // The shared helper owns the `--obs-*` namespace: known-flag validation,
     // stream/report/flame lifecycle (see fexiot_obs::cli).
     let obs = match fexiot_obs::ObsCli::from_pairs(&args.values) {

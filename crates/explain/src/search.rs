@@ -77,6 +77,7 @@ pub fn explain(
 ) -> Explanation {
     assert!(graph.node_count() > 0, "explain: empty graph");
     let _span = fexiot_obs::span("explain.search");
+    let started = std::time::Instant::now();
     let n = graph.node_count();
     let mut rng = Rng::seed_from_u64(config.seed);
     let mut evaluations = 0usize;
@@ -176,6 +177,12 @@ pub fn explain(
     let (mut nodes, score) = best.expect("at least one candidate");
     nodes.sort_unstable();
     fexiot_obs::counter_add("explain.search.evals", evaluations as u64);
+    // The `_per_sec` suffix marks it as wall-clock data, kept out of
+    // deterministic exports and timing-excluded streams.
+    let secs = started.elapsed().as_secs_f64();
+    if secs > 0.0 {
+        fexiot_obs::gauge_set("explain.search.evals_per_sec", evaluations as f64 / secs);
+    }
     Explanation {
         nodes,
         score,

@@ -90,21 +90,33 @@ pub fn shap_value(
         .collect();
 
     let k = config.samples.max(m); // enough rows for the regression
+    // Draw every coalition on the calling thread first — the RNG stream is
+    // consumed in exactly the sequential order — then score the rows (pure,
+    // obs-free model evaluations) through the pool. Targets are gathered in
+    // row order, so the regression inputs are bit-identical at any width.
+    let coalitions: Vec<Vec<bool>> = (0..k)
+        .map(|_| {
+            let size = 1 + rng.weighted_index(&size_weights);
+            let chosen = rng.sample_indices(m, size);
+            let mut coalition = vec![false; m];
+            for &c in &chosen {
+                coalition[c] = true;
+            }
+            coalition
+        })
+        .collect();
+    let targets: Vec<f64> = fexiot_par::pool().map_indexed(&coalitions, |_, coalition| {
+        let present = players.mask(coalition, n_nodes);
+        scorer.score_with_nodes(graph, &present) - f_empty
+    });
     let mut design = Matrix::zeros(k, m);
     let mut target = Matrix::zeros(k, 1);
     let mut weights = Vec::with_capacity(k);
-    for row in 0..k {
-        let size = 1 + rng.weighted_index(&size_weights);
-        let chosen = rng.sample_indices(m, size);
-        let mut coalition = vec![false; m];
-        for &c in &chosen {
-            coalition[c] = true;
-        }
+    for (row, (coalition, t)) in coalitions.iter().zip(&targets).enumerate() {
         for (p, &inc) in coalition.iter().enumerate() {
             design[(row, p)] = if inc { 1.0 } else { 0.0 };
         }
-        let present = players.mask(&coalition, n_nodes);
-        target[(row, 0)] = scorer.score_with_nodes(graph, &present) - f_empty;
+        target[(row, 0)] = *t;
         weights.push(1.0);
     }
 
@@ -139,19 +151,26 @@ pub fn monte_carlo_shapley(
         let empty = scorer.score_with_nodes(graph, &vec![false; n_nodes]);
         return full - empty;
     }
-    let mut acc = 0.0;
-    for _ in 0..samples.max(1) {
-        // Random coalition of the other players; marginal contribution of
-        // player 0 on top of it.
-        let mut coalition = vec![false; m];
-        for flag in coalition.iter_mut().skip(1) {
-            *flag = rng.bool(0.5);
-        }
-        let without = players.mask(&coalition, n_nodes);
-        coalition[0] = true;
-        let with = players.mask(&coalition, n_nodes);
-        acc += scorer.score_with_nodes(graph, &with) - scorer.score_with_nodes(graph, &without);
-    }
+    // Pre-draw every random coalition sequentially, score the marginal
+    // contributions in parallel, and reduce in sample order — the f64
+    // accumulation sequence matches the sequential loop exactly.
+    let coalitions: Vec<Vec<bool>> = (0..samples.max(1))
+        .map(|_| {
+            let mut coalition = vec![false; m];
+            for flag in coalition.iter_mut().skip(1) {
+                *flag = rng.bool(0.5);
+            }
+            coalition
+        })
+        .collect();
+    let marginals: Vec<f64> = fexiot_par::pool().map_indexed(&coalitions, |_, coalition| {
+        let without = players.mask(coalition, n_nodes);
+        let mut with_player = coalition.clone();
+        with_player[0] = true;
+        let with = players.mask(&with_player, n_nodes);
+        scorer.score_with_nodes(graph, &with) - scorer.score_with_nodes(graph, &without)
+    });
+    let acc: f64 = marginals.iter().sum();
     acc / samples.max(1) as f64
 }
 

@@ -320,20 +320,39 @@ impl FedSim {
             .collect();
 
         // Local training on every online client (stragglers train too —
-        // they are slow, not dead). Client-side instrumentation goes to the
-        // client's child registry, merged into the main trace under the
-        // still-open `client[i]` span as soon as the client finishes.
+        // they are slow, not dead). The fault plan was drawn above on the
+        // calling thread, so the scatter sees a fixed participation vector;
+        // each client trains against its own RNG stream and its own child
+        // registry (`with_registry` routes the trainer's global-registry
+        // instrumentation there), which keeps both the parameter math and
+        // the traces independent of worker interleaving.
         let local_cfg = ContrastiveConfig {
             seed: self.config.local.seed ^ (self.round as u64) << 17,
             ..self.config.local.clone()
         };
+        let losses: Vec<Option<f64>> = {
+            let client_obs = &self.client_obs;
+            let participation = &round_faults.participation;
+            fexiot_par::pool().map_mut(&mut self.clients, |i, client| {
+                if !participation[i].trains() {
+                    return None;
+                }
+                let creg = &client_obs[i];
+                Some(fexiot_obs::with_registry(creg, || {
+                    client.local_train_traced(&local_cfg, creg)
+                }))
+            })
+        };
+        // Gather in client order: losses sum in the same sequence as the
+        // sequential loop (bit-identical mean), and each child trace is
+        // merged under its `client[i]` span before the next one.
         let mut total_loss = 0.0;
         let mut trained = 0usize;
-        for i in 0..n {
-            if round_faults.participation[i].trains() {
+        for (i, loss) in losses.into_iter().enumerate() {
+            if let Some(loss) = loss {
                 let _s = obs.span(format!("client[{i}]"));
-                let creg = Arc::clone(&self.client_obs[i]);
-                total_loss += self.clients[i].local_train_traced(&local_cfg, &creg);
+                let creg = &self.client_obs[i];
+                total_loss += loss;
                 trained += 1;
                 self.cost_acc[i].trained = true;
                 obs.absorb(&creg.snapshot());

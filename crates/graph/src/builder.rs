@@ -107,6 +107,19 @@ impl GraphBuilder {
     /// Builds a graph from explicit rules: edges from ground-truth semantics,
     /// label from the structural detector.
     pub fn build_graph(&self, rules: &[Rule]) -> InteractionGraph {
+        let mut graph = self.build_structure(rules);
+        self.fill_features(&mut graph);
+        graph
+    }
+
+    /// The structural half of [`build_graph`]: edges, label, and rule nodes
+    /// with **empty** feature vectors. Edge derivation and the vulnerability
+    /// detector read only rule semantics, never node features, so a
+    /// structure-only graph carries the final label — featurization (the NLP
+    /// parse + embedding, by far the dominant cost) can be deferred to a
+    /// batched [`GraphBuilder::fill_features`] pass over the graphs that are
+    /// actually kept, and run on any number of threads (it consumes no RNG).
+    pub fn build_structure(&self, rules: &[Rule]) -> InteractionGraph {
         let n = rules.len();
         let mut edges = Vec::new();
         for i in 0..n {
@@ -120,7 +133,7 @@ impl GraphBuilder {
             .iter()
             .map(|rule| RuleNode {
                 rule: rule.clone(),
-                features: self.node_features(rule),
+                features: Vec::new(),
             })
             .collect();
         let mut graph = InteractionGraph::new(nodes, edges);
@@ -129,10 +142,33 @@ impl GraphBuilder {
         graph
     }
 
+    /// Computes [`GraphBuilder::node_features`] for every node of a
+    /// structure-only graph (see [`GraphBuilder::build_structure`]). A pure
+    /// function of the rules: filling before or after sampling decisions
+    /// yields bit-identical datasets.
+    pub fn fill_features(&self, graph: &mut InteractionGraph) {
+        for node in &mut graph.nodes {
+            node.features = self.node_features(&node.rule);
+        }
+    }
+
     /// Samples a connected graph of roughly `target_size` nodes by randomly
     /// chaining correlated rule pairs from the corpus index (paper: "randomly
     /// choose and chain the trigger-action and action-trigger pairs").
     pub fn sample_graph(
+        &self,
+        index: &CorpusIndex,
+        target_size: usize,
+        rng: &mut Rng,
+    ) -> InteractionGraph {
+        let mut graph = self.sample_structure(index, target_size, rng);
+        self.fill_features(&mut graph);
+        graph
+    }
+
+    /// [`GraphBuilder::sample_graph`] without featurization (see
+    /// [`GraphBuilder::build_structure`]). Consumes the identical RNG stream.
+    pub fn sample_structure(
         &self,
         index: &CorpusIndex,
         target_size: usize,
@@ -169,12 +205,28 @@ impl GraphBuilder {
             }
         }
         let rules: Vec<Rule> = chosen.iter().map(|&i| index.rules[i].clone()).collect();
-        self.build_graph(&rules)
+        self.build_structure(&rules)
     }
 
     /// Samples a graph guaranteed to contain the given vulnerability: the
     /// injector's pattern rules are planted and padded with corpus rules.
     pub fn sample_vulnerable(
+        &self,
+        kind: VulnKind,
+        index: &CorpusIndex,
+        target_size: usize,
+        gen: &mut CorpusGenerator,
+        rng: &mut Rng,
+    ) -> InteractionGraph {
+        let mut graph = self.sample_vulnerable_structure(kind, index, target_size, gen, rng);
+        self.fill_features(&mut graph);
+        graph
+    }
+
+    /// [`GraphBuilder::sample_vulnerable`] without featurization (see
+    /// [`GraphBuilder::build_structure`]). The acceptance retries check only
+    /// the structural label, so the RNG stream is identical.
+    pub fn sample_vulnerable_structure(
         &self,
         kind: VulnKind,
         index: &CorpusIndex,
@@ -199,14 +251,14 @@ impl GraphBuilder {
                     break;
                 }
             }
-            let graph = self.build_graph(&rules);
+            let graph = self.build_structure(&rules);
             if graph.label.as_ref().is_some_and(|l| l.vulnerable) {
                 return graph;
             }
         }
         // Unlucky padding every time: the unpadded pattern is vulnerable by
         // construction.
-        self.build_graph(&core)
+        self.build_structure(&core)
     }
 }
 

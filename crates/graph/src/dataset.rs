@@ -205,6 +205,16 @@ impl DatasetConfig {
 /// Generates a labeled dataset: random chained graphs plus injected
 /// vulnerability patterns in the configured proportion.
 pub fn generate_dataset(config: &DatasetConfig, rng: &mut Rng) -> GraphDataset {
+    generate_dataset_with(&fexiot_par::pool(), config, rng)
+}
+
+/// [`generate_dataset`] on an explicit pool (see
+/// [`generate_from_index_with`] for where the parallelism lands).
+pub fn generate_dataset_with(
+    pool: &fexiot_par::ParPool,
+    config: &DatasetConfig,
+    rng: &mut Rng,
+) -> GraphDataset {
     // `pipeline` is the run-level root span for the data pipeline: corpus
     // generation → NLP featurization/indexing → graph fusion (see DESIGN.md
     // §Observability for the naming convention).
@@ -236,12 +246,30 @@ pub fn generate_dataset(config: &DatasetConfig, rng: &mut Rng) -> GraphDataset {
     }
     let builder = GraphBuilder::new(config.features);
     let _s = fexiot_obs::span("pipeline.fuse");
-    generate_from_index(&builder, &index, &mut gen, config, rng)
+    generate_from_index_with(pool, &builder, &index, &mut gen, config, rng)
 }
 
 /// Same as [`generate_dataset`] but reusing a prebuilt corpus index (lets
 /// callers share one corpus across many datasets/clients).
 pub fn generate_from_index(
+    builder: &GraphBuilder,
+    index: &CorpusIndex,
+    gen: &mut CorpusGenerator,
+    config: &DatasetConfig,
+    rng: &mut Rng,
+) -> GraphDataset {
+    generate_from_index_with(&fexiot_par::pool(), builder, index, gen, config, rng)
+}
+
+/// [`generate_from_index`] on an explicit pool. Sampling decisions (RNG
+/// draws, quota acceptance, the final shuffle) stay sequential on the calling
+/// thread over *structure-only* graphs; node featurization — the dominant
+/// cost, a pure per-graph function consuming no RNG — is deferred to one
+/// parallel fill pass over the accepted graphs. The dataset is bit-identical
+/// to the historic sample-then-featurize loop at any thread count, and
+/// rejected samples no longer pay for embeddings at all.
+pub fn generate_from_index_with(
+    pool: &fexiot_par::ParPool,
     builder: &GraphBuilder,
     index: &CorpusIndex,
     gen: &mut CorpusGenerator,
@@ -258,7 +286,7 @@ pub fn generate_from_index(
     for i in 0..injected_quota {
         let size = rng.range(config.min_nodes, config.max_nodes + 1);
         let kind = VulnKind::ALL[i % VulnKind::ALL.len()];
-        graphs.push(builder.sample_vulnerable(kind, index, size, gen, rng));
+        graphs.push(builder.sample_vulnerable_structure(kind, index, size, gen, rng));
     }
     // Randomly chained graphs, accepted against the remaining quotas.
     let mut natural_vuln = 0usize;
@@ -269,7 +297,7 @@ pub fn generate_from_index(
     while (natural_vuln < natural_quota || benign < benign_quota) && attempts < attempt_cap {
         attempts += 1;
         let size = rng.range(config.min_nodes, config.max_nodes + 1);
-        let g = builder.sample_graph(index, size, rng);
+        let g = builder.sample_structure(index, size, rng);
         let vulnerable = g.label.as_ref().is_some_and(|l| l.vulnerable);
         if vulnerable && natural_vuln < natural_quota {
             natural_vuln += 1;
@@ -283,9 +311,12 @@ pub fn generate_from_index(
     // top up with whatever samples come so the dataset size is honored.
     while graphs.len() < total {
         let size = rng.range(config.min_nodes, config.max_nodes + 1);
-        graphs.push(builder.sample_graph(index, size, rng));
+        graphs.push(builder.sample_structure(index, size, rng));
     }
     rng.shuffle(&mut graphs);
+    // Deferred featurization of the accepted graphs (order-preserving,
+    // RNG-free — see the function docs).
+    pool.map_mut(&mut graphs, |_, g| builder.fill_features(g));
     fexiot_obs::counter_add("graph.dataset.graphs", graphs.len() as u64);
     GraphDataset::new(graphs)
 }
@@ -445,6 +476,36 @@ mod tests {
         let a = kinds(&fed.clients[0]);
         let b = kinds(&fed.clients[1]);
         assert!(a != b, "archetypes should differ in deployed devices");
+    }
+
+    #[test]
+    fn generation_is_bit_identical_at_any_thread_count() {
+        let gen_with = |threads: usize| {
+            let mut rng = Rng::seed_from_u64(11);
+            generate_dataset_with(
+                &fexiot_par::ParPool::new(threads),
+                &DatasetConfig::small_ifttt(),
+                &mut rng,
+            )
+        };
+        let base = gen_with(1);
+        for threads in [2, 7] {
+            let ds = gen_with(threads);
+            assert_eq!(ds.graphs.len(), base.graphs.len());
+            for (g, bg) in ds.graphs.iter().zip(&base.graphs) {
+                assert_eq!(g.edges, bg.edges, "threads={threads}");
+                assert_eq!(g.label, bg.label, "threads={threads}");
+                for (n, bn) in g.nodes.iter().zip(&bg.nodes) {
+                    let bits =
+                        |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<u64>>();
+                    assert_eq!(
+                        bits(&n.features),
+                        bits(&bn.features),
+                        "threads={threads}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

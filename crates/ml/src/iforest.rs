@@ -84,16 +84,17 @@ impl ITree {
             return nodes.len() - 1;
         };
         let threshold = rng.uniform(lo, hi);
-        let left_idx: Vec<usize> = idx
-            .iter()
-            .copied()
-            .filter(|&i| x[(i, f)] < threshold)
-            .collect();
-        let right_idx: Vec<usize> = idx
-            .iter()
-            .copied()
-            .filter(|&i| x[(i, f)] >= threshold)
-            .collect();
+        // Single-pass partition: both sides keep `idx` order and no RNG is
+        // consumed, so the tree is identical to a two-pass filter.
+        let mut left_idx = Vec::with_capacity(idx.len());
+        let mut right_idx = Vec::with_capacity(idx.len());
+        for &i in idx {
+            if x[(i, f)] < threshold {
+                left_idx.push(i);
+            } else {
+                right_idx.push(i);
+            }
+        }
         if left_idx.is_empty() || right_idx.is_empty() {
             nodes.push(INode::Leaf { size: idx.len() });
             return nodes.len() - 1;

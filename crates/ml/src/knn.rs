@@ -25,27 +25,30 @@ impl Knn {
         }
     }
 
-    fn vote(&self, row: &[f64]) -> Vec<f64> {
+    /// Writes the normalized class votes for `row` into `votes` (one slot
+    /// per class, already zeroed).
+    fn vote(&self, row: &[f64], votes: &mut [f64]) {
         let mut dists: Vec<(f64, usize)> = (0..self.x.rows())
             .map(|i| (euclidean(self.x.row(i), row), self.y[i]))
             .collect();
         dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-        let mut votes = vec![0.0; self.classes];
         for &(_, label) in dists.iter().take(self.k) {
             votes[label] += 1.0;
         }
         let total: f64 = votes.iter().sum();
         if total > 0.0 {
-            for v in &mut votes {
+            for v in votes {
                 *v /= total;
             }
         }
-        votes
     }
 
     pub fn predict_proba(&self, x: &Matrix) -> Matrix {
-        let rows: Vec<Vec<f64>> = (0..x.rows()).map(|r| self.vote(x.row(r))).collect();
-        Matrix::from_rows(&rows)
+        let mut out = Matrix::zeros(x.rows(), self.classes);
+        for r in 0..x.rows() {
+            self.vote(x.row(r), out.row_mut(r));
+        }
+        out
     }
 
     pub fn predict(&self, x: &Matrix) -> Vec<usize> {

@@ -5,17 +5,19 @@
 //! distance as the similarity feature. Cost between elements is cosine
 //! distance (`1 - cos`).
 
-/// DTW distance between two sequences of vectors under cosine distance,
-/// normalized by the warping-path length so values are comparable across
-/// sequence lengths. Returns 0 when both sequences are empty and 1 when
-/// exactly one is empty (maximally dissimilar).
-pub fn dtw_distance(a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
-    match (a.is_empty(), b.is_empty()) {
+use fexiot_tensor::matrix::Matrix;
+
+/// DTW distance between two embedding sequences (one row per element) under
+/// cosine distance, normalized by the warping-path length so values are
+/// comparable across sequence lengths. Returns 0 when both sequences are
+/// empty and 1 when exactly one is empty (maximally dissimilar).
+pub fn dtw_distance(a: &Matrix, b: &Matrix) -> f64 {
+    match (a.rows() == 0, b.rows() == 0) {
         (true, true) => return 0.0,
         (true, false) | (false, true) => return 1.0,
         _ => {}
     }
-    let (n, m) = (a.len(), b.len());
+    let (n, m) = (a.rows(), b.rows());
     const INF: f64 = f64::INFINITY;
     // dp[i][j] = (cost, path length); stored flat with two planes.
     let mut cost = vec![INF; (n + 1) * (m + 1)];
@@ -25,7 +27,7 @@ pub fn dtw_distance(a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
 
     for i in 1..=n {
         for j in 1..=m {
-            let d = cosine_distance(&a[i - 1], &b[j - 1]);
+            let d = cosine_distance(a.row(i - 1), b.row(j - 1));
             let candidates = [(i - 1, j), (i, j - 1), (i - 1, j - 1)];
             let (pi, pj) = candidates
                 .into_iter()
@@ -51,7 +53,7 @@ pub fn dtw_distance(a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
 }
 
 /// DTW similarity in `[0, 1]`: `1 - clamp(distance)`.
-pub fn dtw_similarity(a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
+pub fn dtw_similarity(a: &Matrix, b: &Matrix) -> f64 {
     (1.0 - dtw_distance(a, b)).clamp(0.0, 1.0)
 }
 
@@ -63,8 +65,9 @@ fn cosine_distance(a: &[f64], b: &[f64]) -> f64 {
 mod tests {
     use super::*;
 
-    fn seq(vals: &[&[f64]]) -> Vec<Vec<f64>> {
-        vals.iter().map(|v| v.to_vec()).collect()
+    fn seq(vals: &[&[f64]]) -> Matrix {
+        let rows: Vec<Vec<f64>> = vals.iter().map(|v| v.to_vec()).collect();
+        Matrix::from_rows(&rows)
     }
 
     #[test]
@@ -93,7 +96,7 @@ mod tests {
     #[test]
     fn empty_cases() {
         let a = seq(&[&[1.0, 0.0]]);
-        let empty: Vec<Vec<f64>> = Vec::new();
+        let empty = Matrix::zeros(0, 2);
         assert_eq!(dtw_distance(&empty, &empty), 0.0);
         assert_eq!(dtw_distance(&a, &empty), 1.0);
         assert_eq!(dtw_distance(&empty, &a), 1.0);

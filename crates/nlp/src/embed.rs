@@ -9,6 +9,7 @@
 //! rely on.
 
 use crate::lexicon::Lexicon;
+use fexiot_tensor::matrix::Matrix;
 use fexiot_tensor::rng::Rng;
 
 /// Dimensionality of word embeddings (matches spaCy's 300).
@@ -102,9 +103,13 @@ impl WordEmbedder {
         v
     }
 
-    /// Embeds a token sequence as the sequence of word vectors.
-    pub fn embed_sequence(&self, words: &[String], lex: &Lexicon) -> Vec<Vec<f64>> {
-        words.iter().map(|w| self.embed(w, lex)).collect()
+    /// Embeds a token sequence as a matrix with one word vector per row.
+    pub fn embed_sequence(&self, words: &[String], lex: &Lexicon) -> Matrix {
+        let mut out = Matrix::zeros(words.len(), self.dim);
+        for (i, w) in words.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(&self.embed(w, lex));
+        }
+        out
     }
 
     /// Mean of the word vectors (zero vector for empty input).

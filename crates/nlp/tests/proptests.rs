@@ -3,9 +3,18 @@
 
 use fexiot_nlp::dtw::dtw_distance;
 use fexiot_nlp::jenks;
+use fexiot_tensor::matrix::Matrix;
 use fexiot_nlp::tokenize::{analyze, tokenize};
 use fexiot_nlp::{Lexicon, PairFeatureExtractor, WordEmbedder, PAIR_FEATURE_DIM};
 use proptest::prelude::*;
+
+fn rows_to_matrix(rows: &[Vec<f64>], cols: usize) -> Matrix {
+    if rows.is_empty() {
+        Matrix::zeros(0, cols)
+    } else {
+        Matrix::from_rows(rows)
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -42,6 +51,7 @@ proptest! {
         a in proptest::collection::vec(proptest::collection::vec(-1.0..1.0f64, 3), 0..5),
         b in proptest::collection::vec(proptest::collection::vec(-1.0..1.0f64, 3), 0..5),
     ) {
+        let (a, b) = (rows_to_matrix(&a, 3), rows_to_matrix(&b, 3));
         let d_ab = dtw_distance(&a, &b);
         let d_ba = dtw_distance(&b, &a);
         prop_assert!((d_ab - d_ba).abs() < 1e-9);
@@ -52,6 +62,7 @@ proptest! {
     fn dtw_identity_of_indiscernibles(
         a in proptest::collection::vec(proptest::collection::vec(0.1..1.0f64, 3), 1..5),
     ) {
+        let a = rows_to_matrix(&a, 3);
         prop_assert!(dtw_distance(&a, &a) < 1e-9);
     }
 

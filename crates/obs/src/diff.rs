@@ -439,7 +439,7 @@ pub fn validate_bench_report(doc: &Json) -> Result<(), String> {
             .and_then(Json::as_str)
             .ok_or_else(|| format!("missing string field '{field}'"))?;
     }
-    for field in ["reps", "seed"] {
+    for field in ["reps", "seed", "threads"] {
         doc.get(field)
             .and_then(Json::as_u64)
             .ok_or_else(|| format!("missing integer field '{field}'"))?;
@@ -476,8 +476,9 @@ pub fn validate_bench_report(doc: &Json) -> Result<(), String> {
 }
 
 /// Compares two validated `fexiot-bench/v1` documents. Identity fields
-/// (workload, scale, reps, seed) and item counts are deterministic —
-/// drift is breaking. Allocation counters are breaking only when both runs
+/// (workload, scale, reps, seed, threads) and item counts are deterministic
+/// — drift is breaking (timing across different thread counts is never
+/// comparable). Allocation counters are breaking only when both runs
 /// tracked allocations (a tracked/untracked mismatch is advisory, since the
 /// untracked side holds zeros by construction). Timing percentiles get the
 /// usual wall-clock treatment: p50 slowdown beyond `timing_tolerance` above
@@ -505,7 +506,7 @@ pub fn diff_bench_reports(baseline: &Json, current: &Json, cfg: &DiffConfig) -> 
             );
         }
     }
-    for field in ["reps", "seed"] {
+    for field in ["reps", "seed", "threads"] {
         let (a, b) = (uint_field(baseline, field), uint_field(current, field));
         if a != b {
             out.push(
@@ -695,7 +696,7 @@ mod tests {
 
     fn bench(seed: u64, graphs: u64, allocs: u64, tracked: bool, p50: u64) -> Json {
         Json::parse(&format!(
-            r#"{{"schema":"fexiot-bench/v1","workload":"featurize","scale":"small","reps":5,"seed":{seed},"items":{{"graphs":{graphs}}},"alloc":{{"tracked":{tracked},"allocs":{allocs},"bytes":0,"peak_live_bytes":0}},"timing_us":{{"mean":{p50},"p50":{p50},"p90":{p50},"p99":{p50},"min":{p50},"max":{p50},"total":{p50}}}}}"#
+            r#"{{"schema":"fexiot-bench/v1","workload":"featurize","scale":"small","reps":5,"seed":{seed},"threads":1,"items":{{"graphs":{graphs}}},"alloc":{{"tracked":{tracked},"allocs":{allocs},"bytes":0,"peak_live_bytes":0}},"timing_us":{{"mean":{p50},"p50":{p50},"p90":{p50},"p99":{p50},"min":{p50},"max":{p50},"total":{p50}}}}}"#
         ))
         .expect("valid bench doc")
     }

@@ -53,8 +53,9 @@ pub use cli::ObsCli;
 pub use json::Json;
 pub use profile::{collapsed_stacks, hot_spans, write_flame, SpanStat};
 pub use registry::{
-    is_timing_name, Event, EventRecord, Histogram, HistogramSnapshot, Registry, Snapshot,
-    SpanGuard, SpanNode, FLIGHT_RECORDER_CAP, RATE_SUFFIX, TIMING_SUFFIX,
+    is_environment_name, is_timing_name, Event, EventRecord, Histogram, HistogramSnapshot,
+    Registry, Snapshot, SpanGuard, SpanNode, ENVIRONMENT_PREFIX, FLIGHT_RECORDER_CAP, RATE_SUFFIX,
+    TIMING_SUFFIX,
 };
 pub use report::{
     check_report_file, collect_report_paths, deterministic_json, render_summary,
@@ -62,13 +63,52 @@ pub use report::{
 };
 pub use trace::{critical_path, ClientRoundCost, CriticalPathEntry, RoundCost};
 
+use std::cell::RefCell;
 use std::sync::{Arc, LazyLock};
 
 static GLOBAL: LazyLock<Arc<Registry>> = LazyLock::new(|| Arc::new(Registry::with_enabled(false)));
 
+thread_local! {
+    /// Per-thread override installed by [`with_registry`]; when set, the
+    /// free-function instrumentation helpers below target it instead of the
+    /// process-global registry.
+    static SCOPED: RefCell<Option<Arc<Registry>>> = const { RefCell::new(None) };
+}
+
 /// The process-global registry (disabled until [`set_global_enabled`]).
 pub fn global() -> &'static Arc<Registry> {
     &GLOBAL
+}
+
+/// Runs `f` with every free-function helper in this module ([`span`],
+/// [`counter_add`], [`gauge_set`], [`hist_record`], [`mark`]) redirected to
+/// `reg` **on the current thread only**. Used by `fexiot-par` worker threads
+/// to route library instrumentation into a per-worker child registry that the
+/// coordinator later merges with [`Registry::absorb`] in a deterministic
+/// order — the scheme that keeps obs reports identical across thread counts.
+/// Overrides nest; the previous target is restored on return (and on panic).
+pub fn with_registry<R>(reg: &Arc<Registry>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Arc<Registry>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0.take();
+            SCOPED.with(|s| *s.borrow_mut() = prev);
+        }
+    }
+    let prev = SCOPED.with(|s| s.borrow_mut().replace(Arc::clone(reg)));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// The registry targeted by the free-function helpers on this thread: the
+/// [`with_registry`] override when one is installed, else the global one.
+fn target() -> Arc<Registry> {
+    SCOPED.with(|s| {
+        s.borrow()
+            .as_ref()
+            .map(Arc::clone)
+            .unwrap_or_else(|| Arc::clone(&GLOBAL))
+    })
 }
 
 /// Enables/disables the global registry. Library instrumentation is a no-op
@@ -81,33 +121,37 @@ pub fn global_enabled() -> bool {
     GLOBAL.is_enabled()
 }
 
-/// Opens a span on the global registry (no-op guard while disabled).
+/// Opens a span on the thread's target registry (no-op guard while the
+/// target is disabled). See [`with_registry`] for the per-thread override.
 pub fn span(name: &str) -> SpanGuard {
-    if !GLOBAL.is_enabled() {
+    let reg = target();
+    if !reg.is_enabled() {
         return SpanGuard::noop();
     }
-    GLOBAL.span(name)
+    reg.span(name)
 }
 
-/// Adds to a global counter (no-op while disabled).
+/// Adds to a counter on the thread's target registry (no-op while disabled).
 pub fn counter_add(name: &str, v: u64) {
-    GLOBAL.counter_add(name, v);
+    target().counter_add(name, v);
 }
 
-/// Sets a global gauge (no-op while disabled).
+/// Sets a gauge on the thread's target registry (no-op while disabled).
 pub fn gauge_set(name: &str, v: f64) {
-    GLOBAL.gauge_set(name, v);
+    target().gauge_set(name, v);
 }
 
-/// Records into a global histogram (no-op while disabled). `edges` bind on
-/// the histogram's first use; see [`Registry::hist_record`].
+/// Records into a histogram on the thread's target registry (no-op while
+/// disabled). `edges` bind on the histogram's first use; see
+/// [`Registry::hist_record`].
 pub fn hist_record(name: &str, edges: &[f64], v: f64) {
-    GLOBAL.hist_record(name, edges, v);
+    target().hist_record(name, edges, v);
 }
 
-/// Emits a boundary marker on the global registry (no-op while disabled).
+/// Emits a boundary marker on the thread's target registry (no-op while
+/// disabled).
 pub fn mark(name: &str) {
-    GLOBAL.mark(name);
+    target().mark(name);
 }
 
 /// Attaches a JSONL event stream on the global registry, writing to `path`

@@ -1,0 +1,521 @@
+//! `fexiot-par` — the deterministic data-parallel execution layer.
+//!
+//! Every hot stage of the FexIoT pipeline (featurization, batch GNN
+//! inference, federated client steps, SHAP coalition scoring) is a map over
+//! independent items whose *outputs* must stay bit-identical no matter how
+//! many cores run it — the repo's golden tests and the obs-diff CI gate lock
+//! `f64` bit patterns, not approximations. That rules out work-stealing
+//! (gather order would depend on scheduling), so this crate implements the
+//! simplest executor that cannot be nondeterministic:
+//!
+//! * **Fixed contiguous chunking.** `n` items are split into at most
+//!   `threads` contiguous chunks whose boundaries depend only on `(n,
+//!   threads)`. Chunk `0` runs on the calling thread.
+//! * **Order-preserving gather.** Results are concatenated in chunk order,
+//!   so the output vector is identical to the sequential map.
+//! * **Sequential seed-splitting.** [`ParPool::map_rng`] derives one RNG per
+//!   *item* (not per worker) by forking a base stream on the calling thread
+//!   before any work is scattered; item `i` sees the same stream whether the
+//!   pool has 1 or 64 threads.
+//! * **Inline fast path.** With one thread (or one item) no thread is
+//!   spawned and no synchronization happens — the single-thread run *is* the
+//!   sequential code path.
+//!
+//! Observability: workers must not record into the process-global registry
+//! (the per-thread span stacks would interleave nondeterministically).
+//! Callers either keep worker closures obs-free, or route them into
+//! per-worker child registries with [`fexiot_obs::with_registry`] and merge
+//! the snapshots on the calling thread in worker order via
+//! [`Registry::absorb`](fexiot_obs::Registry::absorb). The pool records a
+//! `par.pool.workers` gauge (an *environment* name — excluded from
+//! deterministic exports, see `fexiot_obs::is_environment_name`).
+
+use fexiot_tensor::rng::Rng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+mod pair;
+pub use pair::PairScope;
+
+/// Process-global thread count: 0 = not configured yet (resolve from the
+/// environment on first use).
+static GLOBAL_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Environment variable overriding the default worker count.
+pub const THREADS_ENV: &str = "FEXIOT_THREADS";
+
+/// Environment variable forcing threaded execution even on machines whose
+/// available parallelism is 1 (see [`hardware_width`]).
+pub const FORCE_ENV: &str = "FEXIOT_PAR_FORCE";
+
+/// The width the machine can actually run concurrently, cached once.
+///
+/// Chunking and seed-splitting are pure functions of the *requested* thread
+/// count, so results never depend on this value — but the execution strategy
+/// does. On a single-core machine real threads are pure overhead (and the
+/// pair scope's spin rendezvous degrades to timeslice thrash), so the pool
+/// falls back to the sequential call sequence whenever this is 1. Setting
+/// `FEXIOT_PAR_FORCE=1` bypasses the cap so single-core CI machines still
+/// exercise the threaded code paths.
+fn hardware_width() -> usize {
+    static CACHE: OnceLock<usize> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        if std::env::var(FORCE_ENV).is_ok_and(|v| v == "1") {
+            return usize::MAX;
+        }
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+thread_local! {
+    /// True while this thread is executing a chunk for an outer `map_*`
+    /// call. Nested pool calls run inline instead of spawning again — one
+    /// level of scatter already saturates the machine, and oversubscribing
+    /// (e.g. every federated client worker opening its own pair scope)
+    /// turns the spin rendezvous into scheduler thrash. Purely an execution
+    /// strategy: results are identical either way.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn in_worker() -> bool {
+    IN_WORKER.with(std::cell::Cell::get)
+}
+
+/// RAII flag marking the current thread as a pool worker; restores the
+/// previous value on drop (chunk 0 runs on the calling thread, which may
+/// not be a worker itself).
+struct WorkerGuard(bool);
+
+impl WorkerGuard {
+    fn enter() -> Self {
+        Self(IN_WORKER.with(|c| c.replace(true)))
+    }
+}
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        let prev = self.0;
+        IN_WORKER.with(|c| c.set(prev));
+    }
+}
+
+/// Raw machine parallelism check, ignoring [`FORCE_ENV`]: the pair scope
+/// uses this to pick a non-spinning wait strategy when threads are forced
+/// onto a single core (spinning would burn the timeslice the companion
+/// thread needs to make progress).
+pub(crate) fn single_core() -> bool {
+    static CACHE: OnceLock<bool> = OnceLock::new();
+    *CACHE.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            == 1
+    })
+}
+
+/// Sets the process-global thread count used by [`pool`] (the `--threads`
+/// CLI flag lands here). Clamped to at least 1.
+pub fn set_threads(threads: usize) {
+    GLOBAL_THREADS.store(threads.max(1), Ordering::Relaxed);
+}
+
+/// The process-global pool: configured by [`set_threads`], else
+/// `FEXIOT_THREADS`, else available parallelism. Resolution is cached.
+pub fn pool() -> ParPool {
+    let mut t = GLOBAL_THREADS.load(Ordering::Relaxed);
+    if t == 0 {
+        t = ParPool::from_env().threads();
+        GLOBAL_THREADS.store(t, Ordering::Relaxed);
+    }
+    ParPool::new(t)
+}
+
+/// A deterministic scatter-gather executor. Creating one is free (it holds
+/// no threads); each `map_*` call spawns scoped workers only when both the
+/// thread count and the item count warrant it.
+#[derive(Debug, Clone, Copy)]
+pub struct ParPool {
+    threads: usize,
+}
+
+impl ParPool {
+    /// A pool that runs at most `threads` chunks concurrently (min 1).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The machine's available parallelism (1 when unknown).
+    pub fn available() -> usize {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+
+    /// Thread count from `FEXIOT_THREADS` (when set to a positive integer),
+    /// else [`ParPool::available`].
+    pub fn from_env() -> Self {
+        let threads = std::env::var(THREADS_ENV)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&t| t > 0)
+            .unwrap_or_else(Self::available);
+        Self::new(threads)
+    }
+
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Contiguous chunk boundaries for `n` items: a pure function of
+    /// `(n, self.threads)`, never of runtime scheduling. At most `threads`
+    /// chunks; the first `n % k` chunks carry one extra item.
+    fn chunk_bounds(&self, n: usize) -> Vec<(usize, usize)> {
+        let k = self.threads.min(n).max(1);
+        let base = n / k;
+        let extra = n % k;
+        let mut bounds = Vec::with_capacity(k);
+        let mut start = 0;
+        for c in 0..k {
+            let len = base + usize::from(c < extra);
+            bounds.push((start, start + len));
+            start += len;
+        }
+        bounds
+    }
+
+    /// Records the pool-width gauge once per map/scope call. The name is an
+    /// environment name (`par.*`): visible in summaries, excluded from
+    /// deterministic reports so runs at different `--threads` still diff
+    /// clean. Fired on the inline path too — every code path emits the same
+    /// event sequence regardless of thread count, which keeps event-stream
+    /// `seq` numbering (and therefore timing-excluded streams) bit-identical
+    /// between `--threads 1` and `--threads N`.
+    fn note_use(&self) {
+        fexiot_obs::gauge_set("par.pool.workers", self.threads as f64);
+    }
+
+    /// Order-preserving parallel map: `out[i] = f(i, &items[i])`.
+    pub fn map_indexed<T: Sync, R: Send>(
+        &self,
+        items: &[T],
+        f: impl Fn(usize, &T) -> R + Sync,
+    ) -> Vec<R> {
+        self.map_chunks(items, |start, chunk| {
+            chunk
+                .iter()
+                .enumerate()
+                .map(|(k, item)| f(start + k, item))
+                .collect()
+        })
+    }
+
+    /// True when this call should actually scatter work across threads.
+    /// Purely an execution-strategy decision — results are identical either
+    /// way (see the module docs, [`hardware_width`], and [`IN_WORKER`]).
+    fn run_threaded(&self, chunks: usize) -> bool {
+        chunks > 1 && hardware_width() > 1 && !in_worker()
+    }
+
+    /// Order-preserving map over an index range: `out[i] = f(i)`.
+    pub fn map_range<R: Send>(&self, n: usize, f: impl Fn(usize) -> R + Sync) -> Vec<R> {
+        self.note_use();
+        let bounds = self.chunk_bounds(n);
+        if !self.run_threaded(bounds.len()) {
+            return (0..n).map(f).collect();
+        }
+        let mut results: Vec<Vec<R>> = Vec::with_capacity(bounds.len());
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(bounds.len() - 1);
+            for &(start, end) in &bounds[1..] {
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let _w = WorkerGuard::enter();
+                    (start..end).map(f).collect::<Vec<R>>()
+                }));
+            }
+            let (s0, e0) = bounds[0];
+            results.push({
+                let _w = WorkerGuard::enter();
+                (s0..e0).map(&f).collect()
+            });
+            for h in handles {
+                results.push(h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)));
+            }
+        });
+        results.into_iter().flatten().collect()
+    }
+
+    /// Order-preserving chunked map: `f(start, chunk)` returns the results
+    /// for `items[start..start + chunk.len()]`; chunks are concatenated in
+    /// order. The lowest-level entry point — use it when per-chunk setup
+    /// (scratch buffers, a chunk-local registry) amortizes better than
+    /// per-item closures.
+    ///
+    /// # Panics
+    /// Panics if a chunk closure returns the wrong number of results.
+    pub fn map_chunks<T: Sync, R: Send>(
+        &self,
+        items: &[T],
+        f: impl Fn(usize, &[T]) -> Vec<R> + Sync,
+    ) -> Vec<R> {
+        self.note_use();
+        let bounds = self.chunk_bounds(items.len());
+        if !self.run_threaded(bounds.len()) {
+            // Same per-chunk call sequence as the threaded path, one thread.
+            let out: Vec<R> = bounds
+                .iter()
+                .flat_map(|&(start, end)| f(start, &items[start..end]))
+                .collect();
+            assert_eq!(out.len(), items.len(), "map_chunks: result count mismatch");
+            return out;
+        }
+        let mut results: Vec<Vec<R>> = Vec::with_capacity(bounds.len());
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(bounds.len() - 1);
+            for &(start, end) in &bounds[1..] {
+                let f = &f;
+                let chunk = &items[start..end];
+                handles.push(scope.spawn(move || {
+                    let _w = WorkerGuard::enter();
+                    f(start, chunk)
+                }));
+            }
+            let (s0, e0) = bounds[0];
+            results.push({
+                let _w = WorkerGuard::enter();
+                f(s0, &items[s0..e0])
+            });
+            for h in handles {
+                results.push(h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)));
+            }
+        });
+        let out: Vec<R> = results.into_iter().flatten().collect();
+        assert_eq!(out.len(), items.len(), "map_chunks: result count mismatch");
+        out
+    }
+
+    /// Order-preserving parallel map with mutable access:
+    /// `out[i] = f(i, &mut items[i])`. Chunks are disjoint sub-slices, so
+    /// workers never alias.
+    pub fn map_mut<T: Send, R: Send>(
+        &self,
+        items: &mut [T],
+        f: impl Fn(usize, &mut T) -> R + Sync,
+    ) -> Vec<R> {
+        self.note_use();
+        let bounds = self.chunk_bounds(items.len());
+        if !self.run_threaded(bounds.len()) {
+            return items
+                .iter_mut()
+                .enumerate()
+                .map(|(i, item)| f(i, item))
+                .collect();
+        }
+        // Carve the slice into disjoint chunks up front.
+        let mut chunks: Vec<(usize, &mut [T])> = Vec::with_capacity(bounds.len());
+        let mut rest = items;
+        let mut offset = 0;
+        for &(start, end) in &bounds {
+            let (head, tail) = rest.split_at_mut(end - offset);
+            debug_assert_eq!(offset, start);
+            chunks.push((start, head));
+            rest = tail;
+            offset = end;
+        }
+        let mut results: Vec<Vec<R>> = Vec::with_capacity(bounds.len());
+        std::thread::scope(|scope| {
+            let mut iter = chunks.into_iter();
+            let (s0, chunk0) = iter.next().expect("at least one chunk");
+            let mut handles = Vec::new();
+            for (start, chunk) in iter {
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let _w = WorkerGuard::enter();
+                    chunk
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(k, item)| f(start + k, item))
+                        .collect::<Vec<R>>()
+                }));
+            }
+            results.push({
+                let _w = WorkerGuard::enter();
+                chunk0
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(k, item)| f(s0 + k, item))
+                    .collect()
+            });
+            for h in handles {
+                results.push(h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)));
+            }
+        });
+        results.into_iter().flatten().collect()
+    }
+
+    /// Order-preserving parallel map with a per-item RNG. Streams are forked
+    /// from `seed` *sequentially on the calling thread* (`base.fork(i)` for
+    /// item `i`), so item `i` consumes the identical stream at any thread
+    /// count — this is what keeps RNG-dependent stages bit-identical between
+    /// `--threads 1` and `--threads 64`.
+    pub fn map_rng<T: Sync, R: Send>(
+        &self,
+        seed: u64,
+        items: &[T],
+        f: impl Fn(usize, &T, &mut Rng) -> R + Sync,
+    ) -> Vec<R> {
+        let mut base = Rng::seed_from_u64(seed);
+        let rngs: Vec<Rng> = (0..items.len()).map(|i| base.fork(i as u64)).collect();
+        self.map_indexed(items, |i, item| {
+            let mut rng = rngs[i].clone();
+            f(i, item, &mut rng)
+        })
+    }
+
+    /// Runs `f` with a two-lane scope: [`PairScope::join2`] executes two
+    /// closures concurrently on a persistent companion worker (spawned once
+    /// for the whole scope, so per-call dispatch is cheap enough for
+    /// microsecond-scale tasks like one GNN training step). With one thread
+    /// the scope is inline and `join2` runs its closures sequentially.
+    pub fn scope_pair<R>(&self, f: impl FnOnce(&PairScope) -> R) -> R {
+        self.note_use();
+        let scope = PairScope::new(self.threads > 1 && hardware_width() > 1 && !in_worker());
+        let out = f(&scope);
+        drop(scope);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pools() -> Vec<ParPool> {
+        vec![ParPool::new(1), ParPool::new(2), ParPool::new(3), ParPool::new(7)]
+    }
+
+    #[test]
+    fn chunk_bounds_partition_exactly() {
+        for pool in pools() {
+            for n in [0usize, 1, 2, 5, 7, 8, 100] {
+                let bounds = pool.chunk_bounds(n);
+                assert!(bounds.len() <= pool.threads().max(1));
+                let mut expect = 0;
+                for &(s, e) in &bounds {
+                    assert_eq!(s, expect);
+                    assert!(e >= s);
+                    expect = e;
+                }
+                assert_eq!(expect, n, "bounds must cover 0..{n}");
+                // Balanced: sizes differ by at most one.
+                if !bounds.is_empty() {
+                    let sizes: Vec<usize> = bounds.iter().map(|&(s, e)| e - s).collect();
+                    let (mn, mx) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                    assert!(mx - mn <= 1, "unbalanced chunks {sizes:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn map_indexed_matches_sequential_at_any_width() {
+        let items: Vec<u64> = (0..103).collect();
+        let expect: Vec<u64> = items.iter().enumerate().map(|(i, &x)| x * 3 + i as u64).collect();
+        for pool in pools() {
+            let got = pool.map_indexed(&items, |i, &x| x * 3 + i as u64);
+            assert_eq!(got, expect, "threads={}", pool.threads());
+        }
+    }
+
+    #[test]
+    fn map_range_and_chunks_agree() {
+        for pool in pools() {
+            let a = pool.map_range(57, |i| i * i);
+            let items: Vec<usize> = (0..57).collect();
+            let b = pool.map_chunks(&items, |start, chunk| {
+                chunk.iter().enumerate().map(|(k, _)| (start + k) * (start + k)).collect()
+            });
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn map_mut_mutates_in_place_in_order() {
+        let expect: Vec<i64> = (0..41).map(|i| i * 10).collect();
+        for pool in pools() {
+            let mut items: Vec<i64> = (0..41).collect();
+            let returned = pool.map_mut(&mut items, |i, x| {
+                *x *= 10;
+                i
+            });
+            assert_eq!(items, expect);
+            assert_eq!(returned, (0..41).collect::<Vec<usize>>());
+        }
+    }
+
+    #[test]
+    fn map_rng_streams_are_thread_count_invariant() {
+        let items = vec![(); 29];
+        let draw = |_: usize, _: &(), rng: &mut Rng| {
+            (0..4).map(|_| rng.next_u64()).collect::<Vec<u64>>()
+        };
+        let baseline = ParPool::new(1).map_rng(99, &items, draw);
+        for pool in pools() {
+            assert_eq!(
+                pool.map_rng(99, &items, draw),
+                baseline,
+                "threads={}",
+                pool.threads()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let pool = ParPool::new(4);
+        let out: Vec<u8> = pool.map_indexed(&[] as &[u8], |_, &x| x);
+        assert!(out.is_empty());
+        assert!(pool.map_range(0, |i| i).is_empty());
+    }
+
+    #[test]
+    fn nested_maps_run_inline_and_stay_correct() {
+        let pool = ParPool::new(4);
+        let outer: Vec<u64> = (0..8).collect();
+        let got = pool.map_indexed(&outer, |_, &x| {
+            ParPool::new(4)
+                .map_range(4, move |j| x * 10 + j as u64)
+                .iter()
+                .sum::<u64>()
+        });
+        let expect: Vec<u64> = outer
+            .iter()
+            .map(|&x| (0..4).map(|j| x * 10 + j).sum())
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        let items: Vec<usize> = (0..16).collect();
+        ParPool::new(4).map_indexed(&items, |i, _| {
+            assert!(i != 13, "boom");
+            i
+        });
+    }
+
+    #[test]
+    fn env_and_global_configuration() {
+        assert!(ParPool::available() >= 1);
+        set_threads(3);
+        assert_eq!(pool().threads(), 3);
+        set_threads(0);
+        assert_eq!(pool().threads(), 1, "zero clamps to one");
+        set_threads(2);
+    }
+}

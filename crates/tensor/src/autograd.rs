@@ -301,10 +301,29 @@ impl Tape {
             (1, 1),
             "backward: loss must be scalar"
         );
-        let mut grads: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
-        grads[loss.0] = Some(Matrix::ones(1, 1));
+        self.backward_seeded(loss, Matrix::ones(1, 1))
+    }
 
-        for idx in (0..=loss.0).rev() {
+    /// Reverse-mode differentiation from `node` with an explicit upstream
+    /// gradient `seed` (same shape as the node's value). This lets a
+    /// computation split across tapes: an outer tape differentiates its own
+    /// graph down to the boundary values, then each inner tape resumes from
+    /// the boundary node with the outer gradient as its seed —
+    /// `backward(loss)` is exactly `backward_seeded(loss, ones(1,1))`, so a
+    /// split walk replays the identical f64 operation sequence.
+    ///
+    /// # Panics
+    /// Panics if `seed`'s shape differs from the node's value.
+    pub fn backward_seeded(&self, node: Var, seed: Matrix) -> Grads {
+        assert_eq!(
+            self.value(node).shape(),
+            seed.shape(),
+            "backward_seeded: seed shape must match the node"
+        );
+        let mut grads: Vec<Option<Matrix>> = vec![None; self.nodes.len()];
+        grads[node.0] = Some(seed);
+
+        for idx in (0..=node.0).rev() {
             let g = match grads[idx].take() {
                 Some(g) => g,
                 None => continue,
