@@ -45,6 +45,37 @@ fn main() {
             robustness::degradation(&points, strategy)
         );
     }
+
+    // Fleet-scale sweep: sampled cohorts, hierarchical aggregators with
+    // failover, and quorum-gated rounds across growing federation sizes.
+    let fleet = robustness::run_fleet(scale);
+    let fleet_rows: Vec<Vec<String>> = fleet
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{}", p.clients),
+                format!("{:.0}%", p.dropout * 100.0),
+                format!("{:.3}", p.accuracy),
+                format!("{:.2}", p.bytes_per_round / (1024.0 * 1024.0)),
+                format!("{:.0}%", p.participation * 100.0),
+                format!("{}", p.quorum_aborts),
+                format!("{}", p.agg_down_rounds),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Fleet scale: sampled + quorum-gated federation ({scale:?} scale)"),
+        &[
+            "Clients",
+            "Dropout",
+            "Accuracy",
+            "MB/round",
+            "Participation",
+            "Quorum aborts",
+            "Agg-down rounds",
+        ],
+        &fleet_rows,
+    );
     let snap = fexiot_obs::global().snapshot();
     match fexiot_obs::write_report(std::path::Path::new("results/obs"), "robustness", &snap) {
         Ok(path) => println!("obs report written to {}", path.display()),

@@ -65,6 +65,12 @@ pub struct WorkloadReport {
     pub timings_us: Vec<u64>,
     /// Flamegraph-compatible collapsed stacks of the final timed rep.
     pub collapsed: String,
+    /// Federation size, for federated workloads. Part of the bench identity
+    /// when present: runs at different fleet sizes are never comparable.
+    pub clients: Option<u64>,
+    /// Aggregation topology label (`flat` or `hier:N`), for federated
+    /// workloads. Also identity when present.
+    pub topology: Option<String>,
 }
 
 /// Nearest-rank percentile summary of per-rep wall-clock times.
@@ -162,6 +168,8 @@ fn run_reps(
         alloc: alloc_delta,
         timings_us,
         collapsed: fexiot_obs::collapsed_stacks(&snap),
+        clients: None,
+        topology: None,
     }
 }
 
@@ -229,14 +237,23 @@ fn fed_round_report(cfg: &PerfConfig) -> WorkloadReport {
             .with_msg_loss(0.1),
         ..Default::default()
     };
+    let n_clients = fed_cfg.n_clients;
+    let topology = if fed_cfg.topology.is_hierarchical() {
+        format!("hier:{}", fed_cfg.topology.aggregators)
+    } else {
+        "flat".to_string()
+    };
     let mut sim = build_federation(&ds, &fed_cfg);
     sim.attach_obs(fexiot_obs::global().clone());
     // Reps are successive rounds of one simulation: round `r`'s work is a
     // deterministic function of (seed, r), so the final rep's counters are
     // stable for a fixed rep count.
-    run_reps("fed_round", cfg, move || {
+    let mut report = run_reps("fed_round", cfg, move || {
         black_box(sim.run_round());
-    })
+    });
+    report.clients = Some(n_clients as u64);
+    report.topology = Some(topology);
+    report
 }
 
 fn explain_report(cfg: &PerfConfig) -> WorkloadReport {
@@ -285,13 +302,23 @@ pub fn to_json(report: &WorkloadReport, cfg: &PerfConfig) -> Json {
     let obj = |pairs: Vec<(&str, Json)>| {
         Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
     };
-    obj(vec![
+    let mut fields = vec![
         ("schema", Json::Str(fexiot_obs::diff::BENCH_SCHEMA.to_string())),
         ("workload", Json::Str(report.workload.to_string())),
         ("scale", Json::Str(cfg.scale.name().to_string())),
         ("reps", Json::UInt(cfg.reps as u64)),
         ("seed", Json::UInt(cfg.seed)),
         ("threads", Json::UInt(cfg.threads as u64)),
+    ];
+    // Federated workloads carry their fleet shape as extra identity fields
+    // (`obs-diff` refuses to compare across different shapes).
+    if let Some(clients) = report.clients {
+        fields.push(("clients", Json::UInt(clients)));
+    }
+    if let Some(topology) = &report.topology {
+        fields.push(("topology", Json::Str(topology.clone())));
+    }
+    fields.extend([
         (
             "items",
             Json::Obj(
@@ -323,7 +350,8 @@ pub fn to_json(report: &WorkloadReport, cfg: &PerfConfig) -> Json {
                 ("total", Json::UInt(t.total)),
             ]),
         ),
-    ])
+    ]);
+    obj(fields)
 }
 
 #[cfg(test)]
@@ -355,10 +383,26 @@ mod tests {
             alloc: AllocStats::default(),
             timings_us: vec![120, 100, 140],
             collapsed: String::new(),
+            clients: None,
+            topology: None,
         };
         let cfg = PerfConfig::default();
         let doc = to_json(&report, &cfg);
         validate_bench_report(&doc).expect("valid bench document");
+        assert!(doc.get("clients").is_none(), "no fleet identity unless set");
+
+        let fleet = WorkloadReport {
+            clients: Some(2000),
+            topology: Some("hier:2".to_string()),
+            ..report
+        };
+        let doc = to_json(&fleet, &cfg);
+        validate_bench_report(&doc).expect("valid fleet bench document");
+        assert_eq!(doc.get("clients").and_then(Json::as_u64), Some(2000));
+        assert_eq!(
+            doc.get("topology").and_then(Json::as_str),
+            Some("hier:2")
+        );
         // Round-trips through the parser unchanged.
         let parsed = Json::parse(&doc.to_string()).expect("parse own output");
         validate_bench_report(&parsed).expect("valid after round-trip");

@@ -7,6 +7,10 @@
 //! fexiot-cli explain  --model MODEL [--seed S]       # explain one detection
 //! fexiot-cli federate [--clients N] [--rounds R] [--strategy fexiot|fedavg|fmtl|gcfl|local]
 //!                     [--dropout P] [--msg-loss P] [--straggler P] [--corrupt P]
+//!                     [--sample-frac F | --sample-k K]      # per-round cohort sampling
+//!                     [--aggregators N] [--failover reassign|skip]
+//!                     [--agg-dropout P] [--agg-crash P] [--agg-straggler P]
+//!                     [--quorum F] [--deadline-ticks T]     # quorum-gated rounds
 //!                     [--checkpoint-dir DIR]         # federated run under faults
 //! ```
 //!
@@ -27,7 +31,7 @@
 //! are checkpointed with the first-party codec, so `train` on one machine and
 //! `eval`/`explain` on another reproduce identical decisions.
 
-use fexiot::fed::{Corruption, FaultPlan, Strategy};
+use fexiot::fed::{Corruption, Failover, FaultPlan, Sampling, Strategy, Topology};
 use fexiot::{build_federation, FederationConfig, FexIot, FexIotConfig};
 use fexiot_gnn::EncoderKind;
 use fexiot_ml::Metrics;
@@ -103,7 +107,7 @@ impl Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  fexiot-cli train    [--graphs N] [--seed S] [--encoder gin|gcn|magnn] --out MODEL\n  fexiot-cli eval     --model MODEL [--graphs N] [--seed S]\n  fexiot-cli detect   --model MODEL [--seed S]\n  fexiot-cli explain  --model MODEL [--seed S]\n  fexiot-cli federate [--clients N] [--rounds R] [--strategy fexiot|fedavg|fmtl|gcfl|local]\n                      [--graphs N] [--seed S] [--alpha A]\n                      [--dropout P] [--msg-loss P] [--straggler P] [--corrupt P]\n                      [--checkpoint-dir DIR]  (resumes from the newest checkpoint there)\n  any subcommand: [--threads N]  (parallel width; default FEXIOT_THREADS or all cores)\n                  [--obs-summary] [--obs-out DIR] [--obs-flame FILE]\n                  [--obs-stream FILE] [--obs-stream-timing include|exclude]  (observability export)"
+        "usage:\n  fexiot-cli train    [--graphs N] [--seed S] [--encoder gin|gcn|magnn] --out MODEL\n  fexiot-cli eval     --model MODEL [--graphs N] [--seed S]\n  fexiot-cli detect   --model MODEL [--seed S]\n  fexiot-cli explain  --model MODEL [--seed S]\n  fexiot-cli federate [--clients N] [--rounds R] [--strategy fexiot|fedavg|fmtl|gcfl|local]\n                      [--graphs N] [--seed S] [--alpha A]\n                      [--dropout P] [--msg-loss P] [--straggler P] [--corrupt P]\n                      [--sample-frac F | --sample-k K]  (per-round cohort sampling)\n                      [--aggregators N] [--failover reassign|skip]\n                      [--agg-dropout P] [--agg-crash P] [--agg-straggler P]\n                      [--quorum F] [--deadline-ticks T]  (quorum-gated rounds)\n                      [--checkpoint-dir DIR]  (resumes from the newest checkpoint there)\n  any subcommand: [--threads N]  (parallel width; default FEXIOT_THREADS or all cores)\n                  [--obs-summary] [--obs-out DIR] [--obs-flame FILE]\n                  [--obs-stream FILE] [--obs-stream-timing include|exclude]  (observability export)"
     );
     ExitCode::from(2)
 }
@@ -312,13 +316,52 @@ fn run(args: &Args, critical_path: &mut Option<Vec<fexiot_obs::CriticalPathEntry
                 .with_dropout(args.get_f64("dropout", 0.0))
                 .with_msg_loss(args.get_f64("msg-loss", 0.0))
                 .with_straggler(args.get_f64("straggler", 0.0))
-                .with_corruption(args.get_f64("corrupt", 0.0), Corruption::NonFinite);
+                .with_corruption(args.get_f64("corrupt", 0.0), Corruption::NonFinite)
+                .with_agg_dropout(args.get_f64("agg-dropout", 0.0))
+                .with_agg_crash(args.get_f64("agg-crash", 0.0), 2)
+                .with_agg_straggler(args.get_f64("agg-straggler", 0.0));
+            config.sampling = if let Some(k) = args.get("sample-k") {
+                match k.parse() {
+                    Ok(k) => Sampling::FixedK(k),
+                    Err(_) => {
+                        eprintln!("--sample-k wants a client count");
+                        return usage();
+                    }
+                }
+            } else if let Some(f) = args.get("sample-frac") {
+                match f.parse() {
+                    Ok(f) => Sampling::Fraction(f),
+                    Err(_) => {
+                        eprintln!("--sample-frac wants a fraction in (0, 1]");
+                        return usage();
+                    }
+                }
+            } else {
+                Sampling::Full
+            };
+            let failover = match args.get("failover").unwrap_or("reassign") {
+                "reassign" => Failover::Reassign,
+                "skip" => Failover::Skip,
+                other => {
+                    eprintln!("unknown failover policy {other}");
+                    return usage();
+                }
+            };
+            config.topology = Topology {
+                aggregators: args.get_usize("aggregators", 1).max(1),
+                failover,
+            };
+            config.quorum = args.get_f64("quorum", 0.0);
+            config.deadline_ticks = args
+                .get("deadline-ticks")
+                .and_then(|v| v.parse().ok())
+                .filter(|&t: &usize| t > 0);
 
             let ds = make_dataset(args, 240, false);
             let mut rng = Rng::seed_from_u64(seed ^ 0x5EED);
             let (train, test) = ds.train_test_split(0.8, &mut rng);
             println!(
-                "federating {} clients over {} graphs ({}), strategy {}",
+                "federating {} clients over {} graphs ({}), strategy {}, {} aggregator(s)",
                 config.n_clients,
                 train.len(),
                 if config.faults.is_active() {
@@ -327,6 +370,7 @@ fn run(args: &Args, critical_path: &mut Option<Vec<fexiot_obs::CriticalPathEntry
                     "reliable fleet"
                 },
                 config.strategy.name(),
+                config.topology.aggregators,
             );
             let mut sim = build_federation(&train, &config);
             // Point the simulator's private registry at the global one so
@@ -363,18 +407,27 @@ fn run(args: &Args, critical_path: &mut Option<Vec<fexiot_obs::CriticalPathEntry
                 let r = sim.run_round();
                 let t = r.faults;
                 println!(
-                    "round {:>3}: loss {:.4}  comm {:>8.2} MB  active {}/{} (dropped {}, quarantined {}, stale {}, retries {}, lost {})",
+                    "round {:>3}: loss {:.4}  comm {:>8.2} MB  active {}/{} (dropped {}, quarantined {}, stale {}, retries {}, lost {}){}{}",
                     r.round,
                     r.mean_loss,
                     r.cumulative_comm.total_mb(),
                     t.participants,
-                    t.clients,
+                    t.sampled,
                     t.dropped,
                     t.quarantined,
                     t.stale_accepted,
                     t.retried_messages,
                     t.lost_messages,
+                    if t.agg_down > 0 {
+                        format!("  [{} aggregator(s) down, {} rerouted]", t.agg_down, t.reassigned)
+                    } else {
+                        String::new()
+                    },
+                    if t.quorum_aborted { "  [QUORUM ABORT]" } else { "" },
                 );
+                if let Some(e) = &r.comm_error {
+                    eprintln!("round {:>3}: COMM INVARIANT VIOLATED: {e}", r.round);
+                }
                 if let Some(dir) = &checkpoint_dir {
                     let path = format!("{dir}/round-{:04}.ck", r.round);
                     if let Err(e) = std::fs::write(&path, sim.checkpoint()) {

@@ -3,7 +3,7 @@
 
 use crate::config::FexIotConfig;
 use crate::pipeline::build_encoder;
-use fexiot_fed::{Client, FaultPlan, FedConfig, FedSim, Strategy};
+use fexiot_fed::{Client, FaultPlan, FedConfig, FedSim, Sampling, Strategy, Topology};
 use fexiot_graph::GraphDataset;
 use fexiot_tensor::rng::Rng;
 
@@ -27,6 +27,14 @@ pub struct FederationConfig {
     /// Fault injection: dropout, crashes, stragglers, lossy links,
     /// corrupted updates (`FaultPlan::none()` = reliable fleet).
     pub faults: FaultPlan,
+    /// Fleet-scale per-round client sampling (`Sampling::Full` = everyone).
+    pub sampling: Sampling,
+    /// Aggregation topology: flat, or hierarchical edge aggregators.
+    pub topology: Topology,
+    /// Quorum fraction of sampled weight required to commit a round.
+    pub quorum: f64,
+    /// Round deadline in simulated ticks (`None` = wait for everyone).
+    pub deadline_ticks: Option<usize>,
 }
 
 impl Default for FederationConfig {
@@ -42,6 +50,10 @@ impl Default for FederationConfig {
             sybil_defense: false,
             layer_cadence: true,
             faults: FaultPlan::none(),
+            sampling: Sampling::Full,
+            topology: Topology::flat(),
+            quorum: 0.0,
+            deadline_ticks: None,
         }
     }
 }
@@ -86,6 +98,10 @@ pub fn build_federation_with_data(
         layer_cadence: config.layer_cadence,
         faults: config.faults.clone(),
         seed: config.pipeline.seed,
+        sampling: config.sampling,
+        topology: config.topology,
+        quorum: config.quorum,
+        deadline_ticks: config.deadline_ticks,
     };
     FedSim::new(clients, fed_config)
 }

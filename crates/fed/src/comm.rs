@@ -16,6 +16,15 @@ pub struct CommStats {
     /// Bytes consumed by those retransmissions (already included in the
     /// directional totals above).
     pub retried_bytes: usize,
+    /// Aggregator-hop traffic (hierarchical topology only): pre-aggregated
+    /// cohort updates each edge aggregator forwards to the server, one
+    /// message per active aggregator per round.
+    pub agg_forward_bytes: usize,
+    pub agg_forward_messages: usize,
+    /// Server aggregates broadcast back down the trunk to the aggregators
+    /// (only on committed rounds — an aborted round broadcasts nothing).
+    pub agg_broadcast_bytes: usize,
+    pub agg_broadcast_messages: usize,
 }
 
 impl CommStats {
@@ -44,6 +53,20 @@ impl CommStats {
             self.record_download(bytes);
         }
         self.record_retries(bytes, attempts);
+    }
+
+    /// Prices one aggregator→server trunk message carrying a pre-aggregated
+    /// cohort update.
+    pub fn record_agg_forward(&mut self, bytes: usize) {
+        self.agg_forward_bytes += bytes;
+        self.agg_forward_messages += 1;
+    }
+
+    /// Prices one server→aggregator trunk message carrying the committed
+    /// aggregate back down for cohort distribution.
+    pub fn record_agg_broadcast(&mut self, bytes: usize) {
+        self.agg_broadcast_bytes += bytes;
+        self.agg_broadcast_messages += 1;
     }
 
     fn record_retries(&mut self, bytes: usize, attempts: usize) {
@@ -83,6 +106,18 @@ impl CommStats {
                 self.downloaded_bytes
             ));
         }
+        if self.agg_forward_messages == 0 && self.agg_forward_bytes != 0 {
+            return Err(format!(
+                "{} aggregator-forward bytes without a forward message",
+                self.agg_forward_bytes
+            ));
+        }
+        if self.agg_broadcast_messages == 0 && self.agg_broadcast_bytes != 0 {
+            return Err(format!(
+                "{} aggregator-broadcast bytes without a broadcast message",
+                self.agg_broadcast_bytes
+            ));
+        }
         Ok(())
     }
 
@@ -100,12 +135,26 @@ impl CommStats {
                 .saturating_sub(earlier.download_messages),
             retried_messages: self.retried_messages.saturating_sub(earlier.retried_messages),
             retried_bytes: self.retried_bytes.saturating_sub(earlier.retried_bytes),
+            agg_forward_bytes: self
+                .agg_forward_bytes
+                .saturating_sub(earlier.agg_forward_bytes),
+            agg_forward_messages: self
+                .agg_forward_messages
+                .saturating_sub(earlier.agg_forward_messages),
+            agg_broadcast_bytes: self
+                .agg_broadcast_bytes
+                .saturating_sub(earlier.agg_broadcast_bytes),
+            agg_broadcast_messages: self
+                .agg_broadcast_messages
+                .saturating_sub(earlier.agg_broadcast_messages),
         }
     }
 
-    /// Total bytes in both directions.
+    /// Total bytes moved anywhere in the tree: client links plus the
+    /// aggregator→server trunk (zero on flat topologies).
     pub fn total_bytes(&self) -> usize {
-        self.uploaded_bytes + self.downloaded_bytes
+        self.uploaded_bytes + self.downloaded_bytes + self.agg_forward_bytes
+            + self.agg_broadcast_bytes
     }
 
     /// Total transferred data in megabytes.
@@ -169,6 +218,41 @@ mod tests {
             ..CommStats::default()
         };
         assert!(forged.validate().is_err(), "retry bytes exceed totals");
+    }
+
+    #[test]
+    fn aggregator_hop_is_priced_and_validated() {
+        let mut c = CommStats::default();
+        c.record_agg_forward(500);
+        c.record_agg_forward(500);
+        c.record_agg_broadcast(300);
+        assert_eq!(c.agg_forward_bytes, 1000);
+        assert_eq!(c.agg_forward_messages, 2);
+        assert_eq!(c.agg_broadcast_bytes, 300);
+        assert_eq!(c.agg_broadcast_messages, 1);
+        assert_eq!(c.total_bytes(), 1300);
+        assert!(c.validate().is_ok());
+
+        let forged = CommStats {
+            agg_forward_bytes: 64,
+            ..CommStats::default()
+        };
+        assert!(forged.validate().is_err(), "forward bytes without message");
+        let forged = CommStats {
+            agg_broadcast_bytes: 64,
+            ..CommStats::default()
+        };
+        assert!(forged.validate().is_err(), "broadcast bytes without message");
+
+        let later = {
+            let mut l = c;
+            l.record_agg_forward(100);
+            l
+        };
+        let d = later.delta_since(&c);
+        assert_eq!(d.agg_forward_bytes, 100);
+        assert_eq!(d.agg_forward_messages, 1);
+        assert_eq!(d.agg_broadcast_messages, 0);
     }
 
     #[test]

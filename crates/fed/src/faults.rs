@@ -15,8 +15,24 @@ use fexiot_tensor::rng::Rng;
 /// Ticks spent waiting in exponential backoff when a message needed
 /// `attempts` transmissions: the k-th retry waits `2^(k-1)` ticks, so
 /// delivery on attempt `a` cost `2^(a-1) - 1` ticks in total.
+///
+/// # Saturation contract
+/// A message that exhausts its retry budget is charged as if it had been
+/// transmitted `1 + max_retries` times — i.e.
+/// `backoff_ticks_for(max_retries + 1)`, one doubling beyond the last
+/// successful-delivery case — and the
+/// result **saturates at `usize::MAX`** instead of overflowing once
+/// `attempts - 1` reaches the word size. Saturation is unreachable under any
+/// sane retry budget (it needs 60+ retries); the clamp exists so a
+/// pathological `FaultPlan` degrades to "waited forever" rather than
+/// wrapping to a tiny tick count and corrupting critical-path attribution.
 pub fn backoff_ticks_for(attempts: usize) -> usize {
-    (1usize << attempts.saturating_sub(1)) - 1
+    let doublings = attempts.saturating_sub(1);
+    if doublings >= usize::BITS as usize {
+        usize::MAX
+    } else {
+        (1usize << doublings) - 1
+    }
 }
 
 /// Rounds of delay the server actually waits out for a straggler: the full
@@ -73,6 +89,20 @@ pub struct FaultPlan {
     /// of the round's lower-quartile contributor norm (catches `ScaledNoise`
     /// even when corrupted uploads are the majority of a round).
     pub norm_guard: f64,
+    /// P(an edge aggregator is offline this round). Only drawn when the
+    /// simulator runs a hierarchical topology (2+ aggregators).
+    pub agg_dropout: f64,
+    /// P(an edge aggregator crashes this round); it stays down for
+    /// `agg_crash_rounds` subsequent rounds, then rejoins.
+    pub agg_crash: f64,
+    /// How many rounds a crashed aggregator stays down.
+    pub agg_crash_rounds: usize,
+    /// P(an edge aggregator straggles): its whole cohort's updates arrive
+    /// late at the server.
+    pub agg_straggler: f64,
+    /// Aggregator straggler delay is drawn uniformly from
+    /// `1..=agg_straggler_max_delay` simulated ticks.
+    pub agg_straggler_max_delay: usize,
 }
 
 impl FaultPlan {
@@ -93,6 +123,11 @@ impl FaultPlan {
             corrupt: 0.0,
             corruption: Corruption::NonFinite,
             norm_guard: 10.0,
+            agg_dropout: 0.0,
+            agg_crash: 0.0,
+            agg_crash_rounds: 2,
+            agg_straggler: 0.0,
+            agg_straggler_max_delay: 3,
         }
     }
 
@@ -103,6 +138,13 @@ impl FaultPlan {
             || self.straggler > 0.0
             || self.msg_loss > 0.0
             || self.corrupt > 0.0
+            || self.agg_faults_active()
+    }
+
+    /// True when any *aggregator-tier* failure process has nonzero
+    /// probability (only realized under a hierarchical topology).
+    pub fn agg_faults_active(&self) -> bool {
+        self.agg_dropout > 0.0 || self.agg_crash > 0.0 || self.agg_straggler > 0.0
     }
 
     pub fn with_seed(mut self, seed: u64) -> Self {
@@ -134,6 +176,22 @@ impl FaultPlan {
     pub fn with_corruption(mut self, p: f64, kind: Corruption) -> Self {
         self.corrupt = p;
         self.corruption = kind;
+        self
+    }
+
+    pub fn with_agg_dropout(mut self, p: f64) -> Self {
+        self.agg_dropout = p;
+        self
+    }
+
+    pub fn with_agg_crash(mut self, p: f64, down_rounds: usize) -> Self {
+        self.agg_crash = p;
+        self.agg_crash_rounds = down_rounds;
+        self
+    }
+
+    pub fn with_agg_straggler(mut self, p: f64) -> Self {
+        self.agg_straggler = p;
         self
     }
 }
@@ -199,6 +257,42 @@ impl RoundFaults {
     }
 }
 
+/// One edge aggregator's fate for one round (hierarchical topology only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggStatus {
+    /// Forwards its cohort's updates normally.
+    Up,
+    /// Offline (dropout, or down from an earlier crash): its cohort must be
+    /// failed over or skipped for the round.
+    Down,
+    /// Forwards, but `delay` ticks late — the server waits the whole cohort
+    /// out, which makes the aggregator the round's critical-path cause.
+    Straggler { delay: usize },
+}
+
+/// Concrete aggregator-tier realization for one round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggRoundFaults {
+    pub status: Vec<AggStatus>,
+}
+
+impl AggRoundFaults {
+    /// A fault-free realization for `n` aggregators.
+    pub fn clean(n: usize) -> Self {
+        Self {
+            status: vec![AggStatus::Up; n],
+        }
+    }
+
+    /// How many aggregators are down this round.
+    pub fn down_count(&self) -> usize {
+        self.status
+            .iter()
+            .filter(|s| matches!(s, AggStatus::Down))
+            .count()
+    }
+}
+
 /// Draws per-round fault realizations and applies corruption. Owns a
 /// dedicated RNG stream plus the cross-round crash state.
 #[derive(Debug, Clone)]
@@ -207,6 +301,10 @@ pub struct FaultInjector {
     rng: Rng,
     /// Per-client round index until which the client is down (exclusive).
     down_until: Vec<usize>,
+    /// Per-aggregator round index until which the aggregator is down
+    /// (exclusive). Sized lazily on the first hierarchical draw so flat
+    /// federations carry no aggregator state.
+    agg_down_until: Vec<usize>,
 }
 
 impl FaultInjector {
@@ -216,6 +314,7 @@ impl FaultInjector {
             plan,
             rng,
             down_until: vec![0; n_clients],
+            agg_down_until: Vec::new(),
         }
     }
 
@@ -264,6 +363,41 @@ impl FaultInjector {
         (1..=(1 + self.plan.max_retries)).find(|_| !self.rng.bool(self.plan.msg_loss))
     }
 
+    /// Draws one round's aggregator-tier realization for `n_aggs` edge
+    /// aggregators. Call at most once per round, **after** [`draw_round`],
+    /// and only when the topology is hierarchical and
+    /// [`FaultPlan::agg_faults_active`] — the guard keeps the client fault
+    /// stream bit-identical to a flat federation's (no extra RNG draws).
+    ///
+    /// [`draw_round`]: FaultInjector::draw_round
+    pub fn draw_agg_round(&mut self, round: usize, n_aggs: usize) -> AggRoundFaults {
+        if self.agg_down_until.len() < n_aggs {
+            self.agg_down_until.resize(n_aggs, 0);
+        }
+        let mut out = AggRoundFaults::clean(n_aggs);
+        for a in 0..n_aggs {
+            // Crash state first: an aggregator that is down stays down.
+            if self.agg_down_until[a] > round {
+                out.status[a] = AggStatus::Down;
+                continue;
+            }
+            if self.plan.agg_crash > 0.0 && self.rng.bool(self.plan.agg_crash) {
+                self.agg_down_until[a] = round + 1 + self.plan.agg_crash_rounds;
+                out.status[a] = AggStatus::Down;
+                continue;
+            }
+            if self.plan.agg_dropout > 0.0 && self.rng.bool(self.plan.agg_dropout) {
+                out.status[a] = AggStatus::Down;
+                continue;
+            }
+            if self.plan.agg_straggler > 0.0 && self.rng.bool(self.plan.agg_straggler) {
+                let delay = 1 + self.rng.usize(self.plan.agg_straggler_max_delay.max(1));
+                out.status[a] = AggStatus::Straggler { delay };
+            }
+        }
+        out
+    }
+
     /// Damages a copy of `params` according to the plan's corruption kind.
     pub fn corrupt_params(&mut self, params: &ParamVec) -> ParamVec {
         let mut damaged = params.clone();
@@ -297,18 +431,22 @@ impl FaultInjector {
         damaged
     }
 
-    /// Checkpoint support: RNG stream + crash state.
-    pub fn state(&self) -> ([u64; 4], Vec<u64>) {
+    /// Checkpoint support: RNG stream + client and aggregator crash ledgers.
+    pub fn state(&self) -> ([u64; 4], Vec<u64>, Vec<u64>) {
         (
             self.rng.state(),
             self.down_until.iter().map(|&r| r as u64).collect(),
+            self.agg_down_until.iter().map(|&r| r as u64).collect(),
         )
     }
 
-    /// Restores a [`FaultInjector::state`] snapshot.
-    pub fn restore_state(&mut self, rng: [u64; 4], down_until: Vec<u64>) {
+    /// Restores a [`FaultInjector::state`] snapshot. A mid-crash checkpoint
+    /// (some `down_until` window still open) resumes with the same clients
+    /// and aggregators down for the same remaining rounds.
+    pub fn restore_state(&mut self, rng: [u64; 4], down_until: Vec<u64>, agg_down_until: Vec<u64>) {
         self.rng = Rng::from_state(rng);
         self.down_until = down_until.into_iter().map(|r| r as usize).collect();
+        self.agg_down_until = agg_down_until.into_iter().map(|r| r as usize).collect();
     }
 }
 
@@ -439,11 +577,134 @@ mod tests {
         for r in 0..3 {
             a.draw_round(r);
         }
-        let (rng, down) = a.state();
+        let (rng, down, agg_down) = a.state();
         let mut b = FaultInjector::new(plan, 5);
-        b.restore_state(rng, down);
+        b.restore_state(rng, down, agg_down);
         for r in 3..8 {
             assert_eq!(a.draw_round(r).participation, b.draw_round(r).participation);
+        }
+    }
+
+    #[test]
+    fn restore_mid_crash_window_preserves_remaining_downtime() {
+        // Crash-heavy plan: by round 3 some client is inside an open
+        // `down_until` window with high probability. Snapshot there, restore
+        // into a fresh injector, and the resumed stream must match the
+        // uninterrupted one draw-for-draw — including clients that stay
+        // Crashed for the rest of their window without new RNG draws.
+        let plan = FaultPlan::none().with_seed(3).with_crash(0.5, 3);
+        let mut a = FaultInjector::new(plan.clone(), 8);
+        for r in 0..3 {
+            a.draw_round(r);
+        }
+        let (rng, down, agg_down) = a.state();
+        assert!(
+            down.iter().any(|&d| d > 3),
+            "seed 3 must leave an open crash window at round 3: {down:?}"
+        );
+        let mut b = FaultInjector::new(plan, 8);
+        b.restore_state(rng, down, agg_down);
+        for r in 3..12 {
+            let fa = a.draw_round(r);
+            let fb = b.draw_round(r);
+            assert_eq!(fa.participation, fb.participation, "round {r}");
+        }
+    }
+
+    #[test]
+    fn backoff_ticks_at_the_exact_retry_budget() {
+        // Boundary: the plan's default budget is max_retries = 3, so a
+        // message delivered on the very last allowed attempt (attempts ==
+        // 1 + max_retries == 4) waited 1 + 2 + 4 = 7 ticks, and an exhausted
+        // message is charged the same "waited the full budget" cost.
+        let plan = FaultPlan::none();
+        assert_eq!(plan.max_retries, 3);
+        // attempts == max_retries: one retry still in hand.
+        assert_eq!(backoff_ticks_for(plan.max_retries), 3);
+        // attempts == max_retries + 1: delivery on the final attempt.
+        assert_eq!(backoff_ticks_for(plan.max_retries + 1), 7);
+        // A lost message (None) is charged exactly the exhausted-budget cost.
+        let mut rf = RoundFaults::clean(1);
+        rf.up_attempts[0] = None;
+        rf.down_attempts[0] = Some(1);
+        assert_eq!(
+            rf.backoff_ticks(plan.max_retries),
+            backoff_ticks_for(plan.max_retries + 1)
+        );
+    }
+
+    #[test]
+    fn backoff_ticks_saturate_instead_of_overflowing() {
+        assert_eq!(backoff_ticks_for(0), 0);
+        assert_eq!(backoff_ticks_for(1), 0);
+        assert_eq!(backoff_ticks_for(2), 1);
+        let bits = usize::BITS as usize;
+        // Last in-range doubling, then saturation.
+        assert_eq!(backoff_ticks_for(bits), (1usize << (bits - 1)) - 1);
+        assert_eq!(backoff_ticks_for(bits + 1), usize::MAX);
+        assert_eq!(backoff_ticks_for(usize::MAX), usize::MAX);
+    }
+
+    #[test]
+    fn agg_faults_are_gated_and_deterministic() {
+        let plan = FaultPlan::none().with_agg_dropout(0.5);
+        assert!(plan.is_active());
+        assert!(plan.agg_faults_active());
+        assert!(!FaultPlan::none().agg_faults_active());
+        let draw = |mut inj: FaultInjector| {
+            (0..6).map(|r| inj.draw_agg_round(r, 4).status).collect::<Vec<_>>()
+        };
+        let a = draw(FaultInjector::new(plan.clone(), 10));
+        let b = draw(FaultInjector::new(plan, 10));
+        assert_eq!(a, b, "same seed, same aggregator fates");
+        assert!(
+            a.iter().flatten().any(|s| *s == AggStatus::Down),
+            "50% dropout over 24 draws must down something"
+        );
+    }
+
+    #[test]
+    fn crashed_aggregators_stay_down_then_rejoin() {
+        let plan = FaultPlan::none().with_seed(4).with_agg_crash(0.4, 2);
+        let mut inj = FaultInjector::new(plan, 10);
+        let mut spans: Vec<Vec<bool>> = vec![Vec::new(); 3];
+        for r in 0..15 {
+            let af = inj.draw_agg_round(r, 3);
+            for (a, span) in spans.iter_mut().enumerate() {
+                span.push(af.status[a] == AggStatus::Down);
+            }
+        }
+        let mut saw_cycle = false;
+        for span in &spans {
+            let mut run = 0;
+            for &down in span {
+                if down {
+                    run += 1;
+                } else {
+                    if run > 0 {
+                        assert!(run >= 3, "aggregator crash run of {run} rounds");
+                        saw_cycle = true;
+                    }
+                    run = 0;
+                }
+            }
+        }
+        assert!(saw_cycle, "no aggregator crash/rejoin cycle observed");
+    }
+
+    #[test]
+    fn agg_straggler_delays_are_bounded() {
+        let mut plan = FaultPlan::none().with_seed(6).with_agg_straggler(1.0);
+        plan.agg_straggler_max_delay = 5;
+        let mut inj = FaultInjector::new(plan, 4);
+        let af = inj.draw_agg_round(0, 8);
+        for s in &af.status {
+            match s {
+                AggStatus::Straggler { delay } => {
+                    assert!((1..=5).contains(delay), "delay {delay}")
+                }
+                other => panic!("expected straggler, got {other:?}"),
+            }
         }
     }
 }

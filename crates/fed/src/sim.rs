@@ -14,9 +14,11 @@
 use crate::client::Client;
 use crate::comm::CommStats;
 use crate::faults::{
-    backoff_ticks_for, straggler_wait, FaultInjector, FaultPlan, Participation, RoundFaults,
+    backoff_ticks_for, straggler_wait, AggRoundFaults, AggStatus, FaultInjector, FaultPlan,
+    Participation, RoundFaults,
 };
 use crate::strategy::Strategy;
+use crate::topology::{ClientSampler, Failover, Sampling, Topology};
 use fexiot_gnn::ContrastiveConfig;
 use fexiot_graph::GraphDataset;
 use fexiot_ml::{binary_cosine_split, Metrics};
@@ -50,6 +52,23 @@ pub struct FedConfig {
     pub layer_cadence: bool,
     /// Failure processes to inject each round (`FaultPlan::none()` = off).
     pub faults: FaultPlan,
+    /// Per-round cohort selection (`Sampling::Full` = everyone, the
+    /// pre-fleet behavior). Drawn from a dedicated seeded stream, weighted
+    /// by client sample counts.
+    pub sampling: Sampling,
+    /// Communication tree: flat client↔server, or 2+ edge aggregators that
+    /// pre-aggregate cohort updates ([`Topology`]). `LocalOnly` ignores the
+    /// tier (there is no server to forward to).
+    pub topology: Topology,
+    /// Minimum fraction of the sampled cohort's *sample-count weight* that
+    /// must report for the round to commit; below it the round degrades to a
+    /// recorded no-op (uploads priced, nothing aggregated). `0.0` disables
+    /// the gate.
+    pub quorum: f64,
+    /// Round deadline in simulated ticks: a contributor whose report path
+    /// (straggler wait + upload backoff + aggregator delay) exceeds this is
+    /// dropped from the round. `None` disables the deadline.
+    pub deadline_ticks: Option<usize>,
     pub seed: u64,
 }
 
@@ -68,6 +87,10 @@ impl Default for FedConfig {
             sybil_defense: false,
             layer_cadence: true,
             faults: FaultPlan::none(),
+            sampling: Sampling::Full,
+            topology: Topology::flat(),
+            quorum: 0.0,
+            deadline_ticks: None,
             seed: 0,
         }
     }
@@ -90,16 +113,19 @@ impl std::fmt::Display for FedError {
 
 impl std::error::Error for FedError {}
 
-/// Per-round degradation telemetry. Every client lands in exactly one of
-/// `participants` / `dropped` / `quarantined`, so those three always sum to
-/// `clients`.
+/// Per-round degradation telemetry. Every *sampled* client lands in exactly
+/// one of `participants` / `dropped` / `quarantined`, so those three always
+/// sum to `sampled` (which equals `clients` when sampling is off).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct RoundTelemetry {
     /// Federation size this round.
     pub clients: usize,
+    /// Cohort size: clients selected by the sampler this round.
+    pub sampled: usize,
     /// Clients whose update entered aggregation (includes stale-accepted).
     pub participants: usize,
-    /// Clients that contributed nothing: offline, crashed, too-stale, or
+    /// Sampled clients that contributed nothing: offline, crashed,
+    /// too-stale, past the round deadline, behind a dead aggregator, or
     /// upload lost after every retry.
     pub dropped: usize,
     /// Clients whose delivered update failed validation (NaN/Inf or norm
@@ -113,17 +139,34 @@ pub struct RoundTelemetry {
     pub lost_messages: usize,
     /// Simulated ticks spent in retry backoff this round.
     pub backoff_ticks: usize,
+    /// Contributors excluded because their report path missed the round
+    /// deadline (subset of `dropped`).
+    pub deadline_missed: usize,
+    /// Edge aggregators in the topology (1 = flat).
+    pub aggregators: usize,
+    /// Edge aggregators down this round (dropout or crash window).
+    pub agg_down: usize,
+    /// Cohort clients rerouted to a surviving aggregator after their home
+    /// aggregator went down (`Failover::Reassign` only).
+    pub reassigned: usize,
+    /// The round failed its quorum gate and degraded to a recorded no-op:
+    /// uploads were priced but nothing was aggregated or installed.
+    pub quorum_aborted: bool,
 }
 
 /// Per-round report.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct RoundReport {
     pub round: usize,
     pub mean_loss: f64,
     pub cumulative_comm: CommStats,
-    /// Degradation telemetry (all zeros except `clients`/`participants`
-    /// when faults are off).
+    /// Degradation telemetry (all zeros except `clients`/`sampled`/
+    /// `participants` when faults are off).
     pub faults: RoundTelemetry,
+    /// First violated [`CommStats::validate`] invariant, if any. Checked
+    /// every round in release builds too — a pricing bug fails closed here
+    /// instead of silently corrupting the Fig. 7 accounting.
+    pub comm_error: Option<String>,
 }
 
 /// Server-side view of one round under fault injection: who contributes,
@@ -162,6 +205,33 @@ impl RoundState {
     }
 }
 
+/// Fleet-structure context for one round, fixed before any update is
+/// received: who was sampled, which aggregator serves each client (after
+/// failover), how late that aggregator is, and the round deadline.
+struct RoundCtx {
+    /// In this round's cohort.
+    sampled: Vec<bool>,
+    /// Serving aggregator per client after failover; `None` = no path to
+    /// the server this round (home aggregator down, `Failover::Skip` or no
+    /// survivor). Always `Some(0)` on flat topologies.
+    route: Vec<Option<usize>>,
+    /// Straggler delay of the serving aggregator (0 when on time or flat).
+    agg_delay: Vec<usize>,
+    deadline: Option<usize>,
+}
+
+impl RoundCtx {
+    /// The pre-fleet context: everyone sampled, flat routing, no deadline.
+    fn full(n: usize) -> Self {
+        Self {
+            sampled: vec![true; n],
+            route: vec![Some(0); n],
+            agg_delay: vec![0; n],
+            deadline: None,
+        }
+    }
+}
+
 /// The whole federation: clients + server state.
 pub struct FedSim {
     pub clients: Vec<Client>,
@@ -178,6 +248,9 @@ pub struct FedSim {
     /// Fault-realization source; draws from its own RNG stream so fault
     /// randomness never perturbs training randomness.
     injector: FaultInjector,
+    /// Per-round cohort source; owns a third dedicated RNG stream so
+    /// sampling randomness perturbs neither training nor fault randomness.
+    sampler: ClientSampler,
     /// Observability registry backing [`RoundTelemetry`]: degradation events
     /// increment `fed.sim.*` counters here, and the round report reads the
     /// per-round deltas back. Private and always-enabled by default so
@@ -244,6 +317,7 @@ impl FedSim {
             .as_ref()
             .map(|dp| crate::dp::PrivacyAccountant::new(dp.noise_multiplier));
         let injector = FaultInjector::new(config.faults.clone(), clients.len());
+        let sampler = ClientSampler::new(config.sampling, config.seed);
         let client_obs = (0..clients.len()).map(|_| Arc::new(Registry::new())).collect();
         Ok(Self {
             clients,
@@ -254,6 +328,7 @@ impl FedSim {
             trust,
             accountant,
             injector,
+            sampler,
             obs: Arc::new(Registry::new()),
             client_obs,
             cost_acc: Vec::new(),
@@ -296,6 +371,7 @@ impl FedSim {
                 mean_loss: 0.0,
                 cumulative_comm: self.comm,
                 faults: RoundTelemetry::default(),
+                comm_error: None,
             };
         }
         let obs = Arc::clone(&self.obs);
@@ -305,6 +381,7 @@ impl FedSim {
             .iter()
             .map(|name| obs.counter_value(name))
             .collect();
+        let deadline_base = obs.counter_value("fed.agg.deadline_missed");
         let fault_active = self.injector.plan().is_active();
         let comm_before = self.comm;
         let round_faults = if fault_active {
@@ -312,6 +389,78 @@ impl FedSim {
         } else {
             RoundFaults::clean(n)
         };
+
+        // Fleet structure: draw this round's cohort (weighted by sample
+        // count, from the sampler's own stream), realize aggregator faults,
+        // and resolve failover routing. `Sampling::Full` + a flat topology
+        // short-circuits to the pre-fleet context: no extra RNG draws, no
+        // extra counters, bit-identical rounds (locked by `tests/golden.rs`).
+        let topo = self.config.topology;
+        // LocalOnly has no server, so there is nothing for an aggregator
+        // tier to forward to; treat it as flat.
+        let hierarchical =
+            topo.is_hierarchical() && !matches!(self.config.strategy, Strategy::LocalOnly);
+        let sampling_active = self.config.sampling.is_active(n);
+        let mut ctx = RoundCtx::full(n);
+        ctx.deadline = self.config.deadline_ticks;
+        let cohort: Vec<usize> = if sampling_active {
+            let weights: Vec<f64> =
+                self.clients.iter().map(|c| c.sample_count() as f64).collect();
+            let cohort = self.sampler.draw_cohort(&weights);
+            ctx.sampled = vec![false; n];
+            for &c in &cohort {
+                ctx.sampled[c] = true;
+            }
+            obs.counter_add("fed.sim.sampled", cohort.len() as u64);
+            cohort
+        } else {
+            (0..n).collect()
+        };
+        let agg_faults = if hierarchical && self.injector.plan().agg_faults_active() {
+            self.injector.draw_agg_round(self.round, topo.aggregators)
+        } else {
+            AggRoundFaults::clean(topo.aggregators.max(1))
+        };
+        let mut agg_down = 0usize;
+        let mut reassigned = 0usize;
+        if hierarchical {
+            let up: Vec<bool> = agg_faults
+                .status
+                .iter()
+                .map(|s| !matches!(s, AggStatus::Down))
+                .collect();
+            agg_down = agg_faults.down_count();
+            for &c in &cohort {
+                let home = topo.aggregator_of(c);
+                ctx.route[c] = Some(home);
+                if up[home] {
+                    continue;
+                }
+                ctx.route[c] = match topo.failover {
+                    // Ring failover: the cohort reroutes to the next
+                    // surviving aggregator clockwise from home.
+                    Failover::Reassign => (1..topo.aggregators)
+                        .map(|d| (home + d) % topo.aggregators)
+                        .find(|&a| up[a])
+                        .inspect(|_| reassigned += 1),
+                    Failover::Skip => None,
+                };
+            }
+            for &c in &cohort {
+                if let Some(AggStatus::Straggler { delay }) =
+                    ctx.route[c].map(|a| agg_faults.status[a])
+                {
+                    ctx.agg_delay[c] = delay;
+                }
+            }
+            if agg_down > 0 {
+                obs.counter_add("fed.agg.down", agg_down as u64);
+            }
+            if reassigned > 0 {
+                obs.counter_add("fed.agg.reassigned", reassigned as u64);
+            }
+        }
+
         self.cost_acc = (0..n)
             .map(|client| ClientRoundCost {
                 client,
@@ -319,45 +468,49 @@ impl FedSim {
             })
             .collect();
 
-        // Local training on every online client (stragglers train too —
-        // they are slow, not dead). The fault plan was drawn above on the
-        // calling thread, so the scatter sees a fixed participation vector;
-        // each client trains against its own RNG stream and its own child
-        // registry (`with_registry` routes the trainer's global-registry
-        // instrumentation there), which keeps both the parameter math and
-        // the traces independent of worker interleaving.
+        // Local training on every sampled, online, routable client
+        // (stragglers train too — they are slow, not dead; a cohort behind a
+        // dead aggregator with no failover sits the round out entirely).
+        // The fault plan and routing were fixed above on the calling thread,
+        // so the scatter sees a fixed train set; each client trains against
+        // its own RNG stream and its own child registry (`with_registry`
+        // routes the trainer's global-registry instrumentation there), which
+        // keeps both the parameter math and the traces independent of worker
+        // interleaving.
         let local_cfg = ContrastiveConfig {
             seed: self.config.local.seed ^ (self.round as u64) << 17,
             ..self.config.local.clone()
         };
-        let losses: Vec<Option<f64>> = {
+        let train_ids: Vec<usize> = cohort
+            .iter()
+            .copied()
+            .filter(|&c| round_faults.participation[c].trains() && ctx.route[c].is_some())
+            .collect();
+        let losses: Vec<f64> = {
             let client_obs = &self.client_obs;
-            let participation = &round_faults.participation;
-            fexiot_par::pool().map_mut(&mut self.clients, |i, client| {
-                if !participation[i].trains() {
-                    return None;
-                }
+            fexiot_par::pool().map_subset_mut(&mut self.clients, &train_ids, |i, client| {
                 let creg = &client_obs[i];
-                Some(fexiot_obs::with_registry(creg, || {
-                    client.local_train_traced(&local_cfg, creg)
-                }))
+                fexiot_obs::with_registry(creg, || client.local_train_traced(&local_cfg, creg))
             })
         };
-        // Gather in client order: losses sum in the same sequence as the
-        // sequential loop (bit-identical mean), and each child trace is
-        // merged under its `client[i]` span before the next one.
+        // Gather in client order (train_ids is sorted ascending): losses sum
+        // in the same sequence as the sequential loop (bit-identical mean),
+        // and each child trace is merged under its `client[i]` span before
+        // the next one.
         let mut total_loss = 0.0;
-        let mut trained = 0usize;
-        for (i, loss) in losses.into_iter().enumerate() {
-            if let Some(loss) = loss {
-                let _s = obs.span(format!("client[{i}]"));
-                let creg = &self.client_obs[i];
-                total_loss += loss;
-                trained += 1;
-                self.cost_acc[i].trained = true;
-                obs.absorb(&creg.snapshot());
-                creg.reset();
-            }
+        let trained = train_ids.len();
+        for (&i, loss) in train_ids.iter().zip(losses) {
+            let _s = obs.span(format!("client[{i}]"));
+            let creg = &self.client_obs[i];
+            total_loss += loss;
+            self.cost_acc[i].trained = true;
+            obs.absorb(&creg.snapshot());
+            creg.reset();
+        }
+        // Aggregator straggle is a cohort-wide wait: every trained client
+        // routed through a late aggregator carries its delay.
+        for &c in &train_ids {
+            self.cost_acc[c].agg_ticks = ctx.agg_delay[c] as u64;
         }
         let mean_loss = if trained == 0 {
             0.0
@@ -368,12 +521,11 @@ impl FedSim {
         obs.hist_record("fed.round.loss", fexiot_obs::buckets::LOSS, mean_loss);
 
         // §VI extensions: privatize what the server will observe, then score
-        // client trust from the (privatized) update histories.
+        // client trust from the (privatized) update histories. Only clients
+        // that trained this round have a fresh update to privatize.
         if let Some(dp) = self.config.dp {
-            for (i, c) in self.clients.iter_mut().enumerate() {
-                if round_faults.participation[i].trains() {
-                    c.privatize_last_update(&dp, &mut self.rng);
-                }
+            for &i in &train_ids {
+                self.clients[i].privatize_last_update(&dp, &mut self.rng);
             }
             if let Some(acc) = &mut self.accountant {
                 acc.record_release();
@@ -383,19 +535,38 @@ impl FedSim {
         // Server-side realization of the round: who delivered what.
         let state = {
             let _s = obs.span("fed.sim.receive");
-            self.receive_updates(round_faults)
+            self.receive_updates(round_faults, &ctx)
         };
 
-        if self.config.sybil_defense {
-            self.score_trust(&state);
-        }
-
         let contributing: Vec<usize> = (0..n).filter(|&c| state.contributors[c]).collect();
-        {
+
+        // Quorum gate: the round commits only when enough of the cohort's
+        // sample-count weight actually reported. An aborted round is a
+        // recorded no-op — contributor uploads (and aggregator forwards) are
+        // priced because the bytes moved, but nothing is scored, aggregated,
+        // or installed, so garbage from a structurally broken round can
+        // never enter the models.
+        let quorum = self.config.quorum.clamp(0.0, 1.0);
+        let quorum_met = if quorum <= 0.0 || matches!(self.config.strategy, Strategy::LocalOnly) {
+            true
+        } else {
+            let weight = |ids: &[usize]| -> f64 {
+                ids.iter()
+                    .map(|&c| self.clients[c].sample_count() as f64)
+                    .sum()
+            };
+            let cohort_weight = weight(&cohort);
+            cohort_weight <= 0.0 || weight(&contributing) >= quorum * cohort_weight
+        };
+
+        if quorum_met {
+            if self.config.sybil_defense {
+                self.score_trust();
+            }
             let _s = obs.span("fed.sim.aggregate");
             match self.config.strategy.clone() {
                 Strategy::LocalOnly => {}
-                Strategy::FedAvg => self.aggregate_full(&[contributing], &state),
+                Strategy::FedAvg => self.aggregate_full(std::slice::from_ref(&contributing), &state),
                 Strategy::Fmtl { eps1, eps2 } => {
                     self.refine_clusters(eps1, eps2, false);
                     let clusters = self.surviving_clusters(&state);
@@ -408,6 +579,36 @@ impl FedSim {
                 }
                 Strategy::FexIot { eps1, eps2 } => {
                     self.recursive_layerwise(0, &contributing, eps1, eps2, &state);
+                }
+            }
+        } else {
+            obs.counter_add("fed.agg.quorum_aborts", 1);
+            // The contributors' uploads were already in flight when the
+            // server gave up on the round; price them at full-model cost.
+            for &c in &contributing {
+                let bytes = param_bytes(self.clients[c].encoder.params());
+                self.price_upload(c, bytes, &state);
+            }
+        }
+
+        // Price the aggregator→server trunk: each aggregator that served at
+        // least one contributor forwards one pre-aggregated message per
+        // round (the weighted average is associative, so edge pre-
+        // aggregation is the identity on the math — only the traffic shape
+        // changes). Committed rounds broadcast the aggregate back down;
+        // aborted rounds have nothing to broadcast.
+        if hierarchical && !contributing.is_empty() {
+            let model_bytes = param_bytes(self.clients[contributing[0]].encoder.params());
+            let mut active_aggs: Vec<usize> =
+                contributing.iter().filter_map(|&c| ctx.route[c]).collect();
+            active_aggs.sort_unstable();
+            active_aggs.dedup();
+            for _ in &active_aggs {
+                self.comm.record_agg_forward(model_bytes);
+            }
+            if quorum_met {
+                for _ in &active_aggs {
+                    self.comm.record_agg_broadcast(model_bytes);
                 }
             }
         }
@@ -440,7 +641,30 @@ impl FedSim {
             "fed.comm.round_messages",
             (comm_delta.upload_messages + comm_delta.download_messages) as f64,
         );
-        debug_assert_eq!(self.comm.validate(), Ok(()), "comm stats invariant violated");
+        if hierarchical {
+            self.obs.counter_add(
+                "fed.agg.forward_messages",
+                comm_delta.agg_forward_messages as u64,
+            );
+            self.obs
+                .counter_add("fed.agg.forward_bytes", comm_delta.agg_forward_bytes as u64);
+            self.obs.counter_add(
+                "fed.agg.broadcast_messages",
+                comm_delta.agg_broadcast_messages as u64,
+            );
+            self.obs.counter_add(
+                "fed.agg.broadcast_bytes",
+                comm_delta.agg_broadcast_bytes as u64,
+            );
+        }
+        // Hard invariant (release builds too): a pricing bug fails closed as
+        // a surfaced error instead of silently corrupting the Fig. 7
+        // accounting. Debug builds still abort loudly.
+        let comm_error = self.comm.validate().err();
+        if let Some(e) = &comm_error {
+            self.obs.counter_add("fed.sim.comm_invariant_violations", 1);
+            debug_assert!(false, "comm stats invariant violated: {e}");
+        }
 
         // The report's telemetry is read back from the registry as this
         // round's counter deltas.
@@ -448,15 +672,23 @@ impl FedSim {
             |i: usize| (self.obs.counter_value(ROUND_COUNTERS[i]) - base[i]) as usize;
         let participants = delta(0);
         let quarantined = delta(1);
+        let sampled = cohort.len();
         let report_faults = RoundTelemetry {
             clients: n,
+            sampled,
             participants,
-            dropped: n - participants - quarantined,
+            dropped: sampled - participants - quarantined,
             quarantined,
             stale_accepted: delta(2),
             retried_messages: delta(3),
             lost_messages: delta(4),
             backoff_ticks: delta(5),
+            deadline_missed: (self.obs.counter_value("fed.agg.deadline_missed")
+                - deadline_base) as usize,
+            aggregators: topo.aggregators.max(1),
+            agg_down,
+            reassigned,
+            quorum_aborted: !quorum_met,
         };
         self.round_costs.push(RoundCost {
             round: self.round,
@@ -468,22 +700,26 @@ impl FedSim {
             mean_loss,
             cumulative_comm: self.comm,
             faults: report_faults,
+            comm_error,
         }
     }
 
     /// Turns the round's fault realization into the server's view: which
     /// updates arrived, which were corrupted in flight, which survive
-    /// validation, and at what staleness weight. Also prices the traffic of
-    /// uploads that never made it into aggregation (lost or quarantined).
-    fn receive_updates(&mut self, round_faults: RoundFaults) -> RoundState {
+    /// validation and the round deadline, and at what staleness weight. Also
+    /// prices the traffic of uploads that never made it into aggregation
+    /// (lost or quarantined). Only this round's cohort — restricted to
+    /// clients with a live aggregator route — can contribute at all.
+    fn receive_updates(&mut self, round_faults: RoundFaults, ctx: &RoundCtx) -> RoundState {
         let n = self.clients.len();
         let mut state = RoundState::clean(n);
         state.faults = round_faults;
         // LocalOnly has no server: nobody uploads, so nothing can be lost,
-        // corrupted, or quarantined. Participants are whoever trained.
+        // corrupted, or quarantined. Participants are whoever trained
+        // (aggregator routing does not apply — there is nowhere to route).
         if matches!(self.config.strategy, Strategy::LocalOnly) {
             for c in 0..n {
-                state.contributors[c] = state.faults.participation[c].trains();
+                state.contributors[c] = ctx.sampled[c] && state.faults.participation[c].trains();
             }
             let participants = state.contributors.iter().filter(|&&x| x).count();
             self.obs
@@ -491,6 +727,11 @@ impl FedSim {
             return state;
         }
         let plan = self.injector.plan().clone();
+        // Unsampled clients and cohorts stranded behind a dead aggregator
+        // are out of the round before any update can move.
+        for c in 0..n {
+            state.contributors[c] = ctx.sampled[c] && ctx.route[c].is_some();
+        }
 
         // 1. Staleness-bounded participation: on-time clients are full
         //    weight, stragglers within the bound are decayed, later ones
@@ -498,6 +739,9 @@ impl FedSim {
         //    up to the staleness bound either way — that wait is the round's
         //    dominant simulated-tick cost for critical-path attribution.
         for c in 0..n {
+            if !state.contributors[c] {
+                continue;
+            }
             match state.faults.participation[c] {
                 Participation::Active => {}
                 Participation::Straggler { delay } => {
@@ -530,6 +774,33 @@ impl FedSim {
                 self.obs.counter_add("fed.sim.lost_messages", 1);
                 self.cost_acc[c].lost_upload = true;
                 state.contributors[c] = false;
+            }
+        }
+
+        // 2b. Round deadline: a delivered update whose report path —
+        //     straggler wait + upload backoff + aggregator-tier delay — blew
+        //     the deadline is excluded from aggregation. The wait and
+        //     backoff ticks were already priced/attributed above; like a
+        //     too-stale update, the server simply stops listening, so no
+        //     extra traffic is charged.
+        if let Some(deadline) = ctx.deadline {
+            for c in 0..n {
+                if !state.contributors[c] {
+                    continue;
+                }
+                let wait = match state.faults.participation[c] {
+                    Participation::Straggler { delay } => {
+                        straggler_wait(delay, plan.staleness_bound)
+                    }
+                    _ => 0,
+                };
+                let report_ticks = wait
+                    .saturating_add(backoff_ticks_for(state.up_attempts(c)))
+                    .saturating_add(ctx.agg_delay[c]);
+                if report_ticks > deadline {
+                    state.contributors[c] = false;
+                    self.obs.counter_add("fed.agg.deadline_missed", 1);
+                }
             }
         }
 
@@ -599,12 +870,11 @@ impl FedSim {
     /// FoolsGold trust over cumulative update directions. Quarantined
     /// clients' newest (corrupt) update is excluded so garbage cannot poison
     /// the similarity scores.
-    fn score_trust(&mut self, state: &RoundState) {
-        let quarantined_now = |c: usize| {
-            state.faults.participation[c].trains()
-                && state.faults.corrupt[c]
-                && !state.contributors[c]
-        };
+    fn score_trust(&mut self) {
+        // The receive stage flagged exactly the clients whose newest update
+        // was quarantined this round (sampling-aware: an unsampled client's
+        // stale history entry is never excluded by mistake).
+        let quarantined_now = |c: usize| self.cost_acc[c].quarantined;
         let histories: Vec<Vec<f64>> = self
             .clients
             .iter()
@@ -1038,16 +1308,27 @@ impl FedSim {
         w.write_usize(self.comm.download_messages);
         w.write_usize(self.comm.retried_messages);
         w.write_usize(self.comm.retried_bytes);
+        w.write_usize(self.comm.agg_forward_bytes);
+        w.write_usize(self.comm.agg_forward_messages);
+        w.write_usize(self.comm.agg_broadcast_bytes);
+        w.write_usize(self.comm.agg_broadcast_messages);
         for s in self.rng.state() {
             w.write_u64(s);
         }
-        let (inj_rng, down_until) = self.injector.state();
+        let (inj_rng, down_until, agg_down_until) = self.injector.state();
         for s in inj_rng {
             w.write_u64(s);
         }
         w.write_usize(down_until.len());
         for d in down_until {
             w.write_u64(d);
+        }
+        w.write_usize(agg_down_until.len());
+        for d in agg_down_until {
+            w.write_u64(d);
+        }
+        for s in self.sampler.state() {
+            w.write_u64(s);
         }
         w.write_usize(self.accountant.as_ref().map_or(0, |a| a.releases()));
         w.into_bytes()
@@ -1110,6 +1391,10 @@ impl FedSim {
             download_messages: r.read_usize()?,
             retried_messages: r.read_usize()?,
             retried_bytes: r.read_usize()?,
+            agg_forward_bytes: r.read_usize()?,
+            agg_forward_messages: r.read_usize()?,
+            agg_broadcast_bytes: r.read_usize()?,
+            agg_broadcast_messages: r.read_usize()?,
         };
         let rng_state = [r.read_u64()?, r.read_u64()?, r.read_u64()?, r.read_u64()?];
         let inj_rng = [r.read_u64()?, r.read_u64()?, r.read_u64()?, r.read_u64()?];
@@ -1120,6 +1405,16 @@ impl FedSim {
         if down_until.len() != n {
             return Err(CodecError::BadHeader);
         }
+        let agg_down_len = r.read_usize()?;
+        // The aggregator ledger is sized lazily; it can never exceed the
+        // configured tier (a corrupt blob would otherwise balloon it).
+        if agg_down_len > self.config.topology.aggregators.max(1) {
+            return Err(CodecError::BadHeader);
+        }
+        let agg_down_until: Vec<u64> = (0..agg_down_len)
+            .map(|_| r.read_u64())
+            .collect::<Result<_, _>>()?;
+        let sampler_state = [r.read_u64()?, r.read_u64()?, r.read_u64()?, r.read_u64()?];
         let releases = r.read_usize()?;
 
         self.round = round;
@@ -1127,7 +1422,8 @@ impl FedSim {
         self.trust = trust;
         self.comm = comm;
         self.rng = Rng::from_state(rng_state);
-        self.injector.restore_state(inj_rng, down_until);
+        self.injector.restore_state(inj_rng, down_until, agg_down_until);
+        self.sampler.restore_state(sampler_state);
         if let (Some(acc), Some(dp)) = (&mut self.accountant, &self.config.dp) {
             *acc = crate::dp::PrivacyAccountant::new(dp.noise_multiplier);
             for _ in 0..releases {
@@ -1139,7 +1435,7 @@ impl FedSim {
 }
 
 /// Magic + version prefix of checkpoint blobs.
-const CHECKPOINT_MAGIC: &str = "FEXFEDCK1";
+const CHECKPOINT_MAGIC: &str = "FEXFEDCK2";
 
 #[cfg(test)]
 mod tests {

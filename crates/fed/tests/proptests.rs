@@ -6,7 +6,9 @@
 use fexiot_fed::dp::{clip_update, privatize_update, DpConfig};
 use fexiot_fed::secure_agg::secure_weighted_average;
 use fexiot_fed::sybil::foolsgold_weights;
-use fexiot_fed::{Client, Corruption, FaultPlan, FedConfig, FedSim, Strategy};
+use fexiot_fed::{
+    Client, Corruption, Failover, FaultPlan, FedConfig, FedSim, Sampling, Strategy, Topology,
+};
 use fexiot_gnn::{ContrastiveConfig, Encoder, Gin};
 use fexiot_graph::{generate_dataset, DatasetConfig};
 use fexiot_tensor::optim::{param_weighted_average, ParamVec};
@@ -15,6 +17,17 @@ use proptest::prelude::*;
 
 /// A small federation (3 clients, tiny graphs) under the given fault plan.
 fn tiny_sim(seed: u64, rounds: usize, faults: FaultPlan) -> FedSim {
+    tiny_sim_with(seed, rounds, faults, |_| {})
+}
+
+/// [`tiny_sim`] with a config hook applied before construction (the sampler
+/// is seeded from the final config, so fleet knobs must be set up front).
+fn tiny_sim_with(
+    seed: u64,
+    rounds: usize,
+    faults: FaultPlan,
+    tweak: impl FnOnce(&mut FedConfig),
+) -> FedSim {
     let mut rng = Rng::seed_from_u64(seed);
     let mut cfg = DatasetConfig::small_ifttt();
     cfg.graph_count = 30;
@@ -27,7 +40,7 @@ fn tiny_sim(seed: u64, rounds: usize, faults: FaultPlan) -> FedSim {
         .enumerate()
         .map(|(i, data)| Client::new(i, Encoder::Gin(template.clone()), data))
         .collect();
-    let config = FedConfig {
+    let mut config = FedConfig {
         strategy: Strategy::fexiot_default(),
         rounds,
         local: ContrastiveConfig {
@@ -39,6 +52,7 @@ fn tiny_sim(seed: u64, rounds: usize, faults: FaultPlan) -> FedSim {
         seed,
         ..Default::default()
     };
+    tweak(&mut config);
     FedSim::new(clients, config)
 }
 
@@ -169,6 +183,52 @@ proptest! {
             for m in c.encoder.params() {
                 prop_assert!(m.is_finite(), "non-finite global params survived");
             }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // Checkpointing mid-run — with crash-and-rejoin `down_until` windows
+    // still open on clients *and* aggregators, the sampler stream mid-
+    // sequence, and quorum gating live — then restoring into a fresh build
+    // must resume bit-identically to the uninterrupted run for arbitrary
+    // seeds and checkpoint positions.
+    #[test]
+    fn checkpoint_under_open_crash_windows_resumes_bit_identically(
+        seed in 0u64..1000,
+        cut in 1usize..5,
+    ) {
+        let fleet = |seed: u64| {
+            let plan = FaultPlan::none()
+                .with_seed(seed)
+                .with_dropout(0.2)
+                .with_crash(0.4, 3)
+                .with_agg_crash(0.4, 3);
+            tiny_sim_with(seed, 6, plan, |c| {
+                c.sampling = Sampling::FixedK(2);
+                c.topology = Topology::hierarchical(2, Failover::Reassign);
+                c.quorum = 0.5;
+            })
+        };
+        let fingerprint = |r: &fexiot_fed::RoundReport| {
+            (r.mean_loss.to_bits(), r.cumulative_comm, r.faults)
+        };
+
+        let mut uninterrupted = fleet(seed);
+        let all: Vec<_> = uninterrupted.run().iter().map(&fingerprint).collect();
+
+        let mut first = fleet(seed);
+        for _ in 0..cut {
+            first.run_round();
+        }
+        let blob = first.checkpoint();
+        let mut resumed = fleet(seed);
+        resumed.restore(&blob).expect("restore failed");
+        for want in &all[cut..] {
+            let got = fingerprint(&resumed.run_round());
+            prop_assert_eq!(&got, want, "diverged after restore at round {}", cut);
         }
     }
 }

@@ -444,6 +444,15 @@ pub fn validate_bench_report(doc: &Json) -> Result<(), String> {
             .and_then(Json::as_u64)
             .ok_or_else(|| format!("missing integer field '{field}'"))?;
     }
+    // Optional fleet-identity fields (federated workloads only): typed when
+    // present, absent otherwise.
+    if let Some(v) = doc.get("clients") {
+        v.as_u64()
+            .ok_or("'clients' must be an unsigned integer when present")?;
+    }
+    if let Some(v) = doc.get("topology") {
+        v.as_str().ok_or("'topology' must be a string when present")?;
+    }
     match doc.get("items") {
         Some(Json::Obj(members)) => {
             for (k, v) in members {
@@ -514,6 +523,22 @@ pub fn diff_bench_reports(baseline: &Json, current: &Json, cfg: &DiffConfig) -> 
                 "report",
                 field.into(),
                 format!("{a} -> {b} (runs are not comparable)"),
+            );
+        }
+    }
+    // Fleet-identity fields are optional but breaking whenever either side
+    // carries one: a 5-client flat run and a 2000-client hierarchical run
+    // measure different workloads even at the same seed.
+    for field in ["clients", "topology"] {
+        let render = |doc: &Json| doc.get(field).map(|v| v.to_string());
+        let (a, b) = (render(baseline), render(current));
+        if a != b {
+            let show = |v: &Option<String>| v.clone().unwrap_or_else(|| "absent".into());
+            out.push(
+                Severity::Breaking,
+                "report",
+                field.into(),
+                format!("{} -> {} (runs are not comparable)", show(&a), show(&b)),
             );
         }
     }
@@ -726,6 +751,35 @@ mod tests {
         );
         assert!(!d.passed());
         assert_eq!(d.findings[0].kind, "report");
+    }
+
+    #[test]
+    fn bench_fleet_identity_drift_is_breaking() {
+        let with_fleet = |clients: u64, topology: &str| {
+            let mut doc = bench(42, 150, 0, false, 5000);
+            if let Json::Obj(members) = &mut doc {
+                members.push(("clients".into(), Json::UInt(clients)));
+                members.push(("topology".into(), Json::Str(topology.into())));
+            }
+            doc
+        };
+        let a = with_fleet(2000, "hier:2");
+        validate_bench_report(&a).expect("fleet identity fields are valid");
+        // Same fleet shape: clean pass.
+        let d = diff_bench_reports(&a, &with_fleet(2000, "hier:2"), &DiffConfig::default());
+        assert!(d.passed() && d.findings.is_empty(), "{}", d.render());
+        // Different fleet size, and fleet vs no-fleet: both breaking.
+        let d = diff_bench_reports(&a, &with_fleet(100, "hier:2"), &DiffConfig::default());
+        assert!(!d.passed());
+        assert_eq!(d.findings[0].path, "clients");
+        let d = diff_bench_reports(&a, &bench(42, 150, 0, false, 5000), &DiffConfig::default());
+        assert!(!d.passed(), "fleet vs flat must not compare");
+        // A malformed fleet field is rejected up front.
+        let mut bad = bench(42, 150, 0, false, 5000);
+        if let Json::Obj(members) = &mut bad {
+            members.push(("clients".into(), Json::Str("many".into())));
+        }
+        assert!(validate_bench_report(&bad).is_err());
     }
 
     #[test]

@@ -251,7 +251,14 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
             .as_arr()
             .ok_or("'critical_path' is not an array")?;
         for (i, e) in entries.iter().enumerate() {
-            for field in ["round", "total_ticks", "straggler_ticks", "backoff_ticks", "retries"] {
+            for field in [
+                "round",
+                "total_ticks",
+                "straggler_ticks",
+                "backoff_ticks",
+                "agg_ticks",
+                "retries",
+            ] {
                 if e.get(field).and_then(Json::as_u64).is_none() {
                     return Err(format!("critical_path[{i}] missing integer '{field}'"));
                 }

@@ -25,6 +25,9 @@ pub struct ClientRoundCost {
     pub straggler_ticks: u64,
     /// Exponential-backoff ticks spent re-sending on lossy links.
     pub backoff_ticks: u64,
+    /// Ticks the client's update sat at a straggling edge aggregator before
+    /// reaching the server (hierarchical topology only).
+    pub agg_ticks: u64,
     /// Retransmissions beyond the first attempt (uploads + downloads).
     pub retries: u64,
 }
@@ -32,7 +35,7 @@ pub struct ClientRoundCost {
 impl ClientRoundCost {
     /// Total simulated ticks attributed to this client this round.
     pub fn total_ticks(&self) -> u64 {
-        self.straggler_ticks + self.backoff_ticks
+        self.straggler_ticks + self.backoff_ticks + self.agg_ticks
     }
 }
 
@@ -52,8 +55,10 @@ pub struct CriticalPathEntry {
     pub total_ticks: u64,
     pub straggler_ticks: u64,
     pub backoff_ticks: u64,
+    pub agg_ticks: u64,
     pub retries: u64,
-    /// Dominant cost source: `straggler`, `backoff`, or `idle`.
+    /// Dominant cost source: `straggler`, `backoff`, `aggregator`, or
+    /// `idle`.
     pub cause: &'static str,
 }
 
@@ -79,8 +84,14 @@ pub fn critical_path(rounds: &[RoundCost]) -> Vec<CriticalPathEntry> {
                     total_ticks: c.total_ticks(),
                     straggler_ticks: c.straggler_ticks,
                     backoff_ticks: c.backoff_ticks,
+                    agg_ticks: c.agg_ticks,
                     retries: c.retries,
-                    cause: if c.straggler_ticks >= c.backoff_ticks {
+                    // The aggregator tier only wins a strict majority of the
+                    // ticks; client-side causes keep their original priority
+                    // order so flat-topology paths are byte-identical.
+                    cause: if c.agg_ticks > c.straggler_ticks && c.agg_ticks > c.backoff_ticks {
+                        "aggregator"
+                    } else if c.straggler_ticks >= c.backoff_ticks {
                         "straggler"
                     } else {
                         "backoff"
@@ -92,6 +103,7 @@ pub fn critical_path(rounds: &[RoundCost]) -> Vec<CriticalPathEntry> {
                     total_ticks: 0,
                     straggler_ticks: 0,
                     backoff_ticks: 0,
+                    agg_ticks: 0,
                     retries: 0,
                     cause: "idle",
                 },
@@ -114,6 +126,7 @@ pub fn critical_path_to_json(path: &[CriticalPathEntry]) -> Json {
                     ("total_ticks".into(), Json::UInt(e.total_ticks)),
                     ("straggler_ticks".into(), Json::UInt(e.straggler_ticks)),
                     ("backoff_ticks".into(), Json::UInt(e.backoff_ticks)),
+                    ("agg_ticks".into(), Json::UInt(e.agg_ticks)),
                     ("retries".into(), Json::UInt(e.retries)),
                     ("cause".into(), Json::Str(e.cause.into())),
                 ])
@@ -128,8 +141,15 @@ pub fn render_critical_path(path: &[CriticalPathEntry]) -> String {
     for e in path {
         let line = match e.client {
             Some(c) => format!(
-                "  round[{}]  client[{}]  {} ticks (straggler {}, backoff {}, retries {}) <- {}\n",
-                e.round, c, e.total_ticks, e.straggler_ticks, e.backoff_ticks, e.retries, e.cause
+                "  round[{}]  client[{}]  {} ticks (straggler {}, backoff {}, agg {}, retries {}) <- {}\n",
+                e.round,
+                c,
+                e.total_ticks,
+                e.straggler_ticks,
+                e.backoff_ticks,
+                e.agg_ticks,
+                e.retries,
+                e.cause
             ),
             None => format!("  round[{}]  idle (no client accrued cost)\n", e.round),
         };
@@ -193,5 +213,28 @@ mod tests {
             costs: vec![cost(0, 1, 4)],
         }];
         assert_eq!(critical_path(&rounds)[0].cause, "backoff");
+    }
+
+    #[test]
+    fn aggregator_dominant_cost_is_labelled_aggregator() {
+        let mut slow = cost(3, 1, 1);
+        slow.agg_ticks = 4;
+        let rounds = vec![RoundCost {
+            round: 2,
+            costs: vec![cost(0, 2, 0), slow],
+        }];
+        let path = critical_path(&rounds);
+        assert_eq!(path[0].client, Some(3));
+        assert_eq!(path[0].total_ticks, 6);
+        assert_eq!(path[0].agg_ticks, 4);
+        assert_eq!(path[0].cause, "aggregator");
+        // Ties between aggregator and client causes keep the client label.
+        let mut tied = cost(1, 3, 0);
+        tied.agg_ticks = 3;
+        let rounds = vec![RoundCost {
+            round: 0,
+            costs: vec![tied],
+        }];
+        assert_eq!(critical_path(&rounds)[0].cause, "straggler");
     }
 }

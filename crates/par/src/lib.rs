@@ -357,6 +357,77 @@ impl ParPool {
         results.into_iter().flatten().collect()
     }
 
+    /// Order-preserving parallel map with mutable access over a *sparse
+    /// subset*: `out[j] = f(indices[j], &mut items[indices[j]])`. `indices`
+    /// must be strictly increasing and in bounds (a sampled federated cohort
+    /// is drawn sorted). Chunking is over the subset, not the backing slice,
+    /// so a 50-client cohort inside a 2000-client fleet still balances
+    /// across workers; each worker gets a disjoint sub-slice covering its
+    /// chunk's index span, so workers never alias.
+    ///
+    /// # Panics
+    /// Panics when `indices` is not strictly increasing or indexes out of
+    /// bounds.
+    pub fn map_subset_mut<T: Send, R: Send>(
+        &self,
+        items: &mut [T],
+        indices: &[usize],
+        f: impl Fn(usize, &mut T) -> R + Sync,
+    ) -> Vec<R> {
+        self.note_use();
+        assert!(
+            indices.windows(2).all(|w| w[0] < w[1]),
+            "map_subset_mut: indices must be strictly increasing"
+        );
+        if let Some(&last) = indices.last() {
+            assert!(
+                last < items.len(),
+                "map_subset_mut: index {last} out of bounds for {} items",
+                items.len()
+            );
+        }
+        let bounds = self.chunk_bounds(indices.len());
+        if !self.run_threaded(bounds.len()) {
+            return indices.iter().map(|&i| f(i, &mut items[i])).collect();
+        }
+        // Carve disjoint sub-slices: chunk k owns the backing range
+        // `indices[start]..=indices[end-1]` (disjoint because indices are
+        // strictly increasing across chunk boundaries).
+        let mut chunks: Vec<(usize, &[usize], &mut [T])> = Vec::with_capacity(bounds.len());
+        let mut rest = items;
+        let mut offset = 0;
+        for &(start, end) in &bounds {
+            let idx = &indices[start..end];
+            let (lo, hi) = (idx[0], idx[end - start - 1]);
+            let (_gap, tail) = rest.split_at_mut(lo - offset);
+            let (span, tail) = tail.split_at_mut(hi - lo + 1);
+            chunks.push((lo, idx, span));
+            rest = tail;
+            offset = hi + 1;
+        }
+        let mut results: Vec<Vec<R>> = Vec::with_capacity(bounds.len());
+        std::thread::scope(|scope| {
+            let mut iter = chunks.into_iter();
+            let (lo0, idx0, span0) = iter.next().expect("at least one chunk");
+            let mut handles = Vec::new();
+            for (lo, idx, span) in iter {
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let _w = WorkerGuard::enter();
+                    idx.iter().map(|&i| f(i, &mut span[i - lo])).collect::<Vec<R>>()
+                }));
+            }
+            results.push({
+                let _w = WorkerGuard::enter();
+                idx0.iter().map(|&i| f(i, &mut span0[i - lo0])).collect()
+            });
+            for h in handles {
+                results.push(h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)));
+            }
+        });
+        results.into_iter().flatten().collect()
+    }
+
     /// Order-preserving parallel map with a per-item RNG. Streams are forked
     /// from `seed` *sequentially on the calling thread* (`base.fork(i)` for
     /// item `i`), so item `i` consumes the identical stream at any thread
@@ -455,6 +526,53 @@ mod tests {
             assert_eq!(items, expect);
             assert_eq!(returned, (0..41).collect::<Vec<usize>>());
         }
+    }
+
+    #[test]
+    fn map_subset_mut_touches_only_the_subset_in_order() {
+        let indices = [0usize, 3, 4, 9, 17, 18, 40];
+        for pool in pools() {
+            let mut items: Vec<i64> = (0..41).collect();
+            let returned = pool.map_subset_mut(&mut items, &indices, |i, x| {
+                *x += 1000;
+                i
+            });
+            assert_eq!(returned, indices.to_vec(), "threads={}", pool.threads());
+            for (i, &x) in items.iter().enumerate() {
+                let expect = if indices.contains(&i) { i as i64 + 1000 } else { i as i64 };
+                assert_eq!(x, expect, "item {i} at threads={}", pool.threads());
+            }
+        }
+    }
+
+    #[test]
+    fn map_subset_mut_handles_edge_shapes() {
+        let pool = ParPool::new(4);
+        let mut items: Vec<u8> = vec![7; 10];
+        assert!(pool.map_subset_mut(&mut items, &[], |i, _| i).is_empty());
+        // Single index, and a dense subset equal to the whole slice.
+        assert_eq!(pool.map_subset_mut(&mut items, &[9], |i, _| i), vec![9]);
+        let all: Vec<usize> = (0..10).collect();
+        let got = pool.map_subset_mut(&mut items, &all, |i, x| {
+            *x = i as u8;
+            i
+        });
+        assert_eq!(got, all);
+        assert_eq!(items, (0..10).map(|i| i as u8).collect::<Vec<u8>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn map_subset_mut_rejects_unsorted_indices() {
+        let mut items = vec![0u8; 4];
+        ParPool::new(2).map_subset_mut(&mut items, &[2, 1], |i, _| i);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn map_subset_mut_rejects_out_of_bounds() {
+        let mut items = vec![0u8; 4];
+        ParPool::new(2).map_subset_mut(&mut items, &[1, 7], |i, _| i);
     }
 
     #[test]
