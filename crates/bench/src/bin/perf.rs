@@ -1,24 +1,28 @@
-//! `perf`: continuous benchmark harness. Runs the four end-to-end workloads
-//! (featurize, gnn_epoch, fed_round, explain), writes one `fexiot-bench/v1`
-//! JSON document plus flamegraph-compatible collapsed stacks per workload,
-//! and prints a summary table.
+//! `perf`: continuous benchmark harness. Runs the end-to-end workloads
+//! (featurize, gnn_epoch, fed_round, explain, registry_absorb), writes one
+//! `fexiot-bench/v1` JSON document plus flamegraph-compatible collapsed
+//! stacks per workload, and prints a summary table.
 //!
 //! ```text
-//! perf [--reps N] [--seed S] [--threads T] [--out-dir DIR] [--refresh-baselines] [--full]
+//! perf [--reps N] [--seed S] [--threads T] [--out-dir DIR]
+//!      [--refresh-baselines] [--full] [--history FILE | --no-history]
 //! ```
 //!
 //! `BENCH_<workload>.json` / `BENCH_<workload>.flame` land in `--out-dir`
 //! (default: the current directory). `--refresh-baselines` also rewrites the
 //! committed baselines under `results/bench/`, which CI diffs against with
-//! `obs-diff`. Build with `--features track-alloc` to fill the `alloc`
-//! section with real counters.
+//! `obs-diff`. Every run appends one `fexiot-bench-history/v1` JSONL line
+//! (run identity + per-workload timing digest) to the history file
+//! (default `results/bench/history.jsonl`; `--no-history` skips it). Build
+//! with `--features track-alloc` to fill the `alloc` section with real
+//! counters.
 
 use fexiot_bench::perf::{self, timing_summary, PerfConfig};
 use fexiot_bench::{print_table, Scale};
 use std::path::{Path, PathBuf};
 
-const USAGE: &str =
-    "usage: perf [--reps N] [--seed S] [--threads T] [--out-dir DIR] [--refresh-baselines] [--full]";
+const USAGE: &str = "usage: perf [--reps N] [--seed S] [--threads T] [--out-dir DIR] \
+     [--refresh-baselines] [--full] [--history FILE | --no-history]";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -31,6 +35,7 @@ fn main() {
     let mut seed = 42u64;
     let mut out_dir = PathBuf::from(".");
     let mut refresh = false;
+    let mut history: Option<PathBuf> = Some(PathBuf::from("results/bench/history.jsonl"));
     let mut boolean_tokens: Vec<String> = Vec::new();
     let mut i = 0;
     while i < argv.len() {
@@ -63,6 +68,11 @@ fn main() {
                 out_dir = PathBuf::from(argv.get(i).unwrap_or_else(|| usage()));
             }
             "--refresh-baselines" => refresh = true,
+            "--history" => {
+                i += 1;
+                history = Some(PathBuf::from(argv.get(i).unwrap_or_else(|| usage())));
+            }
+            "--no-history" => history = None,
             // Collected separately so Scale::from_args only ever sees
             // boolean tokens (value positions are consumed above).
             "--full" => boolean_tokens.push("--full".to_string()),
@@ -88,6 +98,7 @@ fn main() {
     }
 
     let mut rows = Vec::new();
+    let mut reports = Vec::new();
     for workload in perf::WORKLOADS {
         eprintln!(
             "perf: {workload} ({} scale, {} reps + warmup, seed {})",
@@ -130,6 +141,10 @@ fn main() {
                 "-".to_string()
             },
         ]);
+        reports.push(report);
+    }
+    if let Some(path) = &history {
+        append_history(path, &reports, &cfg);
     }
     print_table(
         "fexiot-bench/v1",
@@ -146,5 +161,28 @@ fn write_or_die(path: &Path, content: &str) {
     if let Err(e) = std::fs::write(path, content) {
         eprintln!("perf: cannot write {}: {e}", path.display());
         std::process::exit(1);
+    }
+}
+
+/// Appends one history line for this run. Best-effort by design: a missing
+/// or read-only history location (e.g. running outside the repo root) must
+/// not fail the benchmark run itself.
+fn append_history(path: &Path, reports: &[perf::WorkloadReport], cfg: &PerfConfig) {
+    let unix_ts = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let line = perf::history_line(reports, cfg, unix_ts);
+    let write = || -> std::io::Result<()> {
+        if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+            std::fs::create_dir_all(dir)?;
+        }
+        use std::io::Write as _;
+        let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+        writeln!(file, "{line}")
+    };
+    match write() {
+        Ok(()) => println!("history line appended to {}", path.display()),
+        Err(e) => eprintln!("perf: history append skipped ({}: {e})", path.display()),
     }
 }

@@ -14,7 +14,7 @@ use fexiot_explain::{explain, fexiot_config};
 use fexiot_fed::FaultPlan;
 use fexiot_graph::{generate_dataset, DatasetConfig};
 use fexiot_obs::alloc::{self, AllocStats};
-use fexiot_obs::registry::{Snapshot, SpanNode};
+use fexiot_obs::registry::{Registry, Snapshot, SpanNode};
 use fexiot_obs::Json;
 use fexiot_tensor::Rng;
 use std::hint::black_box;
@@ -23,8 +23,15 @@ use std::time::Instant;
 /// Workload names, in run order. `featurize` is the corpus→featurize→fuse
 /// graph pipeline, `gnn_epoch` one contrastive training epoch, `fed_round`
 /// one federated round under fault injection, `explain` one beam-search
-/// explanation of a detection.
-pub const WORKLOADS: &[&str] = &["featurize", "gnn_epoch", "fed_round", "explain"];
+/// explanation of a detection, and `registry_absorb` the obs merge path that
+/// folds per-client trace registries into the global one (the hot loop of a
+/// traced federated round at fleet scale).
+pub const WORKLOADS: &[&str] =
+    &["featurize", "gnn_epoch", "fed_round", "explain", "registry_absorb"];
+
+/// Schema identifier of one line in the append-only benchmark history
+/// (`results/bench/history.jsonl`).
+pub const HISTORY_SCHEMA: &str = "fexiot-bench-history/v1";
 
 /// Harness configuration. One unrecorded warmup rep always runs before the
 /// `reps` timed ones.
@@ -276,6 +283,40 @@ fn explain_report(cfg: &PerfConfig) -> WorkloadReport {
     })
 }
 
+/// The `Registry::absorb` merge path in isolation: pre-built per-client
+/// trace snapshots (span tree + counters + gauges + histograms, the shape a
+/// traced federated round produces) folded into the global registry. This is
+/// the per-round hot loop at fleet scale, so its cost is tracked as its own
+/// workload.
+fn registry_absorb_report(cfg: &PerfConfig) -> WorkloadReport {
+    let children = cfg.scale.pick(64, 256);
+    let snaps: Vec<Snapshot> = (0..children)
+        .map(|i| {
+            let reg = std::sync::Arc::new(Registry::new());
+            {
+                let _client = reg.span(format!("client[{i}]"));
+                let _train = reg.span("fed.client.train");
+                reg.counter_add("fed.client.steps", 32);
+                reg.counter_add("fed.sim.participants", 1);
+                reg.gauge_set("fed.client.lr", 0.05);
+                reg.hist_record(
+                    "fed.client.loss",
+                    fexiot_obs::buckets::LOSS,
+                    (i % 10) as f64 / 10.0,
+                );
+            }
+            reg.snapshot()
+        })
+        .collect();
+    run_reps("registry_absorb", cfg, move || {
+        let reg = fexiot_obs::global();
+        for snap in &snaps {
+            reg.absorb(black_box(snap));
+        }
+        reg.counter_add("bench.absorb.children", snaps.len() as u64);
+    })
+}
+
 /// Runs one named workload; `None` for an unknown name.
 pub fn run_workload(name: &str, cfg: &PerfConfig) -> Option<WorkloadReport> {
     match name {
@@ -283,6 +324,7 @@ pub fn run_workload(name: &str, cfg: &PerfConfig) -> Option<WorkloadReport> {
         "gnn_epoch" => Some(gnn_epoch_report(cfg)),
         "fed_round" => Some(fed_round_report(cfg)),
         "explain" => Some(explain_report(cfg)),
+        "registry_absorb" => Some(registry_absorb_report(cfg)),
         _ => None,
     }
 }
@@ -354,6 +396,36 @@ pub fn to_json(report: &WorkloadReport, cfg: &PerfConfig) -> Json {
     obj(fields)
 }
 
+/// Renders one append-only history line (`fexiot-bench-history/v1`): the run
+/// identity plus a p50/p90/total timing digest per workload. `unix_ts` is
+/// supplied by the caller so the renderer itself stays deterministic.
+pub fn history_line(reports: &[WorkloadReport], cfg: &PerfConfig, unix_ts: u64) -> String {
+    let workloads = reports
+        .iter()
+        .map(|r| {
+            let t = timing_summary(&r.timings_us);
+            (
+                r.workload.to_string(),
+                Json::Obj(vec![
+                    ("p50_us".into(), Json::UInt(t.p50)),
+                    ("p90_us".into(), Json::UInt(t.p90)),
+                    ("total_us".into(), Json::UInt(t.total)),
+                ]),
+            )
+        })
+        .collect();
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(HISTORY_SCHEMA.to_string())),
+        ("unix_ts".into(), Json::UInt(unix_ts)),
+        ("scale".into(), Json::Str(cfg.scale.name().to_string())),
+        ("reps".into(), Json::UInt(cfg.reps as u64)),
+        ("seed".into(), Json::UInt(cfg.seed)),
+        ("threads".into(), Json::UInt(cfg.threads as u64)),
+        ("workloads".into(), Json::Obj(workloads)),
+    ])
+    .to_string()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -410,6 +482,57 @@ mod tests {
             parsed.get("items").and_then(|i| i.get("graph.corpus.rules")).and_then(Json::as_u64),
             Some(320)
         );
+    }
+
+    #[test]
+    fn registry_absorb_workload_is_deterministic_and_fast_to_rerun() {
+        let cfg = PerfConfig {
+            reps: 2,
+            ..PerfConfig::default()
+        };
+        let a = registry_absorb_report(&cfg);
+        let b = registry_absorb_report(&cfg);
+        assert_eq!(a.items, b.items, "absorb counters are deterministic");
+        let children = cfg.scale.pick(64, 256) as u64;
+        let item = |name: &str| {
+            a.items
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("item {name}"))
+        };
+        assert_eq!(item("bench.absorb.children"), children);
+        assert_eq!(item("fed.sim.participants"), children);
+        assert_eq!(item("fed.client.steps"), children * 32);
+        let doc = to_json(&a, &cfg);
+        validate_bench_report(&doc).expect("valid bench document");
+    }
+
+    #[test]
+    fn history_line_is_one_parseable_json_record() {
+        let report = WorkloadReport {
+            workload: "featurize",
+            items: vec![],
+            tracked: false,
+            alloc: AllocStats::default(),
+            timings_us: vec![120, 100, 140],
+            collapsed: String::new(),
+            clients: None,
+            topology: None,
+        };
+        let cfg = PerfConfig::default();
+        let line = history_line(std::slice::from_ref(&report), &cfg, 1754000000);
+        assert!(!line.contains('\n'), "JSONL: one line per run");
+        let doc = Json::parse(&line).expect("parses");
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(HISTORY_SCHEMA));
+        assert_eq!(doc.get("unix_ts").and_then(Json::as_u64), Some(1754000000));
+        let digest = doc
+            .get("workloads")
+            .and_then(|w| w.get("featurize"))
+            .expect("workload digest");
+        assert_eq!(digest.get("p50_us").and_then(Json::as_u64), Some(120));
+        assert_eq!(digest.get("p90_us").and_then(Json::as_u64), Some(140));
+        assert_eq!(digest.get("total_us").and_then(Json::as_u64), Some(360));
     }
 
     #[test]

@@ -19,13 +19,16 @@
 //! parallelism; results are bit-identical at any width — see DESIGN.md
 //! §Execution model), plus the shared observability flags (parsed by
 //! [`fexiot_obs::cli::ObsCli`]): `--obs-summary` (print the span tree and
-//! metric digests after the run), `--obs-out DIR` (write a `fexiot-obs/v1`
+//! metric digests after the run), `--obs-out DIR` (write a `fexiot-obs/v2`
 //! JSON run report under DIR), `--obs-stream FILE` (stream
 //! `fexiot-obs-events/v1` JSONL events live to FILE;
 //! `--obs-stream-timing exclude` drops wall-clock fields so same-seed
-//! streams are byte-identical), and `--obs-flame FILE` (write
+//! streams are byte-identical), `--obs-flame FILE` (write
 //! flamegraph-compatible collapsed stacks, value = exclusive µs per span
-//! path); see DESIGN.md §Observability.
+//! path), `--obs-timeseries [CAP]` (collect the per-round fleet time-series
+//! into the report's `timeseries` section), and `--obs-slo FILE` (evaluate
+//! the SLO rules in FILE each round; a failing rule prints its verdict and
+//! exits with code 3); see DESIGN.md §Observability.
 //!
 //! Datasets are generated from the synthetic corpus (see DESIGN.md); models
 //! are checkpointed with the first-party codec, so `train` on one machine and
@@ -158,19 +161,43 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
 
+    // Fleet-health telemetry (`--obs-timeseries` / `--obs-slo`): built here,
+    // carried by the federate run, and handed back for export + the SLO
+    // exit-code gate below.
+    let mut telemetry = match obs.fleet_telemetry() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
     // Federate fills this with its per-round critical path so the summary
     // and the exported report carry the straggler/backoff attribution.
     let mut critical_path: Option<Vec<fexiot_obs::CriticalPathEntry>> = None;
-    let code = run(&args, &mut critical_path);
+    let code = run(&args, &mut critical_path, &mut telemetry);
 
-    if let Err(e) = obs.finish(&run_name, critical_path.as_deref()) {
+    if let Err(e) = obs.finish_with(&run_name, critical_path.as_deref(), telemetry.as_ref()) {
         eprintln!("{e}");
         return ExitCode::FAILURE;
+    }
+    // A failed SLO rule is a run verdict: report it on stderr and exit
+    // nonzero (distinct from the generic FAILURE code so CI can tell an SLO
+    // breach from an infrastructure error). The federate arm only hands
+    // telemetry back after a successful run, so this never masks a failure
+    // code from `run`.
+    if telemetry.as_ref().is_some_and(|t| t.slo_failed()) {
+        eprintln!("SLO gate failed (see verdict lines above)");
+        return ExitCode::from(3);
     }
     code
 }
 
-fn run(args: &Args, critical_path: &mut Option<Vec<fexiot_obs::CriticalPathEntry>>) -> ExitCode {
+fn run(
+    args: &Args,
+    critical_path: &mut Option<Vec<fexiot_obs::CriticalPathEntry>>,
+    telemetry: &mut Option<fexiot_obs::FleetTelemetry>,
+) -> ExitCode {
     match args.command.as_str() {
         "train" => {
             let Some(out) = args.get("out") else {
@@ -378,6 +405,11 @@ fn run(args: &Args, critical_path: &mut Option<Vec<fexiot_obs::CriticalPathEntry
             if fexiot_obs::global_enabled() {
                 sim.attach_obs(std::sync::Arc::clone(fexiot_obs::global()));
             }
+            // Hand the telemetry bundle to the simulator for the run; it is
+            // taken back below so main can export it and gate the exit code.
+            if let Some(t) = telemetry.take() {
+                sim.attach_telemetry(t);
+            }
 
             // With --checkpoint-dir, each round is persisted and a rerun with
             // the same flags resumes from the newest checkpoint found there.
@@ -407,7 +439,7 @@ fn run(args: &Args, critical_path: &mut Option<Vec<fexiot_obs::CriticalPathEntry
                 let r = sim.run_round();
                 let t = r.faults;
                 println!(
-                    "round {:>3}: loss {:.4}  comm {:>8.2} MB  active {}/{} (dropped {}, quarantined {}, stale {}, retries {}, lost {}){}{}",
+                    "round {:>3}: loss {:.4}  comm {:>8.2} MB  active {}/{} (dropped {}, quarantined {}, stale {}, retries {}, lost {}){}{}{}",
                     r.round,
                     r.mean_loss,
                     r.cumulative_comm.total_mb(),
@@ -424,6 +456,11 @@ fn run(args: &Args, critical_path: &mut Option<Vec<fexiot_obs::CriticalPathEntry
                         String::new()
                     },
                     if t.quorum_aborted { "  [QUORUM ABORT]" } else { "" },
+                    if t.slo_failures > 0 {
+                        format!("  [SLO {} failing]", t.slo_failures)
+                    } else {
+                        String::new()
+                    },
                 );
                 if let Some(e) = &r.comm_error {
                     eprintln!("round {:>3}: COMM INVARIANT VIOLATED: {e}", r.round);
@@ -439,6 +476,7 @@ fn run(args: &Args, critical_path: &mut Option<Vec<fexiot_obs::CriticalPathEntry
             let metrics = sim.evaluate(&test);
             println!("held-out (mean over clients): {}", Metrics::mean(&metrics));
             *critical_path = Some(sim.critical_path());
+            *telemetry = sim.take_telemetry();
             ExitCode::SUCCESS
         }
         _ => usage(),

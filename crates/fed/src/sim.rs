@@ -22,7 +22,7 @@ use crate::topology::{ClientSampler, Failover, Sampling, Topology};
 use fexiot_gnn::ContrastiveConfig;
 use fexiot_graph::GraphDataset;
 use fexiot_ml::{binary_cosine_split, Metrics};
-use fexiot_obs::{ClientRoundCost, CriticalPathEntry, Registry, RoundCost};
+use fexiot_obs::{ClientRoundCost, CriticalPathEntry, FleetTelemetry, Registry, RoundCost};
 use std::sync::Arc;
 use fexiot_tensor::codec::{ByteReader, ByteWriter, CodecError};
 use fexiot_tensor::matrix::Matrix;
@@ -152,6 +152,9 @@ pub struct RoundTelemetry {
     /// The round failed its quorum gate and degraded to a recorded no-op:
     /// uploads were priced but nothing was aggregated or installed.
     pub quorum_aborted: bool,
+    /// SLO rules failing at this round's evaluation (always 0 when no
+    /// fleet telemetry is attached; see [`FedSim::attach_telemetry`]).
+    pub slo_failures: usize,
 }
 
 /// Per-round report.
@@ -262,6 +265,11 @@ pub struct FedSim {
     /// each client's snapshot is merged into the main registry right after
     /// its training — federated trace merging. Reset after every merge.
     client_obs: Vec<Arc<Registry>>,
+    /// Fleet-health telemetry: per-round time-series samples plus optional
+    /// SLO evaluation, snapshotted at the end of every round. Pure obs data
+    /// like `cost_acc` — never fed back into simulation state, and not
+    /// checkpointed. Boxed so the common no-telemetry path pays one pointer.
+    telemetry: Option<Box<FleetTelemetry>>,
     /// Per-client simulated-tick cost attribution for the round in flight.
     /// Pure obs data: integer bookkeeping on the side, never fed back into
     /// training or RNG state, and not checkpointed.
@@ -331,6 +339,7 @@ impl FedSim {
             sampler,
             obs: Arc::new(Registry::new()),
             client_obs,
+            telemetry: None,
             cost_acc: Vec::new(),
             round_costs: Vec::new(),
             rng,
@@ -351,6 +360,26 @@ impl FedSim {
     /// The observability registry this simulator records into.
     pub fn obs(&self) -> &Arc<Registry> {
         &self.obs
+    }
+
+    /// Attaches fleet-health telemetry: at the end of every round the
+    /// simulator pushes its per-round `fed.round.*` samples into the store,
+    /// snapshots the registry's deterministic metrics for the configured
+    /// sample specs, and evaluates any SLO rules — the failing-rule count
+    /// lands in [`RoundTelemetry::slo_failures`].
+    pub fn attach_telemetry(&mut self, telemetry: FleetTelemetry) {
+        self.telemetry = Some(Box::new(telemetry));
+    }
+
+    /// The attached fleet telemetry, if any.
+    pub fn telemetry(&self) -> Option<&FleetTelemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// Detaches and returns the fleet telemetry (for report export after the
+    /// run).
+    pub fn take_telemetry(&mut self) -> Option<FleetTelemetry> {
+        self.telemetry.take().map(|b| *b)
     }
 
     /// Runs all configured rounds; returns per-round reports.
@@ -556,7 +585,17 @@ impl FedSim {
                     .sum()
             };
             let cohort_weight = weight(&cohort);
-            cohort_weight <= 0.0 || weight(&contributing) >= quorum * cohort_weight
+            if cohort_weight <= 0.0 {
+                true
+            } else {
+                // Reported-weight fraction minus the gate: positive =
+                // headroom, negative = aborted. Deterministic (sample
+                // counts only), so the watch view and time-series can
+                // carry it.
+                let frac = weight(&contributing) / cohort_weight;
+                obs.gauge_set("fed.round.quorum_margin", frac - quorum);
+                frac >= quorum
+            }
         };
 
         if quorum_met {
@@ -673,7 +712,7 @@ impl FedSim {
         let participants = delta(0);
         let quarantined = delta(1);
         let sampled = cohort.len();
-        let report_faults = RoundTelemetry {
+        let mut report_faults = RoundTelemetry {
             clients: n,
             sampled,
             participants,
@@ -689,7 +728,45 @@ impl FedSim {
             agg_down,
             reassigned,
             quorum_aborted: !quorum_met,
+            slo_failures: 0,
         };
+        // Fleet-health hook: push this round's telemetry as direct samples
+        // (every value above is a deterministic function of the seed), let
+        // the store evaluate its snapshot-driven specs, then run the SLO
+        // rules over the updated series. Keyed by the 0-based round index so
+        // series round numbers match `round[N]` marks and span names.
+        if let Some(tel) = self.telemetry.as_deref_mut() {
+            let r = self.round as u64;
+            let f = &report_faults;
+            for (name, v) in [
+                ("fed.round.clients", f.clients as f64),
+                ("fed.round.sampled", f.sampled as f64),
+                ("fed.round.participants", f.participants as f64),
+                ("fed.round.dropped", f.dropped as f64),
+                ("fed.round.quarantined", f.quarantined as f64),
+                ("fed.round.stale_accepted", f.stale_accepted as f64),
+                ("fed.round.retried_messages", f.retried_messages as f64),
+                ("fed.round.lost_messages", f.lost_messages as f64),
+                ("fed.round.backoff_ticks", f.backoff_ticks as f64),
+                ("fed.round.deadline_missed", f.deadline_missed as f64),
+                ("fed.round.agg_down", f.agg_down as f64),
+                ("fed.round.reassigned", f.reassigned as f64),
+                ("fed.round.quorum_aborted", f.quorum_aborted as u8 as f64),
+                ("fed.round.mean_loss", mean_loss),
+                (
+                    "fed.round.comm_bytes",
+                    (comm_delta.uploaded_bytes + comm_delta.downloaded_bytes) as f64,
+                ),
+                (
+                    "fed.round.comm_messages",
+                    (comm_delta.upload_messages + comm_delta.download_messages) as f64,
+                ),
+            ] {
+                tel.push_sample(r, name, v);
+            }
+            report_faults.slo_failures =
+                tel.observe_round(r, &self.obs.metrics_snapshot());
+        }
         self.round_costs.push(RoundCost {
             round: self.round,
             costs: std::mem::take(&mut self.cost_acc),

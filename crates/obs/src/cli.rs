@@ -9,6 +9,7 @@
 //! `--obs-steam` silently dropping an event stream would defeat the point of
 //! asking for one.
 
+use crate::timeseries::{FleetTelemetry, SampleSpec, TimeSeriesStore, DEFAULT_SERIES_CAPACITY};
 use crate::trace::CriticalPathEntry;
 use std::path::{Path, PathBuf};
 
@@ -20,6 +21,8 @@ pub const OBS_FLAGS: &[&str] = &[
     "obs-stream",
     "obs-stream-timing",
     "obs-flame",
+    "obs-slo",
+    "obs-timeseries",
 ];
 
 /// Parsed observability options plus the begin/finish export lifecycle.
@@ -37,6 +40,15 @@ pub struct ObsCli {
     /// `--obs-flame FILE`: write collapsed stacks (flamegraph input, value =
     /// exclusive µs per span path) to FILE after the run.
     pub flame: Option<PathBuf>,
+    /// `--obs-slo FILE`: evaluate the SLO rules in FILE (TOML or JSON) each
+    /// round; verdicts print after the run, land in the report's `slo`
+    /// section, and a failing rule makes the run exit nonzero. Implies
+    /// per-round time-series collection.
+    pub slo: Option<PathBuf>,
+    /// `--obs-timeseries [CAP]`: collect the per-round time-series (report
+    /// section `timeseries`); optional CAP overrides the per-series ring
+    /// capacity (default [`DEFAULT_SERIES_CAPACITY`]).
+    pub timeseries: Option<usize>,
 }
 
 impl ObsCli {
@@ -78,12 +90,26 @@ impl ObsCli {
                 ))
             }
         };
+        let timeseries = match get("obs-timeseries") {
+            None => None,
+            Some("") => Some(DEFAULT_SERIES_CAPACITY),
+            Some(v) => match v.parse::<usize>() {
+                Ok(cap) if cap > 0 => Some(cap),
+                _ => {
+                    return Err(format!(
+                        "--obs-timeseries takes an optional positive capacity, got {v:?}"
+                    ))
+                }
+            },
+        };
         Ok(ObsCli {
             summary: get("obs-summary").is_some(),
             out: path_flag("obs-out")?,
             stream: path_flag("obs-stream")?,
             include_stream_timing,
             flame: path_flag("obs-flame")?,
+            slo: path_flag("obs-slo")?,
+            timeseries,
         })
     }
 
@@ -120,7 +146,45 @@ impl ObsCli {
     /// True when any export was requested (and the global registry should be
     /// enabled for the run).
     pub fn enabled(&self) -> bool {
-        self.summary || self.out.is_some() || self.stream.is_some() || self.flame.is_some()
+        self.summary
+            || self.out.is_some()
+            || self.stream.is_some()
+            || self.flame.is_some()
+            || self.telemetry_enabled()
+    }
+
+    /// True when per-round telemetry collection was requested (`--obs-slo`
+    /// implies it: rules need series to evaluate against).
+    pub fn telemetry_enabled(&self) -> bool {
+        self.slo.is_some() || self.timeseries.is_some()
+    }
+
+    /// Builds the fleet-telemetry bundle the run should carry: `None` when
+    /// neither telemetry flag was given, otherwise a time-series store at the
+    /// requested capacity — pre-loaded with the default snapshot-driven specs
+    /// (loss quantiles) — plus the SLO engine parsed from `--obs-slo`'s file.
+    pub fn fleet_telemetry(&self) -> Result<Option<FleetTelemetry>, String> {
+        if !self.telemetry_enabled() {
+            return Ok(None);
+        }
+        let mut store = TimeSeriesStore::new(self.timeseries.unwrap_or(DEFAULT_SERIES_CAPACITY));
+        for q in [0.5, 0.9] {
+            store
+                .add_spec(SampleSpec::HistQuantile { name: "fed.round.loss".into(), q })
+                .expect("default specs are deterministic");
+        }
+        let slo = match &self.slo {
+            None => None,
+            Some(path) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read SLO rules {}: {e}", path.display()))?;
+                Some(
+                    crate::slo::SloEngine::parse(&text)
+                        .map_err(|e| format!("{}: {e}", path.display()))?,
+                )
+            }
+        };
+        Ok(Some(FleetTelemetry::new(store, slo)))
     }
 
     /// Enables the global registry and opens the event stream, as requested.
@@ -145,6 +209,20 @@ impl ObsCli {
         run: &str,
         critical_path: Option<&[CriticalPathEntry]>,
     ) -> Result<(), String> {
+        self.finish_with(run, critical_path, None)
+    }
+
+    /// [`ObsCli::finish`] plus fleet telemetry: SLO verdicts print one line
+    /// per rule, and the report (if requested) carries the `timeseries` /
+    /// `slo` sections. Callers gate their exit code on
+    /// [`FleetTelemetry::slo_failed`], not on this function's `Result` —
+    /// a failed SLO is a run verdict, not an export error.
+    pub fn finish_with(
+        &self,
+        run: &str,
+        critical_path: Option<&[CriticalPathEntry]>,
+        telemetry: Option<&FleetTelemetry>,
+    ) -> Result<(), String> {
         if !self.enabled() {
             return Ok(());
         }
@@ -155,8 +233,16 @@ impl ObsCli {
         if self.summary {
             println!("{}", crate::render_summary_with(&snap, critical_path));
         }
+        if let Some(engine) = telemetry.and_then(|t| t.slo.as_ref()) {
+            for verdict in engine.verdicts() {
+                println!("{}", verdict.render());
+            }
+        }
         if let Some(dir) = &self.out {
-            let path = crate::write_report_full(dir, run, &snap, critical_path)
+            let extras = telemetry
+                .map(crate::report::ReportExtras::from_telemetry)
+                .unwrap_or_default();
+            let path = crate::report::write_report_with(dir, run, &snap, critical_path, &extras)
                 .map_err(|e| format!("cannot write obs report under {}: {e}", dir.display()))?;
             println!("obs report written to {}", path.display());
         }
@@ -216,6 +302,26 @@ mod tests {
         // Non-obs flags stay permissive; only the obs namespace is strict.
         let cli = ObsCli::from_pairs(&pairs(&[("definitely-not-a-flag", "x")])).unwrap();
         assert!(!cli.enabled());
+    }
+
+    #[test]
+    fn telemetry_flags_parse_and_enable_collection() {
+        let cli = ObsCli::from_pairs(&pairs(&[("obs-timeseries", "")])).unwrap();
+        assert_eq!(cli.timeseries, Some(DEFAULT_SERIES_CAPACITY));
+        assert!(cli.telemetry_enabled() && cli.enabled());
+        let cli = ObsCli::from_pairs(&pairs(&[("obs-timeseries", "128")])).unwrap();
+        assert_eq!(cli.timeseries, Some(128));
+        let tel = cli.fleet_telemetry().unwrap().expect("telemetry on");
+        assert_eq!(tel.store.capacity(), 128);
+        assert!(tel.slo.is_none());
+        assert!(ObsCli::from_pairs(&pairs(&[("obs-timeseries", "zero")])).is_err());
+        assert!(ObsCli::from_pairs(&pairs(&[("obs-timeseries", "0")])).is_err());
+        // --obs-slo needs a path; a missing file surfaces at build time.
+        let cli = ObsCli::from_pairs(&pairs(&[("obs-slo", "/nonexistent/rules.toml")])).unwrap();
+        assert!(cli.telemetry_enabled());
+        assert!(cli.fleet_telemetry().unwrap_err().contains("rules.toml"));
+        let cli = ObsCli::from_pairs(&pairs(&[])).unwrap();
+        assert!(cli.fleet_telemetry().unwrap().is_none());
     }
 
     #[test]

@@ -1,5 +1,5 @@
-//! Comparison of two `fexiot-obs/v1` run reports: the engine behind the
-//! `obs-diff` binary and the CI regression gate.
+//! Comparison of two obs run reports (`fexiot-obs/v2`, or the older v1):
+//! the engine behind the `obs-diff` binary and the CI regression gate.
 //!
 //! Severity model follows the determinism rule: everything except wall-clock
 //! data is a pure function of the seeded workload, so **any** drift in
@@ -196,7 +196,9 @@ fn union_keys<'a>(
     }
 }
 
-/// Compares two validated `fexiot-obs/v1` reports.
+/// Compares two validated obs reports (either schema version; the schema
+/// tag itself is not compared, so a v1 baseline diffs cleanly against a v2
+/// report — the new sections get advisory one-sided handling below).
 pub fn diff_reports(baseline: &Json, current: &Json, cfg: &DiffConfig) -> DiffReport {
     let mut out = DiffReport::default();
     let timing_sev = if cfg.strict_timing {
@@ -352,6 +354,75 @@ pub fn diff_reports(baseline: &Json, current: &Json, cfg: &DiffConfig) -> DiffRe
             "critical_path",
             "critical_path".into(),
             if a.is_some() { "disappeared" } else { "appeared" }.to_string(),
+        ),
+    }
+
+    // v2 sections. A report with a section vs one without is the expected
+    // v1→v2 (or flag on/off) situation — advisory, never breaking, so a
+    // committed v1 baseline keeps passing against v2 reports. When both
+    // sides carry the section, its contents are deterministic by
+    // construction and compared exactly.
+    match (baseline.get("timeseries"), current.get("timeseries")) {
+        (None, None) => {}
+        (Some(a), Some(b)) => {
+            let sa = obj_members(a, "series");
+            let sb = obj_members(b, "series");
+            union_keys(&sa, &sb, |k, va, vb| {
+                if is_timing_name(k) {
+                    return; // Defensive: the store refuses these on entry.
+                }
+                let path = format!("timeseries.{k}");
+                match (va, vb) {
+                    (Some(va), Some(vb)) => {
+                        if va != vb {
+                            out.push(
+                                Severity::Breaking,
+                                "timeseries",
+                                path,
+                                "per-round series changed".into(),
+                            );
+                        }
+                    }
+                    (Some(_), None) => {
+                        out.push(Severity::Breaking, "timeseries", path, "disappeared".into())
+                    }
+                    (None, Some(_)) => {
+                        out.push(Severity::Breaking, "timeseries", path, "appeared".into())
+                    }
+                    (None, None) => unreachable!("key came from the union"),
+                }
+            });
+        }
+        (a, _) => out.push(
+            Severity::Advisory,
+            "timeseries",
+            "timeseries".into(),
+            format!(
+                "section {} (v1 baseline or time-series flag change)",
+                if a.is_some() { "disappeared" } else { "appeared" }
+            ),
+        ),
+    }
+    match (baseline.get("slo"), current.get("slo")) {
+        (None, None) => {}
+        (Some(a), Some(b)) => {
+            if a != b {
+                out.push(
+                    Severity::Breaking,
+                    "slo",
+                    "slo".into(),
+                    "SLO verdicts changed".into(),
+                );
+            }
+        }
+        (a, _) => out.push(
+            Severity::Advisory,
+            "slo",
+            "slo".into(),
+            format!(
+                "section {} (v1 baseline or SLO flag change)",
+                if a.is_some() { "disappeared" } else { "appeared" }
+            ),
         ),
     }
 
@@ -682,6 +753,48 @@ mod tests {
         assert_eq!(doc.get("schema").and_then(Json::as_str), Some(DIFF_SCHEMA));
         assert_eq!(doc.get("verdict").and_then(Json::as_str), Some("fail"));
         assert_eq!(doc.get("breaking").and_then(Json::as_u64), Some(1));
+    }
+
+    /// A v2 report: same shape as [`report`] plus `timeseries`/`slo`.
+    fn report_v2(counter: u64, series_values: &str, slo_failed: bool) -> Json {
+        Json::parse(&format!(
+            r#"{{"schema":"fexiot-obs/v2","run":"t","spans":[{{"name":"root","elapsed_us":100,"children":[]}}],"counters":{{"a.b":{counter}}},"gauges":{{}},"histograms":{{}},"dropped_spans":0,"timeseries":{{"capacity":4096,"series":{{"fed.round.participants":{{"kind":"sample","rounds":[0,1],"values":{series_values},"dropped":0}}}}}},"slo":{{"failed":{slo_failed},"verdicts":[{{"name":"r","rule":"r: mean(m) over all rounds <= 1","metric":"m","status":"{}","value":0.5,"rounds_evaluated":2,"rounds_failed":{},"first_failed_round":null}}]}}}}"#,
+            if slo_failed { "fail" } else { "pass" },
+            if slo_failed { 1 } else { 0 },
+        ))
+        .expect("valid v2 report")
+    }
+
+    #[test]
+    fn v1_baseline_diffs_cleanly_against_v2_report() {
+        // The v1→v2 compatibility contract: both versions validate, and a v1
+        // baseline vs a v2 report (new sections appeared) yields advisory
+        // findings only — no spurious breakage from the schema bump.
+        let v1 = report(3, 100);
+        let v2 = report_v2(3, "[2,2]", false);
+        crate::report::validate_report(&v1).expect("v1 still validates");
+        crate::report::validate_report(&v2).expect("v2 validates");
+        let d = diff_reports(&v1, &v2, &DiffConfig::default());
+        assert!(d.passed(), "{}", d.render());
+        assert_eq!(d.advisory(), 2, "{}", d.render()); // timeseries + slo appeared
+        // And symmetrically when the baseline is the v2 report.
+        let d = diff_reports(&v2, &v1, &DiffConfig::default());
+        assert!(d.passed(), "{}", d.render());
+    }
+
+    #[test]
+    fn timeseries_and_slo_drift_between_v2_reports_is_breaking() {
+        let base = report_v2(3, "[2,2]", false);
+        let d = diff_reports(&base, &report_v2(3, "[2,2]", false), &DiffConfig::default());
+        assert!(d.passed() && d.findings.is_empty(), "{}", d.render());
+        // Same cumulative counters, different per-round trajectory: caught.
+        let d = diff_reports(&base, &report_v2(3, "[1,3]", false), &DiffConfig::default());
+        assert!(!d.passed());
+        assert_eq!(d.findings[0].kind, "timeseries");
+        // SLO verdict flip: caught.
+        let d = diff_reports(&base, &report_v2(3, "[2,2]", true), &DiffConfig::default());
+        assert!(!d.passed());
+        assert!(d.findings.iter().any(|f| f.kind == "slo"), "{}", d.render());
     }
 
     fn report_with_gauges(gauges: &str) -> Json {

@@ -53,6 +53,14 @@ impl Json {
         }
     }
 
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::UInt(v) => Some(*v as f64),
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
     pub fn is_number(&self) -> bool {
         matches!(self, Json::UInt(_) | Json::Num(_))
     }

@@ -41,15 +41,21 @@
 pub mod alloc;
 pub mod cli;
 pub mod diff;
+pub mod export;
 pub mod json;
 pub mod profile;
 pub mod registry;
 pub mod report;
+pub mod slo;
 pub mod stream;
+pub mod timeseries;
 pub mod trace;
 
 pub use alloc::AllocStats;
 pub use cli::ObsCli;
+pub use export::{
+    prometheus_from_report, prometheus_from_stream, validate_prometheus_text, WatchState,
+};
 pub use json::Json;
 pub use profile::{collapsed_stacks, hot_spans, write_flame, SpanStat};
 pub use registry::{
@@ -61,6 +67,8 @@ pub use report::{
     check_report_file, collect_report_paths, deterministic_json, render_summary,
     render_summary_with, validate_report, write_report, write_report_full, Timing,
 };
+pub use slo::{SloEngine, SloRule, SloStatus, SloVerdict};
+pub use timeseries::{FleetTelemetry, SampleSpec, TimeSeriesStore};
 pub use trace::{critical_path, ClientRoundCost, CriticalPathEntry, RoundCost};
 
 use std::cell::RefCell;

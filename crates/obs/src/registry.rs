@@ -270,6 +270,49 @@ impl HistogramSnapshot {
     pub fn mean(&self) -> Option<f64> {
         (self.count > 0).then(|| self.sum / self.count as f64)
     }
+
+    /// Quantile estimate over the bucketed samples.
+    ///
+    /// Returns `None` when the histogram is empty or `q` is NaN or outside
+    /// `[0, 1]`. Otherwise the estimate is the nearest-rank bucket with
+    /// linear interpolation inside interior buckets, resolved against the
+    /// exact extremes the histogram tracked: `q == 0` → `min`, `q == 1` →
+    /// `max`, ranks falling in the underflow bucket → `min`, in the overflow
+    /// bucket → `max`, and interior interpolations are clamped to
+    /// `[min, max]` so an estimate never leaves the observed range.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let (min, max) = (self.min?, self.max?);
+        if q <= 0.0 {
+            return Some(min);
+        }
+        if q >= 1.0 {
+            return Some(max);
+        }
+        // Smallest rank r in [1, count] such that q*count samples sit at or
+        // below the r-th; walk cumulative counts to find its bucket.
+        let target = ((q * self.count as f64).ceil().max(1.0) as u64).min(self.count);
+        let mut seen = self.underflow;
+        if target <= seen {
+            return Some(min);
+        }
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if target <= seen + c {
+                let lo = self.edges[i];
+                let hi = self.edges[i + 1];
+                let frac = (target - seen) as f64 / c as f64;
+                return Some((lo + frac * (hi - lo)).clamp(min, max));
+            }
+            seen += c;
+        }
+        // Remaining ranks live in the overflow bucket.
+        Some(max)
+    }
 }
 
 /// One node of the reconstructed span tree.
@@ -324,9 +367,12 @@ struct Inner {
     spans: Vec<SpanRec>,
     /// Per-thread stack of open span indices (hierarchy = call nesting).
     open: HashMap<ThreadId, Vec<usize>>,
-    counters: std::collections::BTreeMap<String, u64>,
-    gauges: std::collections::BTreeMap<String, f64>,
-    histograms: std::collections::BTreeMap<String, Histogram>,
+    // Metric maps are hash maps so the hot recording paths (and fleet-scale
+    // `absorb` merges) pay O(1) per touch; snapshots sort into `BTreeMap`s
+    // at export time to keep reports schema-stable and diffable.
+    counters: HashMap<String, u64>,
+    gauges: HashMap<String, f64>,
+    histograms: HashMap<String, Histogram>,
     dropped_spans: u64,
     /// Next event sequence number (monotonic per registry, reset by `reset`).
     next_seq: u64,
@@ -745,6 +791,16 @@ impl Registry {
             return 0;
         }
         let mut inner = self.lock();
+        // Pre-size the merge targets: a fleet round absorbs hundreds to
+        // thousands of child snapshots, and growing the maps and span vec
+        // incrementally rehashes/reallocates repeatedly. Reserving by the
+        // incoming snapshot's size makes each merge at most one growth.
+        inner.counters.reserve(snap.counters.len());
+        inner.gauges.reserve(snap.gauges.len());
+        inner.histograms.reserve(snap.histograms.len());
+        let incoming_spans: usize = snap.roots.iter().map(SpanNode::size).sum();
+        let span_room = MAX_SPANS.saturating_sub(inner.spans.len());
+        inner.spans.reserve(incoming_spans.min(span_room));
         let tid = std::thread::current().id();
         let attach_under = inner.open.get(&tid).and_then(|s| s.last().copied());
         for root in &snap.roots {
@@ -813,8 +869,27 @@ impl Registry {
                 .iter()
                 .map(|&i| build(i, &inner.spans, &children))
                 .collect(),
-            counters: inner.counters.clone(),
-            gauges: inner.gauges.clone(),
+            counters: inner.counters.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            gauges: inner.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            histograms: inner
+                .histograms
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+            dropped_spans: inner.dropped_spans,
+        }
+    }
+
+    /// A metrics-only snapshot: counters, gauges, and histograms, with the
+    /// span tree left empty. Rebuilding the span tree dominates snapshot
+    /// cost on fleet-scale runs, so per-round sampling hooks (the time-series
+    /// store) use this instead of [`Registry::snapshot`].
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        let inner = self.lock();
+        Snapshot {
+            roots: Vec::new(),
+            counters: inner.counters.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            gauges: inner.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect(),
             histograms: inner
                 .histograms
                 .iter()

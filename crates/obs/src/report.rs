@@ -9,7 +9,33 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Schema identifier written into every report (bump on breaking changes).
-pub const SCHEMA: &str = "fexiot-obs/v1";
+/// v2 added the optional `timeseries` and `slo` sections; v1 documents
+/// (no such sections) are still accepted by [`validate_report`] so committed
+/// baselines keep working across the bump.
+pub const SCHEMA: &str = "fexiot-obs/v2";
+
+/// The previous schema identifier, still accepted on input.
+pub const SCHEMA_V1: &str = "fexiot-obs/v1";
+
+/// Optional v2 report sections supplied by the run (the fleet-health
+/// telemetry bundle): already-rendered JSON for `timeseries` and `slo`.
+#[derive(Debug, Clone, Default)]
+pub struct ReportExtras {
+    pub timeseries: Option<Json>,
+    pub slo: Option<Json>,
+}
+
+impl ReportExtras {
+    /// Renders the sections out of a telemetry bundle. An empty store
+    /// contributes no `timeseries` section (quickstart-style runs with the
+    /// flags off stay byte-identical to plain v2 reports).
+    pub fn from_telemetry(telemetry: &crate::timeseries::FleetTelemetry) -> Self {
+        Self {
+            timeseries: (!telemetry.store.is_empty()).then(|| telemetry.store.to_json()),
+            slo: telemetry.slo.as_ref().map(|e| e.to_json()),
+        }
+    }
+}
 
 /// Whether span wall-clock fields are included in an export. Timing is the
 /// only nondeterministic data a registry holds, so `Exclude` yields output
@@ -79,6 +105,20 @@ pub fn to_json_full(
     timing: Timing,
     critical_path: Option<&[CriticalPathEntry]>,
 ) -> Json {
+    to_json_with(snap, run, timing, critical_path, &ReportExtras::default())
+}
+
+/// [`to_json_full`] plus the optional v2 `timeseries`/`slo` sections. Both
+/// sections hold only deterministic data by construction (the store refuses
+/// timing/environment metrics), so they are emitted under [`Timing::Exclude`]
+/// too.
+pub fn to_json_with(
+    snap: &Snapshot,
+    run: &str,
+    timing: Timing,
+    critical_path: Option<&[CriticalPathEntry]>,
+    extras: &ReportExtras,
+) -> Json {
     let mut members = vec![
         ("schema".to_string(), Json::Str(SCHEMA.to_string())),
         ("run".to_string(), Json::Str(run.to_string())),
@@ -126,6 +166,12 @@ pub fn to_json_full(
     if let Some(path) = critical_path {
         members.push(("critical_path".to_string(), critical_path_to_json(path)));
     }
+    if let Some(ts) = &extras.timeseries {
+        members.push(("timeseries".to_string(), ts.clone()));
+    }
+    if let Some(slo) = &extras.slo {
+        members.push(("slo".to_string(), slo.clone()));
+    }
     Json::Obj(members)
 }
 
@@ -148,24 +194,39 @@ pub fn write_report_full(
     snap: &Snapshot,
     critical_path: Option<&[CriticalPathEntry]>,
 ) -> io::Result<PathBuf> {
+    write_report_with(dir, run, snap, critical_path, &ReportExtras::default())
+}
+
+/// [`write_report_full`] plus the optional v2 `timeseries`/`slo` sections.
+pub fn write_report_with(
+    dir: &Path,
+    run: &str,
+    snap: &Snapshot,
+    critical_path: Option<&[CriticalPathEntry]>,
+    extras: &ReportExtras,
+) -> io::Result<PathBuf> {
     std::fs::create_dir_all(dir)?;
     let path = dir.join(format!("{run}.json"));
     std::fs::write(
         &path,
-        to_json_full(snap, run, Timing::Include, critical_path).to_string(),
+        to_json_with(snap, run, Timing::Include, critical_path, extras).to_string(),
     )?;
     Ok(path)
 }
 
-/// Validates that a JSON document is a well-formed `fexiot-obs/v1` report.
-/// Returns a description of the first problem found.
+/// Validates that a JSON document is a well-formed obs report: schema
+/// `fexiot-obs/v2` or the older `fexiot-obs/v1` (identical except that v2
+/// may carry `timeseries`/`slo` sections). Returns a description of the
+/// first problem found.
 pub fn validate_report(doc: &Json) -> Result<(), String> {
     let schema = doc
         .get("schema")
         .and_then(Json::as_str)
         .ok_or("missing string field 'schema'")?;
-    if schema != SCHEMA {
-        return Err(format!("unknown schema {schema:?} (expected {SCHEMA:?})"));
+    if schema != SCHEMA && schema != SCHEMA_V1 {
+        return Err(format!(
+            "unknown schema {schema:?} (expected {SCHEMA:?} or {SCHEMA_V1:?})"
+        ));
     }
     doc.get("run")
         .and_then(Json::as_str)
@@ -276,6 +337,12 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
                 .and_then(Json::as_str)
                 .ok_or_else(|| format!("critical_path[{i}] missing string 'cause'"))?;
         }
+    }
+    if let Some(ts) = doc.get("timeseries") {
+        crate::timeseries::validate_timeseries(ts)?;
+    }
+    if let Some(slo) = doc.get("slo") {
+        crate::slo::validate_slo(slo)?;
     }
     Ok(())
 }

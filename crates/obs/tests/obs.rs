@@ -28,6 +28,64 @@ fn histogram_buckets_underflow_interior_and_overflow() {
 }
 
 #[test]
+fn histogram_quantile_edge_cases() {
+    // Empty histogram: every quantile is None.
+    let empty = Histogram::new(&[0.0, 1.0]).expect("valid edges").snapshot();
+    assert_eq!(empty.quantile(0.5), None);
+    assert_eq!(empty.quantile(0.0), None);
+
+    // Out-of-range and NaN q: None even with data.
+    let mut h = Histogram::new(&[0.0, 1.0, 2.0]).expect("valid edges");
+    h.record(0.5);
+    let s = h.snapshot();
+    assert_eq!(s.quantile(-0.1), None);
+    assert_eq!(s.quantile(1.1), None);
+    assert_eq!(s.quantile(f64::NAN), None);
+
+    // Single interior bucket, one sample: every quantile resolves to the
+    // exact min/max, never an interpolated bucket midpoint outside them.
+    assert_eq!(s.quantile(0.0), Some(0.5));
+    assert_eq!(s.quantile(0.5), Some(0.5));
+    assert_eq!(s.quantile(1.0), Some(0.5));
+
+    // Overflow-heavy: ranks past the interior land on max, not an edge.
+    let mut h = Histogram::new(&[0.0, 1.0]).expect("valid edges");
+    h.record(0.5);
+    for _ in 0..9 {
+        h.record(50.0); // all overflow
+    }
+    let s = h.snapshot();
+    assert_eq!(s.quantile(0.9), Some(50.0));
+    assert_eq!(s.quantile(1.0), Some(50.0));
+    // Lowest rank interpolates inside the interior bucket; the estimate may
+    // sit anywhere in [min, bucket upper edge] but never in the overflow.
+    let low = s.quantile(0.05).unwrap();
+    assert!((0.5..=1.0).contains(&low), "q0.05 estimate {low} escaped the interior");
+
+    // Underflow: low quantiles resolve to min.
+    let mut h = Histogram::new(&[0.0, 1.0]).expect("valid edges");
+    h.record(-5.0);
+    h.record(-3.0);
+    h.record(0.5);
+    let s = h.snapshot();
+    assert_eq!(s.quantile(0.25), Some(-5.0), "underflow ranks report min");
+    assert_eq!(s.quantile(1.0), Some(0.5));
+
+    // Interior interpolation stays within [min, max] and is monotone in q.
+    let mut h = Histogram::new(&[0.0, 10.0]).expect("valid edges");
+    for v in [2.0, 4.0, 6.0, 8.0] {
+        h.record(v);
+    }
+    let s = h.snapshot();
+    let (q25, q75) = (s.quantile(0.25).unwrap(), s.quantile(0.75).unwrap());
+    assert!(q25 <= q75, "quantiles must be monotone: {q25} vs {q75}");
+    for q in [0.1, 0.25, 0.5, 0.75, 0.9] {
+        let v = s.quantile(q).unwrap();
+        assert!((2.0..=8.0).contains(&v), "q{q} estimate {v} escaped [min, max]");
+    }
+}
+
+#[test]
 fn histogram_rejects_nan_and_infinities() {
     let mut h = Histogram::new(&[0.0, 1.0]).expect("valid edges");
     h.record(f64::NAN);

@@ -10,8 +10,12 @@
 //! metrics) under DIR, `--obs-stream FILE` streams `fexiot-obs-events/v1`
 //! JSONL events live to FILE (`--obs-stream-timing exclude` drops wall-clock
 //! fields, making same-seed streams byte-identical), `--obs-flame FILE`
-//! writes flamegraph-compatible collapsed stacks, and `--obs-summary` prints
-//! the span tree after the run.
+//! writes flamegraph-compatible collapsed stacks, `--obs-summary` prints
+//! the span tree after the run, and `--obs-slo FILE` / `--obs-timeseries`
+//! attach the fleet-health telemetry surfaces (the quickstart has no
+//! federated rounds, so SLO rules report NODATA and the time-series stays
+//! empty — the flags exercise parsing, verdict printing, and report
+//! sections).
 
 use fexiot::{FexIot, FexIotConfig};
 use fexiot_graph::{generate_dataset, DatasetConfig};
@@ -40,6 +44,13 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let telemetry = match obs.fleet_telemetry() {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
     obs.begin("quickstart").expect("set up observability");
 
     demo();
@@ -47,7 +58,12 @@ fn main() {
     if obs.enabled() {
         println!();
     }
-    obs.finish("quickstart", None).expect("export observability");
+    obs.finish_with("quickstart", None, telemetry.as_ref())
+        .expect("export observability");
+    if telemetry.is_some_and(|t| t.slo_failed()) {
+        eprintln!("SLO gate failed (see verdict lines above)");
+        std::process::exit(3);
+    }
 }
 
 fn demo() {
