@@ -6,6 +6,8 @@
 //! ```text
 //! perf [--reps N] [--seed S] [--threads T] [--out-dir DIR]
 //!      [--refresh-baselines] [--full] [--history FILE | --no-history]
+//!      [--history-cap N]
+//! perf history [--history FILE]
 //! ```
 //!
 //! `BENCH_<workload>.json` / `BENCH_<workload>.flame` land in `--out-dir`
@@ -13,16 +15,19 @@
 //! committed baselines under `results/bench/`, which CI diffs against with
 //! `obs-diff`. Every run appends one `fexiot-bench-history/v1` JSONL line
 //! (run identity + per-workload timing digest) to the history file
-//! (default `results/bench/history.jsonl`; `--no-history` skips it). Build
-//! with `--features track-alloc` to fill the `alloc` section with real
-//! counters.
+//! (default `results/bench/history.jsonl`; `--no-history` skips it, and
+//! `--history-cap N` keeps only the newest N lines after appending). The
+//! `history` mode prints a per-workload p50 trend summary (first vs newest
+//! run, absolute and percent delta) of that file. Build with
+//! `--features track-alloc` to fill the `alloc` section with real counters.
 
 use fexiot_bench::perf::{self, timing_summary, PerfConfig};
 use fexiot_bench::{print_table, Scale};
 use std::path::{Path, PathBuf};
 
 const USAGE: &str = "usage: perf [--reps N] [--seed S] [--threads T] [--out-dir DIR] \
-     [--refresh-baselines] [--full] [--history FILE | --no-history]";
+     [--refresh-baselines] [--full] [--history FILE | --no-history] [--history-cap N]\n       \
+     perf history [--history FILE]";
 
 fn usage() -> ! {
     eprintln!("{USAGE}");
@@ -31,11 +36,15 @@ fn usage() -> ! {
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("history") {
+        history_summary_main(&argv[1..]);
+    }
     let mut reps = 5usize;
     let mut seed = 42u64;
     let mut out_dir = PathBuf::from(".");
     let mut refresh = false;
     let mut history: Option<PathBuf> = Some(PathBuf::from("results/bench/history.jsonl"));
+    let mut history_cap = 0usize;
     let mut boolean_tokens: Vec<String> = Vec::new();
     let mut i = 0;
     while i < argv.len() {
@@ -73,6 +82,14 @@ fn main() {
                 history = Some(PathBuf::from(argv.get(i).unwrap_or_else(|| usage())));
             }
             "--no-history" => history = None,
+            "--history-cap" => {
+                i += 1;
+                history_cap = argv
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&c| c > 0)
+                    .unwrap_or_else(|| usage());
+            }
             // Collected separately so Scale::from_args only ever sees
             // boolean tokens (value positions are consumed above).
             "--full" => boolean_tokens.push("--full".to_string()),
@@ -144,7 +161,7 @@ fn main() {
         reports.push(report);
     }
     if let Some(path) = &history {
-        append_history(path, &reports, &cfg);
+        append_history(path, &reports, &cfg, history_cap);
     }
     print_table(
         "fexiot-bench/v1",
@@ -164,10 +181,11 @@ fn write_or_die(path: &Path, content: &str) {
     }
 }
 
-/// Appends one history line for this run. Best-effort by design: a missing
+/// Appends one history line for this run, then (with `--history-cap N`)
+/// trims the file to its newest N lines. Best-effort by design: a missing
 /// or read-only history location (e.g. running outside the repo root) must
 /// not fail the benchmark run itself.
-fn append_history(path: &Path, reports: &[perf::WorkloadReport], cfg: &PerfConfig) {
+fn append_history(path: &Path, reports: &[perf::WorkloadReport], cfg: &PerfConfig, cap: usize) {
     let unix_ts = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map(|d| d.as_secs())
@@ -179,10 +197,53 @@ fn append_history(path: &Path, reports: &[perf::WorkloadReport], cfg: &PerfConfi
         }
         use std::io::Write as _;
         let mut file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
-        writeln!(file, "{line}")
+        writeln!(file, "{line}")?;
+        drop(file);
+        if cap > 0 {
+            let text = std::fs::read_to_string(path)?;
+            let capped = perf::cap_history_lines(&text, cap);
+            if capped != text {
+                std::fs::write(path, capped)?;
+            }
+        }
+        Ok(())
     };
     match write() {
         Ok(()) => println!("history line appended to {}", path.display()),
         Err(e) => eprintln!("perf: history append skipped ({}: {e})", path.display()),
+    }
+}
+
+/// `perf history [--history FILE]`: render the per-workload p50 trend
+/// summary of the append-only history file.
+fn history_summary_main(argv: &[String]) -> ! {
+    let mut path = PathBuf::from("results/bench/history.jsonl");
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--history" => {
+                i += 1;
+                path = PathBuf::from(argv.get(i).unwrap_or_else(|| usage()));
+            }
+            _ => usage(),
+        }
+        i += 1;
+    }
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perf: cannot read {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    };
+    match perf::history_summary(&text) {
+        Ok(summary) => {
+            print!("{summary}");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("perf: {}: {e}", path.display());
+            std::process::exit(1);
+        }
     }
 }

@@ -426,6 +426,86 @@ pub fn history_line(reports: &[WorkloadReport], cfg: &PerfConfig, unix_ts: u64) 
     .to_string()
 }
 
+/// Keeps only the newest `cap` non-empty lines of the append-only JSONL
+/// history. `cap == 0` means keep-all (the default when `--history-cap` is
+/// not given). Blank lines are dropped either way; the result always ends
+/// with a newline per surviving line, so re-capping is idempotent.
+pub fn cap_history_lines(text: &str, cap: usize) -> String {
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    let keep = if cap == 0 { lines.len() } else { cap.min(lines.len()) };
+    lines[lines.len() - keep..]
+        .iter()
+        .map(|l| format!("{l}\n"))
+        .collect()
+}
+
+/// Renders a per-workload p50 trend summary of an append-only history file:
+/// one row per workload with the first and newest p50 and their delta
+/// (absolute and percent). Workloads appear in first-seen order, so a
+/// history written by this harness lists them in [`WORKLOADS`] order.
+pub fn history_summary(text: &str) -> Result<String, String> {
+    let mut series: Vec<(String, Vec<u64>)> = Vec::new();
+    let mut runs = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc = Json::parse(line).map_err(|e| format!("history line {}: {e:?}", i + 1))?;
+        let schema = doc.get("schema").and_then(Json::as_str).unwrap_or("");
+        if schema != HISTORY_SCHEMA {
+            return Err(format!(
+                "history line {}: schema {schema:?} is not {HISTORY_SCHEMA:?}",
+                i + 1
+            ));
+        }
+        let Some(Json::Obj(workloads)) = doc.get("workloads") else {
+            return Err(format!("history line {}: missing workloads section", i + 1));
+        };
+        runs += 1;
+        for (name, digest) in workloads {
+            let p50 = digest.get("p50_us").and_then(Json::as_u64).ok_or_else(|| {
+                format!("history line {}: workload {name:?} has no p50_us", i + 1)
+            })?;
+            match series.iter_mut().find(|(n, _)| n == name) {
+                Some((_, v)) => v.push(p50),
+                None => series.push((name.clone(), vec![p50])),
+            }
+        }
+    }
+    if runs == 0 {
+        return Err("history is empty".to_string());
+    }
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{HISTORY_SCHEMA} · {runs} run(s)");
+    let _ = writeln!(
+        out,
+        "{:<18} {:>5} {:>12} {:>11} {:>9} {:>9}",
+        "workload", "runs", "p50_first_us", "p50_last_us", "delta_us", "delta_pct"
+    );
+    for (name, p50s) in &series {
+        let first = p50s[0];
+        let last = *p50s.last().expect("non-empty series");
+        let delta = last as i64 - first as i64;
+        let pct = if first == 0 {
+            "n/a".to_string()
+        } else {
+            format!("{:+.1}%", delta as f64 / first as f64 * 100.0)
+        };
+        let _ = writeln!(
+            out,
+            "{:<18} {:>5} {:>12} {:>11} {:>+9} {:>9}",
+            name,
+            p50s.len(),
+            first,
+            last,
+            delta,
+            pct
+        );
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -533,6 +613,70 @@ mod tests {
         assert_eq!(digest.get("p50_us").and_then(Json::as_u64), Some(120));
         assert_eq!(digest.get("p90_us").and_then(Json::as_u64), Some(140));
         assert_eq!(digest.get("total_us").and_then(Json::as_u64), Some(360));
+    }
+
+    fn digest_report(workload: &'static str, p50_us: u64) -> WorkloadReport {
+        WorkloadReport {
+            workload,
+            items: vec![],
+            tracked: false,
+            alloc: AllocStats::default(),
+            timings_us: vec![p50_us],
+            collapsed: String::new(),
+            clients: None,
+            topology: None,
+        }
+    }
+
+    #[test]
+    fn history_cap_keeps_newest_lines_and_drops_blanks() {
+        let text = "a\n\nb\nc\n";
+        assert_eq!(cap_history_lines(text, 0), "a\nb\nc\n", "0 = keep-all");
+        assert_eq!(cap_history_lines(text, 2), "b\nc\n");
+        assert_eq!(cap_history_lines(text, 9), "a\nb\nc\n");
+        // Idempotent: capping an already-capped history is a no-op.
+        assert_eq!(cap_history_lines(&cap_history_lines(text, 2), 2), "b\nc\n");
+        assert_eq!(cap_history_lines("", 3), "");
+    }
+
+    #[test]
+    fn history_summary_reports_per_workload_p50_trend() {
+        let cfg = PerfConfig::default();
+        let l1 = history_line(
+            &[digest_report("featurize", 100), digest_report("fed_round", 50)],
+            &cfg,
+            1,
+        );
+        let l2 = history_line(
+            &[digest_report("featurize", 80), digest_report("fed_round", 60)],
+            &cfg,
+            2,
+        );
+        let text = format!("{l1}\n{l2}\n");
+        let summary = history_summary(&text).expect("summary renders");
+        assert!(summary.contains("2 run(s)"), "{summary}");
+        let featurize = summary
+            .lines()
+            .find(|l| l.starts_with("featurize"))
+            .expect("featurize row");
+        for field in ["2", "100", "80", "-20", "-20.0%"] {
+            assert!(featurize.contains(field), "{featurize:?} missing {field}");
+        }
+        let fed = summary
+            .lines()
+            .find(|l| l.starts_with("fed_round"))
+            .expect("fed_round row");
+        for field in ["50", "60", "+10", "+20.0%"] {
+            assert!(fed.contains(field), "{fed:?} missing {field}");
+        }
+    }
+
+    #[test]
+    fn history_summary_rejects_empty_or_foreign_input() {
+        assert!(history_summary("").is_err());
+        assert!(history_summary("\n\n").is_err());
+        assert!(history_summary("not json\n").is_err());
+        assert!(history_summary("{\"schema\":\"other/v1\"}\n").is_err());
     }
 
     #[test]

@@ -26,9 +26,13 @@
 //! streams are byte-identical), `--obs-flame FILE` (write
 //! flamegraph-compatible collapsed stacks, value = exclusive µs per span
 //! path), `--obs-timeseries [CAP]` (collect the per-round fleet time-series
-//! into the report's `timeseries` section), and `--obs-slo FILE` (evaluate
+//! into the report's `timeseries` section), `--obs-slo FILE` (evaluate
 //! the SLO rules in FILE each round; a failing rule prints its verdict and
-//! exits with code 3); see DESIGN.md §Observability.
+//! exits with code 3), and `--obs-trace FILE` (record the federated run's
+//! causal fault graph — `fexiot-obs-causal/v1` — for
+//! `obs-export --chrome-trace` and root-cause attribution;
+//! `--obs-trace-timing exclude` drops wall-clock fields so same-seed traces
+//! are byte-identical); see DESIGN.md §Observability.
 //!
 //! Datasets are generated from the synthetic corpus (see DESIGN.md); models
 //! are checkpointed with the first-party codec, so `train` on one machine and
@@ -110,7 +114,7 @@ impl Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  fexiot-cli train    [--graphs N] [--seed S] [--encoder gin|gcn|magnn] --out MODEL\n  fexiot-cli eval     --model MODEL [--graphs N] [--seed S]\n  fexiot-cli detect   --model MODEL [--seed S]\n  fexiot-cli explain  --model MODEL [--seed S]\n  fexiot-cli federate [--clients N] [--rounds R] [--strategy fexiot|fedavg|fmtl|gcfl|local]\n                      [--graphs N] [--seed S] [--alpha A]\n                      [--dropout P] [--msg-loss P] [--straggler P] [--corrupt P]\n                      [--sample-frac F | --sample-k K]  (per-round cohort sampling)\n                      [--aggregators N] [--failover reassign|skip]\n                      [--agg-dropout P] [--agg-crash P] [--agg-straggler P]\n                      [--quorum F] [--deadline-ticks T]  (quorum-gated rounds)\n                      [--checkpoint-dir DIR]  (resumes from the newest checkpoint there)\n  any subcommand: [--threads N]  (parallel width; default FEXIOT_THREADS or all cores)\n                  [--obs-summary] [--obs-out DIR] [--obs-flame FILE]\n                  [--obs-stream FILE] [--obs-stream-timing include|exclude]  (observability export)"
+        "usage:\n  fexiot-cli train    [--graphs N] [--seed S] [--encoder gin|gcn|magnn] --out MODEL\n  fexiot-cli eval     --model MODEL [--graphs N] [--seed S]\n  fexiot-cli detect   --model MODEL [--seed S]\n  fexiot-cli explain  --model MODEL [--seed S]\n  fexiot-cli federate [--clients N] [--rounds R] [--strategy fexiot|fedavg|fmtl|gcfl|local]\n                      [--graphs N] [--seed S] [--alpha A]\n                      [--dropout P] [--msg-loss P] [--straggler P] [--corrupt P]\n                      [--sample-frac F | --sample-k K]  (per-round cohort sampling)\n                      [--aggregators N] [--failover reassign|skip]\n                      [--agg-dropout P] [--agg-crash P] [--agg-straggler P]\n                      [--quorum F] [--deadline-ticks T]  (quorum-gated rounds)\n                      [--checkpoint-dir DIR]  (resumes from the newest checkpoint there)\n  any subcommand: [--threads N]  (parallel width; default FEXIOT_THREADS or all cores)\n                  [--obs-summary] [--obs-out DIR] [--obs-flame FILE]\n                  [--obs-stream FILE] [--obs-stream-timing include|exclude]\n                  [--obs-trace FILE] [--obs-trace-timing include|exclude]  (observability export)"
     );
     ExitCode::from(2)
 }
@@ -175,9 +179,18 @@ fn main() -> ExitCode {
     // Federate fills this with its per-round critical path so the summary
     // and the exported report carry the straggler/backoff attribution.
     let mut critical_path: Option<Vec<fexiot_obs::CriticalPathEntry>> = None;
-    let code = run(&args, &mut critical_path, &mut telemetry);
+    // With `--obs-trace`, federate records its causal fault graph and hands
+    // it back here for export (and for the report's root_cause section).
+    let trace_run = obs.trace.is_some().then(|| run_name.clone());
+    let mut trace: Option<fexiot_obs::CausalGraph> = None;
+    let code = run(&args, trace_run.as_deref(), &mut critical_path, &mut telemetry, &mut trace);
 
-    if let Err(e) = obs.finish_with(&run_name, critical_path.as_deref(), telemetry.as_ref()) {
+    if let Err(e) = obs.finish_full(
+        &run_name,
+        critical_path.as_deref(),
+        telemetry.as_ref(),
+        trace.as_ref(),
+    ) {
         eprintln!("{e}");
         return ExitCode::FAILURE;
     }
@@ -195,8 +208,10 @@ fn main() -> ExitCode {
 
 fn run(
     args: &Args,
+    trace_run: Option<&str>,
     critical_path: &mut Option<Vec<fexiot_obs::CriticalPathEntry>>,
     telemetry: &mut Option<fexiot_obs::FleetTelemetry>,
+    trace: &mut Option<fexiot_obs::CausalGraph>,
 ) -> ExitCode {
     match args.command.as_str() {
         "train" => {
@@ -410,6 +425,9 @@ fn run(
             if let Some(t) = telemetry.take() {
                 sim.attach_telemetry(t);
             }
+            if let Some(name) = trace_run {
+                sim.enable_causal_trace(name);
+            }
 
             // With --checkpoint-dir, each round is persisted and a rerun with
             // the same flags resumes from the newest checkpoint found there.
@@ -457,7 +475,17 @@ fn run(
                     },
                     if t.quorum_aborted { "  [QUORUM ABORT]" } else { "" },
                     if t.slo_failures > 0 {
-                        format!("  [SLO {} failing]", t.slo_failures)
+                        // With causal tracing on, name the dominant cause in
+                        // the annotation so a scrolling log already points at
+                        // the culprit (the full ranking lands in the report's
+                        // `root_cause` section).
+                        match sim.last_root_cause() {
+                            Some(cause) => format!(
+                                "  [SLO {} failing: top cause {}]",
+                                t.slo_failures, cause
+                            ),
+                            None => format!("  [SLO {} failing]", t.slo_failures),
+                        }
                     } else {
                         String::new()
                     },
@@ -477,6 +505,7 @@ fn run(
             println!("held-out (mean over clients): {}", Metrics::mean(&metrics));
             *critical_path = Some(sim.critical_path());
             *telemetry = sim.take_telemetry();
+            *trace = sim.take_causal_trace();
             ExitCode::SUCCESS
         }
         _ => usage(),

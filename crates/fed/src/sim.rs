@@ -22,7 +22,10 @@ use crate::topology::{ClientSampler, Failover, Sampling, Topology};
 use fexiot_gnn::ContrastiveConfig;
 use fexiot_graph::GraphDataset;
 use fexiot_ml::{binary_cosine_split, Metrics};
-use fexiot_obs::{ClientRoundCost, CriticalPathEntry, FleetTelemetry, Registry, RoundCost};
+use fexiot_obs::{
+    CausalBuilder, CausalGraph, ClientRoundCost, CriticalPathEntry, FleetTelemetry, Registry,
+    RoundCost,
+};
 use std::sync::Arc;
 use fexiot_tensor::codec::{ByteReader, ByteWriter, CodecError};
 use fexiot_tensor::matrix::Matrix;
@@ -276,6 +279,14 @@ pub struct FedSim {
     cost_acc: Vec<ClientRoundCost>,
     /// Completed rounds' cost attribution, input to [`FedSim::critical_path`].
     round_costs: Vec<RoundCost>,
+    /// Causal trace recorder ([`FedSim::enable_causal_trace`]): every fault
+    /// realization mirrored as graph nodes/edges, built on the coordinator
+    /// thread only. Pure obs data like `cost_acc` — never fed back into
+    /// simulation state, and not checkpointed.
+    causal: Option<Box<CausalBuilder>>,
+    /// Dominant fault kind behind the latest failing SLO evaluation
+    /// (requires both telemetry and causal tracing; `None` while passing).
+    last_root_cause: Option<String>,
     rng: Rng,
     round: usize,
 }
@@ -342,6 +353,8 @@ impl FedSim {
             telemetry: None,
             cost_acc: Vec::new(),
             round_costs: Vec::new(),
+            causal: None,
+            last_root_cause: None,
             rng,
             round: 0,
         })
@@ -380,6 +393,32 @@ impl FedSim {
     /// run).
     pub fn take_telemetry(&mut self) -> Option<FleetTelemetry> {
         self.telemetry.take().map(|b| *b)
+    }
+
+    /// Enables causal trace recording: from the next round on, every fault
+    /// realization (dropout, crash/rejoin, stragglers, retries, quarantine,
+    /// aggregator crash/reassign, deadline misses, quorum aborts) is
+    /// mirrored as nodes and edges of a [`CausalGraph`] whose IDs derive
+    /// from the run seed — byte-identical at any thread width. Pure obs
+    /// data: like `cost_acc`, it never feeds back into simulation state and
+    /// is not checkpointed.
+    pub fn enable_causal_trace(&mut self, run: &str) {
+        self.causal = Some(Box::new(CausalBuilder::new(
+            run,
+            self.config.seed,
+            self.clients.len(),
+        )));
+    }
+
+    /// Detaches and finalizes the causal trace, if recording was enabled.
+    pub fn take_causal_trace(&mut self) -> Option<CausalGraph> {
+        self.causal.take().map(|b| b.finish())
+    }
+
+    /// Dominant fault kind attributed to the latest failing SLO evaluation
+    /// (`None` while rules pass, or when telemetry / causal tracing is off).
+    pub fn last_root_cause(&self) -> Option<&str> {
+        self.last_root_cause.as_deref()
     }
 
     /// Runs all configured rounds; returns per-round reports.
@@ -487,6 +526,70 @@ impl FedSim {
             }
             if reassigned > 0 {
                 obs.counter_add("fed.agg.reassigned", reassigned as u64);
+            }
+        }
+
+        // Causal trace: mirror this round's fault realization as graph
+        // nodes, on the coordinator thread in client/aggregator order. The
+        // draws above are fixed before the training scatter, so the graph is
+        // a pure function of the seed — byte-identical at any thread width.
+        if self.causal.is_some() {
+            let round = self.round;
+            let injector = &self.injector;
+            let cb = self.causal.as_deref_mut().expect("checked above");
+            cb.begin_round(round);
+            for c in 0..n {
+                match round_faults.participation[c] {
+                    // `Crashed` only ever comes from the multi-round crash
+                    // ledger, so it is a crash window — not a transient drop.
+                    Participation::Crashed => cb.client_crash(round, c),
+                    Participation::Dropout => {
+                        cb.client_up(round, c);
+                        if ctx.sampled[c] {
+                            cb.client_dropout(round, c);
+                        }
+                    }
+                    _ => cb.client_up(round, c),
+                }
+            }
+            if hierarchical {
+                let aggs = topo.aggregators.max(1);
+                let up: Vec<bool> = agg_faults
+                    .status
+                    .iter()
+                    .map(|s| !matches!(s, AggStatus::Down))
+                    .collect();
+                let mut affected = vec![0u64; aggs];
+                for &c in &cohort {
+                    let home = topo.aggregator_of(c);
+                    if !up[home] {
+                        affected[home] += 1;
+                    }
+                }
+                let mut down_nodes: Vec<Option<u64>> = vec![None; aggs];
+                for (a, status) in agg_faults.status.iter().enumerate() {
+                    match *status {
+                        AggStatus::Down => {
+                            let id = if injector.agg_crashed(a, round) {
+                                cb.agg_crash(round, a, affected[a])
+                            } else {
+                                cb.agg_dropout(round, a, affected[a])
+                            };
+                            down_nodes[a] = Some(id);
+                        }
+                        AggStatus::Straggler { delay } => {
+                            cb.agg_up(round, a);
+                            cb.agg_straggler(round, a, delay as u64);
+                        }
+                        AggStatus::Up => cb.agg_up(round, a),
+                    }
+                }
+                for &c in &cohort {
+                    let home = topo.aggregator_of(c);
+                    if !up[home] && ctx.route[c].is_some() {
+                        cb.agg_reassign(round, c, down_nodes[home]);
+                    }
+                }
             }
         }
 
@@ -622,6 +725,12 @@ impl FedSim {
             }
         } else {
             obs.counter_add("fed.agg.quorum_aborts", 1);
+            if let Some(cb) = self.causal.as_deref_mut() {
+                cb.quorum_abort(
+                    self.round,
+                    cohort.len().saturating_sub(contributing.len()) as u64,
+                );
+            }
             // The contributors' uploads were already in flight when the
             // server gave up on the round; price them at full-model cost.
             for &c in &contributing {
@@ -766,6 +875,23 @@ impl FedSim {
             }
             report_faults.slo_failures =
                 tel.observe_round(r, &self.obs.metrics_snapshot());
+            // Watch surface: marks carry the per-round verdict count — and,
+            // with causal tracing on, the dominant root cause — so
+            // `obs-export --watch` can show SLO state straight off the
+            // stream. Deterministic: counts and causes derive from the
+            // seeded draws only.
+            self.obs
+                .mark(&format!("slo_failing[{}]", report_faults.slo_failures));
+            self.last_root_cause = None;
+            if report_faults.slo_failures > 0 {
+                if let (Some(cb), Some(engine)) = (self.causal.as_deref(), tel.slo.as_ref()) {
+                    let ranked = fexiot_obs::root_cause(cb.graph(), engine);
+                    if let Some(top) = ranked.first().and_then(|rc| rc.causes.first()) {
+                        self.last_root_cause = Some(top.cause.clone());
+                        self.obs.mark(&format!("slo_top_cause[{}]", top.cause));
+                    }
+                }
+            }
         }
         self.round_costs.push(RoundCost {
             round: self.round,
@@ -822,13 +948,23 @@ impl FedSim {
             match state.faults.participation[c] {
                 Participation::Active => {}
                 Participation::Straggler { delay } => {
-                    self.cost_acc[c].straggler_ticks =
-                        straggler_wait(delay, plan.staleness_bound) as u64;
+                    let wait = straggler_wait(delay, plan.staleness_bound) as u64;
+                    self.cost_acc[c].straggler_ticks = wait;
+                    let waited = self
+                        .causal
+                        .as_deref_mut()
+                        .map(|cb| cb.client_straggler(self.round, c, wait));
                     if delay <= plan.staleness_bound {
                         state.stale_weight[c] = plan.staleness_decay.powi(delay as i32);
                         self.obs.counter_add("fed.sim.stale_accepted", 1);
+                        if let (Some(cb), Some(after)) = (self.causal.as_deref_mut(), waited) {
+                            cb.stale_accept(self.round, c, after);
+                        }
                     } else {
                         state.contributors[c] = false;
+                        if let (Some(cb), Some(after)) = (self.causal.as_deref_mut(), waited) {
+                            cb.stale_reject(self.round, c, after);
+                        }
                     }
                 }
                 _ => state.contributors[c] = false,
@@ -851,6 +987,22 @@ impl FedSim {
                 self.obs.counter_add("fed.sim.lost_messages", 1);
                 self.cost_acc[c].lost_upload = true;
                 state.contributors[c] = false;
+                if let Some(cb) = self.causal.as_deref_mut() {
+                    cb.lost_upload(self.round, c, backoff_ticks_for(attempts) as u64);
+                }
+            }
+        }
+
+        // Causal: uploads that landed only after retransmission are their
+        // own fault events, costed at the backoff ticks they added.
+        if self.causal.is_some() {
+            for c in 0..n {
+                if state.contributors[c] && state.up_attempts(c) > 1 {
+                    let ticks = backoff_ticks_for(state.up_attempts(c)) as u64;
+                    if let Some(cb) = self.causal.as_deref_mut() {
+                        cb.retry(self.round, c, ticks);
+                    }
+                }
             }
         }
 
@@ -877,6 +1029,9 @@ impl FedSim {
                 if report_ticks > deadline {
                     state.contributors[c] = false;
                     self.obs.counter_add("fed.agg.deadline_missed", 1);
+                    if let Some(cb) = self.causal.as_deref_mut() {
+                        cb.deadline_miss(self.round, c, report_ticks as u64);
+                    }
                 }
             }
         }
@@ -934,6 +1089,9 @@ impl FedSim {
                     state.contributors[c] = false;
                     state.observed[c] = None;
                     self.obs.counter_add("fed.sim.quarantined", 1);
+                    if let Some(cb) = self.causal.as_deref_mut() {
+                        cb.quarantine(self.round, c);
+                    }
                 }
             }
         }

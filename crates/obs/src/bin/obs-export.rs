@@ -2,7 +2,7 @@
 //! obs data.
 //!
 //! Default mode renders Prometheus text exposition from the input: a
-//! `fexiot-obs/v1|v2` run report (counters, gauges, histograms with
+//! `fexiot-obs/v1|v2|v3` run report (counters, gauges, histograms with
 //! cumulative buckets, newest time-series samples, SLO verdict states) or a
 //! `fexiot-obs-events/v1` JSONL stream (replayed counter totals and gauge
 //! values). The input kind is auto-detected from its first line.
@@ -10,12 +10,16 @@
 //! Options:
 //!   --watch            tail a JSONL stream and render a live terminal view
 //!                      (round progress, cohort/aggregator status, quorum
-//!                      margin, per-round attribution)
+//!                      margin, SLO status, per-round attribution)
 //!   --once             with --watch: render the current state once and exit
 //!                      (CI-friendly; no terminal control sequences)
 //!   --interval-ms N    with --watch: poll interval (default 500)
 //!   --section NAME     print one raw section of a report (e.g. `timeseries`,
-//!                      `slo`) as JSON — byte-comparable across runs
+//!                      `slo`, `root_cause`) as JSON — byte-comparable
+//!                      across runs
+//!   --chrome-trace     render a `fexiot-obs-causal/v1` graph file (from
+//!                      `--obs-trace`) as Chrome trace-event JSON, loadable
+//!                      in Perfetto / chrome://tracing
 //!
 //! Exit codes: 0 success, 2 usage/IO/parse error.
 
@@ -25,7 +29,7 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: obs-export [--watch [--once] [--interval-ms N]] [--section NAME] \
-         <report.json | stream.jsonl>"
+         [--chrome-trace] <report.json | stream.jsonl | trace.json>"
     );
     ExitCode::from(2)
 }
@@ -78,12 +82,14 @@ fn main() -> ExitCode {
     let mut once = false;
     let mut interval_ms = 500u64;
     let mut section: Option<String> = None;
+    let mut chrome = false;
     let mut files = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--watch" => watch_mode = true,
             "--once" => once = true,
+            "--chrome-trace" => chrome = true,
             "--interval-ms" => match it.next().map(|v| v.parse::<u64>()) {
                 Some(Ok(v)) => interval_ms = v,
                 _ => return usage(),
@@ -103,8 +109,8 @@ fn main() -> ExitCode {
         return usage();
     };
     if watch_mode {
-        if section.is_some() {
-            return fail("--watch and --section are mutually exclusive");
+        if section.is_some() || chrome {
+            return fail("--watch is mutually exclusive with --section/--chrome-trace");
         }
         return watch(path, once, interval_ms);
     }
@@ -112,6 +118,22 @@ fn main() -> ExitCode {
         Ok(t) => t,
         Err(e) => return fail(&format!("{path}: {e}")),
     };
+    if chrome {
+        if section.is_some() {
+            return fail("--chrome-trace and --section are mutually exclusive");
+        }
+        let doc = match Json::parse(&text) {
+            Ok(d) => d,
+            Err(e) => return fail(&format!("{path}: {e:?}")),
+        };
+        return match fexiot_obs::CausalGraph::parse(&doc) {
+            Ok(graph) => {
+                println!("{}", fexiot_obs::chrome_trace(&graph));
+                ExitCode::SUCCESS
+            }
+            Err(e) => fail(&format!("{path}: {e}")),
+        };
+    }
     if let Some(name) = section {
         let doc = match Json::parse(&text) {
             Ok(d) => d,

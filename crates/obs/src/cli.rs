@@ -23,6 +23,8 @@ pub const OBS_FLAGS: &[&str] = &[
     "obs-flame",
     "obs-slo",
     "obs-timeseries",
+    "obs-trace",
+    "obs-trace-timing",
 ];
 
 /// Parsed observability options plus the begin/finish export lifecycle.
@@ -49,6 +51,15 @@ pub struct ObsCli {
     /// section `timeseries`); optional CAP overrides the per-series ring
     /// capacity (default [`DEFAULT_SERIES_CAPACITY`]).
     pub timeseries: Option<usize>,
+    /// `--obs-trace FILE`: write the causal trace graph
+    /// (`fexiot-obs-causal/v1`) to FILE after the run. Federated runs feed it
+    /// fault events; other runs write a run-span-only graph. Enables the
+    /// `root_cause` report section when SLO rules are attached.
+    pub trace: Option<PathBuf>,
+    /// `--obs-trace-timing include|exclude` (default include): `exclude`
+    /// drops the `wall_us` fields so same-seed graphs are byte-identical
+    /// across thread widths (mirrors `--obs-stream-timing`).
+    pub include_trace_timing: bool,
 }
 
 impl ObsCli {
@@ -90,6 +101,15 @@ impl ObsCli {
                 ))
             }
         };
+        let include_trace_timing = match get("obs-trace-timing") {
+            None | Some("include") => true,
+            Some("exclude") => false,
+            Some(other) => {
+                return Err(format!(
+                    "--obs-trace-timing must be 'include' or 'exclude', got {other:?}"
+                ))
+            }
+        };
         let timeseries = match get("obs-timeseries") {
             None => None,
             Some("") => Some(DEFAULT_SERIES_CAPACITY),
@@ -110,6 +130,8 @@ impl ObsCli {
             flame: path_flag("obs-flame")?,
             slo: path_flag("obs-slo")?,
             timeseries,
+            trace: path_flag("obs-trace")?,
+            include_trace_timing,
         })
     }
 
@@ -150,6 +172,7 @@ impl ObsCli {
             || self.out.is_some()
             || self.stream.is_some()
             || self.flame.is_some()
+            || self.trace.is_some()
             || self.telemetry_enabled()
     }
 
@@ -223,6 +246,21 @@ impl ObsCli {
         critical_path: Option<&[CriticalPathEntry]>,
         telemetry: Option<&FleetTelemetry>,
     ) -> Result<(), String> {
+        self.finish_full(run, critical_path, telemetry, None)
+    }
+
+    /// [`ObsCli::finish_with`] plus the causal trace graph: when `--obs-trace`
+    /// was given, the graph (or a run-span-only placeholder for runs that
+    /// don't build one) is written to the requested file, and — if SLO rules
+    /// are attached — the report gains a v3 `root_cause` section attributing
+    /// each failing rule to its dominant fault kinds.
+    pub fn finish_full(
+        &self,
+        run: &str,
+        critical_path: Option<&[CriticalPathEntry]>,
+        telemetry: Option<&FleetTelemetry>,
+        trace: Option<&crate::causal::CausalGraph>,
+    ) -> Result<(), String> {
         if !self.enabled() {
             return Ok(());
         }
@@ -238,10 +276,34 @@ impl ObsCli {
                 println!("{}", verdict.render());
             }
         }
+        let placeholder;
+        let graph = match (self.trace.as_ref(), trace) {
+            (None, _) => None,
+            (Some(_), Some(g)) => Some(g),
+            (Some(_), None) => {
+                placeholder = crate::causal::CausalBuilder::new(run, 0, 0).finish();
+                Some(&placeholder)
+            }
+        };
+        if let (Some(file), Some(graph)) = (&self.trace, graph) {
+            let timing = if self.include_trace_timing {
+                crate::report::Timing::Include
+            } else {
+                crate::report::Timing::Exclude
+            };
+            std::fs::write(file, format!("{}\n", graph.to_json(timing)))
+                .map_err(|e| format!("cannot write causal trace to {}: {e}", file.display()))?;
+            println!("causal trace written to {}", file.display());
+        }
         if let Some(dir) = &self.out {
-            let extras = telemetry
+            let mut extras = telemetry
                 .map(crate::report::ReportExtras::from_telemetry)
                 .unwrap_or_default();
+            if let (Some(graph), Some(engine)) = (graph, telemetry.and_then(|t| t.slo.as_ref())) {
+                extras.root_cause = Some(crate::causal::root_cause_to_json(
+                    &crate::causal::root_cause(graph, engine),
+                ));
+            }
             let path = crate::report::write_report_with(dir, run, &snap, critical_path, &extras)
                 .map_err(|e| format!("cannot write obs report under {}: {e}", dir.display()))?;
             println!("obs report written to {}", path.display());
@@ -322,6 +384,22 @@ mod tests {
         assert!(cli.fleet_telemetry().unwrap_err().contains("rules.toml"));
         let cli = ObsCli::from_pairs(&pairs(&[])).unwrap();
         assert!(cli.fleet_telemetry().unwrap().is_none());
+    }
+
+    #[test]
+    fn trace_flags_parse_and_enable_export() {
+        let cli = ObsCli::from_pairs(&pairs(&[("obs-trace", "trace.json")])).unwrap();
+        assert_eq!(cli.trace.as_deref(), Some(Path::new("trace.json")));
+        assert!(cli.include_trace_timing, "defaults to include");
+        assert!(cli.enabled());
+        let cli = ObsCli::from_pairs(&pairs(&[
+            ("obs-trace", "trace.json"),
+            ("obs-trace-timing", "exclude"),
+        ]))
+        .unwrap();
+        assert!(!cli.include_trace_timing);
+        assert!(ObsCli::from_pairs(&pairs(&[("obs-trace", "")])).is_err());
+        assert!(ObsCli::from_pairs(&pairs(&[("obs-trace-timing", "never")])).is_err());
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Comparison of two obs run reports (`fexiot-obs/v2`, or the older v1):
+//! Comparison of two obs run reports (`fexiot-obs/v3`, or the older v2/v1):
 //! the engine behind the `obs-diff` binary and the CI regression gate.
 //!
 //! Severity model follows the determinism rule: everything except wall-clock
@@ -28,7 +28,7 @@ pub enum Severity {
 pub struct Finding {
     pub severity: Severity,
     /// What kind of data drifted: `counter`, `gauge`, `histogram`, `span`,
-    /// `timing`, `critical_path`, or `report`.
+    /// `timing`, `critical_path`, `section`, or `report`.
     pub kind: &'static str,
     /// Dotted location, e.g. `counters.fed.sim.participants`.
     pub path: String,
@@ -426,6 +426,59 @@ pub fn diff_reports(baseline: &Json, current: &Json, cfg: &DiffConfig) -> DiffRe
         ),
     }
 
+    // Sections this engine has no dedicated comparison for (v3's
+    // `root_cause`, and whatever later schemas add): a one-sided appearance
+    // is the expected old-baseline-vs-new-report situation — advisory,
+    // matching the v1→v2 precedent above — while a both-sided mismatch is
+    // still breaking, since every report section holds deterministic data
+    // by construction.
+    const KNOWN_SECTIONS: &[&str] = &[
+        "schema",
+        "run",
+        "spans",
+        "counters",
+        "gauges",
+        "histograms",
+        "dropped_spans",
+        "critical_path",
+        "timeseries",
+        "slo",
+    ];
+    let unknown = |doc: &Json| -> Vec<(String, Json)> {
+        match doc {
+            Json::Obj(members) => members
+                .iter()
+                .filter(|(k, _)| !KNOWN_SECTIONS.contains(&k.as_str()))
+                .cloned()
+                .collect(),
+            _ => Vec::new(),
+        }
+    };
+    let (a, b) = (unknown(baseline), unknown(current));
+    union_keys(&a, &b, |k, va, vb| {
+        match (va, vb) {
+            (Some(va), Some(vb)) => {
+                if va != vb {
+                    out.push(
+                        Severity::Breaking,
+                        "section",
+                        k.to_string(),
+                        "section contents changed".into(),
+                    );
+                }
+            }
+            (one, _) => out.push(
+                Severity::Advisory,
+                "section",
+                k.to_string(),
+                format!(
+                    "section {} (older-schema baseline or flag change)",
+                    if one.is_some() { "disappeared" } else { "appeared" }
+                ),
+            ),
+        }
+    });
+
     out
 }
 
@@ -780,6 +833,45 @@ mod tests {
         // And symmetrically when the baseline is the v2 report.
         let d = diff_reports(&v2, &v1, &DiffConfig::default());
         assert!(d.passed(), "{}", d.render());
+    }
+
+    /// A v3 report: same shape as [`report_v2`] plus a `root_cause` section.
+    fn report_v3(counter: u64, top_cause: &str) -> Json {
+        let mut doc = report_v2(counter, "[2,2]", true);
+        if let Json::Obj(members) = &mut doc {
+            members[0].1 = Json::Str("fexiot-obs/v3".into());
+            members.push((
+                "root_cause".into(),
+                Json::parse(&format!(
+                    r#"{{"rules":[{{"rule":"r","window":[0,1],"causes":[{{"cause":"{top_cause}","events":3,"ticks":9,"share":1}}]}}]}}"#
+                ))
+                .expect("valid section"),
+            ));
+        }
+        doc
+    }
+
+    #[test]
+    fn v2_baseline_diffs_cleanly_against_v3_report() {
+        // The v2→v3 compatibility contract, matching the v1→v2 precedent: a
+        // v2 baseline vs a v3 report (root_cause section appeared) yields an
+        // advisory finding only, in both directions.
+        let v2 = report_v2(3, "[2,2]", true);
+        let v3 = report_v3(3, "straggler");
+        crate::report::validate_report(&v2).expect("v2 still validates");
+        crate::report::validate_report(&v3).expect("v3 validates");
+        let d = diff_reports(&v2, &v3, &DiffConfig::default());
+        assert!(d.passed(), "{}", d.render());
+        assert_eq!(d.advisory(), 1, "{}", d.render()); // root_cause appeared
+        assert_eq!(d.findings[0].kind, "section");
+        let d = diff_reports(&v3, &v2, &DiffConfig::default());
+        assert!(d.passed(), "{}", d.render());
+        // Both sides carrying the section still compare exactly: a different
+        // top cause is deterministic drift, hence breaking.
+        let d = diff_reports(&report_v3(3, "straggler"), &report_v3(3, "agg_crash"), &DiffConfig::default());
+        assert!(!d.passed(), "{}", d.render());
+        assert_eq!(d.findings[0].kind, "section");
+        assert_eq!(d.findings[0].path, "root_cause");
     }
 
     #[test]

@@ -323,6 +323,12 @@ pub struct WatchState {
     round_base: BTreeMap<String, u64>,
     gauges: BTreeMap<String, f64>,
     pub events_seen: u64,
+    /// Newest `slo_failing[N]` mark on the stream: how many SLO rules were
+    /// failing at the latest telemetry evaluation.
+    pub slo_failing: Option<u64>,
+    /// Newest `slo_top_cause[kind]` mark: the root-cause engine's dominant
+    /// fault kind for the failing rules (causal tracing on).
+    pub top_cause: Option<String>,
 }
 
 impl WatchState {
@@ -356,6 +362,20 @@ impl WatchState {
                     self.current_round = Some(idx);
                     self.rounds_started += 1;
                     self.round_base = self.counters.clone();
+                } else if let Some(n) = name
+                    .strip_prefix("slo_failing[")
+                    .and_then(|r| r.strip_suffix(']'))
+                    .and_then(|r| r.parse::<u64>().ok())
+                {
+                    self.slo_failing = Some(n);
+                    if n == 0 {
+                        self.top_cause = None;
+                    }
+                } else if let Some(cause) = name
+                    .strip_prefix("slo_top_cause[")
+                    .and_then(|r| r.strip_suffix(']'))
+                {
+                    self.top_cause = Some(cause.to_string());
                 }
             }
             Event::Counter { name, total, .. } => {
@@ -407,10 +427,24 @@ impl WatchState {
             d("fed.agg.down"),
             d("fed.agg.reassigned"),
             d("fed.agg.quorum_aborts"),
-            d("fed.sim.deadline_missed"),
+            d("fed.agg.deadline_missed"),
         );
         if let Some(margin) = self.gauges.get("fed.round.quorum_margin") {
             let _ = writeln!(out, "quorum margin: {margin:+.3} (weight above threshold)");
+        }
+        match self.slo_failing {
+            Some(0) => {
+                let _ = writeln!(out, "SLO: all rules passing");
+            }
+            Some(n) => match &self.top_cause {
+                Some(cause) => {
+                    let _ = writeln!(out, "SLO: {n} failing · top cause {cause}");
+                }
+                None => {
+                    let _ = writeln!(out, "SLO: {n} failing");
+                }
+            },
+            None => {}
         }
         let _ = writeln!(
             out,

@@ -39,6 +39,7 @@
 //! `client[0]`).
 
 pub mod alloc;
+pub mod causal;
 pub mod cli;
 pub mod diff;
 pub mod export;
@@ -52,6 +53,11 @@ pub mod timeseries;
 pub mod trace;
 
 pub use alloc::AllocStats;
+pub use causal::{
+    chrome_trace, root_cause, root_cause_to_json, trace_id, validate_root_cause, CausalBuilder,
+    CausalEdge, CausalGraph, CausalNode, CauseScore, EdgeKind, Entity, RuleRootCause,
+    CAUSAL_SCHEMA,
+};
 pub use cli::ObsCli;
 pub use export::{
     prometheus_from_report, prometheus_from_stream, validate_prometheus_text, WatchState,

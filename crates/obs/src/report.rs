@@ -9,20 +9,24 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Schema identifier written into every report (bump on breaking changes).
-/// v2 added the optional `timeseries` and `slo` sections; v1 documents
-/// (no such sections) are still accepted by [`validate_report`] so committed
-/// baselines keep working across the bump.
-pub const SCHEMA: &str = "fexiot-obs/v2";
+/// v2 added the optional `timeseries` and `slo` sections; v3 adds the
+/// optional `root_cause` section (causal-graph attribution of failing SLO
+/// rules). v1/v2 documents are still accepted by [`validate_report`] so
+/// committed baselines keep working across the bumps.
+pub const SCHEMA: &str = "fexiot-obs/v3";
 
-/// The previous schema identifier, still accepted on input.
+/// The previous schema identifiers, still accepted on input.
+pub const SCHEMA_V2: &str = "fexiot-obs/v2";
 pub const SCHEMA_V1: &str = "fexiot-obs/v1";
 
-/// Optional v2 report sections supplied by the run (the fleet-health
-/// telemetry bundle): already-rendered JSON for `timeseries` and `slo`.
+/// Optional report sections supplied by the run: already-rendered JSON for
+/// the fleet-health telemetry bundle (`timeseries`, `slo` — v2) and the
+/// causal root-cause attribution (`root_cause` — v3).
 #[derive(Debug, Clone, Default)]
 pub struct ReportExtras {
     pub timeseries: Option<Json>,
     pub slo: Option<Json>,
+    pub root_cause: Option<Json>,
 }
 
 impl ReportExtras {
@@ -33,6 +37,7 @@ impl ReportExtras {
         Self {
             timeseries: (!telemetry.store.is_empty()).then(|| telemetry.store.to_json()),
             slo: telemetry.slo.as_ref().map(|e| e.to_json()),
+            root_cause: None,
         }
     }
 }
@@ -172,6 +177,9 @@ pub fn to_json_with(
     if let Some(slo) = &extras.slo {
         members.push(("slo".to_string(), slo.clone()));
     }
+    if let Some(rc) = &extras.root_cause {
+        members.push(("root_cause".to_string(), rc.clone()));
+    }
     Json::Obj(members)
 }
 
@@ -215,17 +223,18 @@ pub fn write_report_with(
 }
 
 /// Validates that a JSON document is a well-formed obs report: schema
-/// `fexiot-obs/v2` or the older `fexiot-obs/v1` (identical except that v2
-/// may carry `timeseries`/`slo` sections). Returns a description of the
+/// `fexiot-obs/v3` or the older `fexiot-obs/v2` / `fexiot-obs/v1` (identical
+/// except for which optional sections may appear: v2 added
+/// `timeseries`/`slo`, v3 adds `root_cause`). Returns a description of the
 /// first problem found.
 pub fn validate_report(doc: &Json) -> Result<(), String> {
     let schema = doc
         .get("schema")
         .and_then(Json::as_str)
         .ok_or("missing string field 'schema'")?;
-    if schema != SCHEMA && schema != SCHEMA_V1 {
+    if schema != SCHEMA && schema != SCHEMA_V2 && schema != SCHEMA_V1 {
         return Err(format!(
-            "unknown schema {schema:?} (expected {SCHEMA:?} or {SCHEMA_V1:?})"
+            "unknown schema {schema:?} (expected {SCHEMA:?}, {SCHEMA_V2:?}, or {SCHEMA_V1:?})"
         ));
     }
     doc.get("run")
@@ -343,6 +352,9 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
     }
     if let Some(slo) = doc.get("slo") {
         crate::slo::validate_slo(slo)?;
+    }
+    if let Some(rc) = doc.get("root_cause") {
+        crate::causal::validate_root_cause(rc)?;
     }
     Ok(())
 }

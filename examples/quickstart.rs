@@ -58,7 +58,10 @@ fn main() {
     if obs.enabled() {
         println!();
     }
-    obs.finish_with("quickstart", None, telemetry.as_ref())
+    // No federated rounds here, so there is no causal trace to hand over;
+    // `--obs-trace` still writes a valid (empty) graph for tooling smoke
+    // tests.
+    obs.finish_full("quickstart", None, telemetry.as_ref(), None)
         .expect("export observability");
     if telemetry.is_some_and(|t| t.slo_failed()) {
         eprintln!("SLO gate failed (see verdict lines above)");
