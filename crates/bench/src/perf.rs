@@ -1,4 +1,4 @@
-//! Continuous benchmark harness: four end-to-end workloads timed with
+//! Continuous benchmark harness: six end-to-end workloads timed with
 //! wall-clock percentiles and allocation counters, exported as
 //! schema-stable `fexiot-bench/v1` JSON (see `fexiot_obs::diff`).
 //!
@@ -23,11 +23,19 @@ use std::time::Instant;
 /// Workload names, in run order. `featurize` is the corpus→featurize→fuse
 /// graph pipeline, `gnn_epoch` one contrastive training epoch, `fed_round`
 /// one federated round under fault injection, `explain` one beam-search
-/// explanation of a detection, and `registry_absorb` the obs merge path that
+/// explanation of a detection, `registry_absorb` the obs merge path that
 /// folds per-client trace registries into the global one (the hot loop of a
-/// traced federated round at fleet scale).
-pub const WORKLOADS: &[&str] =
-    &["featurize", "gnn_epoch", "fed_round", "explain", "registry_absorb"];
+/// traced federated round at fleet scale), and `stream_ingest` the
+/// streaming actor pipeline consuming one replayed fleet corpus end to end
+/// (ingest → maintain → sharded detect, `fexiot-cli serve`'s engine).
+pub const WORKLOADS: &[&str] = &[
+    "featurize",
+    "gnn_epoch",
+    "fed_round",
+    "explain",
+    "registry_absorb",
+    "stream_ingest",
+];
 
 /// Schema identifier of one line in the append-only benchmark history
 /// (`results/bench/history.jsonl`).
@@ -78,6 +86,22 @@ pub struct WorkloadReport {
     /// Aggregation topology label (`flat` or `hier:N`), for federated
     /// workloads. Also identity when present.
     pub topology: Option<String>,
+    /// Sustained throughput, for streaming workloads only.
+    pub throughput: Option<ThroughputStats>,
+}
+
+/// Throughput digest of one streaming workload run. `events` and the
+/// virtual-time `latency_p99_ticks` are deterministic data (same seed ⇒
+/// same values); `events_per_sec` is derived from the wall-clock p50 and
+/// gets the advisory timing treatment in `obs-diff`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThroughputStats {
+    /// Events consumed per rep.
+    pub events: u64,
+    /// Sustained events per second at the wall-clock p50 rep time.
+    pub events_per_sec: u64,
+    /// p99 ingest→detect latency in virtual ticks of the final rep.
+    pub latency_p99_ticks: u64,
 }
 
 /// Nearest-rank percentile summary of per-rep wall-clock times.
@@ -177,6 +201,7 @@ fn run_reps(
         collapsed: fexiot_obs::collapsed_stacks(&snap),
         clients: None,
         topology: None,
+        throughput: None,
     }
 }
 
@@ -317,6 +342,57 @@ fn registry_absorb_report(cfg: &PerfConfig) -> WorkloadReport {
     })
 }
 
+/// The streaming detection service end to end: one replayed per-home event
+/// corpus pushed through the bounded-mailbox actor pipeline (ingestor →
+/// graph maintainer → detection shards over `fexiot-par`), exactly the
+/// engine behind `fexiot-cli serve`. The fleet is generated once outside
+/// the reps; each rep re-streams the same events against fresh graph
+/// copies, so the final rep's `stream.*` counters are pure functions of
+/// the seed.
+fn stream_ingest_report(cfg: &PerfConfig) -> WorkloadReport {
+    use fexiot_stream::{replay_fleet, run_stream, FleetConfig, RuntimeDetector, StreamConfig};
+    let mut fleet_cfg = FleetConfig {
+        homes: cfg.scale.pick(8, 24),
+        home_size: 6,
+        seed: cfg.seed,
+        ..FleetConfig::default()
+    };
+    fleet_cfg.sim.duration *= cfg.scale.pick(2, 4) as u64;
+    let fleet = replay_fleet(&fleet_cfg);
+    let events = fleet.events.len() as u64;
+    let stream_cfg = StreamConfig::default();
+    let detector = RuntimeDetector::default();
+    let mut report = run_reps("stream_ingest", cfg, move || {
+        let reg = fexiot_obs::global();
+        black_box(run_stream(
+            &fleet.graphs,
+            &fleet.events,
+            &detector,
+            &stream_cfg,
+            reg,
+            None,
+        ));
+    });
+    // The final rep's registry state is still live after `run_reps`, so the
+    // deterministic virtual-time p99 gauge can be read back directly.
+    let latency_p99_ticks = fexiot_obs::global()
+        .metrics_snapshot()
+        .gauges
+        .get("stream.detect.latency_p99_ticks")
+        .copied()
+        .unwrap_or(0.0) as u64;
+    let p50 = timing_summary(&report.timings_us).p50;
+    report.throughput = Some(ThroughputStats {
+        events,
+        events_per_sec: events
+            .saturating_mul(1_000_000)
+            .checked_div(p50)
+            .unwrap_or(0),
+        latency_p99_ticks,
+    });
+    report
+}
+
 /// Runs one named workload; `None` for an unknown name.
 pub fn run_workload(name: &str, cfg: &PerfConfig) -> Option<WorkloadReport> {
     match name {
@@ -325,6 +401,7 @@ pub fn run_workload(name: &str, cfg: &PerfConfig) -> Option<WorkloadReport> {
         "fed_round" => Some(fed_round_report(cfg)),
         "explain" => Some(explain_report(cfg)),
         "registry_absorb" => Some(registry_absorb_report(cfg)),
+        "stream_ingest" => Some(stream_ingest_report(cfg)),
         _ => None,
     }
 }
@@ -359,6 +436,19 @@ pub fn to_json(report: &WorkloadReport, cfg: &PerfConfig) -> Json {
     }
     if let Some(topology) = &report.topology {
         fields.push(("topology", Json::Str(topology.clone())));
+    }
+    // Streaming workloads carry a throughput digest: deterministic event
+    // count and virtual-time p99 latency, plus the wall-clock-derived
+    // sustained rate (advisory in `obs-diff`, like `timing_us`).
+    if let Some(tp) = &report.throughput {
+        fields.push((
+            "throughput",
+            obj(vec![
+                ("events", Json::UInt(tp.events)),
+                ("events_per_sec", Json::UInt(tp.events_per_sec)),
+                ("latency_p99_ticks", Json::UInt(tp.latency_p99_ticks)),
+            ]),
+        ));
     }
     fields.extend([
         (
@@ -404,14 +494,15 @@ pub fn history_line(reports: &[WorkloadReport], cfg: &PerfConfig, unix_ts: u64) 
         .iter()
         .map(|r| {
             let t = timing_summary(&r.timings_us);
-            (
-                r.workload.to_string(),
-                Json::Obj(vec![
-                    ("p50_us".into(), Json::UInt(t.p50)),
-                    ("p90_us".into(), Json::UInt(t.p90)),
-                    ("total_us".into(), Json::UInt(t.total)),
-                ]),
-            )
+            let mut digest = vec![
+                ("p50_us".into(), Json::UInt(t.p50)),
+                ("p90_us".into(), Json::UInt(t.p90)),
+                ("total_us".into(), Json::UInt(t.total)),
+            ];
+            if let Some(tp) = &r.throughput {
+                digest.push(("events_per_sec".into(), Json::UInt(tp.events_per_sec)));
+            }
+            (r.workload.to_string(), Json::Obj(digest))
         })
         .collect();
     Json::Obj(vec![
@@ -537,6 +628,7 @@ mod tests {
             collapsed: String::new(),
             clients: None,
             topology: None,
+            throughput: None,
         };
         let cfg = PerfConfig::default();
         let doc = to_json(&report, &cfg);
@@ -589,6 +681,49 @@ mod tests {
     }
 
     #[test]
+    fn stream_ingest_workload_is_deterministic_with_throughput_digest() {
+        let cfg = PerfConfig {
+            reps: 2,
+            ..PerfConfig::default()
+        };
+        let a = stream_ingest_report(&cfg);
+        let b = stream_ingest_report(&cfg);
+        assert_eq!(a.items, b.items, "stream counters are deterministic");
+        let item = |name: &str| {
+            a.items
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("item {name}"))
+        };
+        let tp = a.throughput.expect("streaming workload carries throughput");
+        assert!(tp.events > 0);
+        assert_eq!(item("stream.ingest.events"), tp.events);
+        assert_eq!(item("stream.detect.events"), tp.events, "block policy sheds nothing");
+        assert_eq!(
+            a.throughput.map(|t| (t.events, t.latency_p99_ticks)),
+            b.throughput.map(|t| (t.events, t.latency_p99_ticks)),
+            "deterministic throughput fields agree across runs"
+        );
+        let doc = to_json(&a, &cfg);
+        validate_bench_report(&doc).expect("valid bench document");
+        assert_eq!(
+            doc.get("throughput").and_then(|t| t.get("events")).and_then(Json::as_u64),
+            Some(tp.events)
+        );
+        // The history digest carries the sustained rate for trend greps.
+        let line = history_line(std::slice::from_ref(&a), &cfg, 1);
+        let parsed = Json::parse(&line).expect("parses");
+        let eps = parsed
+            .get("workloads")
+            .and_then(|w| w.get("stream_ingest"))
+            .and_then(|d| d.get("events_per_sec"))
+            .and_then(Json::as_u64)
+            .expect("events_per_sec in history digest");
+        assert_eq!(eps, tp.events_per_sec);
+    }
+
+    #[test]
     fn history_line_is_one_parseable_json_record() {
         let report = WorkloadReport {
             workload: "featurize",
@@ -599,6 +734,7 @@ mod tests {
             collapsed: String::new(),
             clients: None,
             topology: None,
+            throughput: None,
         };
         let cfg = PerfConfig::default();
         let line = history_line(std::slice::from_ref(&report), &cfg, 1754000000);
@@ -625,6 +761,7 @@ mod tests {
             collapsed: String::new(),
             clients: None,
             topology: None,
+            throughput: None,
         }
     }
 

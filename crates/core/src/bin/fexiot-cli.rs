@@ -12,14 +12,28 @@
 //!                     [--agg-dropout P] [--agg-crash P] [--agg-straggler P]
 //!                     [--quorum F] [--deadline-ticks T]     # quorum-gated rounds
 //!                     [--checkpoint-dir DIR]         # federated run under faults
+//! fexiot-cli serve    [--replay | --input FILE] [--model MODEL]
+//!                     [--homes N] [--home-size K] [--seed S] [--sim-scale M]
+//!                     [--shards N] [--mailbox-cap C] [--overflow block|shed]
+//!                     [--ingest-rate R] [--maintain-rate R] [--detect-rate R]
+//!                     [--round-events E] [--slow-shard I] [--record FILE]
 //! ```
+//!
+//! `serve` runs the streaming detection service (`fexiot-stream`): a seeded
+//! replay fleet (or a recorded `fexiot-obs-events/v1` wire file via
+//! `--input`) streams per-home events through the bounded-mailbox actor
+//! pipeline — incremental graph maintenance, then detection shards fanned
+//! out over the thread pool. `--model` plugs the trained detector in
+//! (default: the lightweight runtime-feature detector); `--record` writes
+//! the replayed stream to a wire file; `--slow-shard` injects a slow
+//! detection shard to exercise backpressure and the streaming SLO gate.
 //!
 //! Every subcommand accepts `--threads N` to pin the deterministic parallel
 //! execution width (default: `FEXIOT_THREADS`, else the machine's available
 //! parallelism; results are bit-identical at any width — see DESIGN.md
 //! §Execution model), plus the shared observability flags (parsed by
 //! [`fexiot_obs::cli::ObsCli`]): `--obs-summary` (print the span tree and
-//! metric digests after the run), `--obs-out DIR` (write a `fexiot-obs/v2`
+//! metric digests after the run), `--obs-out DIR` (write a `fexiot-obs/v4`
 //! JSON run report under DIR), `--obs-stream FILE` (stream
 //! `fexiot-obs-events/v1` JSONL events live to FILE;
 //! `--obs-stream-timing exclude` drops wall-clock fields so same-seed
@@ -114,7 +128,7 @@ impl Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  fexiot-cli train    [--graphs N] [--seed S] [--encoder gin|gcn|magnn] --out MODEL\n  fexiot-cli eval     --model MODEL [--graphs N] [--seed S]\n  fexiot-cli detect   --model MODEL [--seed S]\n  fexiot-cli explain  --model MODEL [--seed S]\n  fexiot-cli federate [--clients N] [--rounds R] [--strategy fexiot|fedavg|fmtl|gcfl|local]\n                      [--graphs N] [--seed S] [--alpha A]\n                      [--dropout P] [--msg-loss P] [--straggler P] [--corrupt P]\n                      [--sample-frac F | --sample-k K]  (per-round cohort sampling)\n                      [--aggregators N] [--failover reassign|skip]\n                      [--agg-dropout P] [--agg-crash P] [--agg-straggler P]\n                      [--quorum F] [--deadline-ticks T]  (quorum-gated rounds)\n                      [--checkpoint-dir DIR]  (resumes from the newest checkpoint there)\n  any subcommand: [--threads N]  (parallel width; default FEXIOT_THREADS or all cores)\n                  [--obs-summary] [--obs-out DIR] [--obs-flame FILE]\n                  [--obs-stream FILE] [--obs-stream-timing include|exclude]\n                  [--obs-trace FILE] [--obs-trace-timing include|exclude]  (observability export)"
+        "usage:\n  fexiot-cli train    [--graphs N] [--seed S] [--encoder gin|gcn|magnn] --out MODEL\n  fexiot-cli eval     --model MODEL [--graphs N] [--seed S]\n  fexiot-cli detect   --model MODEL [--seed S]\n  fexiot-cli explain  --model MODEL [--seed S]\n  fexiot-cli federate [--clients N] [--rounds R] [--strategy fexiot|fedavg|fmtl|gcfl|local]\n                      [--graphs N] [--seed S] [--alpha A]\n                      [--dropout P] [--msg-loss P] [--straggler P] [--corrupt P]\n                      [--sample-frac F | --sample-k K]  (per-round cohort sampling)\n                      [--aggregators N] [--failover reassign|skip]\n                      [--agg-dropout P] [--agg-crash P] [--agg-straggler P]\n                      [--quorum F] [--deadline-ticks T]  (quorum-gated rounds)\n                      [--checkpoint-dir DIR]  (resumes from the newest checkpoint there)\n  fexiot-cli serve    [--replay | --input FILE] [--model MODEL]  (streaming detection)\n                      [--homes N] [--home-size K] [--seed S] [--sim-scale M]\n                      [--shards N] [--mailbox-cap C] [--overflow block|shed]\n                      [--ingest-rate R] [--maintain-rate R] [--detect-rate R]\n                      [--round-events E] [--slow-shard I] [--record FILE]\n  any subcommand: [--threads N]  (parallel width; default FEXIOT_THREADS or all cores)\n                  [--obs-summary] [--obs-out DIR] [--obs-flame FILE]\n                  [--obs-stream FILE] [--obs-stream-timing include|exclude]\n                  [--obs-trace FILE] [--obs-trace-timing include|exclude]  (observability export)"
     );
     ExitCode::from(2)
 }
@@ -183,13 +197,23 @@ fn main() -> ExitCode {
     // it back here for export (and for the report's root_cause section).
     let trace_run = obs.trace.is_some().then(|| run_name.clone());
     let mut trace: Option<fexiot_obs::CausalGraph> = None;
-    let code = run(&args, trace_run.as_deref(), &mut critical_path, &mut telemetry, &mut trace);
+    // Serve fills this with its run summary for the report's `stream` section.
+    let mut stream_section: Option<fexiot_obs::Json> = None;
+    let code = run(
+        &args,
+        trace_run.as_deref(),
+        &mut critical_path,
+        &mut telemetry,
+        &mut trace,
+        &mut stream_section,
+    );
 
-    if let Err(e) = obs.finish_full(
+    if let Err(e) = obs.finish_serve(
         &run_name,
         critical_path.as_deref(),
         telemetry.as_ref(),
         trace.as_ref(),
+        stream_section,
     ) {
         eprintln!("{e}");
         return ExitCode::FAILURE;
@@ -212,6 +236,7 @@ fn run(
     critical_path: &mut Option<Vec<fexiot_obs::CriticalPathEntry>>,
     telemetry: &mut Option<fexiot_obs::FleetTelemetry>,
     trace: &mut Option<fexiot_obs::CausalGraph>,
+    stream_section: &mut Option<fexiot_obs::Json>,
 ) -> ExitCode {
     match args.command.as_str() {
         "train" => {
@@ -508,8 +533,248 @@ fn run(
             *trace = sim.take_causal_trace();
             ExitCode::SUCCESS
         }
+        "serve" => serve(args, critical_path, telemetry, stream_section),
         _ => usage(),
     }
+}
+
+/// A trained encoder only consumes graphs in its input feature space: GIN
+/// and GCN need one homogeneous node dim, MAGNN one registered projection
+/// per platform. The replay fleet spans all five platforms, so check every
+/// home up front and fail cleanly instead of panicking mid-stream.
+fn model_accepts_fleet(
+    model: &FexIot,
+    graphs: &[fexiot_graph::InteractionGraph],
+) -> Result<(), String> {
+    use fexiot_gnn::Encoder;
+    let enc = &model.scorer().encoder;
+    for (home, g) in graphs.iter().enumerate() {
+        for n in &g.nodes {
+            let got = n.features.len();
+            let want = match enc {
+                Encoder::Gcn(e) => Some(e.input_dim),
+                Encoder::Gin(e) => Some(e.input_dim),
+                Encoder::Magnn(m) => m
+                    .type_dims
+                    .iter()
+                    .find(|(p, _)| *p == n.rule.platform)
+                    .map(|&(_, d)| d),
+            };
+            match want {
+                None => {
+                    return Err(format!(
+                        "home {home} has platform {:?} but the model carries no \
+                         projection for it",
+                        n.rule.platform
+                    ));
+                }
+                Some(want) if want != got => {
+                    return Err(format!(
+                        "home {home}: {:?} node feature dim {got} != model input dim {want}",
+                        n.rule.platform
+                    ));
+                }
+                Some(_) => {}
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Adapts the trained [`FexIot`] model to the streaming [`Detector`] trait.
+struct ModelDetector<'a>(&'a FexIot);
+
+impl fexiot_stream::Detector for ModelDetector<'_> {
+    fn detect(&self, graph: &fexiot_graph::InteractionGraph) -> fexiot_stream::StreamVerdict {
+        let d = self.0.detect(graph);
+        fexiot_stream::StreamVerdict {
+            vulnerable: d.vulnerable,
+            score: d.score,
+            drifting: d.drifting,
+        }
+    }
+}
+
+/// The `serve` arm: stream a replayed (or recorded) fleet through the
+/// bounded-mailbox pipeline, publishing actor telemetry to the global
+/// registry and handing the run summary back for the report's `stream`
+/// section.
+fn serve(
+    args: &Args,
+    critical_path: &mut Option<Vec<fexiot_obs::CriticalPathEntry>>,
+    telemetry: &mut Option<fexiot_obs::FleetTelemetry>,
+    stream_section: &mut Option<fexiot_obs::Json>,
+) -> ExitCode {
+    // The (homes, home-size, seed) triple defines both the offline graphs
+    // and — in the default --replay mode — the simulated event stream. A
+    // wire file from --input pairs with the triple that recorded it.
+    let seed = args.get_u64("seed", 42);
+    let mut fleet_cfg = fexiot_stream::FleetConfig {
+        homes: args.get_usize("homes", 6).max(1),
+        home_size: args.get_usize("home-size", 6).max(1),
+        seed,
+        ..fexiot_stream::FleetConfig::default()
+    };
+    fleet_cfg.sim.duration *= args.get_u64("sim-scale", 1).max(1);
+    let fleet = fexiot_stream::replay_fleet(&fleet_cfg);
+
+    let wire_events;
+    let events: &[fexiot_stream::HomeEvent] = match args.get("input") {
+        None => &fleet.events,
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read wire file {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match fexiot_stream::parse_wire(&text) {
+                Ok((_, events)) => {
+                    wire_events = events;
+                    &wire_events
+                }
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    };
+    if let Some(bad) = events.iter().find(|e| e.home >= fleet.graphs.len()) {
+        eprintln!(
+            "serve: event for home {} but the fleet has {} homes \
+             (--homes/--home-size/--seed must match the recording)",
+            bad.home,
+            fleet.graphs.len()
+        );
+        return ExitCode::FAILURE;
+    }
+    if let Some(path) = args.get("record") {
+        if let Err(e) = std::fs::write(path, fexiot_stream::write_wire("cli-serve", events)) {
+            eprintln!("cannot write wire recording {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("recorded {} events to {path}", events.len());
+    }
+
+    let Some(overflow) = fexiot_stream::Overflow::parse(args.get("overflow").unwrap_or("block"))
+    else {
+        eprintln!("--overflow must be 'block' or 'shed'");
+        return usage();
+    };
+    let defaults = fexiot_stream::StreamConfig::default();
+    let cfg = fexiot_stream::StreamConfig {
+        shards: args.get_usize("shards", defaults.shards).max(1),
+        mailbox_cap: args.get_usize("mailbox-cap", defaults.mailbox_cap).max(1),
+        overflow,
+        ingest_rate: args.get_usize("ingest-rate", defaults.ingest_rate).max(1),
+        maintain_rate: args.get_usize("maintain-rate", defaults.maintain_rate).max(1),
+        detect_rate: args.get_usize("detect-rate", defaults.detect_rate).max(1),
+        round_events: args.get_usize("round-events", defaults.round_events).max(1),
+        slow_shard: args.get("slow-shard").and_then(|v| v.parse().ok()),
+    };
+
+    // Streaming telemetry specs: p99 virtual-time latency, shed deltas, and
+    // per-round throughput — the series slo-stream.toml rules evaluate.
+    if let Some(tel) = telemetry.as_mut() {
+        for spec in [
+            fexiot_obs::SampleSpec::HistQuantile {
+                name: "stream.detect.latency_ticks".into(),
+                q: 0.99,
+            },
+            fexiot_obs::SampleSpec::CounterDelta("stream.mailbox.shed".into()),
+            fexiot_obs::SampleSpec::Gauge("stream.ingest.events_per_round".into()),
+        ] {
+            if let Err(e) = tel.store.add_spec(spec) {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let model = match args.get("model") {
+        None => None,
+        Some(_) => match load_model(args) {
+            Ok(m) => Some(m),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    if let Some(m) = &model {
+        if let Err(e) = model_accepts_fleet(m, &fleet.graphs) {
+            eprintln!(
+                "serve: --model cannot score this fleet ({e}); the replay fleet is \
+                 five-platform heterogeneous, so train with `--encoder magnn`, or \
+                 drop --model to use the runtime detector"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    println!(
+        "serving {} homes · {} events ({}) · {} shard(s) · mailboxes cap {} policy {} · detector {}",
+        fleet.graphs.len(),
+        events.len(),
+        if args.get("input").is_some() {
+            "wire replay"
+        } else {
+            "seeded replay"
+        },
+        cfg.shards,
+        cfg.mailbox_cap,
+        overflow.name(),
+        if model.is_some() { "trained model" } else { "runtime features" },
+    );
+
+    let reg = std::sync::Arc::clone(fexiot_obs::global());
+    let t0 = std::time::Instant::now();
+    let out = match &model {
+        Some(m) => fexiot_stream::run_stream(
+            &fleet.graphs,
+            events,
+            &ModelDetector(m),
+            &cfg,
+            &reg,
+            telemetry.as_mut(),
+        ),
+        None => fexiot_stream::run_stream(
+            &fleet.graphs,
+            events,
+            &fexiot_stream::RuntimeDetector::default(),
+            &cfg,
+            &reg,
+            telemetry.as_mut(),
+        ),
+    };
+    // Wall-clock throughput is advisory-only (timing-suffixed, so excluded
+    // from every determinism-checked surface).
+    let secs = t0.elapsed().as_secs_f64();
+    if secs > 0.0 {
+        reg.gauge_set(
+            "stream.ingest.events_per_sec",
+            out.stats.events as f64 / secs,
+        );
+    }
+
+    let s = &out.stats;
+    println!(
+        "stream done: {} events → {} detected ({} vulnerable, {} drifting), {} shed · {} rounds / {} ticks · {} stall ticks",
+        s.events, s.detected, s.vulnerable, s.drifting, s.shed, s.rounds, s.ticks, s.stall_ticks
+    );
+    for a in &s.actors {
+        println!(
+            "  actor {:<9} cap {:>4} ({}): in {:>6}  out {:>6}  shed {:>5}  stalls {:>5}  max depth {:>3}",
+            a.name, a.capacity, a.policy, a.enqueued, a.dequeued, a.shed, a.stall_ticks, a.max_depth
+        );
+    }
+    println!("detections digest fnv1a:{:016x}", s.digest);
+
+    *stream_section = Some(s.to_json());
+    *critical_path = Some(out.critical_path);
+    ExitCode::SUCCESS
 }
 
 /// Newest `round-*.ck` file in `dir` (lexicographic order matches round

@@ -261,6 +261,20 @@ impl ObsCli {
         telemetry: Option<&FleetTelemetry>,
         trace: Option<&crate::causal::CausalGraph>,
     ) -> Result<(), String> {
+        self.finish_serve(run, critical_path, telemetry, trace, None)
+    }
+
+    /// [`ObsCli::finish_full`] plus the streaming-service summary: when the
+    /// serving pipeline supplies its rendered stats, the report (if
+    /// requested) carries them as the v4 `stream` section.
+    pub fn finish_serve(
+        &self,
+        run: &str,
+        critical_path: Option<&[CriticalPathEntry]>,
+        telemetry: Option<&FleetTelemetry>,
+        trace: Option<&crate::causal::CausalGraph>,
+        stream_section: Option<crate::json::Json>,
+    ) -> Result<(), String> {
         if !self.enabled() {
             return Ok(());
         }
@@ -304,6 +318,7 @@ impl ObsCli {
                     &crate::causal::root_cause(graph, engine),
                 ));
             }
+            extras.stream = stream_section;
             let path = crate::report::write_report_with(dir, run, &snap, critical_path, &extras)
                 .map_err(|e| format!("cannot write obs report under {}: {e}", dir.display()))?;
             println!("obs report written to {}", path.display());

@@ -1,4 +1,4 @@
-//! Comparison of two obs run reports (`fexiot-obs/v3`, or the older v2/v1):
+//! Comparison of two obs run reports (`fexiot-obs/v4`, or the older v1–v3):
 //! the engine behind the `obs-diff` binary and the CI regression gate.
 //!
 //! Severity model follows the determinism rule: everything except wall-clock
@@ -28,7 +28,7 @@ pub enum Severity {
 pub struct Finding {
     pub severity: Severity,
     /// What kind of data drifted: `counter`, `gauge`, `histogram`, `span`,
-    /// `timing`, `critical_path`, `section`, or `report`.
+    /// `timing`, `critical_path`, `section`, `throughput`, or `report`.
     pub kind: &'static str,
     /// Dotted location, e.g. `counters.fed.sim.participants`.
     pub path: String,
@@ -426,6 +426,29 @@ pub fn diff_reports(baseline: &Json, current: &Json, cfg: &DiffConfig) -> DiffRe
         ),
     }
 
+    match (baseline.get("stream"), current.get("stream")) {
+        (None, None) => {}
+        (Some(a), Some(b)) => {
+            if a != b {
+                let what = if a.get("detections_digest") != b.get("detections_digest") {
+                    "streaming detection outputs changed (digest mismatch)"
+                } else {
+                    "streaming actor stats changed"
+                };
+                out.push(Severity::Breaking, "stream", "stream".into(), what.into());
+            }
+        }
+        (a, _) => out.push(
+            Severity::Advisory,
+            "stream",
+            "stream".into(),
+            format!(
+                "section {} (pre-v4 baseline or serve flag change)",
+                if a.is_some() { "disappeared" } else { "appeared" }
+            ),
+        ),
+    }
+
     // Sections this engine has no dedicated comparison for (v3's
     // `root_cause`, and whatever later schemas add): a one-sided appearance
     // is the expected old-baseline-vs-new-report situation — advisory,
@@ -443,6 +466,7 @@ pub fn diff_reports(baseline: &Json, current: &Json, cfg: &DiffConfig) -> DiffRe
         "critical_path",
         "timeseries",
         "slo",
+        "stream",
     ];
     let unknown = |doc: &Json| -> Vec<(String, Json)> {
         match doc {
@@ -576,6 +600,15 @@ pub fn validate_bench_report(doc: &Json) -> Result<(), String> {
     }
     if let Some(v) = doc.get("topology") {
         v.as_str().ok_or("'topology' must be a string when present")?;
+    }
+    // Optional throughput digest (streaming workloads only): typed when
+    // present, absent otherwise.
+    if let Some(tp) = doc.get("throughput") {
+        for field in ["events", "events_per_sec", "latency_p99_ticks"] {
+            if tp.get(field).and_then(Json::as_u64).is_none() {
+                return Err(format!("throughput missing integer field '{field}'"));
+            }
+        }
     }
     match doc.get("items") {
         Some(Json::Obj(members)) => {
@@ -728,6 +761,57 @@ pub fn diff_bench_reports(baseline: &Json, current: &Json, cfg: &DiffConfig) -> 
         (false, false) => {}
     }
 
+    // Streaming throughput: the event count and virtual-time p99 latency
+    // are deterministic data (breaking on drift); the wall-clock-derived
+    // sustained rate gets the advisory timing treatment. One-sided presence
+    // is advisory — the baseline may simply predate the streaming workload.
+    let tp = |doc: &Json, f: &str| {
+        doc.get("throughput").and_then(|t| t.get(f)).and_then(Json::as_u64)
+    };
+    match (baseline.get("throughput").is_some(), current.get("throughput").is_some()) {
+        (true, true) => {
+            for field in ["events", "latency_p99_ticks"] {
+                let (a, b) = (tp(baseline, field), tp(current, field));
+                if a != b {
+                    out.push(
+                        Severity::Breaking,
+                        "throughput",
+                        format!("throughput.{field}"),
+                        format!(
+                            "{} -> {} (deterministic streaming data)",
+                            a.unwrap_or(0),
+                            b.unwrap_or(0)
+                        ),
+                    );
+                }
+            }
+            if let (Some(ra), Some(rb)) = (
+                tp(baseline, "events_per_sec"),
+                tp(current, "events_per_sec"),
+            ) {
+                if ra > 0 && (rb as f64) < ra as f64 * (1.0 - cfg.timing_tolerance) {
+                    out.push(
+                        timing_sev,
+                        "timing",
+                        "throughput.events_per_sec".into(),
+                        format!(
+                            "{ra}/s -> {rb}/s ({:.0}%, tolerance {:.0}%)",
+                            (rb as f64 / ra as f64 - 1.0) * 100.0,
+                            cfg.timing_tolerance * 100.0
+                        ),
+                    );
+                }
+            }
+        }
+        (true, false) | (false, true) => out.push(
+            Severity::Advisory,
+            "throughput",
+            "throughput".into(),
+            "only one run carries a streaming throughput digest; not compared".into(),
+        ),
+        (false, false) => {}
+    }
+
     let p50 = |doc: &Json| {
         doc.get("timing_us").and_then(|t| t.get("p50")).and_then(Json::as_u64)
     };
@@ -874,6 +958,58 @@ mod tests {
         assert_eq!(d.findings[0].path, "root_cause");
     }
 
+    /// A v4 report: same shape as [`report_v2`] plus a `stream` section.
+    fn report_v4(counter: u64, digest: &str, shed: u64) -> Json {
+        let mut doc = report_v2(counter, "[2,2]", false);
+        if let Json::Obj(members) = &mut doc {
+            members[0].1 = Json::Str("fexiot-obs/v4".into());
+            members.push((
+                "stream".into(),
+                Json::parse(&format!(
+                    r#"{{"events":10,"detected":10,"vulnerable":2,"drifting":0,"shed":{shed},"stall_ticks":0,"rounds":1,"ticks":5,"detections_digest":"fnv1a:{digest}","actors":[{{"name":"maintain","capacity":32,"policy":"block","enqueued":10,"dequeued":10,"shed":0,"stall_ticks":0,"max_depth":3}}]}}"#
+                ))
+                .expect("valid section"),
+            ));
+        }
+        doc
+    }
+
+    #[test]
+    fn v2_baseline_diffs_cleanly_against_v4_stream_report() {
+        // The pre-v4 compatibility contract: a baseline without the `stream`
+        // section vs a streaming report yields an advisory finding only.
+        let v2 = report_v2(3, "[2,2]", false);
+        let v4 = report_v4(3, "00000000deadbeef", 0);
+        crate::report::validate_report(&v4).expect("v4 validates");
+        let d = diff_reports(&v2, &v4, &DiffConfig::default());
+        assert!(d.passed(), "{}", d.render());
+        assert_eq!(d.advisory(), 1, "{}", d.render()); // stream appeared
+        assert_eq!(d.findings[0].kind, "stream");
+        let d = diff_reports(&v4, &v2, &DiffConfig::default());
+        assert!(d.passed(), "{}", d.render());
+        // Both sides carrying the section compare exactly — detection-output
+        // drift names the digest, other drift names the actor stats.
+        let d = diff_reports(
+            &report_v4(3, "00000000deadbeef", 0),
+            &report_v4(3, "00000000cafef00d", 0),
+            &DiffConfig::default(),
+        );
+        assert!(!d.passed(), "{}", d.render());
+        assert_eq!(d.findings[0].kind, "stream");
+        assert!(d.findings[0].message.contains("digest"), "{}", d.render());
+        let d = diff_reports(
+            &report_v4(3, "00000000deadbeef", 0),
+            &report_v4(3, "00000000deadbeef", 4),
+            &DiffConfig::default(),
+        );
+        assert!(!d.passed(), "{}", d.render());
+        assert!(
+            d.findings[0].message.contains("actor stats"),
+            "{}",
+            d.render()
+        );
+    }
+
     #[test]
     fn timeseries_and_slo_drift_between_v2_reports_is_breaking() {
         let base = report_v2(3, "[2,2]", false);
@@ -983,6 +1119,52 @@ mod tests {
         let mut bad = bench(42, 150, 0, false, 5000);
         if let Json::Obj(members) = &mut bad {
             members.push(("clients".into(), Json::Str("many".into())));
+        }
+        assert!(validate_bench_report(&bad).is_err());
+    }
+
+    #[test]
+    fn bench_throughput_mixes_deterministic_and_advisory_severities() {
+        let with_tp = |events: u64, eps: u64, p99: u64| {
+            let mut doc = bench(42, 150, 0, false, 5000);
+            if let Json::Obj(members) = &mut doc {
+                members.push((
+                    "throughput".into(),
+                    Json::Obj(vec![
+                        ("events".into(), Json::UInt(events)),
+                        ("events_per_sec".into(), Json::UInt(eps)),
+                        ("latency_p99_ticks".into(), Json::UInt(p99)),
+                    ]),
+                ));
+            }
+            doc
+        };
+        let cfg = DiffConfig::default();
+        let a = with_tp(240, 50_000, 1);
+        validate_bench_report(&a).expect("throughput fields are valid");
+        // Identical digests: clean pass.
+        let d = diff_bench_reports(&a, &with_tp(240, 50_000, 1), &cfg);
+        assert!(d.passed() && d.findings.is_empty(), "{}", d.render());
+        // Event count and virtual-time p99 are deterministic: breaking.
+        let d = diff_bench_reports(&a, &with_tp(239, 50_000, 1), &cfg);
+        assert!(!d.passed());
+        assert_eq!(d.findings[0].path, "throughput.events");
+        let d = diff_bench_reports(&a, &with_tp(240, 50_000, 9), &cfg);
+        assert!(!d.passed());
+        assert_eq!(d.findings[0].path, "throughput.latency_p99_ticks");
+        // A sustained-rate collapse past tolerance is advisory wall-clock.
+        let d = diff_bench_reports(&a, &with_tp(240, 10_000, 1), &cfg);
+        assert!(d.passed(), "{}", d.render());
+        assert_eq!(d.findings[0].path, "throughput.events_per_sec");
+        assert_eq!(d.findings[0].severity, Severity::Advisory);
+        // One-sided presence (pre-streaming baseline): advisory only.
+        let d = diff_bench_reports(&bench(42, 150, 0, false, 5000), &a, &cfg);
+        assert!(d.passed(), "{}", d.render());
+        assert_eq!(d.findings[0].kind, "throughput");
+        // A malformed throughput field is rejected up front.
+        let mut bad = bench(42, 150, 0, false, 5000);
+        if let Json::Obj(members) = &mut bad {
+            members.push(("throughput".into(), Json::Obj(vec![])));
         }
         assert!(validate_bench_report(&bad).is_err());
     }

@@ -329,6 +329,9 @@ pub struct WatchState {
     /// Newest `slo_top_cause[kind]` mark: the root-cause engine's dominant
     /// fault kind for the failing rules (causal tracing on).
     pub top_cause: Option<String>,
+    /// Newest `stream_backpressure[cause]` mark: the streaming service's
+    /// dominant congested edge last round (`none` when the round was clean).
+    pub stream_cause: Option<String>,
 }
 
 impl WatchState {
@@ -376,6 +379,11 @@ impl WatchState {
                     .and_then(|r| r.strip_suffix(']'))
                 {
                     self.top_cause = Some(cause.to_string());
+                } else if let Some(cause) = name
+                    .strip_prefix("stream_backpressure[")
+                    .and_then(|r| r.strip_suffix(']'))
+                {
+                    self.stream_cause = Some(cause.to_string());
                 }
             }
             Event::Counter { name, total, .. } => {
@@ -413,22 +421,51 @@ impl WatchState {
             }
         }
         let d = |name: &str| self.round_delta(name);
-        let _ = writeln!(
-            out,
-            "cohort: sampled {}  participants {}  dropped {}  quarantined {}",
-            d("fed.sim.sampled"),
-            d("fed.sim.participants"),
-            d("fed.sim.dropped"),
-            d("fed.sim.quarantined"),
-        );
-        let _ = writeln!(
-            out,
-            "aggregators: down {}  reassigned {}  quorum aborts {}  deadline misses {}",
-            d("fed.agg.down"),
-            d("fed.agg.reassigned"),
-            d("fed.agg.quorum_aborts"),
-            d("fed.agg.deadline_missed"),
-        );
+        // Streaming lanes only make sense for serve streams, federated lanes
+        // for trainer streams; a stream carrying neither keeps the federated
+        // layout (the zeros are then the honest picture).
+        let has_stream = self.counters.keys().any(|k| k.starts_with("stream."));
+        let has_fed = self.counters.keys().any(|k| k.starts_with("fed."));
+        if has_fed || !has_stream {
+            let _ = writeln!(
+                out,
+                "cohort: sampled {}  participants {}  dropped {}  quarantined {}",
+                d("fed.sim.sampled"),
+                d("fed.sim.participants"),
+                d("fed.sim.dropped"),
+                d("fed.sim.quarantined"),
+            );
+            let _ = writeln!(
+                out,
+                "aggregators: down {}  reassigned {}  quorum aborts {}  deadline misses {}",
+                d("fed.agg.down"),
+                d("fed.agg.reassigned"),
+                d("fed.agg.quorum_aborts"),
+                d("fed.agg.deadline_missed"),
+            );
+        }
+        if has_stream {
+            let _ = writeln!(
+                out,
+                "stream (round): ingested {}  detected {}  shed {}",
+                d("stream.ingest.events"),
+                d("stream.detect.events"),
+                d("stream.mailbox.shed"),
+            );
+            let depth = self
+                .gauges
+                .get("stream.actor.mailbox_depth")
+                .copied()
+                .unwrap_or(0.0);
+            let mut lane = format!("mailboxes: depth max {}", depth as u64);
+            if let Some(p99) = self.gauges.get("stream.detect.latency_p99_ticks") {
+                let _ = write!(lane, "  p99 latency {p99:.1} ticks");
+            }
+            if let Some(cause) = &self.stream_cause {
+                let _ = write!(lane, "  backpressure {cause}");
+            }
+            let _ = writeln!(out, "{lane}");
+        }
         if let Some(margin) = self.gauges.get("fed.round.quorum_margin") {
             let _ = writeln!(out, "quorum margin: {margin:+.3} (weight above threshold)");
         }
@@ -444,16 +481,22 @@ impl WatchState {
                     let _ = writeln!(out, "SLO: {n} failing");
                 }
             },
-            None => {}
+            None => {
+                // No `slo_failing` marks means no SLO engine was attached —
+                // say so instead of silently rendering nothing.
+                let _ = writeln!(out, "SLO: no rules loaded");
+            }
         }
-        let _ = writeln!(
-            out,
-            "attribution: stale accepted {}  retries {}  lost msgs {}  backoff ticks {}",
-            d("fed.sim.stale_accepted"),
-            d("fed.sim.retried_messages"),
-            d("fed.sim.lost_messages"),
-            d("fed.sim.backoff_ticks"),
-        );
+        if has_fed || !has_stream {
+            let _ = writeln!(
+                out,
+                "attribution: stale accepted {}  retries {}  lost msgs {}  backoff ticks {}",
+                d("fed.sim.stale_accepted"),
+                d("fed.sim.retried_messages"),
+                d("fed.sim.lost_messages"),
+                d("fed.sim.backoff_ticks"),
+            );
+        }
         if let Some(loss) = self.gauges.get("fed.sim.mean_loss") {
             let _ = writeln!(out, "mean loss {loss:.4}");
         }

@@ -9,24 +9,28 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Schema identifier written into every report (bump on breaking changes).
-/// v2 added the optional `timeseries` and `slo` sections; v3 adds the
+/// v2 added the optional `timeseries` and `slo` sections; v3 added the
 /// optional `root_cause` section (causal-graph attribution of failing SLO
-/// rules). v1/v2 documents are still accepted by [`validate_report`] so
-/// committed baselines keep working across the bumps.
-pub const SCHEMA: &str = "fexiot-obs/v3";
+/// rules); v4 adds the optional `stream` section (streaming-service actor
+/// stats and detection digest). v1/v2/v3 documents are still accepted by
+/// [`validate_report`] so committed baselines keep working across the bumps.
+pub const SCHEMA: &str = "fexiot-obs/v4";
 
 /// The previous schema identifiers, still accepted on input.
+pub const SCHEMA_V3: &str = "fexiot-obs/v3";
 pub const SCHEMA_V2: &str = "fexiot-obs/v2";
 pub const SCHEMA_V1: &str = "fexiot-obs/v1";
 
 /// Optional report sections supplied by the run: already-rendered JSON for
-/// the fleet-health telemetry bundle (`timeseries`, `slo` — v2) and the
-/// causal root-cause attribution (`root_cause` — v3).
+/// the fleet-health telemetry bundle (`timeseries`, `slo` — v2), the causal
+/// root-cause attribution (`root_cause` — v3), and the streaming-service
+/// summary (`stream` — v4).
 #[derive(Debug, Clone, Default)]
 pub struct ReportExtras {
     pub timeseries: Option<Json>,
     pub slo: Option<Json>,
     pub root_cause: Option<Json>,
+    pub stream: Option<Json>,
 }
 
 impl ReportExtras {
@@ -38,6 +42,7 @@ impl ReportExtras {
             timeseries: (!telemetry.store.is_empty()).then(|| telemetry.store.to_json()),
             slo: telemetry.slo.as_ref().map(|e| e.to_json()),
             root_cause: None,
+            stream: None,
         }
     }
 }
@@ -180,6 +185,9 @@ pub fn to_json_with(
     if let Some(rc) = &extras.root_cause {
         members.push(("root_cause".to_string(), rc.clone()));
     }
+    if let Some(st) = &extras.stream {
+        members.push(("stream".to_string(), st.clone()));
+    }
     Json::Obj(members)
 }
 
@@ -223,18 +231,18 @@ pub fn write_report_with(
 }
 
 /// Validates that a JSON document is a well-formed obs report: schema
-/// `fexiot-obs/v3` or the older `fexiot-obs/v2` / `fexiot-obs/v1` (identical
-/// except for which optional sections may appear: v2 added
-/// `timeseries`/`slo`, v3 adds `root_cause`). Returns a description of the
-/// first problem found.
+/// `fexiot-obs/v4` or an older `fexiot-obs/v1`..`v3` (identical except for
+/// which optional sections may appear: v2 added `timeseries`/`slo`, v3 added
+/// `root_cause`, v4 adds `stream`). Returns a description of the first
+/// problem found.
 pub fn validate_report(doc: &Json) -> Result<(), String> {
     let schema = doc
         .get("schema")
         .and_then(Json::as_str)
         .ok_or("missing string field 'schema'")?;
-    if schema != SCHEMA && schema != SCHEMA_V2 && schema != SCHEMA_V1 {
+    if schema != SCHEMA && schema != SCHEMA_V3 && schema != SCHEMA_V2 && schema != SCHEMA_V1 {
         return Err(format!(
-            "unknown schema {schema:?} (expected {SCHEMA:?}, {SCHEMA_V2:?}, or {SCHEMA_V1:?})"
+            "unknown schema {schema:?} (expected {SCHEMA:?} or an older fexiot-obs/v1..v3)"
         ));
     }
     doc.get("run")
@@ -355,6 +363,55 @@ pub fn validate_report(doc: &Json) -> Result<(), String> {
     }
     if let Some(rc) = doc.get("root_cause") {
         crate::causal::validate_root_cause(rc)?;
+    }
+    if let Some(st) = doc.get("stream") {
+        validate_stream_section(st)?;
+    }
+    Ok(())
+}
+
+/// Validates the v4 `stream` section: the streaming service's run summary
+/// (whole-run totals, the detection digest, and per-actor mailbox stats).
+fn validate_stream_section(st: &Json) -> Result<(), String> {
+    for field in [
+        "events",
+        "detected",
+        "vulnerable",
+        "drifting",
+        "shed",
+        "stall_ticks",
+        "rounds",
+        "ticks",
+    ] {
+        if st.get(field).and_then(Json::as_u64).is_none() {
+            return Err(format!("stream section missing integer '{field}'"));
+        }
+    }
+    st.get("detections_digest")
+        .and_then(Json::as_str)
+        .ok_or("stream section missing string 'detections_digest'")?;
+    let actors = st
+        .get("actors")
+        .and_then(Json::as_arr)
+        .ok_or("stream section missing array 'actors'")?;
+    for (i, a) in actors.iter().enumerate() {
+        for field in ["name", "policy"] {
+            if a.get(field).and_then(Json::as_str).is_none() {
+                return Err(format!("stream actors[{i}] missing string '{field}'"));
+            }
+        }
+        for field in [
+            "capacity",
+            "enqueued",
+            "dequeued",
+            "shed",
+            "stall_ticks",
+            "max_depth",
+        ] {
+            if a.get(field).and_then(Json::as_u64).is_none() {
+                return Err(format!("stream actors[{i}] missing integer '{field}'"));
+            }
+        }
     }
     Ok(())
 }

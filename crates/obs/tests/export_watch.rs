@@ -107,3 +107,50 @@ fn watch_once_clears_top_cause_when_rules_recover() {
     assert!(!frame.contains("top cause"), "{frame}");
     std::fs::remove_dir_all(path.parent().unwrap()).ok();
 }
+
+#[test]
+fn watch_once_banners_when_no_slo_rules_loaded() {
+    // A stream with no `slo_failing` marks (no SLO engine attached) must say
+    // so explicitly instead of rendering an empty verdict area.
+    let path = temp_stream("noslo");
+    let frame = watch_once(&path, |reg| {
+        reg.mark("round[0]");
+        reg.counter_add("fed.sim.participants", 4);
+    });
+    assert!(frame.contains("SLO: no rules loaded"), "{frame}");
+    assert!(!frame.contains("all rules passing"), "{frame}");
+    std::fs::remove_dir_all(path.parent().unwrap()).ok();
+}
+
+#[test]
+fn watch_once_renders_streaming_lanes_for_serve_streams() {
+    let path = temp_stream("stream");
+    let frame = watch_once(&path, |reg| {
+        reg.mark("round[0]");
+        reg.counter_add("stream.ingest.events", 64);
+        reg.counter_add("stream.detect.events", 60);
+        reg.counter_add("stream.mailbox.shed", 3);
+        reg.gauge_set("stream.actor.mailbox_depth", 7.0);
+        reg.gauge_set("stream.detect.latency_p99_ticks", 5.0);
+        reg.mark("slo_failing[1]");
+        reg.mark("stream_backpressure[shard[1]]");
+        // Round 1 deltas are what the frame shows.
+        reg.mark("round[1]");
+        reg.counter_add("stream.ingest.events", 10);
+        reg.counter_add("stream.detect.events", 8);
+        reg.counter_add("stream.mailbox.shed", 1);
+    });
+    assert!(
+        frame.contains("stream (round): ingested 10  detected 8  shed 1"),
+        "{frame}"
+    );
+    assert!(
+        frame.contains("mailboxes: depth max 7  p99 latency 5.0 ticks  backpressure shard[1]"),
+        "{frame}"
+    );
+    assert!(frame.contains("SLO: 1 failing"), "{frame}");
+    // A serve stream carries no federated metrics: those lanes are omitted.
+    assert!(!frame.contains("cohort:"), "{frame}");
+    assert!(!frame.contains("aggregators:"), "{frame}");
+    std::fs::remove_dir_all(path.parent().unwrap()).ok();
+}

@@ -1,0 +1,209 @@
+//! The per-home event wire protocol.
+//!
+//! Streams of home events travel as `fexiot-obs-events/v1` JSONL — the same
+//! schema the registry's live sink emits — so the serving path needs no new
+//! transport: a header line, then one `mark` event per home event whose name
+//! encodes the payload:
+//!
+//! ```text
+//! stream.ev home=3 t=1742 kind=Light loc=Kitchen active=1 state=on
+//! ```
+//!
+//! `state` comes last because cleaned state words may contain spaces; every
+//! other field is a single token. Device kinds and locations round-trip via
+//! their stable `Debug` names (looked up against the exhaustive
+//! [`DeviceKind::ACTUATORS`]/[`DeviceKind::SENSORS`] and [`Location::ALL`]
+//! tables), so a recorded stream replays to the byte on any build.
+
+use fexiot_graph::events::CleanEvent;
+use fexiot_graph::{Device, DeviceKind, Location};
+use fexiot_obs::stream::{header_line, event_to_line, parse_stream};
+use fexiot_obs::{Event, EventRecord};
+
+/// One wire message: a cleaned device event attributed to a home.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HomeEvent {
+    pub home: usize,
+    pub event: CleanEvent,
+}
+
+/// Prefix of every event mark on the wire.
+const MARK_PREFIX: &str = "stream.ev ";
+
+fn kind_by_name(name: &str) -> Option<DeviceKind> {
+    DeviceKind::ACTUATORS
+        .iter()
+        .chain(DeviceKind::SENSORS.iter())
+        .copied()
+        .find(|k| format!("{k:?}") == name)
+}
+
+fn location_by_name(name: &str) -> Option<Location> {
+    Location::ALL.iter().copied().find(|l| format!("{l:?}") == name)
+}
+
+/// Encodes one home event as the mark name carried on the wire.
+pub fn encode_mark(ev: &HomeEvent) -> String {
+    format!(
+        "{MARK_PREFIX}home={} t={} kind={:?} loc={:?} active={} state={}",
+        ev.home,
+        ev.event.time,
+        ev.event.device.kind,
+        ev.event.device.location,
+        u8::from(ev.event.active),
+        ev.event.state,
+    )
+}
+
+/// Decodes a mark name back into a [`HomeEvent`]. Returns `None` for marks
+/// that are not wire events (streams may interleave other marks).
+pub fn decode_mark(name: &str) -> Option<HomeEvent> {
+    let rest = name.strip_prefix(MARK_PREFIX)?;
+    let mut home = None;
+    let mut time = None;
+    let mut kind = None;
+    let mut loc = None;
+    let mut active = None;
+    let mut cursor = rest;
+    let state = loop {
+        let (token, tail) = match cursor.split_once(' ') {
+            Some((tok, tail)) => (tok, tail),
+            None => (cursor, ""),
+        };
+        let (key, value) = token.split_once('=')?;
+        match key {
+            "home" => home = value.parse::<usize>().ok(),
+            "t" => time = value.parse::<u64>().ok(),
+            "kind" => kind = kind_by_name(value),
+            "loc" => loc = location_by_name(value),
+            "active" => {
+                active = match value {
+                    "0" => Some(false),
+                    "1" => Some(true),
+                    _ => None,
+                }
+            }
+            // `state` is the final field and owns the rest of the line.
+            "state" => break format!("{value}{}{tail}", if tail.is_empty() { "" } else { " " }),
+            _ => return None,
+        }
+        if tail.is_empty() {
+            return None; // ran out of tokens before `state`
+        }
+        cursor = tail;
+    };
+    Some(HomeEvent {
+        home: home?,
+        event: CleanEvent {
+            time: time?,
+            device: Device::new(kind?, loc?),
+            state,
+            active: active?,
+        },
+    })
+}
+
+/// Serializes a full wire stream (header + one mark line per event).
+pub fn write_wire(run: &str, events: &[HomeEvent]) -> String {
+    let mut out = header_line(run);
+    out.push('\n');
+    for (i, ev) in events.iter().enumerate() {
+        let rec = EventRecord {
+            seq: i as u64 + 1,
+            event: Event::Mark {
+                name: encode_mark(ev),
+            },
+        };
+        // Marks are never timing-suppressed, so the line always exists.
+        out.push_str(&event_to_line(&rec, false).expect("marks are never suppressed"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a wire stream, returning the run name and the events in order.
+/// Non-event lines (other marks, counters) are skipped; a `stream.ev` mark
+/// that fails to decode is an error.
+pub fn parse_wire(text: &str) -> Result<(String, Vec<HomeEvent>), String> {
+    let (run, records) = parse_stream(text)?;
+    let mut events = Vec::new();
+    for rec in &records {
+        if let Event::Mark { name } = &rec.event {
+            if name.starts_with(MARK_PREFIX) {
+                match decode_mark(name) {
+                    Some(ev) => events.push(ev),
+                    None => return Err(format!("seq {}: malformed wire event {name:?}", rec.seq)),
+                }
+            }
+        }
+    }
+    Ok((run, events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(home: usize, time: u64, kind: DeviceKind, loc: Location, active: bool) -> HomeEvent {
+        let (on, off) = kind.state_words();
+        HomeEvent {
+            home,
+            event: CleanEvent {
+                time,
+                device: Device::new(kind, loc),
+                state: if active { on } else { off }.to_string(),
+                active,
+            },
+        }
+    }
+
+    #[test]
+    fn mark_round_trips() {
+        let ev = sample(3, 1742, DeviceKind::Light, Location::Kitchen, true);
+        assert_eq!(decode_mark(&encode_mark(&ev)), Some(ev));
+    }
+
+    #[test]
+    fn state_with_spaces_round_trips() {
+        let mut ev = sample(0, 9, DeviceKind::MotionSensor, Location::Garage, false);
+        ev.event.state = "no motion detected".to_string();
+        assert_eq!(decode_mark(&encode_mark(&ev)), Some(ev));
+    }
+
+    #[test]
+    fn every_kind_and_location_round_trips() {
+        for kind in DeviceKind::ACTUATORS.iter().chain(DeviceKind::SENSORS.iter()) {
+            for loc in Location::ALL {
+                let ev = sample(1, 5, *kind, loc, true);
+                assert_eq!(decode_mark(&encode_mark(&ev)), Some(ev), "{kind:?}@{loc:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn wire_file_round_trips() {
+        let events = vec![
+            sample(0, 10, DeviceKind::Light, Location::Kitchen, true),
+            sample(1, 12, DeviceKind::SmokeDetector, Location::Hallway, false),
+            sample(0, 14, DeviceKind::Thermostat, Location::Bedroom, true),
+        ];
+        let text = write_wire("wire-test", &events);
+        let (run, parsed) = parse_wire(&text).expect("parse");
+        assert_eq!(run, "wire-test");
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn foreign_marks_are_skipped_and_bad_events_rejected() {
+        let mut text = header_line("x");
+        text.push('\n');
+        text.push_str(r#"{"seq":1,"ev":"mark","name":"round[0]"}"#);
+        text.push('\n');
+        let (_, events) = parse_wire(&text).expect("foreign marks skip");
+        assert!(events.is_empty());
+
+        text.push_str(r#"{"seq":2,"ev":"mark","name":"stream.ev home=z t=1"}"#);
+        text.push('\n');
+        assert!(parse_wire(&text).is_err());
+    }
+}
