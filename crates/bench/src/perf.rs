@@ -25,9 +25,12 @@ use std::time::Instant;
 /// one federated round under fault injection, `explain` one beam-search
 /// explanation of a detection, `registry_absorb` the obs merge path that
 /// folds per-client trace registries into the global one (the hot loop of a
-/// traced federated round at fleet scale), and `stream_ingest` the
-/// streaming actor pipeline consuming one replayed fleet corpus end to end
-/// (ingest → maintain → sharded detect, `fexiot-cli serve`'s engine).
+/// traced federated round at fleet scale), `stream_ingest` the streaming
+/// actor pipeline consuming one replayed fleet corpus end to end (ingest →
+/// maintain → sharded detect, `fexiot-cli serve`'s engine), and
+/// `store_warm` the artifact store's warm path (manifest parse +
+/// hash-verified blob reads + fixed-layout matrix decode, `fexiot-cli
+/// eval --store`'s warm-start engine).
 pub const WORKLOADS: &[&str] = &[
     "featurize",
     "gnn_epoch",
@@ -35,6 +38,7 @@ pub const WORKLOADS: &[&str] = &[
     "explain",
     "registry_absorb",
     "stream_ingest",
+    "store_warm",
 ];
 
 /// Schema identifier of one line in the append-only benchmark history
@@ -88,6 +92,21 @@ pub struct WorkloadReport {
     pub topology: Option<String>,
     /// Sustained throughput, for streaming workloads only.
     pub throughput: Option<ThroughputStats>,
+    /// Artifact-store warm-load digest, for the `store_warm` workload only.
+    pub store: Option<StoreWarmStats>,
+}
+
+/// Digest of one `store_warm` run. `digest` (FNV-1a of every blob the cold
+/// populate wrote, in manifest order) and `blob_bytes` are deterministic
+/// data — same seed ⇒ same artifacts, at any thread width; `cold_us` and
+/// the derived `speedup_milli` (cold time over warm p50, ×1000) are
+/// wall-clock and get the advisory timing treatment in `obs-diff`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreWarmStats {
+    pub digest: u64,
+    pub blob_bytes: u64,
+    pub cold_us: u64,
+    pub speedup_milli: u64,
 }
 
 /// Throughput digest of one streaming workload run. `events` and the
@@ -202,6 +221,7 @@ fn run_reps(
         clients: None,
         topology: None,
         throughput: None,
+        store: None,
     }
 }
 
@@ -393,6 +413,74 @@ fn stream_ingest_report(cfg: &PerfConfig) -> WorkloadReport {
     report
 }
 
+/// The artifact store's warm path end to end: each rep opens the store
+/// fresh from disk (manifest parse + schema check), then warm-loads the
+/// dataset and the trained model through hash-verified blob reads and the
+/// fixed-layout matrix codec — exactly what `fexiot-cli eval --store` does
+/// on a warm run. The store is populated once, cold, outside the reps; the
+/// cold wall-clock is kept as the advisory baseline for the warm speedup.
+fn store_warm_report(cfg: &PerfConfig) -> WorkloadReport {
+    use fexiot::store::Store;
+    let train_graphs = cfg.scale.pick(60, 300);
+    let dir = std::env::temp_dir().join(format!(
+        "fexiot-bench-store-{}-{}",
+        cfg.seed,
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cold_started = Instant::now();
+    let mut store = Store::open(&dir).expect("bench store dir");
+    let cold = fexiot::warm::load_or_train_model(
+        Some(&mut store),
+        cfg.seed,
+        train_graphs,
+        fexiot_gnn::EncoderKind::Gin,
+    );
+    assert!(!cold.warm, "fresh store must populate cold");
+    let cold_us = u64::try_from(cold_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+    // Digest every blob the cold populate wrote, in manifest (key) order:
+    // deterministic data at any seed-matched rerun, any thread width.
+    let mut blob_bytes = 0u64;
+    let mut all = Vec::new();
+    for entry in store.list() {
+        blob_bytes += entry.len;
+        let blob = dir.join("blobs").join(format!("{:016x}.bin", entry.blob));
+        all.extend_from_slice(&std::fs::read(&blob).expect("cold-written blob"));
+    }
+    let digest = fexiot_tensor::codec::fnv1a(&all);
+    drop(store);
+    let seed = cfg.seed;
+    let rep_dir = dir.clone();
+    let mut report = run_reps("store_warm", cfg, move || {
+        let mut store = Store::open(&rep_dir).expect("bench store dir");
+        let ds = fexiot::warm::load_or_generate_dataset(
+            Some(&mut store),
+            seed,
+            train_graphs,
+            false,
+        );
+        assert!(ds.warm, "populated store must warm-load the dataset");
+        black_box(ds.value);
+        let model = fexiot::warm::load_or_train_model(
+            Some(&mut store),
+            seed,
+            train_graphs,
+            fexiot_gnn::EncoderKind::Gin,
+        );
+        assert!(model.warm, "populated store must warm-load the model");
+        black_box(model.value);
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    let p50 = timing_summary(&report.timings_us).p50;
+    report.store = Some(StoreWarmStats {
+        digest,
+        blob_bytes,
+        cold_us,
+        speedup_milli: cold_us.saturating_mul(1000).checked_div(p50).unwrap_or(0),
+    });
+    report
+}
+
 /// Runs one named workload; `None` for an unknown name.
 pub fn run_workload(name: &str, cfg: &PerfConfig) -> Option<WorkloadReport> {
     match name {
@@ -402,6 +490,7 @@ pub fn run_workload(name: &str, cfg: &PerfConfig) -> Option<WorkloadReport> {
         "explain" => Some(explain_report(cfg)),
         "registry_absorb" => Some(registry_absorb_report(cfg)),
         "stream_ingest" => Some(stream_ingest_report(cfg)),
+        "store_warm" => Some(store_warm_report(cfg)),
         _ => None,
     }
 }
@@ -447,6 +536,20 @@ pub fn to_json(report: &WorkloadReport, cfg: &PerfConfig) -> Json {
                 ("events", Json::UInt(tp.events)),
                 ("events_per_sec", Json::UInt(tp.events_per_sec)),
                 ("latency_p99_ticks", Json::UInt(tp.latency_p99_ticks)),
+            ]),
+        ));
+    }
+    // The store_warm workload carries its warm-load digest: deterministic
+    // blob digest + size, plus the wall-clock-derived cold time and warm
+    // speedup (advisory in `obs-diff`, like `timing_us`).
+    if let Some(s) = &report.store {
+        fields.push((
+            "store",
+            obj(vec![
+                ("digest", Json::Str(format!("fnv1a:{:016x}", s.digest))),
+                ("blob_bytes", Json::UInt(s.blob_bytes)),
+                ("cold_us", Json::UInt(s.cold_us)),
+                ("speedup_milli", Json::UInt(s.speedup_milli)),
             ]),
         ));
     }
@@ -501,6 +604,9 @@ pub fn history_line(reports: &[WorkloadReport], cfg: &PerfConfig, unix_ts: u64) 
             ];
             if let Some(tp) = &r.throughput {
                 digest.push(("events_per_sec".into(), Json::UInt(tp.events_per_sec)));
+            }
+            if let Some(s) = &r.store {
+                digest.push(("speedup_milli".into(), Json::UInt(s.speedup_milli)));
             }
             (r.workload.to_string(), Json::Obj(digest))
         })
@@ -629,6 +735,7 @@ mod tests {
             clients: None,
             topology: None,
             throughput: None,
+            store: None,
         };
         let cfg = PerfConfig::default();
         let doc = to_json(&report, &cfg);
@@ -724,6 +831,52 @@ mod tests {
     }
 
     #[test]
+    fn store_warm_workload_is_deterministic_with_store_digest() {
+        let cfg = PerfConfig {
+            reps: 2,
+            ..PerfConfig::default()
+        };
+        let a = store_warm_report(&cfg);
+        let b = store_warm_report(&cfg);
+        assert_eq!(a.items, b.items, "warm-load counters are deterministic");
+        let item = |name: &str| {
+            a.items
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("item {name}"))
+        };
+        // Each rep warm-loads two artifacts (dataset + model) and never
+        // misses; the bytes read match the manifest's recorded sizes.
+        assert_eq!(item("store.hits"), 2);
+        assert!(a.items.iter().all(|(k, _)| k != "store.misses"));
+        assert!(a.items.iter().all(|(k, _)| k != "store.corrupt"));
+        let s = a.store.expect("store_warm carries a store digest");
+        assert_eq!(item("store.bytes_read"), s.blob_bytes);
+        assert_eq!(
+            a.store.map(|s| (s.digest, s.blob_bytes)),
+            b.store.map(|s| (s.digest, s.blob_bytes)),
+            "deterministic store fields agree across runs"
+        );
+        let doc = to_json(&a, &cfg);
+        validate_bench_report(&doc).expect("valid bench document");
+        assert_eq!(
+            doc.get("store").and_then(|s| s.get("blob_bytes")).and_then(Json::as_u64),
+            Some(s.blob_bytes)
+        );
+        // The history digest carries the warm speedup for trend greps.
+        let line = history_line(std::slice::from_ref(&a), &cfg, 1);
+        let parsed = Json::parse(&line).expect("parses");
+        let speedup = parsed
+            .get("workloads")
+            .and_then(|w| w.get("store_warm"))
+            .and_then(|d| d.get("speedup_milli"))
+            .and_then(Json::as_u64)
+            .expect("speedup_milli in history digest");
+        assert_eq!(speedup, s.speedup_milli);
+    }
+
+    #[test]
     fn history_line_is_one_parseable_json_record() {
         let report = WorkloadReport {
             workload: "featurize",
@@ -735,6 +888,7 @@ mod tests {
             clients: None,
             topology: None,
             throughput: None,
+            store: None,
         };
         let cfg = PerfConfig::default();
         let line = history_line(std::slice::from_ref(&report), &cfg, 1754000000);
@@ -762,6 +916,7 @@ mod tests {
             clients: None,
             topology: None,
             throughput: None,
+            store: None,
         }
     }
 

@@ -1,23 +1,43 @@
 //! `fexiot-cli` — drive the FexIoT pipeline from the command line.
 //!
 //! ```text
-//! fexiot-cli train    [--graphs N] [--seed S] [--encoder gin|gcn|magnn] --out MODEL
-//! fexiot-cli eval     --model MODEL [--graphs N] [--seed S]
-//! fexiot-cli detect   --model MODEL [--seed S]       # analyze one fresh home
-//! fexiot-cli explain  --model MODEL [--seed S]       # explain one detection
+//! fexiot-cli train    [--graphs N] [--seed S] [--encoder gin|gcn|magnn]
+//!                     [--out MODEL] [--store DIR]    # at least one sink
+//! fexiot-cli eval     (--model MODEL | --store DIR) [--graphs N] [--seed S]
+//!                     [--train-graphs N] [--train-seed S] [--encoder E]
+//! fexiot-cli detect   (--model MODEL | --store DIR) [--seed S]  # one fresh home
+//! fexiot-cli explain  (--model MODEL | --store DIR) [--seed S]  # one detection
 //! fexiot-cli federate [--clients N] [--rounds R] [--strategy fexiot|fedavg|fmtl|gcfl|local]
 //!                     [--dropout P] [--msg-loss P] [--straggler P] [--corrupt P]
 //!                     [--sample-frac F | --sample-k K]      # per-round cohort sampling
 //!                     [--aggregators N] [--failover reassign|skip]
 //!                     [--agg-dropout P] [--agg-crash P] [--agg-straggler P]
 //!                     [--quorum F] [--deadline-ticks T]     # quorum-gated rounds
-//!                     [--checkpoint-dir DIR]         # federated run under faults
-//! fexiot-cli serve    [--replay | --input FILE] [--model MODEL]
+//!                     [--store DIR | --checkpoint-dir DIR]  # checkpoint + resume
+//! fexiot-cli serve    [--replay | --input FILE] [--model MODEL | --store DIR]
 //!                     [--homes N] [--home-size K] [--seed S] [--sim-scale M]
 //!                     [--shards N] [--mailbox-cap C] [--overflow block|shed]
 //!                     [--ingest-rate R] [--maintain-rate R] [--detect-rate R]
 //!                     [--round-events E] [--slow-shard I] [--record FILE]
+//! fexiot-cli store list --store DIR                  # inspect cached artifacts
+//! fexiot-cli store gc   --store DIR                  # drop broken entries / orphan blobs
 //! ```
+//!
+//! `--store DIR` opens the persistent artifact store (`fexiot-store`): a
+//! content-addressed blob directory under a versioned manifest, keyed by
+//! configuration identity (seed, scale, encoder, feature dims, schema
+//! version — never thread width). A warm run loads its dataset and model
+//! from the store and skips corpus generation, featurization, and training
+//! entirely; stdout is byte-identical to the cold run because every warm
+//! note goes to stderr and skipped stages consume no shared RNG. `eval`,
+//! `detect`, and `explain` resolve their model from the registry (training
+//! on demand on a miss, keyed by `--train-seed`/`--train-graphs`/
+//! `--encoder`); `serve` hot-loads only and fails cleanly when the model
+//! is absent. `federate --store DIR` persists per-round checkpoints under
+//! the same manifest and resumes from the latest round for its identity
+//! (`--checkpoint-dir` is kept as an alias). Corrupt blobs are detected by
+//! hash verification, reported on stderr naming the artifact, and rebuilt
+//! cold. See DESIGN.md §Artifact store.
 //!
 //! `serve` runs the streaming detection service (`fexiot-stream`): a seeded
 //! replay fleet (or a recorded `fexiot-obs-events/v1` wire file via
@@ -53,10 +73,12 @@
 //! `eval`/`explain` on another reproduce identical decisions.
 
 use fexiot::fed::{Corruption, Failover, FaultPlan, Sampling, Strategy, Topology};
-use fexiot::{build_federation, FederationConfig, FexIot, FexIotConfig};
+use fexiot::store::{ArtifactKind, Store, StoreError};
+use fexiot::{build_federation, warm, FederationConfig, FexIot, FexIotConfig};
 use fexiot_gnn::EncoderKind;
+use fexiot_graph::GraphDataset;
 use fexiot_ml::Metrics;
-use fexiot_graph::{generate_dataset, DatasetConfig, GraphDataset};
+use fexiot_tensor::codec::fnv1a;
 use fexiot_tensor::Rng;
 use std::process::ExitCode;
 
@@ -68,8 +90,18 @@ struct Args {
 impl Args {
     fn parse() -> Option<Args> {
         let mut argv = std::env::args().skip(1);
-        let command = argv.next()?;
-        Self::parse_from(command, argv.collect())
+        let mut command = argv.next()?;
+        let mut rest: Vec<String> = argv.collect();
+        // `store` takes an action word (`store list`, `store gc`) — the one
+        // place a positional is meaningful. Fold it into the command so the
+        // flag parser below stays positional-free.
+        if command == "store" {
+            if let Some(action) = rest.first().filter(|a| !a.starts_with("--")) {
+                command = format!("store {action}");
+                rest.remove(0);
+            }
+        }
+        Self::parse_from(command, rest)
     }
 
     /// Parses a flag list (everything after the subcommand). Split out from
@@ -128,26 +160,93 @@ impl Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage:\n  fexiot-cli train    [--graphs N] [--seed S] [--encoder gin|gcn|magnn] --out MODEL\n  fexiot-cli eval     --model MODEL [--graphs N] [--seed S]\n  fexiot-cli detect   --model MODEL [--seed S]\n  fexiot-cli explain  --model MODEL [--seed S]\n  fexiot-cli federate [--clients N] [--rounds R] [--strategy fexiot|fedavg|fmtl|gcfl|local]\n                      [--graphs N] [--seed S] [--alpha A]\n                      [--dropout P] [--msg-loss P] [--straggler P] [--corrupt P]\n                      [--sample-frac F | --sample-k K]  (per-round cohort sampling)\n                      [--aggregators N] [--failover reassign|skip]\n                      [--agg-dropout P] [--agg-crash P] [--agg-straggler P]\n                      [--quorum F] [--deadline-ticks T]  (quorum-gated rounds)\n                      [--checkpoint-dir DIR]  (resumes from the newest checkpoint there)\n  fexiot-cli serve    [--replay | --input FILE] [--model MODEL]  (streaming detection)\n                      [--homes N] [--home-size K] [--seed S] [--sim-scale M]\n                      [--shards N] [--mailbox-cap C] [--overflow block|shed]\n                      [--ingest-rate R] [--maintain-rate R] [--detect-rate R]\n                      [--round-events E] [--slow-shard I] [--record FILE]\n  any subcommand: [--threads N]  (parallel width; default FEXIOT_THREADS or all cores)\n                  [--obs-summary] [--obs-out DIR] [--obs-flame FILE]\n                  [--obs-stream FILE] [--obs-stream-timing include|exclude]\n                  [--obs-trace FILE] [--obs-trace-timing include|exclude]  (observability export)"
+        "usage:\n  fexiot-cli train    [--graphs N] [--seed S] [--encoder gin|gcn|magnn] [--out MODEL] [--store DIR]\n  fexiot-cli eval     (--model MODEL | --store DIR) [--graphs N] [--seed S]\n                      [--train-graphs N] [--train-seed S] [--encoder E]  (registry identity)\n  fexiot-cli detect   (--model MODEL | --store DIR) [--seed S]\n  fexiot-cli explain  (--model MODEL | --store DIR) [--seed S]\n  fexiot-cli federate [--clients N] [--rounds R] [--strategy fexiot|fedavg|fmtl|gcfl|local]\n                      [--graphs N] [--seed S] [--alpha A]\n                      [--dropout P] [--msg-loss P] [--straggler P] [--corrupt P]\n                      [--sample-frac F | --sample-k K]  (per-round cohort sampling)\n                      [--aggregators N] [--failover reassign|skip]\n                      [--agg-dropout P] [--agg-crash P] [--agg-straggler P]\n                      [--quorum F] [--deadline-ticks T]  (quorum-gated rounds)\n                      [--store DIR | --checkpoint-dir DIR]  (checkpoints; resumes from the latest round)\n  fexiot-cli serve    [--replay | --input FILE] [--model MODEL | --store DIR]  (streaming detection)\n                      [--homes N] [--home-size K] [--seed S] [--sim-scale M]\n                      [--shards N] [--mailbox-cap C] [--overflow block|shed]\n                      [--ingest-rate R] [--maintain-rate R] [--detect-rate R]\n                      [--round-events E] [--slow-shard I] [--record FILE]\n  fexiot-cli store list --store DIR  (list cached artifacts)\n  fexiot-cli store gc   --store DIR  (drop broken entries and orphan blobs)\n  any subcommand: [--threads N]  (parallel width; default FEXIOT_THREADS or all cores)\n                  [--store DIR]  (artifact store: warm-start datasets/models; see DESIGN.md)\n                  [--obs-summary] [--obs-out DIR] [--obs-flame FILE]\n                  [--obs-stream FILE] [--obs-stream-timing include|exclude]\n                  [--obs-trace FILE] [--obs-trace-timing include|exclude]  (observability export)"
     );
     ExitCode::from(2)
 }
 
-fn make_dataset(args: &Args, default_graphs: usize, hetero: bool) -> GraphDataset {
-    let mut rng = Rng::seed_from_u64(args.get_u64("seed", 42));
-    let mut cfg = if hetero {
-        DatasetConfig::small_hetero()
-    } else {
-        DatasetConfig::small_ifttt()
-    };
-    cfg.graph_count = args.get_usize("graphs", default_graphs);
-    generate_dataset(&cfg, &mut rng)
+/// Store-aware dataset builder: warm-loads the featurized graphs from the
+/// artifact store when possible, generates (and caches) them otherwise.
+/// Warm notes go to stderr only — stdout stays byte-identical either way.
+fn make_dataset(
+    args: &Args,
+    default_graphs: usize,
+    hetero: bool,
+    store: &mut Option<Store>,
+) -> GraphDataset {
+    let out = warm::load_or_generate_dataset(
+        store.as_mut(),
+        args.get_u64("seed", 42),
+        args.get_usize("graphs", default_graphs),
+        hetero,
+    );
+    for note in &out.notes {
+        eprintln!("{note}");
+    }
+    out.value
 }
 
 fn load_model(args: &Args) -> Result<FexIot, String> {
     let path = args.get("model").ok_or("--model is required")?;
     let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     FexIot::load_from_bytes(&bytes).map_err(|e| format!("corrupt model {path}: {e}"))
+}
+
+/// Opens the artifact store named by `--store DIR` (None without the flag).
+fn open_store(args: &Args) -> Result<Option<Store>, String> {
+    let Some(dir) = args.get("store") else {
+        return Ok(None);
+    };
+    if dir.is_empty() {
+        return Err("--store wants a directory".into());
+    }
+    let store = Store::open(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
+    if let Some(note) = &store.recovered {
+        eprintln!("store: {note}");
+    }
+    Ok(Some(store))
+}
+
+/// Model resolution shared by eval/detect/explain/serve: an explicit
+/// `--model PATH` always wins; otherwise the `--store` registry supplies
+/// the model keyed by (`--train-seed`, `--train-graphs`, `--encoder`).
+/// `train_if_missing` distinguishes the analysis arms (train on demand,
+/// then cache) from `serve` (hot-load only — a serving process must never
+/// silently absorb a training run).
+fn resolve_model(
+    args: &Args,
+    store: &mut Option<Store>,
+    train_if_missing: bool,
+    default_encoder: &str,
+) -> Result<FexIot, String> {
+    if args.get("model").is_some() {
+        return load_model(args);
+    }
+    let Some(store) = store.as_mut() else {
+        return Err("--model MODEL or --store DIR is required".into());
+    };
+    let encoder_name = args.get("encoder").unwrap_or(default_encoder);
+    let encoder =
+        warm::parse_encoder(encoder_name).ok_or_else(|| format!("unknown encoder {encoder_name}"))?;
+    let train_seed = args.get_u64("train-seed", args.get_u64("seed", 42));
+    let train_graphs = args.get_usize("train-graphs", 300);
+    if train_if_missing {
+        let out = warm::load_or_train_model(Some(store), train_seed, train_graphs, encoder);
+        for note in &out.notes {
+            eprintln!("{note}");
+        }
+        return Ok(out.value);
+    }
+    let id = warm::model_identity(train_seed, train_graphs, encoder);
+    let bytes = store.get(ArtifactKind::Model, &id).map_err(|e| {
+        format!(
+            "{e}; serve hot-loads only — train it first with \
+             `fexiot-cli train --store DIR` using matching \
+             --seed/--graphs/--encoder"
+        )
+    })?;
+    eprintln!("store: hot-loaded model {}", id.key(ArtifactKind::Model));
+    FexIot::load_from_bytes(&bytes).map_err(|e| format!("corrupt model in store: {e}"))
 }
 
 fn main() -> ExitCode {
@@ -238,24 +337,30 @@ fn run(
     trace: &mut Option<fexiot_obs::CausalGraph>,
     stream_section: &mut Option<fexiot_obs::Json>,
 ) -> ExitCode {
+    let mut store = match open_store(args) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
     match args.command.as_str() {
         "train" => {
-            let Some(out) = args.get("out") else {
-                eprintln!("train: --out MODEL is required");
+            let out_path = args.get("out");
+            if out_path.is_none() && store.is_none() {
+                eprintln!("train: --out MODEL or --store DIR is required");
+                return usage();
+            }
+            let encoder_name = args.get("encoder").unwrap_or("gin");
+            let Some(encoder) = warm::parse_encoder(encoder_name) else {
+                eprintln!("unknown encoder {encoder_name}");
                 return usage();
             };
-            let encoder = match args.get("encoder").unwrap_or("gin") {
-                "gin" => EncoderKind::Gin,
-                "gcn" => EncoderKind::Gcn,
-                "magnn" => EncoderKind::Magnn,
-                other => {
-                    eprintln!("unknown encoder {other}");
-                    return usage();
-                }
-            };
+            let seed = args.get_u64("seed", 42);
+            let graphs = args.get_usize("graphs", 300);
             let hetero = encoder == EncoderKind::Magnn;
-            let ds = make_dataset(args, 300, hetero);
-            let mut rng = Rng::seed_from_u64(args.get_u64("seed", 42) ^ 0x5EED);
+            let ds = make_dataset(args, 300, hetero, &mut store);
+            let mut rng = Rng::seed_from_u64(seed ^ 0x5EED);
             let (train, test) = ds.train_test_split(0.8, &mut rng);
             println!(
                 "training on {} graphs ({} vulnerable), holding out {}",
@@ -263,51 +368,91 @@ fn run(
                 train.vulnerable_count(),
                 test.len()
             );
-            let cfg = FexIotConfig::default()
-                .with_encoder(encoder)
-                .with_seed(args.get_u64("seed", 42));
-            let model = FexIot::train(&train, cfg);
+            // Registry warm path: a model already cached under this exact
+            // identity skips training; the held-out line below is computed
+            // from the loaded model on the same deterministic split, so the
+            // warm run's stdout is bit-identical to the cold run's.
+            let id = warm::model_identity(seed, graphs, encoder.clone());
+            let mut model = None;
+            if let Some(s) = store.as_ref() {
+                match s.get(ArtifactKind::Model, &id) {
+                    Ok(bytes) => match FexIot::load_from_bytes(&bytes) {
+                        Ok(m) => {
+                            eprintln!("store: warm model hit; skipping training");
+                            model = Some(m);
+                        }
+                        Err(e) => {
+                            eprintln!("store: corrupt model payload ({e}); retraining cold")
+                        }
+                    },
+                    Err(StoreError::Missing { .. }) => {}
+                    Err(e) => eprintln!("{e}; retraining cold"),
+                }
+            }
+            let model = match model {
+                Some(m) => m,
+                None => {
+                    let cfg = FexIotConfig::default()
+                        .with_encoder(encoder)
+                        .with_seed(seed);
+                    let m = FexIot::train(&train, cfg);
+                    if let Some(s) = store.as_mut() {
+                        if let Err(e) = s.put(ArtifactKind::Model, &id, &m.save_to_bytes()) {
+                            eprintln!("store: cannot cache model: {e}");
+                        }
+                    }
+                    m
+                }
+            };
             println!("held-out: {}", model.evaluate(&test));
             let bytes = model.save_to_bytes();
-            if let Err(e) = std::fs::write(out, &bytes) {
-                eprintln!("cannot write {out}: {e}");
-                return ExitCode::FAILURE;
+            if let Some(out) = out_path {
+                if let Err(e) = std::fs::write(out, &bytes) {
+                    eprintln!("cannot write {out}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("saved {} KB to {out}", bytes.len() / 1024);
             }
-            println!("saved {} KB to {out}", bytes.len() / 1024);
             ExitCode::SUCCESS
         }
         "eval" => {
-            let model = match load_model(args) {
+            let model = match resolve_model(args, &mut store, true, "gin") {
                 Ok(m) => m,
                 Err(e) => {
                     eprintln!("{e}");
                     return ExitCode::FAILURE;
                 }
             };
-            let ds = make_dataset(args, 120, false);
-            println!("evaluating on {} fresh graphs", ds.len());
-            println!("{}", model.evaluate(&ds));
+            let ds = make_dataset(args, 120, false, &mut store);
+            // The report is accumulated and digested so warm/cold identity
+            // is checkable from the last stdout line alone.
+            let mut report = String::new();
+            report.push_str(&format!("evaluating on {} fresh graphs\n", ds.len()));
+            report.push_str(&format!("{}\n", model.evaluate(&ds)));
             let drifting = model.filter_drifting(&ds);
-            println!(
-                "drift filter flagged {}/{} graphs",
+            report.push_str(&format!(
+                "drift filter flagged {}/{} graphs\n",
                 drifting.len(),
                 ds.len()
-            );
+            ));
+            print!("{report}");
+            println!("report digest fnv1a:{:016x}", fnv1a(report.as_bytes()));
             ExitCode::SUCCESS
         }
         "detect" => {
-            let model = match load_model(args) {
+            let model = match resolve_model(args, &mut store, true, "gin") {
                 Ok(m) => m,
                 Err(e) => {
                     eprintln!("{e}");
                     return ExitCode::FAILURE;
                 }
             };
-            let ds = make_dataset(args, 20, false);
+            let ds = make_dataset(args, 20, false, &mut store);
+            let mut report = String::new();
             for (i, g) in ds.graphs.iter().enumerate() {
                 let d = model.detect(g);
-                println!(
-                    "graph {i:>2} ({} rules): {}  p={:.3}{}",
+                report.push_str(&format!(
+                    "graph {i:>2} ({} rules): {}  p={:.3}{}\n",
                     g.node_count(),
                     if d.vulnerable {
                         "VULNERABLE"
@@ -320,19 +465,21 @@ fn run(
                     } else {
                         ""
                     }
-                );
+                ));
             }
+            print!("{report}");
+            println!("detections digest fnv1a:{:016x}", fnv1a(report.as_bytes()));
             ExitCode::SUCCESS
         }
         "explain" => {
-            let model = match load_model(args) {
+            let model = match resolve_model(args, &mut store, true, "gin") {
                 Ok(m) => m,
                 Err(e) => {
                     eprintln!("{e}");
                     return ExitCode::FAILURE;
                 }
             };
-            let ds = make_dataset(args, 60, false);
+            let ds = make_dataset(args, 60, false, &mut store);
             let Some(target) = ds
                 .graphs
                 .iter()
@@ -424,7 +571,26 @@ fn run(
                 .and_then(|v| v.parse().ok())
                 .filter(|&t: &usize| t > 0);
 
-            let ds = make_dataset(args, 240, false);
+            // `--checkpoint-dir DIR` is a compatibility alias for
+            // `--store DIR`: both open the same manifest-backed store.
+            if store.is_none() {
+                if let Some(dir) = args.get("checkpoint-dir") {
+                    match Store::open(std::path::Path::new(dir)) {
+                        Ok(s) => {
+                            if let Some(note) = &s.recovered {
+                                eprintln!("store: {note}");
+                            }
+                            store = Some(s);
+                        }
+                        Err(e) => {
+                            eprintln!("{e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+            }
+            let graph_count = args.get_usize("graphs", 240);
+            let ds = make_dataset(args, 240, false, &mut store);
             let mut rng = Rng::seed_from_u64(seed ^ 0x5EED);
             let (train, test) = ds.train_test_split(0.8, &mut rng);
             println!(
@@ -454,26 +620,32 @@ fn run(
                 sim.enable_causal_trace(name);
             }
 
-            // With --checkpoint-dir, each round is persisted and a rerun with
-            // the same flags resumes from the newest checkpoint found there.
-            let checkpoint_dir = args.get("checkpoint-dir").map(str::to_string);
-            if let Some(dir) = &checkpoint_dir {
-                if let Err(e) = std::fs::create_dir_all(dir) {
-                    eprintln!("cannot create {dir}: {e}");
-                    return ExitCode::FAILURE;
-                }
-                if let Some(path) = newest_checkpoint(dir) {
-                    match std::fs::read(&path).map_err(|e| e.to_string()).and_then(|b| {
-                        sim.restore(&b).map_err(|e| e.to_string())
-                    }) {
+            // With a store open, each round is persisted under the run's
+            // checkpoint identity (seed, fleet size, strategy, graphs —
+            // rounds excluded), and a rerun with the same flags resumes from
+            // the latest round recorded there. A rerun asking for *more*
+            // rounds therefore continues instead of starting over, and a
+            // corrupt checkpoint degrades to a cold start with a warning.
+            let ck_id = warm::checkpoint_identity(
+                seed,
+                config.n_clients,
+                config.strategy.name(),
+                graph_count,
+            );
+            if let Some(s) = store.as_mut() {
+                if let Some(round) = s.latest_round(&ck_id) {
+                    match s
+                        .get_round(&ck_id, round)
+                        .map_err(|e| e.to_string())
+                        .and_then(|b| sim.restore(&b).map_err(|e| e.to_string()))
+                    {
                         Ok(()) => println!(
-                            "resumed from {path} at round {}",
+                            "resumed from store at round {}",
                             sim.rounds_completed()
                         ),
-                        Err(e) => {
-                            eprintln!("cannot resume from {path}: {e}");
-                            return ExitCode::FAILURE;
-                        }
+                        Err(e) => eprintln!(
+                            "cannot resume from checkpoint round {round}: {e}; starting cold"
+                        ),
                     }
                 }
             }
@@ -518,10 +690,9 @@ fn run(
                 if let Some(e) = &r.comm_error {
                     eprintln!("round {:>3}: COMM INVARIANT VIOLATED: {e}", r.round);
                 }
-                if let Some(dir) = &checkpoint_dir {
-                    let path = format!("{dir}/round-{:04}.ck", r.round);
-                    if let Err(e) = std::fs::write(&path, sim.checkpoint()) {
-                        eprintln!("cannot write checkpoint {path}: {e}");
+                if let Some(s) = store.as_mut() {
+                    if let Err(e) = s.put_round(&ck_id, r.round as u64, &sim.checkpoint()) {
+                        eprintln!("cannot write checkpoint for round {}: {e}", r.round);
                         return ExitCode::FAILURE;
                     }
                 }
@@ -533,7 +704,44 @@ fn run(
             *trace = sim.take_causal_trace();
             ExitCode::SUCCESS
         }
-        "serve" => serve(args, critical_path, telemetry, stream_section),
+        "serve" => serve(args, &mut store, critical_path, telemetry, stream_section),
+        "store list" => {
+            let Some(s) = store.as_ref() else {
+                eprintln!("store list: --store DIR is required");
+                return usage();
+            };
+            let entries = s.list();
+            for e in &entries {
+                println!(
+                    "{:<12} {:>10} B  blob {:016x}  {}",
+                    e.kind.as_str(),
+                    e.len,
+                    e.blob,
+                    e.name()
+                );
+            }
+            println!("{} artifact(s)", entries.len());
+            ExitCode::SUCCESS
+        }
+        "store gc" => {
+            let Some(s) = store.as_mut() else {
+                eprintln!("store gc: --store DIR is required");
+                return usage();
+            };
+            match s.gc() {
+                Ok((dropped, deleted)) => {
+                    println!(
+                        "store gc: dropped {dropped} broken entr{}, deleted {deleted} orphan blob(s)",
+                        if dropped == 1 { "y" } else { "ies" }
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("{e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
         _ => usage(),
     }
 }
@@ -601,6 +809,7 @@ impl fexiot_stream::Detector for ModelDetector<'_> {
 /// section.
 fn serve(
     args: &Args,
+    store: &mut Option<Store>,
     critical_path: &mut Option<Vec<fexiot_obs::CriticalPathEntry>>,
     telemetry: &mut Option<fexiot_obs::FleetTelemetry>,
     stream_section: &mut Option<fexiot_obs::Json>,
@@ -693,15 +902,20 @@ fn serve(
         }
     }
 
-    let model = match args.get("model") {
-        None => None,
-        Some(_) => match load_model(args) {
+    // A serving process hot-loads its model — from `--model PATH` or the
+    // `--store` registry — and never trains. The registry default is magnn:
+    // the replay fleet is five-platform heterogeneous, and only MAGNN
+    // carries per-platform projections (see model_accepts_fleet).
+    let model = if args.get("model").is_none() && store.is_none() {
+        None
+    } else {
+        match resolve_model(args, store, false, "magnn") {
             Ok(m) => Some(m),
             Err(e) => {
                 eprintln!("{e}");
                 return ExitCode::FAILURE;
             }
-        },
+        }
     };
     if let Some(m) = &model {
         if let Err(e) = model_accepts_fleet(m, &fleet.graphs) {
@@ -775,19 +989,6 @@ fn serve(
     *stream_section = Some(s.to_json());
     *critical_path = Some(out.critical_path);
     ExitCode::SUCCESS
-}
-
-/// Newest `round-*.ck` file in `dir` (lexicographic order matches round
-/// order thanks to the zero-padded name).
-fn newest_checkpoint(dir: &str) -> Option<String> {
-    let mut rounds: Vec<String> = std::fs::read_dir(dir)
-        .ok()?
-        .filter_map(|e| e.ok())
-        .filter_map(|e| e.file_name().into_string().ok())
-        .filter(|n| n.starts_with("round-") && n.ends_with(".ck"))
-        .collect();
-    rounds.sort();
-    rounds.pop().map(|n| format!("{dir}/{n}"))
 }
 
 #[cfg(test)]

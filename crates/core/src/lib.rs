@@ -32,10 +32,12 @@
 pub mod config;
 pub mod federation;
 pub mod pipeline;
+pub mod warm;
 
 pub use config::FexIotConfig;
 pub use federation::{build_federation, build_federation_with_data, FederationConfig};
 pub use pipeline::{build_encoder, Detection, FexIot};
+pub use warm::{dataset_identity, load_or_generate_dataset, load_or_train_model, model_identity};
 
 // Re-export the sub-crates for downstream users of the facade.
 pub use fexiot_explain as explain;
@@ -44,4 +46,5 @@ pub use fexiot_gnn as gnn;
 pub use fexiot_graph as graph;
 pub use fexiot_ml as ml;
 pub use fexiot_nlp as nlp;
+pub use fexiot_store as store;
 pub use fexiot_tensor as tensor;

@@ -2,12 +2,18 @@
 //! first-party binary codec (no external dependencies, deterministic
 //! roundtrips). The format lets a household checkpoint its representation
 //! model on device (the paper runs clients on a Raspberry Pi).
+//!
+//! v2 frames store weights in the fixed-layout matrix format
+//! (`write_matrix_fixed`): contiguous f64 LE payloads behind checksummed
+//! headers, so the artifact store can verify and bulk-load them without a
+//! per-element decode loop. Platform tags are shared with
+//! `fexiot_graph::serialize` so models and cached datasets agree.
 
 use crate::{Encoder, Gcn, Gin, Magnn};
-use fexiot_graph::Platform;
+use fexiot_graph::serialize::{platform_from_tag, platform_tag};
 use fexiot_tensor::codec::{ByteReader, ByteWriter, CodecError};
 
-const MAGIC: u64 = 0xFE_10_07_E4_C0_DE_01_00;
+const MAGIC: u64 = 0xFE_10_07_E4_C0_DE_02_00;
 
 const TAG_GCN: u8 = 1;
 const TAG_GIN: u8 = 2;
@@ -26,7 +32,7 @@ pub fn encoder_to_bytes(encoder: &Encoder) -> Vec<u8> {
                 w.write_usize(h);
             }
             w.write_usize(e.output_dim);
-            w.write_matrices(&e.params);
+            w.write_matrices_fixed(&e.params);
         }
         Encoder::Gin(e) => {
             w.write_u8(TAG_GIN);
@@ -36,7 +42,7 @@ pub fn encoder_to_bytes(encoder: &Encoder) -> Vec<u8> {
                 w.write_usize(h);
             }
             w.write_usize(e.output_dim);
-            w.write_matrices(&e.params);
+            w.write_matrices_fixed(&e.params);
         }
         Encoder::Magnn(e) => {
             w.write_u8(TAG_MAGNN);
@@ -48,7 +54,7 @@ pub fn encoder_to_bytes(encoder: &Encoder) -> Vec<u8> {
             w.write_usize(e.hidden);
             w.write_usize(e.att_dim);
             w.write_usize(e.output_dim);
-            w.write_matrices(&e.params);
+            w.write_matrices_fixed(&e.params);
         }
     }
     w.into_bytes()
@@ -68,7 +74,7 @@ pub fn encoder_from_bytes(bytes: &[u8]) -> Result<Encoder, CodecError> {
             let hidden: Result<Vec<usize>, _> = (0..n_hidden).map(|_| r.read_usize()).collect();
             let hidden = hidden?;
             let output_dim = r.read_usize()?;
-            let params = r.read_matrices()?;
+            let params = r.read_matrices_fixed()?;
             Ok(if tag == TAG_GCN {
                 Encoder::Gcn(Gcn {
                     input_dim,
@@ -96,7 +102,7 @@ pub fn encoder_from_bytes(bytes: &[u8]) -> Result<Encoder, CodecError> {
             let hidden = r.read_usize()?;
             let att_dim = r.read_usize()?;
             let output_dim = r.read_usize()?;
-            let params = r.read_matrices()?;
+            let params = r.read_matrices_fixed()?;
             Ok(Encoder::Magnn(Magnn {
                 type_dims,
                 hidden,
@@ -107,27 +113,6 @@ pub fn encoder_from_bytes(bytes: &[u8]) -> Result<Encoder, CodecError> {
         }
         other => Err(CodecError::BadTag(other)),
     }
-}
-
-fn platform_tag(p: Platform) -> u8 {
-    match p {
-        Platform::SmartThings => 0,
-        Platform::HomeAssistant => 1,
-        Platform::Ifttt => 2,
-        Platform::GoogleAssistant => 3,
-        Platform::AmazonAlexa => 4,
-    }
-}
-
-fn platform_from_tag(t: u8) -> Result<Platform, CodecError> {
-    Ok(match t {
-        0 => Platform::SmartThings,
-        1 => Platform::HomeAssistant,
-        2 => Platform::Ifttt,
-        3 => Platform::GoogleAssistant,
-        4 => Platform::AmazonAlexa,
-        other => return Err(CodecError::BadTag(other)),
-    })
 }
 
 #[cfg(test)]

@@ -17,6 +17,7 @@ pub mod events;
 pub mod graph;
 pub mod online;
 pub mod rule;
+pub mod serialize;
 pub mod vuln;
 
 pub use builder::{CorpusIndex, FeatureConfig, GraphBuilder, RUNTIME_FEATURE_DIMS};

@@ -28,7 +28,8 @@ pub enum Severity {
 pub struct Finding {
     pub severity: Severity,
     /// What kind of data drifted: `counter`, `gauge`, `histogram`, `span`,
-    /// `timing`, `critical_path`, `section`, `throughput`, or `report`.
+    /// `timing`, `critical_path`, `section`, `throughput`, `store`, or
+    /// `report`.
     pub kind: &'static str,
     /// Dotted location, e.g. `counters.fed.sim.participants`.
     pub path: String,
@@ -610,6 +611,19 @@ pub fn validate_bench_report(doc: &Json) -> Result<(), String> {
             }
         }
     }
+    // Optional artifact-store digest (the store_warm workload only): the
+    // warm-loaded payload digest and byte count are deterministic; the cold
+    // populate time and derived speedup are wall-clock.
+    if let Some(st) = doc.get("store") {
+        st.get("digest")
+            .and_then(Json::as_str)
+            .ok_or("store missing string field 'digest'")?;
+        for field in ["blob_bytes", "cold_us", "speedup_milli"] {
+            if st.get(field).and_then(Json::as_u64).is_none() {
+                return Err(format!("store missing integer field '{field}'"));
+            }
+        }
+    }
     match doc.get("items") {
         Some(Json::Obj(members)) => {
             for (k, v) in members {
@@ -808,6 +822,74 @@ pub fn diff_bench_reports(baseline: &Json, current: &Json, cfg: &DiffConfig) -> 
             "throughput",
             "throughput".into(),
             "only one run carries a streaming throughput digest; not compared".into(),
+        ),
+        (false, false) => {}
+    }
+
+    // Artifact-store digest (store_warm workload): the warm-loaded payload
+    // digest and byte count are deterministic data — drift means the store
+    // serialized different artifacts for the same configuration, which is
+    // breaking. The cold populate time and the derived warm speedup are
+    // wall-clock and get the advisory timing treatment (a speedup *drop*
+    // beyond tolerance is flagged; an improvement never is).
+    fn st<'a>(doc: &'a Json, f: &str) -> Option<&'a Json> {
+        doc.get("store").and_then(|s| s.get(f))
+    }
+    match (baseline.get("store").is_some(), current.get("store").is_some()) {
+        (true, true) => {
+            let digest = |doc: &Json| {
+                st(doc, "digest").and_then(Json::as_str).unwrap_or("?").to_string()
+            };
+            let (da, db) = (digest(baseline), digest(current));
+            if da != db {
+                out.push(
+                    Severity::Breaking,
+                    "store",
+                    "store.digest".into(),
+                    format!("{da} -> {db} (warm-loaded artifact bytes changed)"),
+                );
+            }
+            let (ba, bb) = (
+                st(baseline, "blob_bytes").and_then(Json::as_u64),
+                st(current, "blob_bytes").and_then(Json::as_u64),
+            );
+            if ba != bb {
+                out.push(
+                    Severity::Breaking,
+                    "store",
+                    "store.blob_bytes".into(),
+                    format!(
+                        "{} -> {} (deterministic artifact size)",
+                        ba.unwrap_or(0),
+                        bb.unwrap_or(0)
+                    ),
+                );
+            }
+            if let (Some(sa), Some(sb)) = (
+                st(baseline, "speedup_milli").and_then(Json::as_u64),
+                st(current, "speedup_milli").and_then(Json::as_u64),
+            ) {
+                if sa > 0 && (sb as f64) < sa as f64 * (1.0 - cfg.timing_tolerance) {
+                    out.push(
+                        timing_sev,
+                        "timing",
+                        "store.speedup_milli".into(),
+                        format!(
+                            "warm speedup {:.1}x -> {:.1}x ({:.0}%, tolerance {:.0}%)",
+                            sa as f64 / 1000.0,
+                            sb as f64 / 1000.0,
+                            (sb as f64 / sa as f64 - 1.0) * 100.0,
+                            cfg.timing_tolerance * 100.0
+                        ),
+                    );
+                }
+            }
+        }
+        (true, false) | (false, true) => out.push(
+            Severity::Advisory,
+            "store",
+            "store".into(),
+            "only one run carries an artifact-store digest; not compared".into(),
         ),
         (false, false) => {}
     }
@@ -1165,6 +1247,56 @@ mod tests {
         let mut bad = bench(42, 150, 0, false, 5000);
         if let Json::Obj(members) = &mut bad {
             members.push(("throughput".into(), Json::Obj(vec![])));
+        }
+        assert!(validate_bench_report(&bad).is_err());
+    }
+
+    #[test]
+    fn bench_store_digest_mixes_deterministic_and_advisory_severities() {
+        let with_store = |digest: &str, blob_bytes: u64, speedup_milli: u64| {
+            let mut doc = bench(42, 150, 0, false, 5000);
+            if let Json::Obj(members) = &mut doc {
+                members.push((
+                    "store".into(),
+                    Json::Obj(vec![
+                        ("digest".into(), Json::Str(digest.to_string())),
+                        ("blob_bytes".into(), Json::UInt(blob_bytes)),
+                        ("cold_us".into(), Json::UInt(90_000)),
+                        ("speedup_milli".into(), Json::UInt(speedup_milli)),
+                    ]),
+                ));
+            }
+            doc
+        };
+        let cfg = DiffConfig::default();
+        let a = with_store("fnv1a:00000000deadbeef", 40_000, 12_000);
+        validate_bench_report(&a).expect("store fields are valid");
+        // Identical digests: clean pass.
+        let d = diff_bench_reports(&a, &with_store("fnv1a:00000000deadbeef", 40_000, 12_000), &cfg);
+        assert!(d.passed() && d.findings.is_empty(), "{}", d.render());
+        // Payload digest and blob size are deterministic: breaking.
+        let d = diff_bench_reports(&a, &with_store("fnv1a:0000000000000bad", 40_000, 12_000), &cfg);
+        assert!(!d.passed());
+        assert_eq!(d.findings[0].path, "store.digest");
+        let d = diff_bench_reports(&a, &with_store("fnv1a:00000000deadbeef", 39_999, 12_000), &cfg);
+        assert!(!d.passed());
+        assert_eq!(d.findings[0].path, "store.blob_bytes");
+        // A warm-speedup collapse past tolerance is advisory wall-clock; an
+        // improvement is never flagged.
+        let d = diff_bench_reports(&a, &with_store("fnv1a:00000000deadbeef", 40_000, 2_000), &cfg);
+        assert!(d.passed(), "{}", d.render());
+        assert_eq!(d.findings[0].path, "store.speedup_milli");
+        assert_eq!(d.findings[0].severity, Severity::Advisory);
+        let d = diff_bench_reports(&a, &with_store("fnv1a:00000000deadbeef", 40_000, 90_000), &cfg);
+        assert!(d.findings.is_empty(), "{}", d.render());
+        // One-sided presence (pre-store baseline): advisory only.
+        let d = diff_bench_reports(&bench(42, 150, 0, false, 5000), &a, &cfg);
+        assert!(d.passed(), "{}", d.render());
+        assert_eq!(d.findings[0].kind, "store");
+        // A malformed store section is rejected up front.
+        let mut bad = bench(42, 150, 0, false, 5000);
+        if let Json::Obj(members) = &mut bad {
+            members.push(("store".into(), Json::Obj(vec![])));
         }
         assert!(validate_bench_report(&bad).is_err());
     }

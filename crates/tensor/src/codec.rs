@@ -7,6 +7,21 @@
 
 use crate::matrix::Matrix;
 
+/// Magic header for the fixed-layout matrix frame (`FEXMATF1` era).
+pub const MATRIX_FIXED_MAGIC: u64 = 0xFE_F1_0A_70_4D_A7_01_00;
+
+/// FNV-1a 64 over raw bytes — the store's content-address hash and the
+/// fixed-layout frame's payload checksum share this function so blob keys
+/// and in-frame integrity agree byte for byte.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
 /// Errors produced while decoding.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum CodecError {
@@ -90,6 +105,30 @@ impl ByteWriter {
             self.write_matrix(m);
         }
     }
+
+    /// Fixed-layout frame: magic, rows, cols, payload FNV-1a (all u64 LE),
+    /// then the row-major payload as raw f64 LE words. The payload region is
+    /// a single contiguous `memcpy`-shaped block so a reader can lift it with
+    /// one pass (and an mmap'd consumer could borrow it in place); the
+    /// checksum makes truncation and bit flips detectable without decoding.
+    pub fn write_matrix_fixed(&mut self, m: &Matrix) {
+        let mut payload = Vec::with_capacity(m.as_slice().len() * 8);
+        for &v in m.as_slice() {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        self.write_u64(MATRIX_FIXED_MAGIC);
+        self.write_u64(m.rows() as u64);
+        self.write_u64(m.cols() as u64);
+        self.write_u64(fnv1a(&payload));
+        self.buf.extend_from_slice(&payload);
+    }
+
+    pub fn write_matrices_fixed(&mut self, ms: &[Matrix]) {
+        self.write_usize(ms.len());
+        for m in ms {
+            self.write_matrix_fixed(m);
+        }
+    }
 }
 
 /// Bounds-checked byte source.
@@ -171,6 +210,40 @@ impl<'a> ByteReader<'a> {
             return Err(CodecError::BadLength(len as u64));
         }
         (0..len).map(|_| self.read_matrix()).collect()
+    }
+
+    /// Counterpart of [`ByteWriter::write_matrix_fixed`]. Verifies the magic
+    /// and the payload checksum, then lifts the payload in one bulk pass
+    /// (`chunks_exact` over the contiguous f64 LE block — a single memcpy on
+    /// little-endian targets).
+    pub fn read_matrix_fixed(&mut self) -> Result<Matrix, CodecError> {
+        if self.read_u64()? != MATRIX_FIXED_MAGIC {
+            return Err(CodecError::BadHeader);
+        }
+        let rows = self.read_u64()?;
+        let cols = self.read_u64()?;
+        let n = rows.saturating_mul(cols);
+        if n.saturating_mul(8) > self.remaining() as u64 {
+            return Err(CodecError::BadLength(n));
+        }
+        let want = self.read_u64()?;
+        let payload = self.take(n as usize * 8)?;
+        if fnv1a(payload) != want {
+            return Err(CodecError::BadHeader);
+        }
+        let data: Vec<f64> = payload
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect();
+        Ok(Matrix::from_vec(rows as usize, cols as usize, data))
+    }
+
+    pub fn read_matrices_fixed(&mut self) -> Result<Vec<Matrix>, CodecError> {
+        let len = self.read_usize()?;
+        if len > self.remaining() {
+            return Err(CodecError::BadLength(len as u64));
+        }
+        (0..len).map(|_| self.read_matrix_fixed()).collect()
     }
 }
 

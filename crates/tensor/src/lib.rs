@@ -19,7 +19,7 @@ pub mod rng;
 pub mod stats;
 
 pub use autograd::{Grads, Tape, Var};
-pub use codec::{ByteReader, ByteWriter, CodecError};
+pub use codec::{fnv1a, ByteReader, ByteWriter, CodecError};
 pub use matrix::Matrix;
 pub use optim::{Adam, ParamVec, Sgd};
 pub use rng::Rng;
